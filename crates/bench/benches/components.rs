@@ -1,0 +1,166 @@
+//! Criterion micro-benchmarks of the core components: PA-to-DA translation,
+//! mapping selection, the DRAM scheduler, the PIM timing engine, and the
+//! paging path (TLB + frontend).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+use facil_core::paging::{PageTable, Tlb};
+use facil_core::{select_mapping_2mb, DType, MapId, MappingScheme, MatrixConfig, PimArch};
+use facil_dram::{ChannelSim, DramAddress, DramSpec, Request};
+use facil_pim::PimEngine;
+
+fn bench_mapping_translate(c: &mut Criterion) {
+    let spec = DramSpec::lpddr5_6400(256, 64 << 30);
+    let conv = MappingScheme::conventional(spec.topology);
+    let arch = PimArch::aim(&spec.topology);
+    let pim = MappingScheme::pim_optimized(spec.topology, &arch, 1, 21).unwrap();
+    let mut g = c.benchmark_group("mapping_translate");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("conventional", |b| {
+        let mut pa = 0u64;
+        b.iter(|| {
+            pa = pa.wrapping_add(0x9E3779B97F4A7C15) & ((64 << 30) - 1);
+            black_box(conv.map_pa(black_box(pa)))
+        })
+    });
+    g.bench_function("pim_mapid1", |b| {
+        let mut pa = 0u64;
+        b.iter(|| {
+            pa = pa.wrapping_add(0x9E3779B97F4A7C15) & ((64 << 30) - 1);
+            black_box(pim.map_pa(black_box(pa)))
+        })
+    });
+    g.finish();
+}
+
+fn bench_selector(c: &mut Criterion) {
+    let spec = DramSpec::lpddr5_6400(64, 8 << 30);
+    let arch = PimArch::aim(&spec.topology);
+    let m = MatrixConfig::new(4096, 14336, DType::F16);
+    c.bench_function("select_mapping", |b| {
+        b.iter(|| black_box(select_mapping_2mb(black_box(&m), spec.topology, &arch).unwrap()))
+    });
+}
+
+fn bench_dram_scheduler(c: &mut Criterion) {
+    let spec = DramSpec::lpddr5_6400(16, 256 << 20);
+    let mut g = c.benchmark_group("dram_scheduler");
+    let n = 4096u64;
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("sequential_stream_4k_requests", |b| {
+        b.iter_batched(
+            || {
+                let mut ch = ChannelSim::new(&spec);
+                for i in 0..n {
+                    let addr = DramAddress {
+                        channel: 0,
+                        rank: 0,
+                        bank: i % 16,
+                        row: i / (16 * 64),
+                        column: (i / 16) % 64,
+                    };
+                    ch.push(Request::read(addr));
+                }
+                ch
+            },
+            |mut ch| black_box(ch.run()),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_pim_gemv(c: &mut Criterion) {
+    let spec = DramSpec::lpddr5_6400(256, 64 << 30);
+    let arch = PimArch::aim(&spec.topology);
+    let engine = PimEngine::new(spec.clone(), arch);
+    let m = MatrixConfig::new(14336, 4096, DType::F16);
+    let d = select_mapping_2mb(&m, spec.topology, &arch).unwrap();
+    c.bench_function("pim_gemv_timing", |b| {
+        b.iter(|| black_box(engine.gemv(black_box(&m), black_box(&d))))
+    });
+}
+
+fn bench_paging_path(c: &mut Criterion) {
+    let mut pt = PageTable::new();
+    for i in 0..64u64 {
+        pt.map_huge_pim(i << 21, i << 21, MapId((i % 4) as u8));
+    }
+    c.bench_function("tlb_translate", |b| {
+        let mut tlb = Tlb::new(64, 4);
+        let mut va = 0u64;
+        b.iter(|| {
+            va = (va + 4096) % (64 << 21);
+            black_box(tlb.translate(black_box(va), &pt).unwrap())
+        })
+    });
+}
+
+fn bench_allbank_sim(c: &mut Criterion) {
+    let spec = DramSpec::lpddr5_6400(16, 256 << 20);
+    c.bench_function("allbank_pim_stream_32rows", |b| {
+        b.iter(|| {
+            let streams: Vec<facil_dram::PimStream> = (0..2)
+                .map(|rank| facil_dram::PimStream {
+                    rank,
+                    rows: 32,
+                    gb_cmds_per_row: 64,
+                    macs_per_row: 64,
+                    mac_interval: 2,
+                    double_buffer: true,
+                })
+                .collect();
+            black_box(facil_dram::run_allbank(&spec, &streams))
+        })
+    });
+}
+
+fn bench_radix_walk(c: &mut Criterion) {
+    use facil_core::paging::RadixPageTable;
+    let mut t = RadixPageTable::new();
+    for i in 0..256u64 {
+        t.map_huge(i << 21, i << 21, Some(MapId((i % 16) as u8)));
+    }
+    c.bench_function("radix_walk_huge", |b| {
+        let mut va = 0u64;
+        b.iter(|| {
+            va = (va + (1 << 21)) % (256 << 21);
+            black_box(t.translate(black_box(va + 0x1234)).unwrap())
+        })
+    });
+}
+
+fn bench_serving(c: &mut Criterion) {
+    use facil_sim::{serve, InferenceSim, ServingConfig, Strategy};
+    use facil_soc::{Platform, PlatformId};
+    use facil_workloads::Dataset;
+    let sim = InferenceSim::new(Platform::get(PlatformId::Iphone));
+    let dataset = Dataset::code_autocompletion_like(1, 32);
+    let mut g = c.benchmark_group("serving");
+    g.sample_size(10);
+    g.bench_function("serve_32_queries", |b| {
+        b.iter(|| {
+            black_box(serve(
+                &sim,
+                Strategy::FacilDynamic,
+                &dataset,
+                ServingConfig { arrival_qps: 0.5, seed: 1 },
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_mapping_translate,
+    bench_selector,
+    bench_dram_scheduler,
+    bench_pim_gemv,
+    bench_paging_path,
+    bench_allbank_sim,
+    bench_radix_walk,
+    bench_serving
+);
+criterion_main!(benches);

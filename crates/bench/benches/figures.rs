@@ -1,0 +1,54 @@
+//! Criterion benches of the experiment regenerators — one per paper table
+//! and figure — sized down so `cargo bench` completes quickly while still
+//! exercising every experiment end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use facil_bench::*;
+use facil_soc::PlatformId;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig02_profile", |b| b.iter(|| black_box(fig02_profile(4))));
+    g.bench_function("fig03_pim_speedup", |b| b.iter(|| black_box(fig03_pim_speedup(4))));
+    g.bench_function("fig06_relayout", |b| b.iter(|| black_box(fig06_relayout(&[16, 64]))));
+    g.bench_function("fig13_ttft", |b| b.iter(|| black_box(fig13_ttft(&[8, 64]))));
+    g.bench_function("fig14_ttlt", |b| b.iter(|| black_box(fig14_ttlt(&[(16, 16), (64, 64)]))));
+    g.bench_function("fig15_datasets_ttft", |b| b.iter(|| black_box(fig15_datasets(7, 8))));
+    g.bench_function("fig16_datasets_ttlt", |b| b.iter(|| black_box(fig16_datasets(7, 8))));
+    g.finish();
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    use facil_bench::ablations::*;
+    use facil_workloads::Query;
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.bench_function("mapping_flexibility", |b| {
+        b.iter(|| black_box(ablation_mapping_flexibility(PlatformId::Iphone)))
+    });
+    g.bench_function("relayout_policy", |b| {
+        b.iter(|| black_box(ablation_relayout_policy(Query { prefill: 8, decode: 4 })))
+    });
+    g.bench_function("cosched", |b| b.iter(|| black_box(ablation_cosched(PlatformId::Iphone))));
+    g.bench_function("energy", |b| b.iter(|| black_box(ablation_energy(64))));
+    g.bench_function("pim_style", |b| b.iter(|| black_box(ablation_pim_style())));
+    g.finish();
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tables");
+    g.sample_size(10);
+    g.bench_function("table1_hugepage", |b| {
+        b.iter(|| black_box(table1_hugepage(&[2.0], &[0.45])))
+    });
+    g.bench_function("table3_gemm_slowdown", |b| {
+        b.iter(|| black_box(table3_gemm_slowdown(&[PlatformId::Iphone], &[16])))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures, bench_tables, bench_ablations);
+criterion_main!(benches);

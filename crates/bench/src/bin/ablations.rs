@@ -1,0 +1,124 @@
+//! Runs every ablation: mapping flexibility, re-layout policy,
+//! co-scheduling, PIM microarchitecture, energy, and quantization.
+
+use facil_bench::ablations::*;
+use facil_bench::print_table;
+use facil_soc::PlatformId;
+use facil_workloads::Query;
+
+fn main() {
+    let rows: Vec<Vec<String>> = ablation_mapping_flexibility(PlatformId::Iphone)
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.into(),
+                r.flexible_partitions.to_string(),
+                r.fixed_partitions.to_string(),
+                format!("{:.1}", r.flexible_us),
+                format!("{:.1}", r.fixed_us),
+                format!("{:.2}x", r.slowdown),
+            ]
+        })
+        .collect();
+    print_table(
+        "Ablation: flexible per-page MapID vs one global PIM mapping (iPhone, Phi-1.5)",
+        &["weight", "flex parts", "fixed parts", "flex us", "fixed us", "fixed/flex"],
+        &rows,
+    );
+
+    let rows: Vec<Vec<String>> = ablation_relayout_policy(Query { prefill: 32, decode: 32 })
+        .iter()
+        .map(|(id, od, aao)| {
+            vec![id.to_string(), format!("{od:.0} ms"), format!("{aao:.0} ms"), format!("{:.2}x", aao / od)]
+        })
+        .collect();
+    print_table(
+        "Ablation: re-layout policy, P32/D32 (paper footnote 2)",
+        &["platform", "on-demand TTLT", "all-at-once TTLT", "penalty"],
+        &rows,
+    );
+
+    let rows: Vec<Vec<String>> = ablation_cosched(PlatformId::Iphone)
+        .iter()
+        .map(|(policy, rate, tput, lat, reopens)| {
+            vec![
+                policy.to_string(),
+                format!("{rate:.3}"),
+                format!("{:.2}", tput),
+                format!("{lat:.0}"),
+                reopens.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Ablation: SoC-PIM co-scheduling (paper Section V-C)",
+        &["policy", "SoC req/cycle", "PIM throughput", "SoC latency (cyc)", "PIM row reopens"],
+        &rows,
+    );
+
+    let rows: Vec<Vec<String>> = ablation_pim_microarch()
+        .iter()
+        .map(|(db, mi, us)| {
+            vec![if *db { "double-buffered" } else { "single" }.into(), mi.to_string(), format!("{us:.0} us")]
+        })
+        .collect();
+    print_table(
+        "Ablation: PIM global-buffer & MAC rate (Jetson, FC1 GEMV)",
+        &["global buffer", "MAC interval (cyc)", "GEMV time"],
+        &rows,
+    );
+
+    let rows: Vec<Vec<String>> = ablation_energy(64)
+        .iter()
+        .map(|(id, soc, pim, ratio)| {
+            vec![id.to_string(), format!("{:.0} uJ", soc), format!("{:.0} uJ", pim), format!("{ratio:.2}x")]
+        })
+        .collect();
+    print_table(
+        "Ablation: DRAM-side decode energy per token (ctx 64)",
+        &["platform", "SoC GEMV", "PIM GEMV", "SoC/PIM"],
+        &rows,
+    );
+
+    let rows: Vec<Vec<String>> = ablation_quantized_e2e(PlatformId::Iphone)
+        .iter()
+        .map(|(dt, relayout, ttft, speedup, decode)| {
+            vec![
+                dt.to_string(),
+                format!("{relayout:.0} ms"),
+                format!("{ttft:.0} ms"),
+                format!("{speedup:.2}x"),
+                format!("{decode:.2} ms"),
+            ]
+        })
+        .collect();
+    print_table(
+        "Ablation: weight-only quantization end to end (iPhone, P32)",
+        &["dtype", "relayout", "FACIL TTFT", "TTFT speedup", "PIM ms/token"],
+        &rows,
+    );
+
+    let rows: Vec<Vec<String>> = ablation_pim_style()
+        .iter()
+        .map(|(style, map_id, layout, us)| {
+            vec![style.clone(), map_id.to_string(), layout.clone(), format!("{us:.1} us")]
+        })
+        .collect();
+    print_table(
+        "Ablation: AiM-style vs HBM-PIM-style mapping (1-channel LPDDR5, 1024x1024 fp16)",
+        &["style", "MapID", "scheme", "GEMV"],
+        &rows,
+    );
+
+    let rows: Vec<Vec<String>> = ablation_dtype(PlatformId::Iphone)
+        .iter()
+        .map(|(dt, map_id, parts, us)| {
+            vec![dt.to_string(), map_id.to_string(), parts.to_string(), format!("{us:.1} us")]
+        })
+        .collect();
+    print_table(
+        "Ablation: weight precision (iPhone, hidden x hidden GEMV)",
+        &["dtype", "MapID", "partitions", "PIM GEMV"],
+        &rows,
+    );
+}

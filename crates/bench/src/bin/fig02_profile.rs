@@ -1,0 +1,32 @@
+//! Regenerates paper Fig. 2: decode-phase profiling on the Jetson GPU.
+
+use facil_bench::{fig02_profile, print_table};
+
+fn main() {
+    let r = fig02_profile(64);
+    print_table(
+        "Fig. 2(a): decode time breakdown (Jetson, Llama3-8B, 64 tokens)",
+        &["component", "share"],
+        &[
+            vec!["linear (GEMV)".into(), format!("{:.1}%", r.linear_fraction * 100.0)],
+            vec!["attention".into(), format!("{:.1}%", r.attention_fraction * 100.0)],
+            vec!["other".into(), format!("{:.1}%", r.other_fraction * 100.0)],
+        ],
+    );
+    let rows: Vec<Vec<String>> = r
+        .utils
+        .iter()
+        .map(|u| {
+            vec![
+                u.name.into(),
+                format!("{:.2}%", u.compute_util * 100.0),
+                format!("{:.1}%", u.memory_util * 100.0),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 2(b): GEMV compute / memory utilization",
+        &["dimension", "compute util", "memory BW util"],
+        &rows,
+    );
+}

@@ -1,0 +1,24 @@
+//! Regenerates paper Fig. 3: potential speedup of PIM-offloaded decode.
+
+use facil_bench::{fig03_pim_speedup, print_table};
+
+fn main() {
+    let r = fig03_pim_speedup(64);
+    print_table(
+        "Fig. 3: decode of 64 tokens (in=out=64) on Jetson, Llama3-8B",
+        &["executor", "time (ms)", "speedup vs GPU"],
+        &[
+            vec!["GPU (SoC)".into(), format!("{:.1}", r.soc_ms), "1.00x".into()],
+            vec![
+                "ideal NPU".into(),
+                format!("{:.1}", r.ideal_npu_ms),
+                format!("{:.2}x", r.soc_ms / r.ideal_npu_ms),
+            ],
+            vec!["PIM".into(), format!("{:.1}", r.pim_ms), format!("{:.2}x", r.speedup_vs_soc)],
+        ],
+    );
+    println!(
+        "\nPIM speedup over ideal NPU: {:.2}x  (paper: 3.32x)",
+        r.speedup_vs_ideal_npu
+    );
+}

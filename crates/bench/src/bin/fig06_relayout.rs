@@ -1,0 +1,24 @@
+//! Regenerates paper Fig. 6: TTFT inflation caused by weight re-layout.
+
+use facil_bench::{fig06_relayout, print_table};
+
+fn main() {
+    let points = fig06_relayout(&[4, 8, 16, 32, 64, 128, 256, 512]);
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.prefill.to_string(),
+                format!("{:.0}", p.ttft_ms),
+                format!("{:.0}", p.ttft_with_relayout_ms),
+                format!("{:.2}x", p.ttft_with_relayout_ms / p.ttft_ms),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 6: TTFT with/without re-layout (Jetson, Llama3-8B)",
+        &["prefill", "TTFT (ms)", "TTFT + re-layout (ms)", "inflation"],
+        &rows,
+    );
+    println!("\npaper: ~100 ms -> ~300 ms (about 3x) around P=64");
+}

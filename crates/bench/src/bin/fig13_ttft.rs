@@ -1,0 +1,24 @@
+//! Regenerates paper Fig. 13: TTFT speedup of FACIL over the SoC-PIM
+//! hybrid-static baseline across prefill lengths.
+
+use facil_bench::{fig13_ttft, print_table};
+
+fn main() {
+    let prefills = [8, 16, 32, 64, 128];
+    let series = fig13_ttft(&prefills);
+    let rows: Vec<Vec<String>> = series
+        .iter()
+        .map(|s| {
+            let mut v = vec![s.platform.to_string()];
+            v.extend(s.points.iter().map(|(_, sp)| format!("{sp:.2}x")));
+            v.push(format!("{:.2}x", s.geomean));
+            v
+        })
+        .collect();
+    print_table(
+        "Fig. 13: FACIL TTFT speedup vs hybrid-static",
+        &["platform", "P8", "P16", "P32", "P64", "P128", "geomean"],
+        &rows,
+    );
+    println!("\npaper geomeans: Jetson 2.89x, MacBook 2.19x, IdeaPad 1.55x, iPhone 2.36x");
+}

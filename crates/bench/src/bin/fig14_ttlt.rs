@@ -1,0 +1,23 @@
+//! Regenerates paper Fig. 14: TTLT speedup of FACIL over hybrid-static
+//! across prefill:decode combinations.
+
+use facil_bench::{fig14_ttlt, print_table};
+
+fn main() {
+    let combos = [(16, 16), (64, 16), (16, 64), (64, 64), (256, 64), (64, 256), (256, 256)];
+    let series = fig14_ttlt(&combos);
+    let headers: Vec<String> =
+        combos.iter().map(|(p, d)| format!("P{p}/D{d}")).collect();
+    let mut header_refs: Vec<&str> = vec!["platform"];
+    header_refs.extend(headers.iter().map(|s| s.as_str()));
+    let rows: Vec<Vec<String>> = series
+        .iter()
+        .map(|s| {
+            let mut v = vec![s.platform.to_string()];
+            v.extend(s.points.iter().map(|(_, sp)| format!("{sp:.3}x")));
+            v
+        })
+        .collect();
+    print_table("Fig. 14: FACIL TTLT speedup vs hybrid-static", &header_refs, &rows);
+    println!("\npaper: ~10% improvement up to decode length 64, amortized for long decodes");
+}

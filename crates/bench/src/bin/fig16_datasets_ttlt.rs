@@ -1,0 +1,30 @@
+//! Regenerates paper Fig. 16: TTLT on the two datasets, normalized to
+//! hybrid-static.
+
+use facil_bench::{fig16_datasets, headline_geomeans, print_table};
+
+fn main() {
+    let rows = fig16_datasets(42, 128);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.platform.to_string(),
+                r.dataset.clone(),
+                format!("{:.2}x", r.soc_only),
+                "1.00x".into(),
+                format!("{:.2}x", r.hybrid_dynamic),
+                format!("{:.2}x", r.facil),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 16: TTLT speedup over hybrid-static (128 sampled queries, seed 42)",
+        &["platform", "dataset", "SoC-only", "hybrid-static", "hybrid-dynamic", "FACIL"],
+        &table,
+    );
+    for (name, g) in headline_geomeans(&rows) {
+        println!("FACIL TTLT geomean on {name}: {g:.2}x");
+    }
+    println!("paper: ~1.20x on both datasets; ~3.55x over SoC-only");
+}

@@ -1,0 +1,42 @@
+//! Serving-load extension experiment: TTFT percentiles under a Poisson
+//! query stream, per strategy and arrival rate — how much interactive load
+//! each strategy sustains before responsiveness collapses.
+
+use facil_bench::print_table;
+use facil_sim::{serve, InferenceSim, ServingConfig, Strategy};
+use facil_soc::{Platform, PlatformId};
+use facil_workloads::Dataset;
+
+fn main() {
+    let platform = Platform::get(PlatformId::Iphone);
+    let sim = InferenceSim::new(platform);
+    let dataset = Dataset::code_autocompletion_like(42, 96);
+    println!(
+        "platform: {} | dataset: {} ({} queries, geomean prefill {:.0})",
+        PlatformId::Iphone,
+        dataset.name,
+        dataset.queries.len(),
+        dataset.geomean_prefill()
+    );
+
+    let mut rows = Vec::new();
+    for strategy in [Strategy::HybridStatic, Strategy::HybridDynamic, Strategy::FacilDynamic] {
+        for qps in [0.2, 0.5, 1.0, 2.0] {
+            let r = serve(&sim, strategy, &dataset, ServingConfig { arrival_qps: qps, seed: 9 });
+            rows.push(vec![
+                strategy.to_string(),
+                format!("{qps:.1}"),
+                format!("{:.0}", r.ttft_p50_ms),
+                format!("{:.0}", r.ttft_p95_ms),
+                format!("{:.0}%", r.utilization * 100.0),
+                r.queue_peak.to_string(),
+            ]);
+        }
+    }
+    print_table(
+        "Serving load: TTFT under Poisson arrivals (queueing included)",
+        &["strategy", "arrivals/s", "TTFT p50 (ms)", "TTFT p95 (ms)", "device util", "queue peak"],
+        &rows,
+    );
+    println!("\nFACIL's shorter prefills keep tail TTFT bounded at rates that saturate the baseline.");
+}

@@ -1,0 +1,23 @@
+//! Regenerates paper Table III: GEMM slowdown on the PIM-optimized layout.
+
+use facil_bench::{print_table, table3_gemm_slowdown};
+use facil_soc::PlatformId;
+
+fn main() {
+    let prefills = [4, 16, 64];
+    let rows = table3_gemm_slowdown(&PlatformId::all(), &prefills);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let mut v = vec![r.platform.to_string(), r.group.to_string()];
+            v.extend(r.slowdowns.iter().map(|s| format!("{:.2}%", s * 100.0)));
+            v
+        })
+        .collect();
+    print_table(
+        "Table III: GEMM slowdown on PIM-optimized layout",
+        &["platform", "weights", "P=4", "P=16", "P=64"],
+        &table,
+    );
+    println!("\npaper worst cases: Jetson 2.1%, MacBook 0.1%, IdeaPad 1.1%, iPhone 1.6%");
+}

@@ -1,0 +1,140 @@
+//! PIM architecture descriptors: the "PIM configuration" consumed by the
+//! mapping selector (paper Fig. 9).
+
+use facil_dram::Topology;
+use serde::{Deserialize, Serialize};
+
+use crate::matrix::DType;
+
+/// Family of near-bank PIM architecture, distinguished by chunk shape
+/// (paper Section II-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PimStyle {
+    /// SK hynix Accelerator-in-Memory: chunk = (1, input-register elements);
+    /// the input register holds a whole DRAM row.
+    Aim,
+    /// Samsung HBM-PIM (FIMDRAM): chunk = (8, 128) for 16-bit data; the
+    /// registers are transfer-sized.
+    HbmPim,
+}
+
+/// A PIM processing-unit architecture, reduced to what the mapping
+/// formulation needs: the chunk geometry in *bytes* and the bank sharing.
+///
+/// A *chunk* is the unit of computation of one processing unit (PU): a
+/// `chunk_rows x chunk_cols` sub-matrix. `chunk_row_bytes` is the byte length
+/// of one chunk row (`chunk_cols * element size`), which must tile the DRAM
+/// row exactly: `chunk_row_bytes * chunk_rows == row_bytes`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PimArch {
+    /// Architecture family.
+    pub style: PimStyle,
+    /// Matrix rows per chunk (1 for AiM, 8 for HBM-PIM).
+    pub chunk_rows: u64,
+    /// Bytes per chunk row (2048 for AiM on LPDDR5; 256 for HBM-PIM fp16).
+    pub chunk_row_bytes: u64,
+    /// MAC throughput of one PU in elements per controller clock cycle
+    /// (16 for AiM: one 32 B transfer of fp16 per MAC command beat).
+    pub macs_per_cycle: u64,
+}
+
+impl PimArch {
+    /// AiM-style PIM for the given DRAM topology: chunk dimension
+    /// (1, row_bytes / element) — the global input buffer holds one DRAM row
+    /// (paper Section VI-A).
+    pub fn aim(topo: &Topology) -> Self {
+        PimArch {
+            style: PimStyle::Aim,
+            chunk_rows: 1,
+            chunk_row_bytes: topo.row_bytes,
+            macs_per_cycle: topo.transfer_bytes / 2,
+        }
+    }
+
+    /// HBM-PIM-style chunk (8, 128) for 16-bit elements: each chunk row is
+    /// 128 elements = 256 bytes (paper Section II-C, footnote 1).
+    pub fn hbm_pim(topo: &Topology) -> Self {
+        PimArch {
+            style: PimStyle::HbmPim,
+            chunk_rows: 8,
+            chunk_row_bytes: 8 * topo.transfer_bytes,
+            macs_per_cycle: topo.transfer_bytes / 2,
+        }
+    }
+
+    /// Chunk columns in elements of `dtype`.
+    pub fn chunk_cols(&self, dtype: DType) -> u64 {
+        self.chunk_row_bytes / dtype.bytes()
+    }
+
+    /// log2 of chunk-row transfers: the *chunk column bits* of the mapping
+    /// formulation (paper Fig. 8 step 1).
+    pub fn chunk_col_bits(&self, topo: &Topology) -> u32 {
+        (self.chunk_row_bytes / topo.transfer_bytes).trailing_zeros()
+    }
+
+    /// log2 of `chunk_rows`: the *chunk row bits* (0 for AiM, 3 for HBM-PIM).
+    pub fn chunk_row_bits(&self) -> u32 {
+        self.chunk_rows.trailing_zeros()
+    }
+
+    /// Check that the chunk tiles the DRAM row exactly, which the mapping
+    /// formulation requires (all column bits are split between chunk-column
+    /// and chunk-row bits).
+    pub fn tiles_row(&self, topo: &Topology) -> bool {
+        self.chunk_row_bytes.is_power_of_two()
+            && self.chunk_rows.is_power_of_two()
+            && self.chunk_row_bytes * self.chunk_rows == topo.row_bytes
+            && self.chunk_row_bytes >= topo.transfer_bytes
+    }
+}
+
+impl std::fmt::Display for PimStyle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PimStyle::Aim => write!(f, "AiM"),
+            PimStyle::HbmPim => write!(f, "HBM-PIM"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo() -> Topology {
+        Topology::new(16, 2, 4, 4, 65536, 2048, 32)
+    }
+
+    #[test]
+    fn aim_chunk_matches_paper() {
+        let t = topo();
+        let a = PimArch::aim(&t);
+        // (1, 1024) for fp16 on a 2 KB row (paper Section II-C).
+        assert_eq!(a.chunk_rows, 1);
+        assert_eq!(a.chunk_cols(DType::F16), 1024);
+        assert_eq!(a.chunk_col_bits(&t), 6);
+        assert_eq!(a.chunk_row_bits(), 0);
+        assert!(a.tiles_row(&t));
+    }
+
+    #[test]
+    fn hbm_pim_chunk_matches_paper() {
+        let t = topo();
+        let h = PimArch::hbm_pim(&t);
+        // (8, 128) for fp16 (paper Section II-C).
+        assert_eq!(h.chunk_rows, 8);
+        assert_eq!(h.chunk_cols(DType::F16), 128);
+        assert_eq!(h.chunk_col_bits(&t), 3);
+        assert_eq!(h.chunk_row_bits(), 3);
+        assert!(h.tiles_row(&t));
+    }
+
+    #[test]
+    fn column_bits_split_exactly() {
+        let t = topo();
+        for arch in [PimArch::aim(&t), PimArch::hbm_pim(&t)] {
+            assert_eq!(arch.chunk_col_bits(&t) + arch.chunk_row_bits(), t.column_bits());
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Memory-controller frontend with the FACIL N-to-1 mapping mux
+//! (paper Fig. 12).
+//!
+//! The frontend receives (physical address, optional MapID) from the core's
+//! TLB/page-table path and performs PA-to-DA translation through one of a
+//! small number of hardware mapping slots: slot ∅ is the SoC's conventional
+//! mapping; the others are PIM-optimized schemes selected by MapID. The
+//! hardware cost is five N-to-1 multiplexers (channel, rank, bank, column,
+//! row) — pure combinational logic, which [`Frontend::mux_inputs`] reports.
+
+use facil_dram::{AddressMapper, DramAddress, Topology};
+
+use crate::arch::PimArch;
+use crate::error::{FacilError, Result};
+use crate::scheme::MappingScheme;
+use crate::select::MapId;
+
+/// The FACIL-augmented PA-to-DA translation stage.
+#[derive(Debug)]
+pub struct Frontend {
+    topo: Topology,
+    arch: PimArch,
+    page_bits: u32,
+    conventional: MappingScheme,
+    /// Installed PIM-optimized schemes, keyed by their MapID.
+    slots: Vec<Option<MappingScheme>>,
+    /// Maximum number of concurrently-installed PIM mappings (hardware mux
+    /// width minus the conventional input).
+    max_slots: usize,
+}
+
+impl Frontend {
+    /// Create a frontend for `topo`/`arch` with `max_slots` PIM mapping
+    /// slots (the paper's example hardware supports 3 PIM + 1 conventional).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_slots` is 0 or exceeds 15 (4 PTE bits).
+    pub fn new(topo: Topology, arch: PimArch, page_bits: u32, max_slots: usize) -> Self {
+        assert!(max_slots > 0 && max_slots <= 15, "MapID field is 4 bits");
+        Frontend {
+            topo,
+            arch,
+            page_bits,
+            conventional: MappingScheme::conventional(topo),
+            slots: vec![None; 16],
+            max_slots,
+        }
+    }
+
+    /// The conventional scheme (slot ∅).
+    pub fn conventional(&self) -> &MappingScheme {
+        &self.conventional
+    }
+
+    /// Number of PIM mappings currently installed.
+    pub fn installed(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Ensure the PIM-optimized scheme for `map_id` is installed, building
+    /// it on first use.
+    ///
+    /// # Errors
+    ///
+    /// * [`FacilError::FrontendFull`] if a new slot is needed but all
+    ///   `max_slots` are taken;
+    /// * mapping-construction errors from
+    ///   [`MappingScheme::pim_optimized`].
+    pub fn ensure_slot(&mut self, map_id: MapId) -> Result<&MappingScheme> {
+        let idx = map_id.0 as usize;
+        if idx >= self.slots.len() {
+            return Err(FacilError::MapIdOutOfRange { requested: map_id.0, max: 15 });
+        }
+        if self.slots[idx].is_none() {
+            if self.installed() >= self.max_slots {
+                return Err(FacilError::FrontendFull { slots: self.max_slots });
+            }
+            let scheme = MappingScheme::pim_optimized(self.topo, &self.arch, map_id.0, self.page_bits)?;
+            self.slots[idx] = Some(scheme);
+        }
+        Ok(self.slots[idx].as_ref().expect("just installed"))
+    }
+
+    /// Look up an installed scheme.
+    pub fn scheme(&self, map_id: MapId) -> Option<&MappingScheme> {
+        self.slots.get(map_id.0 as usize).and_then(|s| s.as_ref())
+    }
+
+    /// Translate a physical address under the mapping selected by `map_id`
+    /// (`None` = conventional).
+    ///
+    /// # Errors
+    ///
+    /// [`FacilError::MapIdOutOfRange`] if the MapID has no installed scheme
+    /// (hardware would raise a machine check here).
+    pub fn translate(&self, pa: u64, map_id: Option<MapId>) -> Result<DramAddress> {
+        match map_id {
+            None => Ok(self.conventional.map_pa(pa)),
+            Some(id) => match self.scheme(id) {
+                Some(s) => Ok(s.map_pa(pa)),
+                None => Err(FacilError::MapIdOutOfRange { requested: id.0, max: 15 }),
+            },
+        }
+    }
+
+    /// Hardware-cost figure: inputs of each of the five field multiplexers
+    /// (= installed mappings + 1 conventional). Paper Fig. 12 shows 4.
+    pub fn mux_inputs(&self) -> usize {
+        self.installed() + 1
+    }
+}
+
+/// Adapter: a frontend pinned to one MapID behaves as a plain
+/// [`AddressMapper`] for trace replay.
+#[derive(Debug)]
+pub struct PinnedMapper<'a> {
+    frontend: &'a Frontend,
+    map_id: Option<MapId>,
+}
+
+impl<'a> PinnedMapper<'a> {
+    /// Pin `frontend` to `map_id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `map_id` refers to an empty slot.
+    pub fn new(frontend: &'a Frontend, map_id: Option<MapId>) -> Self {
+        if let Some(id) = map_id {
+            assert!(frontend.scheme(id).is_some(), "MapID {id} not installed");
+        }
+        PinnedMapper { frontend, map_id }
+    }
+}
+
+impl AddressMapper for PinnedMapper<'_> {
+    fn map(&self, pa: u64) -> DramAddress {
+        self.frontend.translate(pa, self.map_id).expect("pinned MapID verified at construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::HUGE_PAGE_BITS;
+
+    fn topo() -> Topology {
+        Topology::new(4, 2, 4, 4, 16384, 2048, 32)
+    }
+
+    fn frontend(slots: usize) -> Frontend {
+        let t = topo();
+        Frontend::new(t, PimArch::aim(&t), HUGE_PAGE_BITS, slots)
+    }
+
+    #[test]
+    fn conventional_translation_by_default() {
+        let f = frontend(3);
+        let a = f.translate(32, None).unwrap();
+        assert_eq!(a.channel, 1, "conventional interleaves channels first");
+    }
+
+    #[test]
+    fn install_and_translate_pim() {
+        let mut f = frontend(3);
+        f.ensure_slot(MapId(1)).unwrap();
+        let a = f.translate(32, Some(MapId(1))).unwrap();
+        // PIM mapping keeps consecutive transfers in one bank.
+        assert_eq!(a.channel, 0);
+        assert_eq!(a.column, 1);
+        assert_eq!(f.mux_inputs(), 2);
+    }
+
+    #[test]
+    fn slots_are_limited_like_hardware() {
+        let mut f = frontend(2);
+        f.ensure_slot(MapId(0)).unwrap();
+        f.ensure_slot(MapId(1)).unwrap();
+        // Re-ensuring an installed slot is free.
+        f.ensure_slot(MapId(1)).unwrap();
+        let err = f.ensure_slot(MapId(2)).unwrap_err();
+        assert_eq!(err, FacilError::FrontendFull { slots: 2 });
+    }
+
+    #[test]
+    fn uninstalled_mapid_is_rejected() {
+        let f = frontend(3);
+        assert!(matches!(
+            f.translate(0, Some(MapId(2))),
+            Err(FacilError::MapIdOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn pinned_mapper_adapts_to_trait() {
+        let mut f = frontend(3);
+        f.ensure_slot(MapId(0)).unwrap();
+        let conv = PinnedMapper::new(&f, None);
+        let pim = PinnedMapper::new(&f, Some(MapId(0)));
+        assert_ne!(conv.map(32), pim.map(32));
+    }
+
+    #[test]
+    #[should_panic(expected = "not installed")]
+    fn pinning_empty_slot_panics() {
+        let f = frontend(3);
+        PinnedMapper::new(&f, Some(MapId(7)));
+    }
+}

@@ -1,0 +1,125 @@
+//! Matrix and data-type descriptors passed to `pimalloc` (the paper's
+//! "matrix configuration").
+
+use serde::{Deserialize, Serialize};
+
+/// Element data type of a weight matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DType {
+    /// 16-bit IEEE float (the precision used throughout the paper).
+    F16,
+    /// bfloat16.
+    Bf16,
+    /// 32-bit IEEE float.
+    F32,
+    /// 8-bit integer (weight-only quantization).
+    I8,
+}
+
+impl DType {
+    /// Size of one element in bytes.
+    pub fn bytes(self) -> u64 {
+        match self {
+            DType::F16 | DType::Bf16 => 2,
+            DType::F32 => 4,
+            DType::I8 => 1,
+        }
+    }
+}
+
+impl std::fmt::Display for DType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DType::F16 => write!(f, "fp16"),
+            DType::Bf16 => write!(f, "bf16"),
+            DType::F32 => write!(f, "fp32"),
+            DType::I8 => write!(f, "int8"),
+        }
+    }
+}
+
+/// Shape and data type of a weight matrix, as supplied to `pimalloc`
+/// (paper Fig. 7, step 1).
+///
+/// The matrix is stored row-major in virtual address space: GEMV computes
+/// `y = W x` where `W` is `rows x cols`, so one *matrix row* (length `cols`)
+/// is the unit a single PIM processing unit should own.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MatrixConfig {
+    /// Number of matrix rows (output dimension).
+    pub rows: u64,
+    /// Number of matrix columns (input dimension).
+    pub cols: u64,
+    /// Element type.
+    pub dtype: DType,
+}
+
+impl MatrixConfig {
+    /// Create a matrix configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(rows: u64, cols: u64, dtype: DType) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be nonzero");
+        MatrixConfig { rows, cols, dtype }
+    }
+
+    /// Bytes of one matrix row, padded to the next power of two as the
+    /// selector requires (paper Fig. 9: `pow(2, ceil(log2(matrix_col)))`).
+    pub fn padded_row_bytes(&self) -> u64 {
+        self.cols.next_power_of_two() * self.dtype.bytes()
+    }
+
+    /// Unpadded total size in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.rows * self.cols * self.dtype.bytes()
+    }
+
+    /// Total size in bytes with each row padded to a power of two, which is
+    /// how `pimalloc` lays the matrix out in virtual memory.
+    pub fn padded_bytes(&self) -> u64 {
+        self.rows * self.padded_row_bytes()
+    }
+}
+
+impl std::fmt::Display for MatrixConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}x{} {}", self.rows, self.cols, self.dtype)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dtype_sizes() {
+        assert_eq!(DType::F16.bytes(), 2);
+        assert_eq!(DType::Bf16.bytes(), 2);
+        assert_eq!(DType::F32.bytes(), 4);
+        assert_eq!(DType::I8.bytes(), 1);
+    }
+
+    #[test]
+    fn padded_row_bytes_rounds_to_power_of_two() {
+        let m = MatrixConfig::new(4096, 4096, DType::F16);
+        assert_eq!(m.padded_row_bytes(), 8192);
+        let odd = MatrixConfig::new(10, 3000, DType::F16);
+        assert_eq!(odd.padded_row_bytes(), 4096 * 2);
+        assert_eq!(odd.bytes(), 10 * 3000 * 2);
+        assert_eq!(odd.padded_bytes(), 10 * 8192);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_dims_rejected() {
+        MatrixConfig::new(0, 5, DType::F16);
+    }
+
+    #[test]
+    fn display_formats() {
+        let m = MatrixConfig::new(1024, 4096, DType::F16);
+        assert_eq!(m.to_string(), "1024x4096 fp16");
+    }
+}

@@ -1,0 +1,242 @@
+//! The extended `mmap()` interface (paper Section V-A): an address space
+//! that hands out virtual regions backed by 4 KB or 2 MB pages, where huge
+//! mappings may carry a MapID — exactly the one-argument extension the
+//! paper adds to `mmap`.
+//!
+//! This is the standalone OS-layer model built on the structural
+//! [`RadixPageTable`]; [`crate::pimalloc::FacilSystem`] is the
+//! whole-system fast path. Their translation semantics agree (tested).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{FacilError, Result};
+use crate::paging::phys::PhysicalMemory;
+use crate::paging::pte::{BASE_PAGE_BITS, HUGE_PAGE_BITS};
+use crate::paging::radix::RadixPageTable;
+use crate::paging::table::Translation;
+use crate::select::MapId;
+
+/// Flags of one `mmap` call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct MmapFlags {
+    /// Use 2 MB huge pages (`MAP_HUGETLB`).
+    pub huge: bool,
+    /// FACIL extension: the PA-to-DA mapping the region's pages must use.
+    /// Requires `huge` (the MapID remaps page-offset bits that only a huge
+    /// page has).
+    pub map_id: Option<MapId>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Region {
+    len: u64,
+    flags: MmapFlags,
+}
+
+/// A process address space with FACIL-extended `mmap`.
+#[derive(Debug)]
+pub struct AddressSpace {
+    table: RadixPageTable,
+    phys: PhysicalMemory,
+    regions: BTreeMap<u64, Region>,
+    next_va: u64,
+}
+
+/// mmap region base (kept away from 0).
+const MMAP_BASE: u64 = 0x20_0000_0000;
+
+impl AddressSpace {
+    /// Create an address space over `phys_bytes` of physical memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phys_bytes` is not a multiple of 2 MB.
+    pub fn new(phys_bytes: u64) -> Self {
+        AddressSpace {
+            table: RadixPageTable::new(),
+            phys: PhysicalMemory::new(phys_bytes),
+            regions: BTreeMap::new(),
+            next_va: MMAP_BASE,
+        }
+    }
+
+    /// Map `len` bytes (rounded up to the page granularity of `flags`).
+    ///
+    /// # Errors
+    ///
+    /// * [`FacilError::InvalidRequest`] for zero length or `map_id` without
+    ///   `huge`;
+    /// * [`FacilError::OutOfMemory`] when physical frames run out (already
+    ///   installed pages are rolled back).
+    pub fn mmap(&mut self, len: u64, flags: MmapFlags) -> Result<u64> {
+        if len == 0 {
+            return Err(FacilError::InvalidRequest("zero-length mmap".into()));
+        }
+        if flags.map_id.is_some() && !flags.huge {
+            return Err(FacilError::InvalidRequest(
+                "MapID requires MAP_HUGETLB: the PIM mapping permutes huge-page offset bits".into(),
+            ));
+        }
+        let page_bits = if flags.huge { HUGE_PAGE_BITS } else { BASE_PAGE_BITS };
+        let page = 1u64 << page_bits;
+        let pages = len.div_ceil(page);
+        // Align the base to the page size.
+        let va = (self.next_va + page - 1) & !(page - 1);
+        let mut mapped = Vec::new();
+        for i in 0..pages {
+            let page_va = va + i * page;
+            let res = if flags.huge {
+                self.phys.alloc_huge().map(|h| {
+                    self.table.map_huge(page_va, h.pa, flags.map_id);
+                    h.pa
+                })
+            } else {
+                self.phys.alloc_base().inspect(|pa| {
+                    self.table.map_base(page_va, *pa);
+                })
+            };
+            match res {
+                Ok(pa) => mapped.push((page_va, pa)),
+                Err(e) => {
+                    for (v, pa) in mapped {
+                        self.table.unmap(v);
+                        if flags.huge {
+                            self.phys.free_huge(pa);
+                        }
+                        // 4 KB frames are leaked on rollback in this model
+                        // (PhysicalMemory exposes only huge-page free), which
+                        // only matters for the error path of tiny tests.
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        self.next_va = va + pages * page;
+        self.regions.insert(va, Region { len: pages * page, flags });
+        Ok(va)
+    }
+
+    /// Unmap the region starting exactly at `va`.
+    ///
+    /// # Errors
+    ///
+    /// [`FacilError::NotMapped`] if `va` is not a region base.
+    pub fn munmap(&mut self, va: u64) -> Result<()> {
+        let region = self.regions.remove(&va).ok_or(FacilError::NotMapped { va })?;
+        let page_bits = if region.flags.huge { HUGE_PAGE_BITS } else { BASE_PAGE_BITS };
+        let page = 1u64 << page_bits;
+        for i in 0..region.len / page {
+            let page_va = va + i * page;
+            if region.flags.huge {
+                let t = self.table.translate(page_va)?.0;
+                self.phys.free_huge(t.pa & !(page - 1));
+            }
+            self.table.unmap(page_va);
+        }
+        Ok(())
+    }
+
+    /// Translate a virtual address (page walk).
+    ///
+    /// # Errors
+    ///
+    /// [`FacilError::NotMapped`] for unmapped addresses.
+    pub fn translate(&self, va: u64) -> Result<Translation> {
+        Ok(self.table.translate(va)?.0)
+    }
+
+    /// The underlying structural page table.
+    pub fn page_table(&self) -> &RadixPageTable {
+        &self.table
+    }
+
+    /// Free physical bytes.
+    pub fn free_bytes(&self) -> u64 {
+        self.phys.free_bytes()
+    }
+
+    /// Number of live regions.
+    pub fn region_count(&self) -> usize {
+        self.regions.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_mmap_roundtrip() {
+        let mut a = AddressSpace::new(16 << 20);
+        let va = a.mmap(10_000, MmapFlags::default()).unwrap();
+        assert_eq!(va % 4096, 0);
+        // 3 pages of 4 KB.
+        let t0 = a.translate(va).unwrap();
+        let t2 = a.translate(va + 8192 + 5).unwrap();
+        assert!(!t0.huge);
+        assert_ne!(t0.pa, t2.pa);
+        assert_eq!(t2.pa % 4096, 5);
+    }
+
+    #[test]
+    fn pim_mmap_carries_mapid() {
+        let mut a = AddressSpace::new(16 << 20);
+        let va = a
+            .mmap(3 << 20, MmapFlags { huge: true, map_id: Some(MapId(2)) })
+            .unwrap();
+        assert_eq!(va % (2 << 20), 0);
+        for off in [0u64, 1 << 20, (2 << 20) + 7] {
+            let t = a.translate(va + off).unwrap();
+            assert!(t.huge);
+            assert_eq!(t.map_id, Some(MapId(2)));
+        }
+    }
+
+    #[test]
+    fn mapid_without_huge_is_rejected() {
+        let mut a = AddressSpace::new(4 << 20);
+        let err = a.mmap(4096, MmapFlags { huge: false, map_id: Some(MapId(1)) }).unwrap_err();
+        assert!(matches!(err, FacilError::InvalidRequest(_)));
+    }
+
+    #[test]
+    fn munmap_frees_huge_frames() {
+        let mut a = AddressSpace::new(8 << 20);
+        let before = a.free_bytes();
+        let va = a.mmap(4 << 20, MmapFlags { huge: true, map_id: None }).unwrap();
+        assert_eq!(a.free_bytes(), before - (4 << 20));
+        a.munmap(va).unwrap();
+        assert_eq!(a.free_bytes(), before);
+        assert!(a.translate(va).is_err());
+        assert_eq!(a.region_count(), 0);
+    }
+
+    #[test]
+    fn oom_rolls_back_huge_mmap() {
+        let mut a = AddressSpace::new(4 << 20);
+        let err = a.mmap(8 << 20, MmapFlags { huge: true, map_id: None }).unwrap_err();
+        assert!(matches!(err, FacilError::OutOfMemory { .. }));
+        assert_eq!(a.free_bytes(), 4 << 20, "rolled back");
+        assert_eq!(a.region_count(), 0);
+    }
+
+    #[test]
+    fn zero_length_rejected_and_unknown_munmap_faults() {
+        let mut a = AddressSpace::new(4 << 20);
+        assert!(a.mmap(0, MmapFlags::default()).is_err());
+        assert!(matches!(a.munmap(0x123), Err(FacilError::NotMapped { .. })));
+    }
+
+    #[test]
+    fn regions_do_not_overlap() {
+        let mut a = AddressSpace::new(32 << 20);
+        let v1 = a.mmap(3 << 20, MmapFlags { huge: true, map_id: Some(MapId(1)) }).unwrap();
+        let v2 = a.mmap(5000, MmapFlags::default()).unwrap();
+        let v3 = a.mmap(2 << 20, MmapFlags { huge: true, map_id: None }).unwrap();
+        assert!(v1 + (4 << 20) <= v2 || v2 + 8192 <= v1);
+        assert!(v2 + 8192 <= v3);
+        assert_eq!(a.region_count(), 3);
+    }
+}

@@ -1,0 +1,283 @@
+//! Four-level radix page table (x86-64-style) with FACIL's MapID-carrying
+//! huge-page entries.
+//!
+//! The flat [`super::table::PageTable`] is the fast functional model; this
+//! module is the structural one: table pages are real 512-entry frames, a
+//! translation walks PML4 → PDPT → PD (→ PT), huge pages terminate at the
+//! PD level with the PS bit set, and — the FACIL point — the MapID rides in
+//! the huge-page PDE's unused bits, so the table layout, size and walk
+//! depth are *identical* to an unmodified OS (asserted by tests).
+
+use std::collections::HashMap;
+
+use crate::error::{FacilError, Result};
+use crate::paging::pte::{Pte, BASE_PAGE_BITS, HUGE_PAGE_BITS};
+use crate::paging::table::Translation;
+use crate::select::MapId;
+
+const LEVEL_BITS: u32 = 9;
+const ENTRIES: usize = 1 << LEVEL_BITS;
+/// Marks a slot as a leaf PTE (bit 62: above the 48-bit PA, below NX-style
+/// bits — mirrors how real tables distinguish PS/leaf entries per level).
+const LEAF: u64 = 1 << 62;
+
+/// Index of the page-table level an entry lives at (4 = PML4 … 1 = PT).
+fn level_index(va: u64, level: u32) -> usize {
+    let shift = BASE_PAGE_BITS + LEVEL_BITS * (level - 1);
+    ((va >> shift) & ((1 << LEVEL_BITS) - 1)) as usize
+}
+
+/// Statistics of one translation walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalkStats {
+    /// Table levels touched (memory accesses a hardware walker would make).
+    pub levels: u32,
+    /// Whether the walk ended at a huge-page entry.
+    pub huge: bool,
+}
+
+/// A structural 4-level page table. Table pages are tracked as simulated
+/// frames so the model-table memory overhead is measurable.
+#[derive(Debug, Default)]
+pub struct RadixPageTable {
+    /// Table frames by id; each holds 512 raw entries. Entry values are
+    /// either leaf [`Pte`] bits or `(frame_id << 12) | 1` pointers.
+    frames: HashMap<u64, Box<[u64; ENTRIES]>>,
+    next_frame: u64,
+    root: u64,
+}
+
+impl RadixPageTable {
+    /// An empty table (one root frame).
+    pub fn new() -> Self {
+        let mut t = RadixPageTable { frames: HashMap::new(), next_frame: 1, root: 0 };
+        t.frames.insert(0, Box::new([0u64; ENTRIES]));
+        t
+    }
+
+    /// Number of table frames (4 KB pages of table memory) in use.
+    pub fn table_frames(&self) -> usize {
+        self.frames.len()
+    }
+
+    fn alloc_frame(&mut self) -> u64 {
+        let id = self.next_frame;
+        self.next_frame += 1;
+        self.frames.insert(id, Box::new([0u64; ENTRIES]));
+        id
+    }
+
+    /// Walk down to `target_level`, allocating interior frames as needed,
+    /// and return the frame id holding the entry for `va` at that level.
+    fn descend_mut(&mut self, va: u64, target_level: u32) -> u64 {
+        let mut frame = self.root;
+        let mut level = 4;
+        while level > target_level {
+            let idx = level_index(va, level);
+            let slot = self.frames[&frame][idx];
+            let next = if slot & 1 == 1 && slot & LEAF == 0 {
+                slot >> BASE_PAGE_BITS
+            } else {
+                assert_eq!(slot, 0, "remapping over an existing leaf at level {level}");
+                let id = self.alloc_frame();
+                self.frames.get_mut(&frame).expect("frame exists")[idx] = (id << BASE_PAGE_BITS) | 1;
+                id
+            };
+            frame = next;
+            level -= 1;
+        }
+        frame
+    }
+
+    /// Install a 4 KB leaf.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `va`/`pa` are unaligned or the slot holds a conflicting
+    /// mapping.
+    pub fn map_base(&mut self, va: u64, pa: u64) {
+        assert_eq!(va & ((1 << BASE_PAGE_BITS) - 1), 0);
+        let frame = self.descend_mut(va, 1);
+        let idx = level_index(va, 1);
+        let entry = Pte::base_page(pa).bits() | LEAF;
+        self.frames.get_mut(&frame).expect("frame exists")[idx] = entry;
+    }
+
+    /// Install a 2 MB huge-page leaf at the PD level, optionally carrying a
+    /// MapID (the FACIL extension; paper Fig. 11).
+    ///
+    /// # Panics
+    ///
+    /// Panics on misalignment or conflicting mappings.
+    pub fn map_huge(&mut self, va: u64, pa: u64, map_id: Option<MapId>) {
+        assert_eq!(va & ((1 << HUGE_PAGE_BITS) - 1), 0);
+        let frame = self.descend_mut(va, 2);
+        let idx = level_index(va, 2);
+        let pte = match map_id {
+            Some(id) => Pte::pim_huge_page(pa, id),
+            None => Pte::huge_page(pa),
+        };
+        self.frames.get_mut(&frame).expect("frame exists")[idx] = pte.bits() | LEAF;
+    }
+
+    /// Remove the mapping covering `va` (leaf only; interior frames are
+    /// kept, as real kernels usually do).
+    pub fn unmap(&mut self, va: u64) {
+        let mut frame = self.root;
+        let mut level = 4;
+        loop {
+            let idx = level_index(va, level);
+            let slot = self.frames[&frame][idx];
+            if slot & 1 == 1 && slot & LEAF == 0 {
+                frame = slot >> BASE_PAGE_BITS;
+                level -= 1;
+                continue;
+            }
+            if slot & LEAF != 0 {
+                self.frames.get_mut(&frame).expect("frame exists")[idx] = 0;
+            }
+            return;
+        }
+    }
+
+    /// Translate `va`, returning the translation and the walk statistics.
+    ///
+    /// # Errors
+    ///
+    /// [`FacilError::NotMapped`] when no leaf covers `va`.
+    pub fn translate(&self, va: u64) -> Result<(Translation, WalkStats)> {
+        let mut frame = self.root;
+        let mut level = 4u32;
+        let mut touched = 0;
+        loop {
+            touched += 1;
+            let idx = level_index(va, level);
+            let slot = self.frames[&frame][idx];
+            if slot & LEAF != 0 {
+                // Leaf.
+                let pte = Pte::from_bits(slot & !LEAF);
+                let huge = pte.is_huge();
+                if huge && level != 2 {
+                    return Err(FacilError::NotMapped { va });
+                }
+                let offset_bits = if huge { HUGE_PAGE_BITS } else { BASE_PAGE_BITS };
+                let offset = va & ((1u64 << offset_bits) - 1);
+                return Ok((
+                    Translation { pa: pte.pa() + offset, map_id: pte.map_id(), huge },
+                    WalkStats { levels: touched, huge },
+                ));
+            }
+            if slot & 1 == 1 && level > 1 {
+                frame = slot >> BASE_PAGE_BITS;
+                level -= 1;
+                continue;
+            }
+            return Err(FacilError::NotMapped { va });
+        }
+    }
+}
+
+impl Pte {
+    /// Reconstruct a PTE from raw bits (structural-table storage).
+    pub fn from_bits(bits: u64) -> Pte {
+        Pte::from_raw(bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_page_walks_four_levels() {
+        let mut t = RadixPageTable::new();
+        t.map_base(0x7f12_3456_7000, 0x8_8000_1000);
+        let (tr, w) = t.translate(0x7f12_3456_7abc).unwrap();
+        assert_eq!(tr.pa, 0x8_8000_1abc);
+        assert_eq!(tr.map_id, None);
+        assert_eq!(w.levels, 4);
+        assert!(!w.huge);
+        // PML4 + PDPT + PD + PT = 4 frames.
+        assert_eq!(t.table_frames(), 4);
+    }
+
+    #[test]
+    fn huge_page_walks_three_levels_and_keeps_mapid() {
+        let mut t = RadixPageTable::new();
+        let va = 0x40_0000_0000u64;
+        t.map_huge(va, 0x2_0000_0000, Some(MapId(5)));
+        let (tr, w) = t.translate(va + 0x12_3456).unwrap();
+        assert_eq!(tr.pa, 0x2_0012_3456);
+        assert_eq!(tr.map_id, Some(MapId(5)));
+        assert!(tr.huge);
+        assert_eq!(w.levels, 3, "huge pages shorten the walk by one level");
+        // PML4 + PDPT + PD only.
+        assert_eq!(t.table_frames(), 3);
+    }
+
+    #[test]
+    fn mapid_adds_zero_table_memory() {
+        // The FACIL claim: a table full of MapID-carrying entries is the
+        // same size as one without.
+        let mut plain = RadixPageTable::new();
+        let mut facil = RadixPageTable::new();
+        for i in 0..512u64 {
+            plain.map_huge(i << HUGE_PAGE_BITS, i << HUGE_PAGE_BITS, None);
+            facil.map_huge(i << HUGE_PAGE_BITS, i << HUGE_PAGE_BITS, Some(MapId((i % 16) as u8)));
+        }
+        assert_eq!(plain.table_frames(), facil.table_frames());
+    }
+
+    #[test]
+    fn unmap_then_fault() {
+        let mut t = RadixPageTable::new();
+        t.map_huge(0, 0, Some(MapId(1)));
+        assert!(t.translate(0x100).is_ok());
+        t.unmap(0x100);
+        assert!(matches!(t.translate(0x100), Err(FacilError::NotMapped { .. })));
+        // Remap works after unmap.
+        t.map_huge(0, 1 << HUGE_PAGE_BITS, None);
+        assert_eq!(t.translate(0).unwrap().0.pa, 1 << HUGE_PAGE_BITS);
+    }
+
+    #[test]
+    fn dense_and_sparse_regions_coexist() {
+        let mut t = RadixPageTable::new();
+        // A dense 4 KB run and a far-away huge page.
+        for i in 0..64u64 {
+            t.map_base(0x1000_0000 + (i << 12), 0x2000_0000 + (i << 12));
+        }
+        t.map_huge(0x7fff_ffe0_0000, 0x3_0000_0000, Some(MapId(2)));
+        for i in 0..64u64 {
+            let (tr, _) = t.translate(0x1000_0000 + (i << 12) + 5).unwrap();
+            assert_eq!(tr.pa, 0x2000_0000 + (i << 12) + 5);
+        }
+        let (tr, _) = t.translate(0x7fff_ffe0_1234).unwrap();
+        assert_eq!(tr.map_id, Some(MapId(2)));
+    }
+
+    #[test]
+    fn agrees_with_flat_table() {
+        use crate::paging::table::PageTable;
+        let mut flat = PageTable::new();
+        let mut radix = RadixPageTable::new();
+        let cases = [(0u64, 0u64, Some(MapId(1))), (4 << HUGE_PAGE_BITS, 8 << HUGE_PAGE_BITS, None)];
+        for (va, pa, id) in cases {
+            match id {
+                Some(id) => {
+                    flat.map_huge_pim(va, pa, id);
+                    radix.map_huge(va, pa, Some(id));
+                }
+                None => {
+                    flat.map_huge(va, pa);
+                    radix.map_huge(va, pa, None);
+                }
+            }
+        }
+        for (va, _, _) in cases {
+            for off in [0u64, 0x1234, 0x1F_FFFF] {
+                assert_eq!(flat.translate(va + off).unwrap(), radix.translate(va + off).unwrap().0);
+            }
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! A simple page table mapping virtual pages to [`Pte`]s, extended the FACIL
+//! way: `mmap`-style installs can carry a MapID (paper Section V-A).
+
+use std::collections::BTreeMap;
+
+use crate::error::{FacilError, Result};
+use crate::paging::pte::{Pte, BASE_PAGE_BITS, HUGE_PAGE_BITS};
+use crate::select::MapId;
+
+/// Result of a translation: physical address plus the MapID the memory
+/// controller must apply (None = conventional mapping).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Translation {
+    /// Translated physical address.
+    pub pa: u64,
+    /// Mapping the frontend must apply for this access.
+    pub map_id: Option<MapId>,
+    /// Whether a huge-page entry served the translation.
+    pub huge: bool,
+}
+
+/// Single-level model of the OS page table (virtual page number → PTE).
+///
+/// Both 4 KB and 2 MB entries are supported; a 2 MB entry occupies one slot
+/// keyed by its 2 MB-aligned virtual page number.
+#[derive(Debug, Default, Clone)]
+pub struct PageTable {
+    base: BTreeMap<u64, Pte>,
+    huge: BTreeMap<u64, Pte>,
+}
+
+impl PageTable {
+    /// An empty page table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Install a 4 KB mapping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `va` or `pa` is not 4 KB-aligned.
+    pub fn map_base(&mut self, va: u64, pa: u64) {
+        assert_eq!(va & ((1 << BASE_PAGE_BITS) - 1), 0);
+        self.base.insert(va >> BASE_PAGE_BITS, Pte::base_page(pa));
+    }
+
+    /// Install a conventional 2 MB mapping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `va` or `pa` is not 2 MB-aligned.
+    pub fn map_huge(&mut self, va: u64, pa: u64) {
+        assert_eq!(va & ((1 << HUGE_PAGE_BITS) - 1), 0);
+        self.huge.insert(va >> HUGE_PAGE_BITS, Pte::huge_page(pa));
+    }
+
+    /// Install a FACIL 2 MB mapping carrying `map_id` — the extended
+    /// `mmap()` of paper Section V-A.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `va` or `pa` is not 2 MB-aligned or `map_id >= 16`.
+    pub fn map_huge_pim(&mut self, va: u64, pa: u64, map_id: MapId) {
+        assert_eq!(va & ((1 << HUGE_PAGE_BITS) - 1), 0);
+        self.huge.insert(va >> HUGE_PAGE_BITS, Pte::pim_huge_page(pa, map_id));
+    }
+
+    /// Remove any mapping covering `va`.
+    pub fn unmap(&mut self, va: u64) {
+        self.base.remove(&(va >> BASE_PAGE_BITS));
+        self.huge.remove(&(va >> HUGE_PAGE_BITS));
+    }
+
+    /// Translate a virtual address. Huge entries take precedence (they
+    /// cannot coexist with base entries for the same range in a real table).
+    ///
+    /// # Errors
+    ///
+    /// [`FacilError::NotMapped`] if no valid entry covers `va`.
+    pub fn translate(&self, va: u64) -> Result<Translation> {
+        if let Some(pte) = self.huge.get(&(va >> HUGE_PAGE_BITS)) {
+            if pte.is_valid() {
+                let offset = va & ((1 << HUGE_PAGE_BITS) - 1);
+                return Ok(Translation { pa: pte.pa() + offset, map_id: pte.map_id(), huge: true });
+            }
+        }
+        if let Some(pte) = self.base.get(&(va >> BASE_PAGE_BITS)) {
+            if pte.is_valid() {
+                let offset = va & ((1 << BASE_PAGE_BITS) - 1);
+                return Ok(Translation { pa: pte.pa() + offset, map_id: None, huge: false });
+            }
+        }
+        Err(FacilError::NotMapped { va })
+    }
+
+    /// Number of installed entries (base + huge).
+    pub fn len(&self) -> usize {
+        self.base.len() + self.huge.len()
+    }
+
+    /// True if no entries are installed.
+    pub fn is_empty(&self) -> bool {
+        self.base.is_empty() && self.huge.is_empty()
+    }
+
+    /// Iterate over the huge-page entries (va_base, pte).
+    pub fn huge_entries(&self) -> impl Iterator<Item = (u64, Pte)> + '_ {
+        self.huge.iter().map(|(vpn, pte)| (vpn << HUGE_PAGE_BITS, *pte))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_translation() {
+        let mut pt = PageTable::new();
+        pt.map_base(0x4000, 0x8000);
+        let t = pt.translate(0x4123).unwrap();
+        assert_eq!(t.pa, 0x8123);
+        assert_eq!(t.map_id, None);
+        assert!(!t.huge);
+    }
+
+    #[test]
+    fn huge_pim_translation_carries_mapid() {
+        let mut pt = PageTable::new();
+        let va = 4 << HUGE_PAGE_BITS;
+        let pa = 9 << HUGE_PAGE_BITS;
+        pt.map_huge_pim(va, pa, MapId(3));
+        let t = pt.translate(va + 0x12345).unwrap();
+        assert_eq!(t.pa, pa + 0x12345);
+        assert_eq!(t.map_id, Some(MapId(3)));
+        assert!(t.huge);
+    }
+
+    #[test]
+    fn unmapped_access_faults() {
+        let pt = PageTable::new();
+        assert_eq!(pt.translate(0xdead_beef).unwrap_err(), FacilError::NotMapped { va: 0xdead_beef });
+    }
+
+    #[test]
+    fn unmap_removes_entry() {
+        let mut pt = PageTable::new();
+        pt.map_huge(0, 0);
+        assert!(!pt.is_empty());
+        pt.unmap(0x100);
+        assert!(pt.translate(0x100).is_err());
+        assert!(pt.is_empty());
+    }
+
+    #[test]
+    fn huge_entries_iterates() {
+        let mut pt = PageTable::new();
+        pt.map_huge_pim(0, 0, MapId(1));
+        pt.map_huge(1 << HUGE_PAGE_BITS, 1 << HUGE_PAGE_BITS);
+        let v: Vec<_> = pt.huge_entries().collect();
+        assert_eq!(v.len(), 2);
+        assert_eq!(pt.len(), 2);
+    }
+}

@@ -1,0 +1,323 @@
+//! `pimalloc` — the FACIL memory-allocation path (paper Fig. 7).
+//!
+//! [`FacilSystem`] ties the whole stack together:
+//!
+//! 1. the user supplies a [`MatrixConfig`] (dimensions + dtype);
+//! 2. the user-level *mapping selector* picks the MapID
+//!    ([`crate::select::select_mapping`]);
+//! 3. the OS allocator takes huge pages from [`PhysicalMemory`] and records
+//!    (PFN, MapID) in the [`PageTable`];
+//! 4. the memory-controller [`Frontend`] gains the selected scheme in one of
+//!    its mux slots;
+//! 5. the user gets back a contiguous *virtual* address — SoC processors
+//!    access the matrix through plain row-major virtual addresses while the
+//!    controller applies the PIM-optimized device mapping underneath.
+
+use facil_dram::{AddressMapper, DramAddress, DramSpec};
+use serde::{Deserialize, Serialize};
+
+use crate::arch::PimArch;
+use crate::error::{FacilError, Result};
+use crate::frontend::Frontend;
+use crate::matrix::MatrixConfig;
+use crate::paging::phys::PhysicalMemory;
+use crate::paging::table::PageTable;
+use crate::scheme::HUGE_PAGE_BITS;
+use crate::select::{select_mapping, MapId, MappingDecision};
+
+/// Handle to a matrix placed by [`FacilSystem::pimalloc`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PimAllocation {
+    /// Virtual base address (huge-page aligned).
+    pub va: u64,
+    /// Matrix this allocation holds.
+    pub matrix: MatrixConfig,
+    /// Selected mapping.
+    pub decision: MappingDecision,
+    /// Physical base address of each huge page, in VA order.
+    pub pages: Vec<u64>,
+}
+
+impl PimAllocation {
+    /// Virtual address of element (`row`, `col`), honoring the padded
+    /// row-major layout `pimalloc` uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element is out of bounds.
+    pub fn element_va(&self, row: u64, col: u64) -> u64 {
+        assert!(row < self.matrix.rows && col < self.matrix.cols, "element out of bounds");
+        self.va + row * self.matrix.padded_row_bytes() + col * self.matrix.dtype.bytes()
+    }
+
+    /// Total virtual bytes reserved (padded rows, whole huge pages).
+    pub fn reserved_bytes(&self) -> u64 {
+        self.pages.len() as u64 * (1 << HUGE_PAGE_BITS)
+    }
+
+    /// MapID this allocation's pages carry.
+    pub fn map_id(&self) -> MapId {
+        self.decision.map_id
+    }
+}
+
+/// The full FACIL memory system: selector + OS paging + controller frontend.
+#[derive(Debug)]
+pub struct FacilSystem {
+    spec: DramSpec,
+    arch: PimArch,
+    frontend: Frontend,
+    page_table: PageTable,
+    phys: PhysicalMemory,
+    next_va: u64,
+}
+
+/// Virtual address space base for pimalloc'd regions (arbitrary, page
+/// aligned, away from 0 to catch null-ish bugs).
+const VA_BASE: u64 = 0x10_0000_0000;
+
+impl FacilSystem {
+    /// Create a system over the given memory spec and PIM architecture with
+    /// the default 4 hardware mapping slots.
+    pub fn new(spec: DramSpec, arch: PimArch) -> Self {
+        Self::with_slots(spec, arch, 4)
+    }
+
+    /// Create a system with a specific number of frontend mapping slots.
+    pub fn with_slots(spec: DramSpec, arch: PimArch, slots: usize) -> Self {
+        let topo = spec.topology;
+        FacilSystem {
+            frontend: Frontend::new(topo, arch, HUGE_PAGE_BITS, slots),
+            page_table: PageTable::new(),
+            phys: PhysicalMemory::new(topo.capacity_bytes()),
+            next_va: VA_BASE,
+            spec,
+            arch,
+        }
+    }
+
+    /// The DRAM spec this system runs on.
+    pub fn spec(&self) -> &DramSpec {
+        &self.spec
+    }
+
+    /// The PIM architecture.
+    pub fn arch(&self) -> &PimArch {
+        &self.arch
+    }
+
+    /// The controller frontend (read-only).
+    pub fn frontend(&self) -> &Frontend {
+        &self.frontend
+    }
+
+    /// The page table (read-only).
+    pub fn page_table(&self) -> &PageTable {
+        &self.page_table
+    }
+
+    /// Free physical bytes.
+    pub fn free_bytes(&self) -> u64 {
+        self.phys.free_bytes()
+    }
+
+    /// Pre-fragment physical memory (for Table I style experiments).
+    ///
+    /// # Panics
+    ///
+    /// See [`PhysicalMemory::fragment_to`].
+    pub fn fragment_physical(&mut self, used_bytes: u64, fmfi: f64) {
+        self.phys.fragment_to(used_bytes, fmfi);
+    }
+
+    fn take_va(&mut self, bytes: u64) -> u64 {
+        let pages = bytes.div_ceil(1 << HUGE_PAGE_BITS);
+        let va = self.next_va;
+        self.next_va += pages << HUGE_PAGE_BITS;
+        va
+    }
+
+    /// Allocate and map a weight matrix with a PIM-optimized mapping
+    /// (the paper's `pimalloc`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates selector errors, [`FacilError::FrontendFull`] when the
+    /// hardware mux cannot host another distinct MapID, and
+    /// [`FacilError::OutOfMemory`] from the physical allocator.
+    pub fn pimalloc(&mut self, matrix: MatrixConfig) -> Result<PimAllocation> {
+        // Step 1-2: user-level mapping selector.
+        let decision = select_mapping(&matrix, self.spec.topology, &self.arch, HUGE_PAGE_BITS)?;
+        // Step 3: install the scheme in a frontend slot (no-op if present).
+        self.frontend.ensure_slot(decision.map_id)?;
+        // Step 4: allocate huge pages and record (PFN, MapID) in the PTEs.
+        let bytes = matrix.padded_bytes();
+        let n_pages = bytes.div_ceil(1 << HUGE_PAGE_BITS);
+        let va = self.take_va(bytes);
+        let mut pages = Vec::with_capacity(n_pages as usize);
+        for i in 0..n_pages {
+            let page = match self.phys.alloc_huge() {
+                Ok(p) => p,
+                Err(e) => {
+                    // Roll back pages taken so far.
+                    for (j, pa) in pages.iter().enumerate() {
+                        self.phys.free_huge(*pa);
+                        self.page_table.unmap(va + ((j as u64) << HUGE_PAGE_BITS));
+                    }
+                    return Err(e);
+                }
+            };
+            let page_va = va + (i << HUGE_PAGE_BITS);
+            self.page_table.map_huge_pim(page_va, page.pa, decision.map_id);
+            pages.push(page.pa);
+        }
+        Ok(PimAllocation { va, matrix, decision, pages })
+    }
+
+    /// Allocate `bytes` of conventionally-mapped huge pages (e.g. the
+    /// re-layout scratch buffer of the baseline, or activations).
+    ///
+    /// # Errors
+    ///
+    /// [`FacilError::OutOfMemory`] if physical memory is exhausted.
+    pub fn alloc_conventional(&mut self, bytes: u64) -> Result<u64> {
+        if bytes == 0 {
+            return Err(FacilError::InvalidRequest("zero-byte allocation".into()));
+        }
+        let n_pages = bytes.div_ceil(1 << HUGE_PAGE_BITS);
+        let va = self.take_va(bytes);
+        for i in 0..n_pages {
+            let page = self.phys.alloc_huge()?;
+            self.page_table.map_huge(va + (i << HUGE_PAGE_BITS), page.pa);
+        }
+        Ok(va)
+    }
+
+    /// Release a pimalloc'd matrix.
+    pub fn free(&mut self, alloc: &PimAllocation) {
+        for (i, pa) in alloc.pages.iter().enumerate() {
+            self.phys.free_huge(*pa);
+            self.page_table.unmap(alloc.va + ((i as u64) << HUGE_PAGE_BITS));
+        }
+    }
+
+    /// Full VA → DA translation: page table walk, then the frontend mux with
+    /// the PTE's MapID. This is the path every SoC memory access takes
+    /// (paper Fig. 7(b)/(c)).
+    ///
+    /// # Errors
+    ///
+    /// [`FacilError::NotMapped`] for unmapped VAs.
+    pub fn translate_va(&self, va: u64) -> Result<DramAddress> {
+        let t = self.page_table.translate(va)?;
+        self.frontend.translate(t.pa, t.map_id)
+    }
+
+    /// A VA-space [`AddressMapper`] for DRAM trace replay.
+    pub fn va_mapper(&self) -> VaMapper<'_> {
+        VaMapper { system: self }
+    }
+}
+
+/// Maps *virtual* addresses through the whole FACIL stack (page table +
+/// frontend). Useful with [`facil_dram::run_trace`].
+#[derive(Debug)]
+pub struct VaMapper<'a> {
+    system: &'a FacilSystem,
+}
+
+impl AddressMapper for VaMapper<'_> {
+    /// # Panics
+    ///
+    /// Panics on unmapped virtual addresses (a real access would fault).
+    fn map(&self, va: u64) -> DramAddress {
+        self.system.translate_va(va).expect("access to unmapped VA")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::DType;
+
+    fn system() -> FacilSystem {
+        let spec = DramSpec::lpddr5_6400(64, 8 << 30); // iPhone-like
+        let arch = PimArch::aim(&spec.topology);
+        FacilSystem::new(spec, arch)
+    }
+
+    #[test]
+    fn pimalloc_returns_mapped_region() {
+        let mut sys = system();
+        let m = MatrixConfig::new(2048, 2048, DType::F16);
+        let a = sys.pimalloc(m).unwrap();
+        assert_eq!(a.va % (1 << HUGE_PAGE_BITS), 0);
+        assert_eq!(a.pages.len() as u64, m.padded_bytes().div_ceil(1 << HUGE_PAGE_BITS));
+        // Every VA in the region translates and carries the PIM mapping.
+        let t = sys.page_table().translate(a.va).unwrap();
+        assert_eq!(t.map_id, Some(a.map_id()));
+        sys.translate_va(a.element_va(100, 200)).unwrap();
+    }
+
+    #[test]
+    fn pim_and_conventional_allocations_coexist() {
+        let mut sys = system();
+        let a = sys.pimalloc(MatrixConfig::new(1024, 2048, DType::F16)).unwrap();
+        let scratch = sys.alloc_conventional(4 << 20).unwrap();
+        // Conventional VA maps through the conventional scheme: consecutive
+        // transfers interleave channels.
+        let c0 = sys.translate_va(scratch).unwrap();
+        let c1 = sys.translate_va(scratch + 32).unwrap();
+        assert_ne!(c0.channel, c1.channel);
+        // PIM VA keeps consecutive transfers in one bank.
+        let p0 = sys.translate_va(a.va).unwrap();
+        let p1 = sys.translate_va(a.va + 32).unwrap();
+        assert_eq!((p0.channel, p0.rank, p0.bank), (p1.channel, p1.rank, p1.bank));
+    }
+
+    #[test]
+    fn same_mapid_shares_frontend_slot() {
+        let mut sys = system();
+        sys.pimalloc(MatrixConfig::new(512, 2048, DType::F16)).unwrap();
+        sys.pimalloc(MatrixConfig::new(256, 2048, DType::F16)).unwrap();
+        assert_eq!(sys.frontend().installed(), 1, "identical MapIDs share one mux slot");
+        sys.pimalloc(MatrixConfig::new(256, 4096, DType::F16)).unwrap();
+        assert_eq!(sys.frontend().installed(), 2);
+    }
+
+    #[test]
+    fn free_releases_physical_pages() {
+        let mut sys = system();
+        let before = sys.free_bytes();
+        let a = sys.pimalloc(MatrixConfig::new(2048, 2048, DType::F16)).unwrap();
+        assert!(sys.free_bytes() < before);
+        sys.free(&a);
+        assert_eq!(sys.free_bytes(), before);
+        assert!(sys.translate_va(a.va).is_err());
+    }
+
+    #[test]
+    fn element_va_matches_padded_layout() {
+        let mut sys = system();
+        let m = MatrixConfig::new(16, 3000, DType::F16); // pads to 4096 cols
+        let a = sys.pimalloc(m).unwrap();
+        assert_eq!(a.element_va(0, 0), a.va);
+        assert_eq!(a.element_va(1, 0), a.va + 8192);
+        assert_eq!(a.element_va(1, 2), a.va + 8192 + 4);
+    }
+
+    #[test]
+    fn va_mapper_is_usable_for_traces() {
+        let mut sys = system();
+        let a = sys.pimalloc(MatrixConfig::new(64, 2048, DType::F16)).unwrap();
+        let mapper = sys.va_mapper();
+        let d = mapper.map(a.va);
+        assert!(d.is_valid(&sys.spec().topology));
+    }
+
+    #[test]
+    fn zero_byte_conventional_rejected() {
+        let mut sys = system();
+        assert!(matches!(sys.alloc_conventional(0), Err(FacilError::InvalidRequest(_))));
+    }
+}

@@ -1,0 +1,297 @@
+//! Placement validators: check that a selected mapping actually realizes the
+//! PIM-optimal placement properties of paper Section II-C:
+//!
+//! 1. **chunk contiguity** — every chunk lies in a single DRAM row of a
+//!    single bank, at contiguous columns;
+//! 2. **row-to-PU ownership** — a matrix row is owned by exactly
+//!    `partitions` PUs (1 unless column-partitioned, Fig. 10);
+//! 3. **lock-step tile alignment** — matrix rows assigned to different PUs
+//!    of the same channel occupy the *same local (DRAM row, column)*, so an
+//!    all-bank PIM command makes every bank fetch its own chunk at once.
+
+use std::collections::BTreeSet;
+
+use facil_dram::Topology;
+use serde::{Deserialize, Serialize};
+
+use crate::arch::PimArch;
+use crate::error::{FacilError, Result};
+use crate::matrix::MatrixConfig;
+use crate::select::MappingDecision;
+
+/// Identity of one processing unit: (channel, rank, bank).
+pub type PuId = (u64, u64, u64);
+
+/// Summary of a successful placement verification.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlacementReport {
+    /// Matrix rows inspected.
+    pub rows_checked: u64,
+    /// Chunks inspected for contiguity.
+    pub chunks_checked: u64,
+    /// Distinct PUs touched by the inspected rows.
+    pub pus_used: u64,
+    /// PUs per matrix row (the partition factor observed).
+    pub pus_per_row: u64,
+}
+
+/// Verifies a matrix placement under a mapping decision.
+///
+/// The matrix is assumed laid out row-major with rows padded to
+/// [`MatrixConfig::padded_row_bytes`], starting at a huge-page-aligned
+/// physical base (which is how `pimalloc` lays it out; non-contiguous pages
+/// only change page-frame bits, which are row bits under every scheme, so
+/// contiguity of the verification region is without loss of generality).
+#[derive(Debug)]
+pub struct PlacementChecker<'a> {
+    matrix: &'a MatrixConfig,
+    decision: &'a MappingDecision,
+    arch: &'a PimArch,
+    base_pa: u64,
+}
+
+impl<'a> PlacementChecker<'a> {
+    /// Create a checker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base_pa` is not huge-page aligned (2 MB).
+    pub fn new(matrix: &'a MatrixConfig, decision: &'a MappingDecision, arch: &'a PimArch, base_pa: u64) -> Self {
+        assert_eq!(base_pa % crate::scheme::HUGE_PAGE_BYTES, 0, "base must be huge-page aligned");
+        PlacementChecker { matrix, decision, arch, base_pa }
+    }
+
+    fn topo(&self) -> &Topology {
+        self.decision.scheme.topology()
+    }
+
+    /// Physical address of byte `byte` within matrix row `row`.
+    fn element_pa(&self, row: u64, byte: u64) -> u64 {
+        self.base_pa + row * self.matrix.padded_row_bytes() + byte
+    }
+
+    fn pu_of(&self, pa: u64) -> PuId {
+        let a = self.decision.scheme.map_pa(pa);
+        (a.channel, a.rank, a.bank)
+    }
+
+    /// Rows to sample: all rows if few, else an even spread.
+    fn sample_rows(&self, max: u64) -> Vec<u64> {
+        let n = self.matrix.rows;
+        if n <= max {
+            (0..n).collect()
+        } else {
+            let step = n / max;
+            (0..max).map(|i| i * step).collect()
+        }
+    }
+
+    /// Property 1: every chunk occupies one DRAM row of one bank at
+    /// contiguous columns.
+    pub fn check_chunk_contiguity(&self) -> Result<u64> {
+        let topo = *self.topo();
+        let tx = topo.transfer_bytes;
+        let mut checked = 0;
+        for row in self.sample_rows(16) {
+            let row_bytes = self.matrix.padded_row_bytes();
+            let chunks = row_bytes / self.arch.chunk_row_bytes;
+            let chunk_step = (chunks / 8).max(1);
+            let mut c = 0;
+            while c < chunks {
+                let chunk_base = self.element_pa(row, c * self.arch.chunk_row_bytes);
+                let first = self.decision.scheme.map_pa(chunk_base);
+                for t in 1..(self.arch.chunk_row_bytes / tx) {
+                    let a = self.decision.scheme.map_pa(chunk_base + t * tx);
+                    if (a.channel, a.rank, a.bank, a.row) != (first.channel, first.rank, first.bank, first.row) {
+                        return Err(FacilError::InvalidMapping(format!(
+                            "chunk at row {row} chunk {c} spans banks/rows: {first} vs {a}"
+                        )));
+                    }
+                    if a.column != first.column + t {
+                        return Err(FacilError::InvalidMapping(format!(
+                            "chunk at row {row} chunk {c} not at contiguous columns"
+                        )));
+                    }
+                }
+                checked += 1;
+                c += chunk_step;
+            }
+        }
+        Ok(checked)
+    }
+
+    /// Property 2: each matrix row is owned by exactly
+    /// [`MappingDecision::partitions`] PUs.
+    pub fn check_row_pu_count(&self) -> Result<u64> {
+        for row in self.sample_rows(16) {
+            let mut pus = BTreeSet::new();
+            let step = self.arch.chunk_row_bytes;
+            let mut b = 0;
+            while b < self.matrix.padded_row_bytes() {
+                pus.insert(self.pu_of(self.element_pa(row, b)));
+                b += step;
+            }
+            if pus.len() as u64 != self.decision.partitions {
+                return Err(FacilError::InvalidMapping(format!(
+                    "matrix row {row} touches {} PUs, expected {} partitions",
+                    pus.len(),
+                    self.decision.partitions
+                )));
+            }
+        }
+        Ok(self.decision.partitions)
+    }
+
+    /// Property 3: lock-step alignment — matrix rows that differ by
+    /// `chunk_rows` land on *different* PUs at the *same* local
+    /// (DRAM row, column), as required for all-bank PIM commands.
+    ///
+    /// Only row pairs within the same tile (same huge page, consecutive PU
+    /// index) are compared.
+    pub fn check_lockstep_alignment(&self) -> Result<u64> {
+        let topo = *self.topo();
+        // Matrix rows per huge page (rows never straddle pages because row
+        // size is a power of two <= page size here).
+        let page = crate::scheme::HUGE_PAGE_BYTES;
+        let rows_per_page = (page / self.matrix.padded_row_bytes()).max(1);
+        let stride = self.arch.chunk_rows;
+        // Rows per full cycle of the PU-changing bits: once every PU has one
+        // tile row, the next matrix row returns to PU 0 at a *different*
+        // local row, so such pairs are not lock-step peers.
+        let rows_per_pu_cycle = (topo.total_banks() / self.decision.partitions) * self.arch.chunk_rows;
+        let mut compared = 0;
+        for row in self.sample_rows(8) {
+            let peer = row + stride;
+            if peer >= self.matrix.rows
+                || (row % rows_per_page) + stride >= rows_per_page
+                || (row % rows_per_pu_cycle) + stride >= rows_per_pu_cycle
+            {
+                continue;
+            }
+            for byte in [0, self.arch.chunk_row_bytes / 2] {
+                let a = self.decision.scheme.map_pa(self.element_pa(row, byte));
+                let b = self.decision.scheme.map_pa(self.element_pa(peer, byte));
+                if (a.row, a.column) != (b.row, b.column) {
+                    return Err(FacilError::InvalidMapping(format!(
+                        "rows {row} and {peer} misaligned: local ({},{}) vs ({},{})",
+                        a.row, a.column, b.row, b.column
+                    )));
+                }
+                if (a.channel, a.rank, a.bank) == (b.channel, b.rank, b.bank) {
+                    return Err(FacilError::InvalidMapping(format!(
+                        "rows {row} and {peer} share PU (ch{} rk{} ba{})",
+                        a.channel, a.rank, a.bank
+                    )));
+                }
+                debug_assert!(a.is_valid(&topo) && b.is_valid(&topo));
+            }
+            compared += 1;
+        }
+        Ok(compared)
+    }
+
+    /// Run all placement checks and produce a report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FacilError::InvalidMapping`] describing the first violated
+    /// property, if any.
+    pub fn check_all(&self) -> Result<PlacementReport> {
+        let chunks_checked = self.check_chunk_contiguity()?;
+        let pus_per_row = self.check_row_pu_count()?;
+        self.check_lockstep_alignment()?;
+        let mut pus = BTreeSet::new();
+        for row in self.sample_rows(64) {
+            let mut b = 0;
+            while b < self.matrix.padded_row_bytes() {
+                pus.insert(self.pu_of(self.element_pa(row, b)));
+                b += self.arch.chunk_row_bytes;
+            }
+        }
+        Ok(PlacementReport {
+            rows_checked: self.sample_rows(16).len() as u64,
+            chunks_checked,
+            pus_used: pus.len() as u64,
+            pus_per_row,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::DType;
+    use crate::scheme::MappingScheme;
+    use crate::select::select_mapping_2mb;
+
+    fn small_topo() -> Topology {
+        Topology::new(4, 2, 4, 4, 16384, 2048, 32)
+    }
+
+    #[test]
+    fn aim_placement_passes_all_checks() {
+        let t = small_topo();
+        let arch = PimArch::aim(&t);
+        let m = MatrixConfig::new(2048, 2048, DType::F16);
+        let d = select_mapping_2mb(&m, t, &arch).unwrap();
+        let report = PlacementChecker::new(&m, &d, &arch, 0).check_all().unwrap();
+        assert!(report.chunks_checked > 0);
+        assert_eq!(report.pus_per_row, 1);
+        assert!(report.pus_used > 1);
+    }
+
+    #[test]
+    fn hbm_placement_passes_all_checks() {
+        let t = small_topo();
+        let arch = PimArch::hbm_pim(&t);
+        let m = MatrixConfig::new(1024, 1024, DType::F16);
+        let d = select_mapping_2mb(&m, t, &arch).unwrap();
+        let report = PlacementChecker::new(&m, &d, &arch, 0).check_all().unwrap();
+        assert_eq!(report.pus_per_row, 1);
+    }
+
+    #[test]
+    fn partitioned_placement_reports_partitions() {
+        // Jetson-like: 512 banks force partitioning for 4096-col rows.
+        let t = Topology::new(16, 2, 4, 4, 65536, 2048, 32);
+        let arch = PimArch::aim(&t);
+        let m = MatrixConfig::new(4096, 4096, DType::F16);
+        let d = select_mapping_2mb(&m, t, &arch).unwrap();
+        assert_eq!(d.partitions, 2);
+        let report = PlacementChecker::new(&m, &d, &arch, 0).check_all().unwrap();
+        assert_eq!(report.pus_per_row, 2);
+    }
+
+    #[test]
+    fn conventional_mapping_fails_chunk_contiguity() {
+        // The conventional scheme scatters a chunk across channels; the
+        // checker must reject it.
+        let t = small_topo();
+        let arch = PimArch::aim(&t);
+        let m = MatrixConfig::new(2048, 2048, DType::F16);
+        let mut d = select_mapping_2mb(&m, t, &arch).unwrap();
+        d.scheme = MappingScheme::conventional(t);
+        let err = PlacementChecker::new(&m, &d, &arch, 0).check_chunk_contiguity().unwrap_err();
+        assert!(matches!(err, FacilError::InvalidMapping(_)));
+    }
+
+    #[test]
+    fn nonzero_page_aligned_base_is_accepted() {
+        let t = small_topo();
+        let arch = PimArch::aim(&t);
+        let m = MatrixConfig::new(512, 2048, DType::F16);
+        let d = select_mapping_2mb(&m, t, &arch).unwrap();
+        let base = 7 * crate::scheme::HUGE_PAGE_BYTES;
+        PlacementChecker::new(&m, &d, &arch, base).check_all().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "aligned")]
+    fn unaligned_base_panics() {
+        let t = small_topo();
+        let arch = PimArch::aim(&t);
+        let m = MatrixConfig::new(64, 2048, DType::F16);
+        let d = select_mapping_2mb(&m, t, &arch).unwrap();
+        PlacementChecker::new(&m, &d, &arch, 4096);
+    }
+}

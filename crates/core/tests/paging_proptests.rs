@@ -1,0 +1,107 @@
+//! Property-based tests for the structural paging stack: random
+//! mmap/munmap sequences against a reference model, and radix/flat table
+//! agreement under random mapping programs.
+
+use std::collections::HashMap;
+
+use facil_core::paging::{AddressSpace, MmapFlags, PageTable, RadixPageTable};
+use facil_core::MapId;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum MmapOp {
+    Map { len: u64, huge: bool, map_id: Option<u8> },
+    UnmapNth(usize),
+}
+
+fn arb_op() -> impl Strategy<Value = MmapOp> {
+    prop_oneof![
+        (1u64..6_000_000, prop::bool::ANY, prop::option::of(0u8..16)).prop_map(|(len, huge, id)| {
+            MmapOp::Map { len, huge, map_id: id.filter(|_| huge) }
+        }),
+        (0usize..8).prop_map(MmapOp::UnmapNth),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random mmap/munmap programs: regions never overlap, translations
+    /// agree with a flat model of what was mapped, frames are conserved.
+    #[test]
+    fn address_space_matches_model(ops in prop::collection::vec(arb_op(), 1..24)) {
+        let total = 128u64 << 20;
+        let mut space = AddressSpace::new(total);
+        // Model: region base -> (len, map_id).
+        let mut model: Vec<(u64, u64, Option<MapId>)> = Vec::new();
+        for op in ops {
+            match op {
+                MmapOp::Map { len, huge, map_id } => {
+                    let flags = MmapFlags { huge, map_id: map_id.map(MapId) };
+                    match space.mmap(len, flags) {
+                        Ok(va) => {
+                            let page = if huge { 2u64 << 20 } else { 4096 };
+                            let rounded = len.div_ceil(page) * page;
+                            // No overlap with model regions.
+                            for (b, l, _) in &model {
+                                prop_assert!(va + rounded <= *b || b + l <= va);
+                            }
+                            model.push((va, rounded, flags.map_id));
+                        }
+                        Err(_) => {} // OOM is legal under memory pressure
+                    }
+                }
+                MmapOp::UnmapNth(n) => {
+                    if !model.is_empty() {
+                        let (va, _, _) = model.remove(n % model.len());
+                        space.munmap(va).expect("region exists");
+                    }
+                }
+            }
+            // Every modelled byte translates with the right MapID; a probe
+            // beyond every region faults.
+            for (va, len, map_id) in &model {
+                let t = space.translate(va + len / 2).expect("mapped");
+                prop_assert_eq!(t.map_id, *map_id);
+            }
+        }
+        prop_assert_eq!(space.region_count(), model.len());
+    }
+
+    /// The radix table agrees with the flat table on random huge-page
+    /// mapping programs.
+    #[test]
+    fn radix_agrees_with_flat(
+        pages in prop::collection::hash_map(0u64..512, (0u64..1024, prop::option::of(0u8..16)), 1..32),
+        probes in prop::collection::vec((0u64..512, 0u64..(2 << 20)), 1..64),
+    ) {
+        let mut flat = PageTable::new();
+        let mut radix = RadixPageTable::new();
+        let map: HashMap<u64, (u64, Option<u8>)> = pages;
+        for (vpn, (pfn, id)) in &map {
+            let va = vpn << 21;
+            let pa = pfn << 21;
+            match id {
+                Some(id) => {
+                    flat.map_huge_pim(va, pa, MapId(*id));
+                    radix.map_huge(va, pa, Some(MapId(*id)));
+                }
+                None => {
+                    flat.map_huge(va, pa);
+                    radix.map_huge(va, pa, None);
+                }
+            }
+        }
+        for (vpn, offset) in probes {
+            let va = (vpn << 21) + offset;
+            match (flat.translate(va), radix.translate(va)) {
+                (Ok(a), Ok((b, w))) => {
+                    prop_assert_eq!(a, b);
+                    prop_assert_eq!(w.levels, 3);
+                }
+                (Err(_), Err(_)) => {}
+                (a, b) => prop_assert!(false, "disagree at {va:#x}: {a:?} vs {b:?}"),
+            }
+        }
+    }
+}

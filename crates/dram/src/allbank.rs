@@ -1,0 +1,271 @@
+//! Cycle-level simulation of *all-bank* PIM command streams.
+//!
+//! Near-bank PIMs execute `ACT-AB → MAC-AB… → PRE-AB` sequences in which
+//! every bank of a rank acts in lock-step (paper Section II-C), so a rank
+//! behaves like one virtual bank with 16x the data width. This module
+//! simulates those streams at command granularity on the shared per-channel
+//! command bus — global-buffer loads, activates, MACs, precharges, rank
+//! interleaving — and is used to cross-validate the analytic
+//! `facil-pim` timing engine (see its `simulated_vs_analytic` test).
+
+use serde::{Deserialize, Serialize};
+
+use crate::spec::DramSpec;
+
+/// One rank's PIM workload: a number of weight DRAM rows to stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PimStream {
+    /// Rank executing the stream.
+    pub rank: u64,
+    /// Weight DRAM rows to process (each = ACT-AB + MACs + PRE-AB).
+    pub rows: u64,
+    /// Global-buffer load commands required before each row's MACs.
+    pub gb_cmds_per_row: u64,
+    /// MAC-AB commands per row (= column transfers per row).
+    pub macs_per_row: u64,
+    /// MAC issue interval in cycles.
+    pub mac_interval: u64,
+    /// Whether the next row's GB load may overlap the current row's MACs.
+    pub double_buffer: bool,
+}
+
+/// Result of simulating a set of streams on one channel.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AllBankResult {
+    /// Cycle at which the last command issued.
+    pub cycles: u64,
+    /// Total MAC-AB commands issued.
+    pub macs: u64,
+    /// Total commands issued on the bus (GB + ACT + MAC + PRE).
+    pub commands: u64,
+    /// Bus occupancy: commands / cycles.
+    pub bus_utilization: f64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Phase {
+    /// Loading the global buffer for the upcoming row.
+    GbLoad { remaining: u64 },
+    /// Waiting to issue ACT-AB (tRC/tRP from the previous row).
+    NeedAct,
+    /// Issuing MACs.
+    Mac { remaining: u64, prefetch_remaining: u64 },
+    /// Waiting to issue PRE-AB (tRAS / tRTP).
+    NeedPre,
+    /// All rows done.
+    Done,
+}
+
+#[derive(Debug)]
+struct RankState {
+    stream: PimStream,
+    rows_left: u64,
+    phase: Phase,
+    /// Earliest cycle the pending command may issue.
+    ready_at: u64,
+    last_act: u64,
+    next_mac: u64,
+    /// GB loads for the next row still outstanding when the current row's
+    /// MACs finished (prefetch that did not fit in the free bus slots).
+    pending_gb: u64,
+}
+
+/// Simulate `streams` (at most one per rank) on one channel of `spec`.
+///
+/// # Panics
+///
+/// Panics if two streams share a rank or a rank index is out of range.
+pub fn run_allbank(spec: &DramSpec, streams: &[PimStream]) -> AllBankResult {
+    let tm = &spec.timing;
+    let mut seen = std::collections::HashSet::new();
+    for s in streams {
+        assert!(s.rank < spec.topology.ranks, "rank {} out of range", s.rank);
+        assert!(seen.insert(s.rank), "one stream per rank");
+    }
+    let mut ranks: Vec<RankState> = streams
+        .iter()
+        .map(|s| RankState {
+            stream: *s,
+            rows_left: s.rows,
+            phase: if s.rows == 0 {
+                Phase::Done
+            } else {
+                Phase::GbLoad { remaining: s.gb_cmds_per_row }
+            },
+            ready_at: 0,
+            last_act: 0,
+            next_mac: 0,
+            pending_gb: 0,
+        })
+        .collect();
+
+    let mut now = 0u64;
+    let mut macs = 0u64;
+    let mut commands = 0u64;
+    let mut last_cmd_cycle = 0u64;
+    let mut rr = 0usize;
+    while ranks.iter().any(|r| r.phase != Phase::Done) {
+        // Find an issuable command this cycle, rotating priority.
+        let n = ranks.len();
+        let mut issued = false;
+        for k in 0..n {
+            let i = (rr + k) % n;
+            let r = &mut ranks[i];
+            let s = r.stream;
+            match r.phase {
+                Phase::Done => {}
+                Phase::GbLoad { remaining } if r.ready_at <= now => {
+                    let left = remaining - 1;
+                    r.ready_at = now + tm.ccd_l;
+                    r.phase = if left == 0 {
+                        // Row's input staged; ACT once tRC/tRP allow.
+                        Phase::NeedAct
+                    } else {
+                        Phase::GbLoad { remaining: left }
+                    };
+                    commands += 1;
+                    issued = true;
+                }
+                Phase::NeedAct if r.ready_at <= now && now >= r.last_act.saturating_add(0) => {
+                    // tRC from the previous ACT of this rank.
+                    let rc_ok = r.last_act == 0 || now >= r.last_act + tm.rc;
+                    if rc_ok {
+                        r.last_act = now;
+                        r.next_mac = now + tm.rcd;
+                        let prefetch = if s.double_buffer && r.rows_left > 1 { s.gb_cmds_per_row } else { 0 };
+                        r.phase = Phase::Mac { remaining: s.macs_per_row, prefetch_remaining: prefetch };
+                        commands += 1;
+                        issued = true;
+                    }
+                }
+                Phase::Mac { remaining, prefetch_remaining } if remaining > 0 && r.next_mac <= now => {
+                    r.next_mac = now + s.mac_interval;
+                    macs += 1;
+                    commands += 1;
+                    let left = remaining - 1;
+                    if left == 0 {
+                        r.ready_at = now + tm.rtp;
+                        // Prefetch that did not fit must finish before the
+                        // next row's MACs.
+                        r.pending_gb = prefetch_remaining;
+                        r.phase = Phase::NeedPre;
+                    } else {
+                        r.phase = Phase::Mac { remaining: left, prefetch_remaining };
+                    }
+                    issued = true;
+                }
+                Phase::Mac { remaining, prefetch_remaining } if prefetch_remaining > 0 && r.next_mac > now => {
+                    // MAC pipeline busy: use the free slot to prefetch the
+                    // next row's GB content.
+                    r.phase = Phase::Mac { remaining, prefetch_remaining: prefetch_remaining - 1 };
+                    commands += 1;
+                    issued = true;
+                }
+                Phase::NeedPre if r.ready_at <= now && now >= r.last_act + tm.ras => {
+                    commands += 1;
+                    r.rows_left -= 1;
+                    if r.rows_left == 0 {
+                        r.phase = Phase::Done;
+                    } else {
+                        // tRP before the next ACT.
+                        r.ready_at = now + tm.rp;
+                        // Continue from whatever prefetch achieved.
+                        let outstanding = if s.double_buffer { r.pending_gb } else { s.gb_cmds_per_row };
+                        r.pending_gb = 0;
+                        r.phase = if outstanding == 0 {
+                            Phase::NeedAct
+                        } else {
+                            Phase::GbLoad { remaining: outstanding }
+                        };
+                    }
+                    issued = true;
+                }
+                _ => {}
+            }
+            if issued {
+                last_cmd_cycle = now;
+                rr = (i + 1) % n;
+                break;
+            }
+        }
+        now += 1;
+        // Safety valve against livelock in case of a modelling bug.
+        assert!(now < 1 << 32, "all-bank simulation failed to converge");
+    }
+    AllBankResult {
+        cycles: last_cmd_cycle + 1,
+        macs,
+        commands,
+        bus_utilization: commands as f64 / (last_cmd_cycle + 1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> DramSpec {
+        DramSpec::lpddr5_6400(16, 256 << 20) // single channel, 2 ranks
+    }
+
+    fn stream(rank: u64, rows: u64) -> PimStream {
+        PimStream {
+            rank,
+            rows,
+            gb_cmds_per_row: 64,
+            macs_per_row: 64,
+            mac_interval: 2,
+            double_buffer: true,
+        }
+    }
+
+    #[test]
+    fn single_rank_row_cycle_cost() {
+        let s = spec();
+        let r = run_allbank(&s, &[stream(0, 8)]);
+        assert_eq!(r.macs, 8 * 64);
+        // Per row at steady state: max(gb load, rcd + macs + rtp + rp)
+        // cycles-ish; sanity bounds.
+        let tm = &s.timing;
+        let per_row_min = 64 * tm.ccd_l;
+        let per_row_max = tm.rcd + 64 * 2 + tm.rtp + tm.rp + 64 * tm.ccd_l + 8;
+        assert!(r.cycles >= 8 * per_row_min, "{} < {}", r.cycles, 8 * per_row_min);
+        assert!(r.cycles <= 8 * per_row_max, "{} > {}", r.cycles, 8 * per_row_max);
+    }
+
+    #[test]
+    fn two_ranks_interleave_on_the_bus() {
+        let s = spec();
+        let one = run_allbank(&s, &[stream(0, 8)]);
+        let two = run_allbank(&s, &[stream(0, 8), stream(1, 8)]);
+        // Twice the work in much less than twice the time (bus slots
+        // interleave), but not free.
+        assert_eq!(two.macs, 2 * one.macs);
+        assert!(two.cycles < 2 * one.cycles, "{} vs {}", two.cycles, one.cycles);
+        assert!(two.cycles > one.cycles, "{} vs {}", two.cycles, one.cycles);
+        assert!(two.bus_utilization > one.bus_utilization);
+    }
+
+    #[test]
+    fn double_buffering_helps() {
+        let s = spec();
+        let mut no_db = stream(0, 16);
+        no_db.double_buffer = false;
+        let with_db = run_allbank(&s, &[stream(0, 16)]);
+        let without = run_allbank(&s, &[no_db]);
+        assert!(with_db.cycles < without.cycles, "{} vs {}", with_db.cycles, without.cycles);
+    }
+
+    #[test]
+    fn empty_stream_is_zero_work() {
+        let s = spec();
+        let r = run_allbank(&s, &[stream(0, 0)]);
+        assert_eq!(r.macs, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one stream per rank")]
+    fn duplicate_rank_rejected() {
+        run_allbank(&spec(), &[stream(0, 1), stream(0, 1)]);
+    }
+}

@@ -1,0 +1,175 @@
+//! Per-bank and per-rank timing state machines.
+
+use crate::spec::Timing;
+
+/// Timing state of a single DRAM bank.
+#[derive(Debug, Clone)]
+pub(crate) struct BankState {
+    /// Currently open row, if any.
+    pub open_row: Option<u64>,
+    /// Earliest cycle an ACT may issue to this bank (tRC / tRP).
+    pub next_act: u64,
+    /// Earliest cycle a PRE may issue to this bank (tRAS / tRTP / tWR).
+    pub next_pre: u64,
+    /// Earliest cycle a RD may issue (tRCD after ACT).
+    pub next_rd: u64,
+    /// Earliest cycle a WR may issue.
+    pub next_wr: u64,
+}
+
+impl BankState {
+    pub(crate) fn new() -> Self {
+        BankState { open_row: None, next_act: 0, next_pre: 0, next_rd: 0, next_wr: 0 }
+    }
+
+    /// Apply an ACT issued at cycle `t`.
+    pub(crate) fn activate(&mut self, t: u64, row: u64, tm: &Timing) {
+        debug_assert!(self.open_row.is_none(), "ACT to open bank");
+        debug_assert!(t >= self.next_act, "ACT timing violation");
+        self.open_row = Some(row);
+        self.next_rd = t + tm.rcd;
+        self.next_wr = t + tm.rcd;
+        self.next_pre = t + tm.ras;
+        self.next_act = t + tm.rc;
+    }
+
+    /// Apply a PRE issued at cycle `t`.
+    pub(crate) fn precharge(&mut self, t: u64, tm: &Timing) {
+        debug_assert!(self.open_row.is_some(), "PRE to closed bank");
+        debug_assert!(t >= self.next_pre, "PRE timing violation");
+        self.open_row = None;
+        self.next_act = self.next_act.max(t + tm.rp);
+    }
+
+    /// Apply a RD issued at cycle `t`.
+    pub(crate) fn read(&mut self, t: u64, tm: &Timing) {
+        debug_assert!(self.open_row.is_some());
+        debug_assert!(t >= self.next_rd, "RD timing violation");
+        self.next_pre = self.next_pre.max(t + tm.rtp);
+        self.next_rd = self.next_rd.max(t + tm.ccd_l);
+        self.next_wr = self.next_wr.max(t + tm.cl + tm.burst_cycles + tm.rtw - tm.cwl);
+    }
+
+    /// Apply a WR issued at cycle `t`.
+    pub(crate) fn write(&mut self, t: u64, tm: &Timing) {
+        debug_assert!(self.open_row.is_some());
+        debug_assert!(t >= self.next_wr, "WR timing violation");
+        let data_end = t + tm.cwl + tm.burst_cycles;
+        self.next_pre = self.next_pre.max(data_end + tm.wr);
+        self.next_wr = self.next_wr.max(t + tm.ccd_l);
+        self.next_rd = self.next_rd.max(data_end + tm.wtr);
+    }
+}
+
+/// Rank-level constraints: tRRD, tFAW, and refresh.
+#[derive(Debug, Clone)]
+pub(crate) struct RankState {
+    /// Timestamps of the last four ACTs (for the four-activate window).
+    pub act_window: std::collections::VecDeque<u64>,
+    /// Last ACT cycle in the rank (tRRD_S) — `u64::MAX` sentinel when none.
+    pub last_act: Option<u64>,
+    /// Last ACT cycle per bank group (tRRD_L).
+    pub last_act_per_group: Vec<Option<u64>>,
+    /// Cycle at which the next refresh is due (tREFI schedule).
+    pub next_ref: u64,
+}
+
+impl RankState {
+    pub(crate) fn new(bank_groups: usize, refi: u64) -> Self {
+        RankState {
+            act_window: std::collections::VecDeque::with_capacity(4),
+            last_act: None,
+            last_act_per_group: vec![None; bank_groups],
+            next_ref: if refi == 0 { u64::MAX } else { refi },
+        }
+    }
+
+    /// Earliest cycle at which a new ACT to `group` satisfies tRRD and tFAW.
+    pub(crate) fn act_ready(&self, group: usize, tm: &Timing) -> u64 {
+        let mut ready = 0;
+        if let Some(last) = self.last_act {
+            ready = ready.max(last + tm.rrd_s);
+        }
+        if let Some(last) = self.last_act_per_group[group] {
+            ready = ready.max(last + tm.rrd_l);
+        }
+        if self.act_window.len() == 4 {
+            ready = ready.max(self.act_window[0] + tm.faw);
+        }
+        ready
+    }
+
+    /// Record an ACT issued at cycle `t` to `group`.
+    pub(crate) fn record_act(&mut self, t: u64, group: usize) {
+        if self.act_window.len() == 4 {
+            self.act_window.pop_front();
+        }
+        self.act_window.push_back(t);
+        self.last_act = Some(t);
+        self.last_act_per_group[group] = Some(t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::DramSpec;
+
+    fn timing() -> Timing {
+        DramSpec::lpddr5_6400(64, 8 << 30).timing
+    }
+
+    #[test]
+    fn act_then_read_respects_trcd() {
+        let tm = timing();
+        let mut b = BankState::new();
+        b.activate(100, 7, &tm);
+        assert_eq!(b.open_row, Some(7));
+        assert_eq!(b.next_rd, 100 + tm.rcd);
+        assert_eq!(b.next_pre, 100 + tm.ras);
+    }
+
+    #[test]
+    fn write_extends_precharge_by_twr() {
+        let tm = timing();
+        let mut b = BankState::new();
+        b.activate(0, 1, &tm);
+        let t = b.next_wr;
+        b.write(t, &tm);
+        assert!(b.next_pre >= t + tm.cwl + tm.burst_cycles + tm.wr);
+    }
+
+    #[test]
+    fn precharge_closes_and_sets_trp() {
+        let tm = timing();
+        let mut b = BankState::new();
+        b.activate(0, 1, &tm);
+        let t = b.next_pre;
+        b.precharge(t, &tm);
+        assert_eq!(b.open_row, None);
+        assert!(b.next_act >= t + tm.rp);
+        // tRC from the original ACT must also hold.
+        assert!(b.next_act >= tm.rc);
+    }
+
+    #[test]
+    fn faw_blocks_fifth_activate() {
+        let tm = timing();
+        let mut r = RankState::new(4, 0);
+        for (i, t) in [0u64, 10, 20, 30].iter().enumerate() {
+            let ready = r.act_ready(i % 4, &tm);
+            assert!(*t >= ready || i == 0 || tm.rrd_s <= 10);
+            r.record_act(*t, i % 4);
+        }
+        let ready = r.act_ready(0, &tm);
+        assert!(ready >= tm.faw, "fifth ACT must wait for the FAW window, got {ready}");
+    }
+
+    #[test]
+    fn rrd_l_within_group_is_at_least_rrd_s() {
+        let tm = timing();
+        let mut r = RankState::new(4, 0);
+        r.record_act(100, 2);
+        assert!(r.act_ready(2, &tm) >= r.act_ready(3, &tm));
+    }
+}

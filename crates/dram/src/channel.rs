@@ -1,0 +1,626 @@
+//! Event-driven FR-FCFS scheduler for a single DRAM channel.
+//!
+//! Channels in an LPDDR5 system are fully independent (separate command and
+//! data pins), so the multi-channel controller simulates each channel's
+//! request stream in isolation and merges the statistics.
+
+use std::collections::VecDeque;
+
+use crate::bank::{BankState, RankState};
+use crate::command::{CommandKind, Op, Request};
+use crate::spec::DramSpec;
+use crate::stats::DramStats;
+use crate::verifylog::LoggedCommand;
+
+/// Row-buffer management policy of the scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PagePolicy {
+    /// Leave rows open after column accesses (default; rewards locality).
+    Open,
+    /// Precharge a bank as soon as no queued request hits its open row
+    /// (rewards random traffic by hiding precharge latency).
+    Closed,
+}
+
+/// Tunable scheduler parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedConfig {
+    /// How many queued requests the scheduler may look ahead when
+    /// reordering (models a finite command queue and bounds FR-FCFS
+    /// starvation).
+    pub window: usize,
+    /// Row-buffer policy.
+    pub page_policy: PagePolicy,
+}
+
+impl Default for SchedConfig {
+    fn default() -> Self {
+        SchedConfig { window: 32, page_policy: PagePolicy::Open }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Touch {
+    Miss,
+    Conflict,
+}
+
+#[derive(Debug, Clone)]
+struct Pending {
+    req: Request,
+    touch: Option<Touch>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Action {
+    Column,
+    Activate,
+    Precharge,
+}
+
+/// Single-channel FR-FCFS, open-page DRAM scheduler.
+#[derive(Debug)]
+pub struct ChannelSim {
+    spec: DramSpec,
+    banks: Vec<Vec<BankState>>,
+    ranks: Vec<RankState>,
+    bus_busy_until: u64,
+    last_data_end: u64,
+    last_was_write: bool,
+    now: u64,
+    queue: VecDeque<Pending>,
+    stats: DramStats,
+    log: Option<Vec<LoggedCommand>>,
+    cfg: SchedConfig,
+}
+
+impl ChannelSim {
+    /// Create a scheduler for one channel of `spec` with custom parameters.
+    pub fn with_config(spec: &DramSpec, cfg: SchedConfig) -> Self {
+        let mut ch = Self::new(spec);
+        ch.cfg = cfg;
+        ch
+    }
+
+    /// Create a scheduler for one channel of `spec`.
+    pub fn new(spec: &DramSpec) -> Self {
+        let topo = spec.topology;
+        let banks = (0..topo.ranks)
+            .map(|_| (0..topo.banks()).map(|_| BankState::new()).collect())
+            .collect();
+        let ranks = (0..topo.ranks)
+            .map(|_| RankState::new(topo.bank_groups as usize, spec.timing.refi))
+            .collect();
+        ChannelSim {
+            spec: spec.clone(),
+            banks,
+            ranks,
+            bus_busy_until: 0,
+            last_data_end: 0,
+            last_was_write: false,
+            now: 0,
+            queue: VecDeque::new(),
+            stats: DramStats::default(),
+            log: None,
+            cfg: SchedConfig::default(),
+        }
+    }
+
+    /// Record every issued device command for later inspection and
+    /// independent legality verification (see [`crate::verifylog`]).
+    pub fn enable_logging(&mut self) {
+        self.log = Some(Vec::new());
+    }
+
+    /// The command log, if logging was enabled.
+    pub fn log(&self) -> Option<&[LoggedCommand]> {
+        self.log.as_deref()
+    }
+
+    fn record(&mut self, kind: CommandKind, rank: u64, bank: u64, arg: u64) {
+        if let Some(log) = &mut self.log {
+            log.push(LoggedCommand { cycle: self.now, kind, rank, bank, arg });
+        }
+    }
+
+    /// Enqueue a request. Requests must be pushed in non-decreasing arrival
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request targets a different channel than previous ones
+    /// implied by its address fields being out of range, or if arrival order
+    /// is violated (debug builds only).
+    pub fn push(&mut self, req: Request) {
+        debug_assert!(req.addr.rank < self.spec.topology.ranks);
+        debug_assert!(req.addr.bank < self.spec.topology.banks());
+        debug_assert!(req.addr.row < self.spec.topology.rows);
+        debug_assert!(req.addr.column < self.spec.topology.columns());
+        debug_assert!(
+            self.queue.back().map(|p| p.req.arrival <= req.arrival).unwrap_or(true),
+            "requests must arrive in order"
+        );
+        self.queue.push_back(Pending { req, touch: None });
+    }
+
+    /// Number of requests still queued.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Drain the queue, scheduling every request to completion, and return
+    /// the statistics for this channel.
+    pub fn run(&mut self) -> DramStats {
+        while !self.queue.is_empty() {
+            self.step();
+        }
+        self.stats
+    }
+
+    /// Earliest cycle a column command for `op` may issue to `(rank, bank)`,
+    /// including data-bus occupancy and read/write turnaround.
+    fn column_ready(&self, rank: usize, bank: usize, op: Op) -> u64 {
+        let tm = &self.spec.timing;
+        let b = &self.banks[rank][bank];
+        let (cmd_ready, lat) = match op {
+            Op::Read => (b.next_rd, tm.cl),
+            Op::Write => (b.next_wr, tm.cwl),
+        };
+        let mut data_ok = self.bus_busy_until;
+        let turnaround = match (self.last_was_write, op) {
+            (true, Op::Read) => tm.wtr,
+            (false, Op::Write) => tm.rtw,
+            _ => 0,
+        };
+        if self.stats.reads + self.stats.writes > 0 {
+            data_ok = data_ok.max(self.last_data_end + turnaround);
+        }
+        cmd_ready.max(data_ok.saturating_sub(lat))
+    }
+
+    /// Process pending refreshes for every rank whose tREFI deadline passed.
+    fn service_refresh(&mut self) {
+        let tm = self.spec.timing;
+        for r in 0..self.ranks.len() {
+            while self.now >= self.ranks[r].next_ref {
+                // Close all open banks (implicit PREab once legal), then hold
+                // the rank for tRFCab.
+                let mut close_at = self.now;
+                for b in &self.banks[r] {
+                    if b.open_row.is_some() {
+                        close_at = close_at.max(b.next_pre);
+                    }
+                }
+                let ref_done = close_at + tm.rp + tm.rfc_ab;
+                for b in &mut self.banks[r] {
+                    if b.open_row.is_some() {
+                        b.open_row = None;
+                    }
+                    b.next_act = b.next_act.max(ref_done);
+                }
+                self.stats.refreshes += 1;
+                if let Some(log) = &mut self.log {
+                    log.push(LoggedCommand {
+                        cycle: close_at + tm.rp,
+                        kind: CommandKind::RefAb,
+                        rank: r as u64,
+                        bank: 0,
+                        arg: 0,
+                    });
+                }
+                self.ranks[r].next_ref += tm.refi;
+            }
+        }
+    }
+
+    /// One scheduling decision: issue the best legal command, or advance time
+    /// to the earliest cycle at which one becomes legal.
+    fn step(&mut self) {
+        debug_assert!(!self.queue.is_empty());
+        // Advance to the first arrival if the channel is idle ahead of it.
+        let first_arrival = self.queue.front().map(|p| p.req.arrival).unwrap_or(0);
+        if self.now < first_arrival {
+            self.now = first_arrival;
+        }
+        self.service_refresh();
+
+        let tm = self.spec.timing;
+        let bpg = self.spec.topology.banks_per_group as usize;
+
+        // Build the candidate set: (queue index, action, ready cycle).
+        let mut candidates: Vec<(usize, Action, u64)> = Vec::new();
+        let mut next_arrival_beyond: Option<u64> = None;
+        let mut seen = 0usize;
+        for (i, p) in self.queue.iter().enumerate() {
+            if seen >= self.cfg.window {
+                break;
+            }
+            if p.req.arrival > self.now {
+                next_arrival_beyond = Some(p.req.arrival);
+                break;
+            }
+            seen += 1;
+            let rank = p.req.addr.rank as usize;
+            let bank = p.req.addr.bank as usize;
+            let b = &self.banks[rank][bank];
+            match b.open_row {
+                Some(row) if row == p.req.addr.row => {
+                    candidates.push((i, Action::Column, self.column_ready(rank, bank, p.req.op)));
+                }
+                Some(_) => {
+                    // Only precharge if no earlier/other window request still
+                    // hits the open row of this bank (FR-FCFS serves hits
+                    // before closing).
+                    let open = b.open_row.unwrap();
+                    let hit_waiting = self.queue.iter().take(self.cfg.window).any(|q| {
+                        q.req.arrival <= self.now
+                            && q.req.addr.rank as usize == rank
+                            && q.req.addr.bank as usize == bank
+                            && q.req.addr.row == open
+                    });
+                    if !hit_waiting {
+                        candidates.push((i, Action::Precharge, b.next_pre));
+                    }
+                }
+                None => {
+                    let ready = b.next_act.max(self.ranks[rank].act_ready(bank / bpg, &tm));
+                    candidates.push((i, Action::Activate, ready));
+                }
+            }
+        }
+
+        // Deduplicate bank-level actions: only the oldest request per bank may
+        // drive an ACT/PRE (younger ones would duplicate the same command).
+        let mut bank_claimed = std::collections::HashSet::new();
+        candidates.retain(|(i, action, _)| {
+            let addr = self.queue[*i].req.addr;
+            match action {
+                Action::Column => true,
+                _ => bank_claimed.insert((addr.rank, addr.bank)),
+            }
+        });
+
+        // Pick the best issuable candidate: column (row hit) first, then
+        // activates, then precharges; oldest wins ties.
+        let issuable = |a: Action| {
+            candidates
+                .iter()
+                .filter(|(_, act, ready)| *act == a && *ready <= self.now)
+                .min_by_key(|(i, _, _)| *i)
+                .copied()
+        };
+        let chosen = issuable(Action::Column)
+            .or_else(|| issuable(Action::Activate))
+            .or_else(|| issuable(Action::Precharge));
+
+        match chosen {
+            Some((i, Action::Column, _)) => {
+                let p = self.queue[i].clone();
+                let rank = p.req.addr.rank as usize;
+                let bank = p.req.addr.bank as usize;
+                let (lat, op) = match p.req.op {
+                    Op::Read => (tm.cl, Op::Read),
+                    Op::Write => (tm.cwl, Op::Write),
+                };
+                let data_start = self.now + lat;
+                debug_assert!(data_start >= self.bus_busy_until);
+                let data_end = data_start + tm.burst_cycles;
+                match op {
+                    Op::Read => {
+                        self.banks[rank][bank].read(self.now, &tm);
+                        self.stats.reads += 1;
+                        self.record(CommandKind::Rd, rank as u64, bank as u64, p.req.addr.column);
+                    }
+                    Op::Write => {
+                        self.banks[rank][bank].write(self.now, &tm);
+                        self.stats.writes += 1;
+                        self.record(CommandKind::Wr, rank as u64, bank as u64, p.req.addr.column);
+                    }
+                }
+                self.bus_busy_until = data_end;
+                self.last_data_end = data_end;
+                self.last_was_write = op == Op::Write;
+                match p.touch {
+                    None => self.stats.row_hits += 1,
+                    Some(Touch::Miss) => self.stats.row_misses += 1,
+                    Some(Touch::Conflict) => self.stats.row_conflicts += 1,
+                }
+                self.stats.finish_cycle = self.stats.finish_cycle.max(data_end);
+                self.queue.remove(i);
+                self.now += 1;
+                // Closed-page policy: close the row immediately if nothing
+                // in the window still wants it (issued as an implicit
+                // auto-precharge once tRAS/tRTP/tWR allow).
+                if self.cfg.page_policy == PagePolicy::Closed {
+                    let row = self.banks[rank][bank].open_row;
+                    if let Some(row) = row {
+                        let still_wanted = self.queue.iter().take(self.cfg.window).any(|q| {
+                            q.req.addr.rank as usize == rank
+                                && q.req.addr.bank as usize == bank
+                                && q.req.addr.row == row
+                        });
+                        if !still_wanted {
+                            let b = &mut self.banks[rank][bank];
+                            let when = b.next_pre.max(self.now);
+                            b.open_row = None;
+                            b.next_act = b.next_act.max(when + tm.rp);
+                            self.stats.precharges += 1;
+                            // Auto-precharges are not logged: they take
+                            // effect at a (possibly future) cycle `when`,
+                            // which would break the log's time ordering.
+                        }
+                    }
+                }
+            }
+            Some((i, Action::Activate, _)) => {
+                let addr = self.queue[i].req.addr;
+                let rank = addr.rank as usize;
+                let bank = addr.bank as usize;
+                self.banks[rank][bank].activate(self.now, addr.row, &tm);
+                self.ranks[rank].record_act(self.now, bank / bpg);
+                self.stats.activates += 1;
+                self.record(CommandKind::Act, addr.rank, addr.bank, addr.row);
+                if self.queue[i].touch.is_none() {
+                    self.queue[i].touch = Some(Touch::Miss);
+                }
+                self.now += 1;
+            }
+            Some((i, Action::Precharge, _)) => {
+                let addr = self.queue[i].req.addr;
+                let rank = addr.rank as usize;
+                let bank = addr.bank as usize;
+                self.banks[rank][bank].precharge(self.now, &tm);
+                self.stats.precharges += 1;
+                self.record(CommandKind::Pre, addr.rank, addr.bank, 0);
+                self.queue[i].touch = Some(Touch::Conflict);
+                self.now += 1;
+            }
+            None => {
+                // Nothing issuable: jump to the earliest ready time (or next
+                // arrival if the window is empty).
+                let min_ready = candidates.iter().map(|(_, _, r)| *r).min();
+                let target = match (min_ready, next_arrival_beyond) {
+                    (Some(r), Some(a)) => r.min(a),
+                    (Some(r), None) => r,
+                    (None, Some(a)) => a,
+                    (None, None) => unreachable!("queue nonempty but no candidate and no arrival"),
+                };
+                debug_assert!(target > self.now, "scheduler failed to make progress");
+                self.now = target;
+            }
+        }
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &DramStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::DramAddress;
+
+    fn small_spec() -> DramSpec {
+        // 1-channel LPDDR5-6400, 256 MB: keeps row counts small in tests.
+        DramSpec::lpddr5_6400(16, 256 << 20)
+    }
+
+    fn addr(rank: u64, bank: u64, row: u64, column: u64) -> DramAddress {
+        DramAddress { channel: 0, rank, bank, row, column }
+    }
+
+    #[test]
+    fn single_read_latency_is_act_plus_rcd_cl_burst() {
+        let spec = small_spec();
+        let mut ch = ChannelSim::new(&spec);
+        ch.push(Request::read(addr(0, 0, 0, 0)));
+        let stats = ch.run();
+        let tm = &spec.timing;
+        // ACT at 0, RD at tRCD, data ends at tRCD+CL+burst.
+        assert_eq!(stats.finish_cycle, tm.rcd + tm.cl + tm.burst_cycles);
+        assert_eq!(stats.reads, 1);
+        assert_eq!(stats.activates, 1);
+        assert_eq!(stats.row_misses, 1);
+        assert_eq!(stats.row_hits, 0);
+    }
+
+    #[test]
+    fn same_row_reads_are_hits() {
+        let spec = small_spec();
+        let mut ch = ChannelSim::new(&spec);
+        for c in 0..8 {
+            ch.push(Request::read(addr(0, 0, 0, c)));
+        }
+        let stats = ch.run();
+        assert_eq!(stats.row_misses, 1);
+        assert_eq!(stats.row_hits, 7);
+        assert_eq!(stats.activates, 1);
+    }
+
+    #[test]
+    fn row_conflict_forces_precharge() {
+        let spec = small_spec();
+        let mut ch = ChannelSim::new(&spec);
+        ch.push(Request::read(addr(0, 0, 0, 0)));
+        ch.push(Request::read(addr(0, 0, 1, 0)));
+        let stats = ch.run();
+        assert_eq!(stats.row_misses, 1);
+        assert_eq!(stats.row_conflicts, 1);
+        assert_eq!(stats.precharges, 1);
+        assert_eq!(stats.activates, 2);
+    }
+
+    #[test]
+    fn streaming_one_row_hits_peak_bandwidth() {
+        let spec = small_spec();
+        let mut ch = ChannelSim::new(&spec);
+        let cols = spec.topology.columns();
+        for c in 0..cols {
+            ch.push(Request::read(addr(0, 0, 0, c)));
+        }
+        let stats = ch.run();
+        // Steady state: one burst per tCCD; overhead only from the initial
+        // ACT+CL. Bandwidth must exceed 80% of the channel peak.
+        let ns = spec.cycles_to_ns(stats.finish_cycle);
+        let bw = stats.bytes(spec.topology.transfer_bytes) as f64 / (ns * 1e-9);
+        assert!(bw > 0.8 * spec.channel_bandwidth_bytes_per_sec(), "bw {bw:.3e}");
+    }
+
+    #[test]
+    fn bank_interleaving_hides_row_activation() {
+        let spec = small_spec();
+        let mut ch = ChannelSim::new(&spec);
+        // Stream across all 16 banks, 4 rows each, column-major like a
+        // conventional interleaved layout.
+        for row in 0..4 {
+            for col in 0..spec.topology.columns() {
+                for bank in 0..spec.topology.banks() {
+                    ch.push(Request::read(addr(0, bank, row, col)));
+                }
+            }
+        }
+        let stats = ch.run();
+        let ns = spec.cycles_to_ns(stats.finish_cycle);
+        let bw = stats.bytes(spec.topology.transfer_bytes) as f64 / (ns * 1e-9);
+        assert!(
+            bw > 0.9 * spec.channel_bandwidth_bytes_per_sec(),
+            "interleaved stream should be near peak, got {:.1}%",
+            100.0 * bw / spec.channel_bandwidth_bytes_per_sec()
+        );
+    }
+
+    #[test]
+    fn fr_fcfs_serves_row_hits_before_conflicting_precharge() {
+        let spec = small_spec();
+        let mut ch = ChannelSim::new(&spec);
+        ch.push(Request::read(addr(0, 0, 0, 0)));
+        // Older request to a different row of bank 0, then a younger hit.
+        ch.push(Request::read(addr(0, 0, 5, 0)));
+        ch.push(Request::read(addr(0, 0, 0, 1)));
+        let stats = ch.run();
+        // The younger same-row read must be served as a hit (no extra
+        // conflict for it).
+        assert_eq!(stats.row_hits, 1);
+        assert_eq!(stats.row_conflicts, 1);
+        assert_eq!(stats.row_misses, 1);
+    }
+
+    #[test]
+    fn writes_then_reads_respect_turnaround() {
+        let spec = small_spec();
+        let mut ch = ChannelSim::new(&spec);
+        ch.push(Request::write(addr(0, 0, 0, 0)));
+        ch.push(Request::read(addr(0, 0, 0, 1)));
+        let stats = ch.run();
+        let tm = &spec.timing;
+        // The read data cannot start before the write data ended plus tWTR.
+        let wr_cmd = tm.rcd;
+        let wr_data_end = wr_cmd + tm.cwl + tm.burst_cycles;
+        assert!(stats.finish_cycle >= wr_data_end + tm.wtr + tm.burst_cycles);
+        assert_eq!(stats.reads, 1);
+        assert_eq!(stats.writes, 1);
+    }
+
+    #[test]
+    fn refresh_is_issued_on_long_streams() {
+        let spec = small_spec();
+        let mut ch = ChannelSim::new(&spec);
+        // Enough work to cross at least one tREFI boundary.
+        let per_refi = spec.timing.refi / spec.timing.ccd_l + 10;
+        let cols = spec.topology.columns();
+        let mut n = 0;
+        'outer: for row in 0..spec.topology.rows {
+            for col in 0..cols {
+                ch.push(Request::read(addr(0, 0, row, col)));
+                n += 1;
+                if n > per_refi {
+                    break 'outer;
+                }
+            }
+        }
+        let stats = ch.run();
+        assert!(stats.refreshes > 0, "expected refreshes on a long stream");
+    }
+
+    #[test]
+    fn closed_page_policy_wins_on_random_traffic() {
+        let spec = small_spec();
+        // Random single-access-per-row traffic.
+        let make_reqs = || {
+            (0..512u64).map(|i| {
+                let x = i.wrapping_mul(0x9E3779B97F4A7C15);
+                Request::read(addr(x % 2, (x >> 8) % 16, (x >> 16) % 256, (x >> 32) % 64))
+            })
+        };
+        let mut open = ChannelSim::new(&spec);
+        let mut closed =
+            ChannelSim::with_config(&spec, SchedConfig { page_policy: PagePolicy::Closed, ..Default::default() });
+        for r in make_reqs() {
+            open.push(r);
+        }
+        for r in make_reqs() {
+            closed.push(r);
+        }
+        let so = open.run();
+        let sc = closed.run();
+        assert!(
+            sc.finish_cycle <= so.finish_cycle,
+            "closed page should win on row-conflict-heavy traffic: {} vs {}",
+            sc.finish_cycle,
+            so.finish_cycle
+        );
+        assert!(sc.row_conflicts < so.row_conflicts);
+    }
+
+    #[test]
+    fn open_page_policy_wins_on_streaming_traffic() {
+        let spec = small_spec();
+        let make_reqs = || (0..512u64).map(|c| Request::read(addr(0, 0, c / 64, c % 64)));
+        let mut open = ChannelSim::new(&spec);
+        let mut closed =
+            ChannelSim::with_config(&spec, SchedConfig { page_policy: PagePolicy::Closed, ..Default::default() });
+        for r in make_reqs() {
+            open.push(r);
+        }
+        for r in make_reqs() {
+            closed.push(r);
+        }
+        let so = open.run();
+        let sc = closed.run();
+        assert!(so.finish_cycle <= sc.finish_cycle + 8, "{} vs {}", so.finish_cycle, sc.finish_cycle);
+        assert!(so.row_hits >= sc.row_hits);
+    }
+
+    #[test]
+    fn narrow_window_hurts_interleaved_traffic() {
+        let spec = small_spec();
+        let make_reqs = || {
+            (0..512u64).map(|i| {
+                let x = i.wrapping_mul(0x9E3779B97F4A7C15);
+                Request::read(addr(0, (x >> 8) % 16, (x >> 16) % 64, i % 64))
+            })
+        };
+        let mut wide = ChannelSim::with_config(&spec, SchedConfig { window: 32, ..Default::default() });
+        let mut narrow = ChannelSim::with_config(&spec, SchedConfig { window: 2, ..Default::default() });
+        for r in make_reqs() {
+            wide.push(r);
+        }
+        for r in make_reqs() {
+            narrow.push(r);
+        }
+        let sw = wide.run();
+        let sn = narrow.run();
+        assert!(sw.finish_cycle <= sn.finish_cycle, "{} vs {}", sw.finish_cycle, sn.finish_cycle);
+    }
+
+    #[test]
+    fn arrival_gaps_are_respected() {
+        let spec = small_spec();
+        let mut ch = ChannelSim::new(&spec);
+        ch.push(Request::read(addr(0, 0, 0, 0)).at(10_000));
+        let stats = ch.run();
+        assert!(stats.finish_cycle >= 10_000);
+    }
+}

@@ -1,0 +1,77 @@
+//! DRAM commands and memory requests.
+
+use serde::{Deserialize, Serialize};
+
+use crate::addr::DramAddress;
+
+/// Direction of a memory request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Op {
+    /// Column read (32 B transfer).
+    Read,
+    /// Column write (32 B transfer).
+    Write,
+}
+
+/// A single-transfer memory request, already decoded to a device address.
+///
+/// PA-to-DA translation is performed *before* the request reaches the
+/// backend (by the FACIL memory-controller frontend in `facil-core`), which
+/// mirrors the paper's memory-controller architecture (Fig. 12): the frontend
+/// translates, the backend schedules device commands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Request {
+    /// Decoded target address.
+    pub addr: DramAddress,
+    /// Read or write.
+    pub op: Op,
+    /// Arrival cycle at the controller.
+    pub arrival: u64,
+}
+
+impl Request {
+    /// A read request arriving at cycle 0.
+    pub fn read(addr: DramAddress) -> Self {
+        Request { addr, op: Op::Read, arrival: 0 }
+    }
+
+    /// A write request arriving at cycle 0.
+    pub fn write(addr: DramAddress) -> Self {
+        Request { addr, op: Op::Write, arrival: 0 }
+    }
+
+    /// Same request with a different arrival cycle.
+    pub fn at(mut self, arrival: u64) -> Self {
+        self.arrival = arrival;
+        self
+    }
+}
+
+/// Device-level commands issued by the scheduler (for stats and debugging).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CommandKind {
+    /// Row activate.
+    Act,
+    /// Per-bank precharge.
+    Pre,
+    /// Column read.
+    Rd,
+    /// Column write.
+    Wr,
+    /// All-bank refresh.
+    RefAb,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_constructors() {
+        let a = DramAddress { channel: 0, rank: 1, bank: 2, row: 3, column: 4 };
+        let r = Request::read(a).at(17);
+        assert_eq!(r.op, Op::Read);
+        assert_eq!(r.arrival, 17);
+        assert_eq!(Request::write(a).op, Op::Write);
+    }
+}

@@ -1,0 +1,57 @@
+//! # facil-dram
+//!
+//! Cycle-level LPDDR5/LPDDR5X DRAM simulator — the memory substrate of the
+//! FACIL (HPCA 2025) reproduction.
+//!
+//! The FACIL paper evaluates its flexible PA-to-DA address mapping on a
+//! DRAMsim-derived simulator extended with LPDDR5/X timing (paper Section
+//! VI-A). This crate provides that substrate from scratch:
+//!
+//! * [`spec::DramSpec`] — JEDEC-shaped LPDDR5/5X presets (timing, topology),
+//! * [`channel::ChannelSim`] — per-channel FR-FCFS, open-page scheduler with
+//!   bank/rank state machines (tRCD/tRP/tRAS/tCCD/tRRD/tFAW/tWR/tRTP/tWTR,
+//!   refresh),
+//! * [`controller::DramSystem`] — the multi-channel backend,
+//! * [`trace`] — PA-trace replay through an arbitrary [`mapper::AddressMapper`],
+//! * [`functional::FunctionalMemory`] — a data-value model keyed by *device*
+//!   address, so two different mappings demonstrably view the same cells.
+//!
+//! ```
+//! use facil_dram::{DramSpec, DramAddress, Request, DramSystem};
+//!
+//! let spec = DramSpec::lpddr5_6400(64, 8 << 30); // iPhone 15 Pro memory
+//! let mut sys = DramSystem::new(&spec);
+//! sys.push(Request::read(DramAddress { channel: 0, rank: 0, bank: 0, row: 0, column: 0 }));
+//! let result = sys.run();
+//! assert_eq!(result.stats.reads, 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod addr;
+pub mod allbank;
+pub mod energy;
+pub(crate) mod bank;
+pub mod channel;
+pub mod command;
+pub mod controller;
+pub mod functional;
+pub mod mapper;
+pub mod spec;
+pub mod stats;
+pub mod trace;
+pub mod verifylog;
+
+pub use addr::{DramAddress, Topology};
+pub use allbank::{run_allbank, AllBankResult, PimStream};
+pub use channel::{ChannelSim, PagePolicy, SchedConfig};
+pub use command::{CommandKind, Op, Request};
+pub use controller::DramSystem;
+pub use functional::FunctionalMemory;
+pub use mapper::{AddressMapper, FnMapper};
+pub use spec::{DramKind, DramSpec, Timing};
+pub use energy::{EnergyBreakdown, EnergyModel};
+pub use stats::{DramStats, SimResult};
+pub use verifylog::{verify_log, LoggedCommand, Violation};
+pub use trace::{parse_trace, parse_trace_line, run_trace, sequential_trace, TraceEntry, TraceOptions};

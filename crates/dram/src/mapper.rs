@@ -1,0 +1,59 @@
+//! The PA-to-DA translation interface consumed by the DRAM backend.
+
+use crate::addr::DramAddress;
+
+/// Translates a physical address into a decoded DRAM device address.
+///
+/// The FACIL memory-controller frontend (`facil-core`) implements this for
+/// conventional and PIM-optimized mapping schemes; the DRAM backend is
+/// mapping-agnostic.
+///
+/// Implementations must be *bijective at transfer granularity*: distinct
+/// transfer-aligned physical addresses must map to distinct device addresses.
+pub trait AddressMapper {
+    /// Map a physical byte address to the device address of its transfer.
+    /// The low `log2(transfer_bytes)` bits of `pa` are ignored.
+    fn map(&self, pa: u64) -> DramAddress;
+}
+
+/// Adapter turning a closure into an [`AddressMapper`].
+pub struct FnMapper<F>(pub F);
+
+impl<F> std::fmt::Debug for FnMapper<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FnMapper").finish_non_exhaustive()
+    }
+}
+
+impl<F: Fn(u64) -> DramAddress> AddressMapper for FnMapper<F> {
+    fn map(&self, pa: u64) -> DramAddress {
+        (self.0)(pa)
+    }
+}
+
+impl<M: AddressMapper + ?Sized> AddressMapper for &M {
+    fn map(&self, pa: u64) -> DramAddress {
+        (**self).map(pa)
+    }
+}
+
+impl<M: AddressMapper + ?Sized> AddressMapper for Box<M> {
+    fn map(&self, pa: u64) -> DramAddress {
+        (**self).map(pa)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fn_mapper_delegates() {
+        let m = FnMapper(|pa: u64| DramAddress { channel: pa & 1, rank: 0, bank: 0, row: pa >> 1, column: 0 });
+        assert_eq!(m.map(3).channel, 1);
+        assert_eq!(m.map(4).row, 2);
+        // Reference and Box blanket impls.
+        let r: &dyn AddressMapper = &m;
+        assert_eq!(r.map(3).channel, 1);
+    }
+}

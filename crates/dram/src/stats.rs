@@ -1,0 +1,101 @@
+//! Aggregated statistics reported by the DRAM simulator.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters collected while scheduling a request stream.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DramStats {
+    /// Column reads issued.
+    pub reads: u64,
+    /// Column writes issued.
+    pub writes: u64,
+    /// Row activates issued.
+    pub activates: u64,
+    /// Precharges issued (excluding refresh-forced closes).
+    pub precharges: u64,
+    /// All-bank refreshes issued.
+    pub refreshes: u64,
+    /// Column accesses that found their row already open.
+    pub row_hits: u64,
+    /// Column accesses that required opening a closed bank.
+    pub row_misses: u64,
+    /// Column accesses that required closing a different open row first.
+    pub row_conflicts: u64,
+    /// Cycle at which the last data beat left the bus.
+    pub finish_cycle: u64,
+}
+
+impl DramStats {
+    /// Total bytes moved given the transfer size.
+    pub fn bytes(&self, transfer_bytes: u64) -> u64 {
+        (self.reads + self.writes) * transfer_bytes
+    }
+
+    /// Row-buffer hit rate over all column accesses.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.row_hits + self.row_misses + self.row_conflicts;
+        if total == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / total as f64
+        }
+    }
+
+    /// Merge counters from another channel, taking the max finish cycle
+    /// (channels run concurrently).
+    pub fn merge(&mut self, other: &DramStats) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.activates += other.activates;
+        self.precharges += other.precharges;
+        self.refreshes += other.refreshes;
+        self.row_hits += other.row_hits;
+        self.row_misses += other.row_misses;
+        self.row_conflicts += other.row_conflicts;
+        self.finish_cycle = self.finish_cycle.max(other.finish_cycle);
+    }
+}
+
+/// Result of simulating a request stream to completion.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Aggregated counters.
+    pub stats: DramStats,
+    /// Total elapsed time in nanoseconds (max over channels).
+    pub elapsed_ns: f64,
+    /// Achieved bandwidth in bytes/second.
+    pub bandwidth_bytes_per_sec: f64,
+}
+
+impl SimResult {
+    /// Achieved bandwidth as a fraction of the theoretical peak.
+    pub fn utilization(&self, peak_bytes_per_sec: f64) -> f64 {
+        self.bandwidth_bytes_per_sec / peak_bytes_per_sec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_takes_max_finish() {
+        let mut a = DramStats { reads: 2, finish_cycle: 10, row_hits: 1, ..Default::default() };
+        let b = DramStats { reads: 3, finish_cycle: 7, row_misses: 1, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.reads, 5);
+        assert_eq!(a.finish_cycle, 10);
+        assert!((a.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_hit_rate_is_zero() {
+        assert_eq!(DramStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn bytes_counts_both_directions() {
+        let s = DramStats { reads: 3, writes: 5, ..Default::default() };
+        assert_eq!(s.bytes(32), 256);
+    }
+}

@@ -1,0 +1,253 @@
+//! Command-log capture and JEDEC-legality verification.
+//!
+//! When enabled, the channel scheduler records every device command it
+//! issues; [`verify_log`] independently re-checks the log against the
+//! timing constraints (tRC, tRAS, tRP, tRCD, tRTP, tWR, tCCD, tRRD, tFAW,
+//! data-bus occupancy). This is a second implementation of the rules, so
+//! scheduler bugs cannot hide behind their own bookkeeping — the property
+//! tests drive random request streams through both.
+
+use serde::{Deserialize, Serialize};
+
+use crate::command::CommandKind;
+use crate::spec::Timing;
+
+/// One logged device command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LoggedCommand {
+    /// Issue cycle.
+    pub cycle: u64,
+    /// Command kind.
+    pub kind: CommandKind,
+    /// Rank.
+    pub rank: u64,
+    /// Bank (flat; meaningless for RefAb).
+    pub bank: u64,
+    /// Row for ACT, column for RD/WR, 0 otherwise.
+    pub arg: u64,
+}
+
+/// A violation found by [`verify_log`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Index of the offending command in the log.
+    pub index: usize,
+    /// Human-readable rule description.
+    pub rule: String,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct BankTrace {
+    last_act: Option<u64>,
+    last_pre: Option<u64>,
+    last_rd: Option<u64>,
+    last_wr: Option<u64>,
+    open: bool,
+}
+
+/// Re-check a per-channel command log against `timing`. Returns all
+/// violations (empty = legal). `banks_per_group` is needed for the
+/// tRRD_L/tCCD_L same-bank-group rules.
+pub fn verify_log(log: &[LoggedCommand], timing: &Timing, ranks: u64, banks: u64, banks_per_group: u64) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let mut bank_state = vec![BankTrace::default(); (ranks * banks) as usize];
+    let mut rank_acts: Vec<Vec<u64>> = vec![Vec::new(); ranks as usize];
+    let mut bus_busy_until = 0u64;
+    let check = |cond: bool, index: usize, rule: String, out: &mut Vec<Violation>| {
+        if !cond {
+            out.push(Violation { index, rule });
+        }
+    };
+
+    let mut last_cmd_cycle: Option<u64> = None;
+    for (i, c) in log.iter().enumerate() {
+        if let Some(prev) = last_cmd_cycle {
+            check(c.cycle >= prev, i, "commands must be time-ordered".into(), &mut violations);
+            if c.kind != CommandKind::RefAb {
+                check(c.cycle > prev || c.kind == CommandKind::RefAb, i, "one command per cycle per channel".into(), &mut violations);
+            }
+        }
+        if c.kind != CommandKind::RefAb {
+            last_cmd_cycle = Some(c.cycle);
+        }
+        let bi = (c.rank * banks + c.bank) as usize;
+        match c.kind {
+            CommandKind::Act => {
+                let b = bank_state[bi];
+                check(!b.open, i, format!("ACT to open bank rk{} ba{}", c.rank, c.bank), &mut violations);
+                if let Some(t) = b.last_act {
+                    check(c.cycle >= t + timing.rc, i, format!("tRC violation on rk{} ba{}", c.rank, c.bank), &mut violations);
+                }
+                if let Some(t) = b.last_pre {
+                    check(c.cycle >= t + timing.rp, i, format!("tRP violation on rk{} ba{}", c.rank, c.bank), &mut violations);
+                }
+                // tRRD (same rank) and tFAW.
+                let acts = &rank_acts[c.rank as usize];
+                if let Some(&t) = acts.last() {
+                    check(c.cycle >= t + timing.rrd_s, i, "tRRD_S violation".into(), &mut violations);
+                }
+                // Same bank group: tRRD_L. Scan recent acts for same group.
+                let group = c.bank / banks_per_group;
+                for &(t, g) in recent_groups(log, i, banks_per_group).iter() {
+                    if g == group && c.rank == log_rank(log, i, t) {
+                        check(c.cycle >= t + timing.rrd_l, i, "tRRD_L violation".into(), &mut violations);
+                        break;
+                    }
+                }
+                if acts.len() >= 4 {
+                    let t4 = acts[acts.len() - 4];
+                    check(c.cycle >= t4 + timing.faw, i, format!("tFAW violation on rank {}", c.rank), &mut violations);
+                }
+                rank_acts[c.rank as usize].push(c.cycle);
+                bank_state[bi].last_act = Some(c.cycle);
+                bank_state[bi].open = true;
+                bank_state[bi].last_rd = None;
+                bank_state[bi].last_wr = None;
+            }
+            CommandKind::Pre => {
+                let b = bank_state[bi];
+                check(b.open, i, "PRE to closed bank".into(), &mut violations);
+                if let Some(t) = b.last_act {
+                    check(c.cycle >= t + timing.ras, i, "tRAS violation".into(), &mut violations);
+                }
+                if let Some(t) = b.last_rd {
+                    check(c.cycle >= t + timing.rtp, i, "tRTP violation".into(), &mut violations);
+                }
+                if let Some(t) = b.last_wr {
+                    check(
+                        c.cycle >= t + timing.cwl + timing.burst_cycles + timing.wr,
+                        i,
+                        "tWR violation".into(),
+                        &mut violations,
+                    );
+                }
+                bank_state[bi].open = false;
+                bank_state[bi].last_pre = Some(c.cycle);
+            }
+            CommandKind::Rd | CommandKind::Wr => {
+                let b = bank_state[bi];
+                check(b.open, i, "column command to closed bank".into(), &mut violations);
+                if let Some(t) = b.last_act {
+                    check(c.cycle >= t + timing.rcd, i, "tRCD violation".into(), &mut violations);
+                }
+                let lat = if c.kind == CommandKind::Rd { timing.cl } else { timing.cwl };
+                let data_start = c.cycle + lat;
+                check(data_start >= bus_busy_until, i, "data bus conflict".into(), &mut violations);
+                bus_busy_until = data_start + timing.burst_cycles;
+                if c.kind == CommandKind::Rd {
+                    bank_state[bi].last_rd = Some(c.cycle);
+                } else {
+                    bank_state[bi].last_wr = Some(c.cycle);
+                }
+            }
+            CommandKind::RefAb => {
+                // Refresh legality (all banks closed) is asserted by the
+                // scheduler itself; the log records it for energy accounting.
+            }
+        }
+    }
+    violations
+}
+
+/// Recent (cycle, bank-group) pairs of ACT commands before index `i`.
+fn recent_groups(log: &[LoggedCommand], i: usize, banks_per_group: u64) -> Vec<(u64, u64)> {
+    log[..i]
+        .iter()
+        .rev()
+        .take(8)
+        .filter(|c| c.kind == CommandKind::Act)
+        .map(|c| (c.cycle, c.bank / banks_per_group))
+        .collect()
+}
+
+/// Rank of the ACT at cycle `t` near index `i` (helper for tRRD_L checks).
+fn log_rank(log: &[LoggedCommand], i: usize, t: u64) -> u64 {
+    log[..i]
+        .iter()
+        .rev()
+        .find(|c| c.kind == CommandKind::Act && c.cycle == t)
+        .map(|c| c.rank)
+        .unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::DramSpec;
+
+    fn timing() -> Timing {
+        DramSpec::lpddr5_6400(16, 256 << 20).timing
+    }
+
+    fn act(cycle: u64, bank: u64, row: u64) -> LoggedCommand {
+        LoggedCommand { cycle, kind: CommandKind::Act, rank: 0, bank, arg: row }
+    }
+    fn rd(cycle: u64, bank: u64, col: u64) -> LoggedCommand {
+        LoggedCommand { cycle, kind: CommandKind::Rd, rank: 0, bank, arg: col }
+    }
+    fn pre(cycle: u64, bank: u64) -> LoggedCommand {
+        LoggedCommand { cycle, kind: CommandKind::Pre, rank: 0, bank, arg: 0 }
+    }
+
+    #[test]
+    fn legal_sequence_passes() {
+        let tm = timing();
+        let log = vec![
+            act(0, 0, 5),
+            rd(tm.rcd, 0, 0),
+            rd(tm.rcd + tm.ccd_l, 0, 1),
+            pre(tm.ras.max(tm.rcd + tm.ccd_l + tm.rtp), 0),
+        ];
+        assert!(verify_log(&log, &tm, 2, 16, 4).is_empty());
+    }
+
+    #[test]
+    fn early_read_is_caught() {
+        let tm = timing();
+        let log = vec![act(0, 0, 5), rd(tm.rcd - 1, 0, 0)];
+        let v = verify_log(&log, &tm, 2, 16, 4);
+        assert!(v.iter().any(|v| v.rule.contains("tRCD")), "{v:?}");
+    }
+
+    #[test]
+    fn early_precharge_is_caught() {
+        let tm = timing();
+        let log = vec![act(0, 0, 5), pre(tm.ras - 1, 0)];
+        let v = verify_log(&log, &tm, 2, 16, 4);
+        assert!(v.iter().any(|v| v.rule.contains("tRAS")), "{v:?}");
+    }
+
+    #[test]
+    fn act_to_open_bank_is_caught() {
+        let tm = timing();
+        let log = vec![act(0, 0, 5), act(tm.rc, 0, 6)];
+        let v = verify_log(&log, &tm, 2, 16, 4);
+        assert!(v.iter().any(|v| v.rule.contains("ACT to open")), "{v:?}");
+    }
+
+    #[test]
+    fn faw_is_caught() {
+        let tm = timing();
+        // Five ACTs to different banks spaced only tRRD apart.
+        let log: Vec<_> = (0..5)
+            .map(|i| act(i * tm.rrd_s, i, 0))
+            .collect();
+        let v = verify_log(&log, &tm, 2, 16, 4);
+        if 4 * tm.rrd_s < tm.faw {
+            assert!(v.iter().any(|v| v.rule.contains("tFAW")), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn bus_conflict_is_caught() {
+        let tm = timing();
+        let log = vec![
+            act(0, 0, 5),
+            rd(tm.rcd, 0, 0),
+            // Second read one cycle later: bursts overlap.
+            rd(tm.rcd + 1, 0, 1),
+        ];
+        let v = verify_log(&log, &tm, 2, 16, 4);
+        assert!(v.iter().any(|v| v.rule.contains("bus")), "{v:?}");
+    }
+}

@@ -1,0 +1,16 @@
+//! # facil-llm
+//!
+//! LLM workload model for the FACIL (HPCA 2025) reproduction:
+//!
+//! * [`model::ModelConfig`] — the three Table II models (Llama3-8B,
+//!   OPT-6.7B, Phi-1.5) and their linear-layer graphs;
+//! * [`phase::Phase`] — prefill (GEMM) and decode-step (GEMV) operation
+//!   lists, including KV-cache and element-wise traffic.
+
+#![warn(missing_docs)]
+
+pub mod model;
+pub mod phase;
+
+pub use model::{LinearOp, ModelConfig};
+pub use phase::{Phase, PhaseOp};

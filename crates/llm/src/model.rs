@@ -1,0 +1,329 @@
+//! Transformer model configurations for the three LLMs of Table II.
+
+use serde::Serialize;
+
+/// One linear (fully-connected) weight of a decoder block.
+///
+/// GEMV/GEMM convention: the weight is `out_features x in_features`, and a
+/// phase with sequence dimension `m` performs `[m x in] . W^T -> [m x out]`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize)]
+pub struct LinearOp {
+    /// Projection name ("q_proj", "fc1", "lm_head", …).
+    pub name: &'static str,
+    /// Output features (matrix rows).
+    pub out_features: u64,
+    /// Input features (matrix columns).
+    pub in_features: u64,
+}
+
+impl LinearOp {
+    /// Weight bytes at `elem_bytes` per element.
+    pub fn weight_bytes(&self, elem_bytes: u64) -> u64 {
+        self.out_features * self.in_features * elem_bytes
+    }
+}
+
+/// Configuration of a decoder-only transformer LLM.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct ModelConfig {
+    /// Model name ("llama3-8b", "opt-6.7b", "phi-1.5").
+    pub name: &'static str,
+    /// Hidden (embedding) dimension.
+    pub hidden: u64,
+    /// Feed-forward intermediate dimension.
+    pub intermediate: u64,
+    /// Decoder blocks.
+    pub layers: u64,
+    /// Attention heads.
+    pub heads: u64,
+    /// Key/value heads (GQA; == heads without GQA).
+    pub kv_heads: u64,
+    /// Vocabulary size.
+    pub vocab: u64,
+    /// Gated FFN (SwiGLU: gate+up+down) vs classic 2-matrix FFN.
+    pub gated_ffn: bool,
+    /// Weight element size in bytes (2 = fp16, the paper's precision).
+    pub elem_bytes: u64,
+}
+
+impl ModelConfig {
+    /// Meta Llama3-8B (Jetson, MacBook in the paper).
+    pub fn llama3_8b() -> Self {
+        ModelConfig {
+            name: "llama3-8b",
+            hidden: 4096,
+            intermediate: 14336,
+            layers: 32,
+            heads: 32,
+            kv_heads: 8,
+            vocab: 128256,
+            gated_ffn: true,
+            elem_bytes: 2,
+        }
+    }
+
+    /// Meta OPT-6.7B (IdeaPad in the paper).
+    pub fn opt_6_7b() -> Self {
+        ModelConfig {
+            name: "opt-6.7b",
+            hidden: 4096,
+            intermediate: 16384,
+            layers: 32,
+            heads: 32,
+            kv_heads: 32,
+            vocab: 50272,
+            gated_ffn: false,
+            elem_bytes: 2,
+        }
+    }
+
+    /// Microsoft Phi-1.5 (iPhone in the paper).
+    pub fn phi_1_5() -> Self {
+        ModelConfig {
+            name: "phi-1.5",
+            hidden: 2048,
+            intermediate: 8192,
+            layers: 24,
+            heads: 32,
+            kv_heads: 32,
+            vocab: 51200,
+            gated_ffn: false,
+            elem_bytes: 2,
+        }
+    }
+
+    /// TinyLlama-1.1B (not in the paper; common on-device model).
+    pub fn tinyllama_1_1b() -> Self {
+        ModelConfig {
+            name: "tinyllama-1.1b",
+            hidden: 2048,
+            intermediate: 5632,
+            layers: 22,
+            heads: 32,
+            kv_heads: 4,
+            vocab: 32000,
+            gated_ffn: true,
+            elem_bytes: 2,
+        }
+    }
+
+    /// Qwen2-1.5B (not in the paper; common on-device model).
+    pub fn qwen2_1_5b() -> Self {
+        ModelConfig {
+            name: "qwen2-1.5b",
+            hidden: 1536,
+            intermediate: 8960,
+            layers: 28,
+            heads: 12,
+            kv_heads: 2,
+            vocab: 151936,
+            gated_ffn: true,
+            elem_bytes: 2,
+        }
+    }
+
+    /// Gemma-2B (not in the paper; common on-device model).
+    pub fn gemma_2b() -> Self {
+        ModelConfig {
+            name: "gemma-2b",
+            hidden: 2048,
+            intermediate: 16384,
+            layers: 18,
+            heads: 8,
+            kv_heads: 1,
+            vocab: 256000,
+            gated_ffn: true,
+            elem_bytes: 2,
+        }
+    }
+
+    /// Every built-in model.
+    pub fn all() -> Vec<ModelConfig> {
+        vec![
+            Self::llama3_8b(),
+            Self::opt_6_7b(),
+            Self::phi_1_5(),
+            Self::tinyllama_1_1b(),
+            Self::qwen2_1_5b(),
+            Self::gemma_2b(),
+        ]
+    }
+
+    /// Look up a model by its Table II name.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown name.
+    pub fn by_name(name: &str) -> Self {
+        match name {
+            "llama3-8b" => Self::llama3_8b(),
+            "opt-6.7b" => Self::opt_6_7b(),
+            "phi-1.5" => Self::phi_1_5(),
+            "tinyllama-1.1b" => Self::tinyllama_1_1b(),
+            "qwen2-1.5b" => Self::qwen2_1_5b(),
+            "gemma-2b" => Self::gemma_2b(),
+            other => panic!("unknown model {other:?}"),
+        }
+    }
+
+    /// Head dimension.
+    pub fn head_dim(&self) -> u64 {
+        self.hidden / self.heads
+    }
+
+    /// The linear projections of one decoder block, in execution order.
+    pub fn block_linears(&self) -> Vec<LinearOp> {
+        let kv_dim = self.kv_heads * self.head_dim();
+        let mut ops = vec![
+            LinearOp { name: "q_proj", out_features: self.hidden, in_features: self.hidden },
+            LinearOp { name: "k_proj", out_features: kv_dim, in_features: self.hidden },
+            LinearOp { name: "v_proj", out_features: kv_dim, in_features: self.hidden },
+            LinearOp { name: "o_proj", out_features: self.hidden, in_features: self.hidden },
+        ];
+        if self.gated_ffn {
+            ops.push(LinearOp { name: "gate_proj", out_features: self.intermediate, in_features: self.hidden });
+            ops.push(LinearOp { name: "up_proj", out_features: self.intermediate, in_features: self.hidden });
+            ops.push(LinearOp { name: "down_proj", out_features: self.hidden, in_features: self.intermediate });
+        } else {
+            ops.push(LinearOp { name: "fc1", out_features: self.intermediate, in_features: self.hidden });
+            ops.push(LinearOp { name: "fc2", out_features: self.hidden, in_features: self.intermediate });
+        }
+        ops
+    }
+
+    /// The output head (vocabulary projection).
+    pub fn lm_head(&self) -> LinearOp {
+        LinearOp { name: "lm_head", out_features: self.vocab, in_features: self.hidden }
+    }
+
+    /// Every linear weight in the model: `layers x block_linears + lm_head`,
+    /// as `(op, instances)` pairs.
+    pub fn all_linears(&self) -> Vec<(LinearOp, u64)> {
+        let mut v: Vec<(LinearOp, u64)> =
+            self.block_linears().into_iter().map(|op| (op, self.layers)).collect();
+        v.push((self.lm_head(), 1));
+        v
+    }
+
+    /// Total bytes of linear weights (what PIM streams per decode token and
+    /// what the baseline must re-layout).
+    pub fn linear_weight_bytes(&self) -> u64 {
+        self.all_linears()
+            .iter()
+            .map(|(op, n)| op.weight_bytes(self.elem_bytes) * n)
+            .sum()
+    }
+
+    /// Approximate total parameter count including the input embedding.
+    pub fn params(&self) -> u64 {
+        self.linear_weight_bytes() / self.elem_bytes + self.vocab * self.hidden
+    }
+
+    /// KV-cache bytes *read* per generated token at context length `ctx`
+    /// (keys + values, all layers).
+    pub fn kv_read_bytes(&self, ctx: u64) -> u64 {
+        2 * ctx * self.kv_heads * self.head_dim() * self.elem_bytes * self.layers
+    }
+
+    /// KV-cache bytes *written* per processed token (all layers).
+    pub fn kv_write_bytes_per_token(&self) -> u64 {
+        2 * self.kv_heads * self.head_dim() * self.elem_bytes * self.layers
+    }
+
+    /// Element-wise / normalization / residual traffic per token, all
+    /// layers: a calibrated ~8 hidden-sized streams per block.
+    pub fn elementwise_bytes_per_token(&self) -> u64 {
+        8 * self.hidden * self.elem_bytes * self.layers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn llama3_param_count_is_about_8b() {
+        let m = ModelConfig::llama3_8b();
+        let p = m.params() as f64;
+        assert!((7.8e9..8.3e9).contains(&p), "params {p:.3e}");
+        // fp16 weights ~ 16 GB.
+        let gb = m.linear_weight_bytes() as f64 / 1e9;
+        assert!((13.0..16.5).contains(&gb), "linear weights {gb} GB");
+    }
+
+    #[test]
+    fn opt_param_count_is_about_6_7b() {
+        let p = ModelConfig::opt_6_7b().params() as f64;
+        assert!((6.2e9..7.1e9).contains(&p), "params {p:.3e}");
+    }
+
+    #[test]
+    fn phi_param_count_is_about_1_4b() {
+        let p = ModelConfig::phi_1_5().params() as f64;
+        assert!((1.2e9..1.7e9).contains(&p), "params {p:.3e}");
+    }
+
+    #[test]
+    fn llama_block_has_seven_linears_with_gqa_kv() {
+        let m = ModelConfig::llama3_8b();
+        let ops = m.block_linears();
+        assert_eq!(ops.len(), 7);
+        let k = ops.iter().find(|o| o.name == "k_proj").unwrap();
+        assert_eq!(k.out_features, 1024, "8 KV heads x 128 head dim");
+    }
+
+    #[test]
+    fn opt_block_has_six_linears() {
+        assert_eq!(ModelConfig::opt_6_7b().block_linears().len(), 6);
+    }
+
+    #[test]
+    fn by_name_roundtrip() {
+        for m in ModelConfig::all() {
+            assert_eq!(ModelConfig::by_name(m.name), m);
+        }
+    }
+
+    #[test]
+    fn extra_model_param_counts() {
+        let tl = ModelConfig::tinyllama_1_1b().params() as f64;
+        assert!((0.95e9..1.3e9).contains(&tl), "tinyllama {tl:.3e}");
+        let qw = ModelConfig::qwen2_1_5b().params() as f64;
+        assert!((1.2e9..1.9e9).contains(&qw), "qwen2 {qw:.3e}");
+        // Gemma ties its embedding and lm_head; our op graph counts the
+        // vocabulary projection as a separate weight (it is still a GEMV
+        // the device must run), so the count lands above the marketing 2B.
+        let ge = ModelConfig::gemma_2b().params() as f64;
+        assert!((2.4e9..3.2e9).contains(&ge), "gemma {ge:.3e}");
+    }
+
+    #[test]
+    fn head_dims_are_consistent() {
+        for m in ModelConfig::all() {
+            assert_eq!(m.hidden % m.heads, 0, "{}", m.name);
+            assert!(m.kv_heads <= m.heads, "{}", m.name);
+            assert!(m.head_dim().is_power_of_two(), "{}", m.name);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown model")]
+    fn unknown_model_panics() {
+        ModelConfig::by_name("gpt-5");
+    }
+
+    #[test]
+    fn kv_traffic_scales_with_context() {
+        let m = ModelConfig::llama3_8b();
+        assert_eq!(m.kv_read_bytes(128), 2 * m.kv_read_bytes(64));
+        assert!(m.kv_write_bytes_per_token() > 0);
+        assert!(m.elementwise_bytes_per_token() > 0);
+    }
+
+    #[test]
+    fn all_linears_counts_layers() {
+        let m = ModelConfig::phi_1_5();
+        let total: u64 = m.all_linears().iter().map(|(_, n)| *n).sum();
+        assert_eq!(total, 24 * 6 + 1);
+    }
+}

@@ -1,0 +1,172 @@
+//! Inference phases (prefill / decode) as operation lists.
+//!
+//! A prefill over `p` tokens runs every linear as a GEMM with batch `p`;
+//! each decode step runs them as GEMVs (batch 1) plus attention over the
+//! KV cache (paper Section II-A, Fig. 1).
+
+use serde::Serialize;
+
+use crate::model::{LinearOp, ModelConfig};
+
+/// One schedulable operation of a phase.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum PhaseOp {
+    /// A linear projection with batch `m` over weight `op`, `instances`
+    /// identical instances (one per layer).
+    Linear {
+        /// The weight involved.
+        op: LinearOp,
+        /// Batch (sequence) dimension.
+        m: u64,
+        /// Number of identical instances (layers).
+        instances: u64,
+    },
+    /// Attention score/value computation: memory traffic over the KV cache.
+    Attention {
+        /// Total bytes read from the KV cache.
+        read_bytes: u64,
+        /// Total bytes appended to the KV cache.
+        write_bytes: u64,
+    },
+    /// Element-wise epilogue traffic (norms, residuals, activations).
+    Elementwise {
+        /// Total bytes streamed.
+        bytes: u64,
+    },
+}
+
+/// The operation list of one phase.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Phase {
+    /// "prefill" or "decode-step".
+    pub label: &'static str,
+    /// Operations, in no particular order (they are summed, not scheduled).
+    pub ops: Vec<PhaseOp>,
+}
+
+impl Phase {
+    /// The prefill phase: every linear as a GEMM with batch `p`, attention
+    /// over the freshly-built KV cache, element-wise traffic for `p` tokens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p == 0`.
+    pub fn prefill(model: &ModelConfig, p: u64) -> Phase {
+        assert!(p > 0, "prefill length must be positive");
+        let mut ops: Vec<PhaseOp> = model
+            .block_linears()
+            .into_iter()
+            .map(|op| PhaseOp::Linear { op, m: p, instances: model.layers })
+            .collect();
+        // lm_head runs only for the last position during prefill.
+        ops.push(PhaseOp::Linear { op: model.lm_head(), m: 1, instances: 1 });
+        // Causal attention during prefill: ~p(p+1)/2 KV reads.
+        let kv_pairs = p * (p + 1) / 2;
+        ops.push(PhaseOp::Attention {
+            read_bytes: model.kv_read_bytes(1) * kv_pairs,
+            write_bytes: model.kv_write_bytes_per_token() * p,
+        });
+        ops.push(PhaseOp::Elementwise { bytes: model.elementwise_bytes_per_token() * p });
+        Phase { label: "prefill", ops }
+    }
+
+    /// One decode step at context length `ctx` (tokens already in the KV
+    /// cache): every linear as a GEMV, attention over `ctx` cached tokens.
+    pub fn decode_step(model: &ModelConfig, ctx: u64) -> Phase {
+        let mut ops: Vec<PhaseOp> = model
+            .block_linears()
+            .into_iter()
+            .map(|op| PhaseOp::Linear { op, m: 1, instances: model.layers })
+            .collect();
+        ops.push(PhaseOp::Linear { op: model.lm_head(), m: 1, instances: 1 });
+        ops.push(PhaseOp::Attention {
+            read_bytes: model.kv_read_bytes(ctx),
+            write_bytes: model.kv_write_bytes_per_token(),
+        });
+        ops.push(PhaseOp::Elementwise { bytes: model.elementwise_bytes_per_token() });
+        Phase { label: "decode-step", ops }
+    }
+
+    /// Total linear weight bytes touched by this phase (each instance reads
+    /// its weight once).
+    pub fn linear_weight_bytes(&self, elem_bytes: u64) -> u64 {
+        self.ops
+            .iter()
+            .map(|o| match o {
+                PhaseOp::Linear { op, instances, .. } => op.weight_bytes(elem_bytes) * instances,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Number of linear kernel launches in this phase.
+    pub fn linear_launches(&self) -> u64 {
+        self.ops
+            .iter()
+            .map(|o| match o {
+                PhaseOp::Linear { instances, .. } => *instances,
+                _ => 0,
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_step_reads_every_weight_once() {
+        let m = ModelConfig::llama3_8b();
+        let phase = Phase::decode_step(&m, 64);
+        assert_eq!(phase.linear_weight_bytes(m.elem_bytes), m.linear_weight_bytes());
+    }
+
+    #[test]
+    fn prefill_launch_count() {
+        let m = ModelConfig::llama3_8b();
+        let phase = Phase::prefill(&m, 16);
+        // 7 linears x 32 layers + lm_head.
+        assert_eq!(phase.linear_launches(), 7 * 32 + 1);
+    }
+
+    #[test]
+    fn prefill_attention_is_quadratic() {
+        let m = ModelConfig::phi_1_5();
+        let read = |p: u64| {
+            Phase::prefill(&m, p)
+                .ops
+                .iter()
+                .find_map(|o| match o {
+                    PhaseOp::Attention { read_bytes, .. } => Some(*read_bytes),
+                    _ => None,
+                })
+                .unwrap()
+        };
+        let r32 = read(32);
+        let r64 = read(64);
+        assert!(r64 > 3 * r32 && r64 < 5 * r32, "causal attention ~ p^2: {r32} -> {r64}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_prefill_panics() {
+        Phase::prefill(&ModelConfig::phi_1_5(), 0);
+    }
+
+    #[test]
+    fn decode_attention_grows_with_context() {
+        let m = ModelConfig::opt_6_7b();
+        let kv = |ctx: u64| {
+            Phase::decode_step(&m, ctx)
+                .ops
+                .iter()
+                .find_map(|o| match o {
+                    PhaseOp::Attention { read_bytes, .. } => Some(*read_bytes),
+                    _ => None,
+                })
+                .unwrap()
+        };
+        assert_eq!(kv(256), 2 * kv(128));
+    }
+}

@@ -1,0 +1,159 @@
+//! Minimal IEEE-754 binary16 conversion helpers.
+//!
+//! The functional PIM engine stores fp16 weights in the byte-accurate DRAM
+//! model and computes GEMV over them; these conversions avoid an external
+//! half-precision dependency.
+
+/// Convert an `f32` to its fp16 bit pattern (round-to-nearest-even).
+pub fn f32_to_f16_bits(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xFF) as i32;
+    let mant = bits & 0x007F_FFFF;
+
+    if exp == 0xFF {
+        // Inf / NaN.
+        let m = if mant != 0 { 0x0200 } else { 0 };
+        return sign | 0x7C00 | m;
+    }
+    // Re-bias: f32 exp-127 + 15.
+    let new_exp = exp - 127 + 15;
+    if new_exp >= 0x1F {
+        return sign | 0x7C00; // overflow -> inf
+    }
+    if new_exp <= 0 {
+        // Subnormal or zero.
+        if new_exp < -10 {
+            return sign;
+        }
+        let mant = mant | 0x0080_0000; // implicit leading 1
+        let shift = (14 - new_exp) as u32;
+        let half = 1u32 << (shift - 1);
+        // Round to nearest, ties to even.
+        let down = mant >> shift;
+        let rem = mant & ((1 << shift) - 1);
+        let r = if rem > half || (rem == half && down & 1 == 1) { down + 1 } else { down };
+        return sign | r as u16;
+    }
+    // Normal: round mantissa from 23 to 10 bits.
+    let down = mant >> 13;
+    let rem = mant & 0x1FFF;
+    let half = 0x1000;
+    let mut m = down;
+    let mut e = new_exp as u32;
+    if rem > half || (rem == half && down & 1 == 1) {
+        m += 1;
+        if m == 0x400 {
+            m = 0;
+            e += 1;
+            if e >= 0x1F {
+                return sign | 0x7C00;
+            }
+        }
+    }
+    sign | ((e as u16) << 10) | m as u16
+}
+
+/// Convert an fp16 bit pattern to `f32`.
+pub fn f16_bits_to_f32(h: u16) -> f32 {
+    let sign = u32::from(h & 0x8000) << 16;
+    let exp = (h >> 10) & 0x1F;
+    let mant = u32::from(h & 0x03FF);
+    let bits = match exp {
+        0 => {
+            if mant == 0 {
+                sign
+            } else {
+                // Subnormal: normalize.
+                let mut e = -1i32;
+                let mut m = mant;
+                while m & 0x0400 == 0 {
+                    m <<= 1;
+                    e -= 1;
+                }
+                m &= 0x03FF;
+                sign | (((127 - 15 + e + 1) as u32) << 23) | (m << 13)
+            }
+        }
+        0x1F => sign | 0x7F80_0000 | (mant << 13),
+        e => sign | ((u32::from(e) + 127 - 15) << 23) | (mant << 13),
+    };
+    f32::from_bits(bits)
+}
+
+/// Encode a slice of `f32` into little-endian fp16 bytes.
+pub fn encode_f16_le(values: &[f32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 2);
+    for v in values {
+        out.extend_from_slice(&f32_to_f16_bits(*v).to_le_bytes());
+    }
+    out
+}
+
+/// Decode little-endian fp16 bytes into `f32` values.
+///
+/// # Panics
+///
+/// Panics if the byte length is odd.
+pub fn decode_f16_le(bytes: &[u8]) -> Vec<f32> {
+    assert!(bytes.len() % 2 == 0, "fp16 byte stream must have even length");
+    bytes
+        .chunks_exact(2)
+        .map(|c| f16_bits_to_f32(u16::from_le_bytes([c[0], c[1]])))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_exact_values() {
+        for v in [0.0f32, 1.0, -1.0, 0.5, 2.0, 1024.0, -0.25, 65504.0] {
+            let h = f32_to_f16_bits(v);
+            assert_eq!(f16_bits_to_f32(h), v, "value {v}");
+        }
+    }
+
+    #[test]
+    fn rounding_is_close() {
+        for i in 0..1000 {
+            let v = (i as f32 - 500.0) * 0.123;
+            let back = f16_bits_to_f32(f32_to_f16_bits(v));
+            let err = (back - v).abs();
+            assert!(err <= v.abs() * 1e-3 + 1e-4, "v={v} back={back}");
+        }
+    }
+
+    #[test]
+    fn overflow_to_inf() {
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(1e6)), f32::INFINITY);
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(-1e6)), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn nan_preserved() {
+        assert!(f16_bits_to_f32(f32_to_f16_bits(f32::NAN)).is_nan());
+    }
+
+    #[test]
+    fn subnormals_roundtrip() {
+        let tiny = 5.96e-8f32; // smallest fp16 subnormal ~ 5.96e-8
+        let back = f16_bits_to_f32(f32_to_f16_bits(tiny));
+        assert!(back > 0.0 && back < 1e-7);
+    }
+
+    #[test]
+    fn slice_codec() {
+        let vals = vec![1.0f32, -2.5, 0.125, 7.0];
+        let bytes = encode_f16_le(&vals);
+        assert_eq!(bytes.len(), 8);
+        assert_eq!(decode_f16_le(&bytes), vals);
+    }
+
+    #[test]
+    #[should_panic(expected = "even length")]
+    fn odd_bytes_panic() {
+        decode_f16_le(&[1, 2, 3]);
+    }
+}

@@ -1,0 +1,138 @@
+//! Derives the PIM execution geometry of a placed matrix: how many tiles,
+//! input segments and DRAM rows per bank a GEMV over it involves.
+
+use facil_core::{MappingDecision, MatrixConfig, PimArch};
+use facil_dram::Topology;
+use serde::{Deserialize, Serialize};
+
+/// Execution geometry of one matrix placed for PIM (paper Section II-C
+/// terminology: chunks and tiles).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PimPlacement {
+    /// PUs sharing one matrix row (1 unless column-partitioned, Fig. 10).
+    pub partitions: u64,
+    /// Matrix rows processed concurrently by one all-bank pass
+    /// (= total PUs x chunk rows / partitions).
+    pub rows_per_tile: u64,
+    /// Number of tiles (all-bank passes over the full input).
+    pub tiles: u64,
+    /// Input segments per PU: how many chunk-column loads of the input
+    /// vector one PU consumes (per tile).
+    pub segments: u64,
+    /// DRAM rows of weights one bank owns for this matrix in total.
+    pub dram_rows_per_bank: u64,
+    /// Total weight bytes (padded rows).
+    pub weight_bytes: u64,
+    /// Output elements produced per tile across all PUs (before partition
+    /// reduction).
+    pub partials_per_tile: u64,
+}
+
+impl PimPlacement {
+    /// Compute the geometry for `matrix` under `decision` on `topo`/`arch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the decision's partition factor exceeds the PU count.
+    pub fn new(matrix: &MatrixConfig, decision: &MappingDecision, topo: &Topology, arch: &PimArch) -> Self {
+        let total_pus = topo.total_banks();
+        let p = decision.partitions;
+        assert!(p <= total_pus, "cannot partition one row over more PUs than exist");
+        let rows_per_tile = (total_pus / p) * arch.chunk_rows;
+        let tiles = matrix.rows.div_ceil(rows_per_tile);
+        // Bytes of one matrix row charged to one PU.
+        let row_share = matrix.padded_row_bytes() / p;
+        let segments = row_share.div_ceil(arch.chunk_row_bytes);
+        let weight_bytes = matrix.padded_bytes();
+        // One DRAM row stores `chunk_rows` chunk-rows (= one chunk).
+        let dram_rows_per_bank = tiles * segments * arch.chunk_rows * arch.chunk_row_bytes / topo.row_bytes;
+        PimPlacement {
+            partitions: p,
+            rows_per_tile,
+            tiles,
+            segments,
+            dram_rows_per_bank,
+            weight_bytes,
+            partials_per_tile: rows_per_tile * p,
+        }
+    }
+
+    /// Total partial-sum elements the SoC must reduce (0 when unpartitioned).
+    pub fn reduction_elems(&self, matrix: &MatrixConfig) -> u64 {
+        if self.partitions == 1 {
+            0
+        } else {
+            matrix.rows * self.partitions
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use facil_core::{select_mapping_2mb, DType};
+
+    fn topo_small() -> Topology {
+        // 4ch x 2rk x 16 banks = 128 PUs.
+        Topology::new(4, 2, 4, 4, 16384, 2048, 32)
+    }
+
+    #[test]
+    fn unpartitioned_geometry() {
+        let t = topo_small();
+        let arch = PimArch::aim(&t);
+        let m = MatrixConfig::new(2048, 2048, DType::F16);
+        let d = select_mapping_2mb(&m, t, &arch).unwrap();
+        let p = PimPlacement::new(&m, &d, &t, &arch);
+        assert_eq!(p.partitions, 1);
+        assert_eq!(p.rows_per_tile, 128);
+        assert_eq!(p.tiles, 16);
+        assert_eq!(p.segments, 2); // 4 KB row / 2 KB chunk
+        // 16 tiles x 2 segments = 32 DRAM rows per bank = 64 KB per bank;
+        // 2048 rows x 4 KB / 128 banks = 64 KB. Consistent.
+        assert_eq!(p.dram_rows_per_bank, 32);
+        assert_eq!(p.reduction_elems(&m), 0);
+    }
+
+    #[test]
+    fn partitioned_geometry() {
+        // Jetson-like 512 PUs, 4096-col rows partition x2.
+        let t = Topology::new(16, 2, 4, 4, 65536, 2048, 32);
+        let arch = PimArch::aim(&t);
+        let m = MatrixConfig::new(4096, 4096, DType::F16);
+        let d = select_mapping_2mb(&m, t, &arch).unwrap();
+        let p = PimPlacement::new(&m, &d, &t, &arch);
+        assert_eq!(p.partitions, 2);
+        assert_eq!(p.rows_per_tile, 256);
+        assert_eq!(p.tiles, 16);
+        assert_eq!(p.segments, 2); // half of the 8 KB row per PU
+        assert_eq!(p.reduction_elems(&m), 8192);
+        // Total weights divided evenly: 4096 rows x 8 KB / 512 banks = 64 KB
+        // = 32 DRAM rows.
+        assert_eq!(p.dram_rows_per_bank, 32);
+    }
+
+    #[test]
+    fn hbm_pim_geometry_counts_chunk_rows() {
+        let t = topo_small();
+        let arch = PimArch::hbm_pim(&t);
+        let m = MatrixConfig::new(4096, 1024, DType::F16);
+        let d = select_mapping_2mb(&m, t, &arch).unwrap();
+        let p = PimPlacement::new(&m, &d, &t, &arch);
+        assert_eq!(p.partitions, 1);
+        assert_eq!(p.rows_per_tile, 128 * 8, "8 chunk rows per bank per tile");
+        assert_eq!(p.tiles, 4);
+        assert_eq!(p.segments, 8); // 2 KB row / 256 B chunk rows
+        assert_eq!(p.dram_rows_per_bank, 4 * 8 * 8 * 256 / 2048);
+    }
+
+    #[test]
+    fn ragged_rows_round_up_tiles() {
+        let t = topo_small();
+        let arch = PimArch::aim(&t);
+        let m = MatrixConfig::new(130, 2048, DType::F16); // 128 + 2
+        let d = select_mapping_2mb(&m, t, &arch).unwrap();
+        let p = PimPlacement::new(&m, &d, &t, &arch);
+        assert_eq!(p.tiles, 2);
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based tests for PIM placement geometry and timing.
+
+use facil_core::{select_mapping_2mb, DType, MatrixConfig, PimArch};
+use facil_dram::{DramSpec, Topology};
+use facil_pim::{PimEngine, PimPlacement};
+use proptest::prelude::*;
+
+fn arb_topology() -> impl Strategy<Value = Topology> {
+    (0u32..=4, 0u32..=1, 12u32..=15)
+        .prop_map(|(ch, rk, rowb)| Topology::new(1 << ch, 1 << rk, 4, 4, 1 << rowb, 2048, 32))
+}
+
+fn arb_matrix() -> impl Strategy<Value = MatrixConfig> {
+    (4u32..=12, 10u32..=14)
+        .prop_map(|(r, c)| MatrixConfig::new(1 << r, 1 << c, DType::F16))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Placement geometry conserves weight bytes exactly: the per-bank DRAM
+    /// rows, summed over all banks, hold the whole padded matrix (when rows
+    /// divide evenly into tiles).
+    #[test]
+    fn placement_conserves_bytes((topo, m) in (arb_topology(), arb_matrix())) {
+        let arch = PimArch::aim(&topo);
+        let d = match select_mapping_2mb(&m, topo, &arch) {
+            Ok(d) => d,
+            Err(_) => return Ok(()),
+        };
+        let p = PimPlacement::new(&m, &d, &topo, &arch);
+        // rows_per_tile * tiles covers all matrix rows (with padding).
+        prop_assert!(p.rows_per_tile * p.tiles >= m.rows);
+        prop_assert!(p.rows_per_tile * (p.tiles - 1) < m.rows || p.tiles == 1);
+        // Total bank storage covers the padded matrix.
+        let stored = p.dram_rows_per_bank * topo.row_bytes * topo.total_banks();
+        let padded_tiles = p.tiles * p.rows_per_tile * m.padded_row_bytes();
+        prop_assert_eq!(stored, padded_tiles, "per-bank rows x banks == padded tile bytes");
+        // Partition accounting.
+        prop_assert_eq!(p.partitions, d.partitions);
+        prop_assert!(p.segments * arch.chunk_row_bytes * p.partitions >= m.padded_row_bytes());
+    }
+
+    /// GEMV timing is monotone: more rows never takes less time, and the
+    /// internal bandwidth never exceeds the configured peak.
+    #[test]
+    fn gemv_timing_is_monotone_and_bounded(
+        (topo, m) in (arb_topology(), arb_matrix())
+    ) {
+        let arch = PimArch::aim(&topo);
+        let spec = DramSpec::build(
+            facil_dram::DramKind::Lpddr5,
+            6400,
+            16 * topo.channels,
+            topo.capacity_bytes(),
+        );
+        let d = match select_mapping_2mb(&m, topo, &arch) {
+            Ok(d) => d,
+            Err(_) => return Ok(()),
+        };
+        let engine = PimEngine::new(spec, arch);
+        let t1 = engine.gemv(&m, &d);
+        prop_assert!(t1.time_ns > 0.0);
+        prop_assert!(t1.internal_bw <= engine.peak_internal_bandwidth() * 1.001,
+            "bw {} > peak {}", t1.internal_bw, engine.peak_internal_bandwidth());
+        // Doubling the rows at the same shape class never gets cheaper.
+        let m2 = MatrixConfig::new(m.rows * 2, m.cols, m.dtype);
+        if let Ok(d2) = select_mapping_2mb(&m2, topo, &arch) {
+            let t2 = engine.gemv(&m2, &d2);
+            prop_assert!(t2.time_ns >= t1.time_ns * 0.99);
+        }
+        // GEMM with m vectors costs at least m-1 times the GEMV stream.
+        let g = engine.gemm(&m, &d, 4);
+        prop_assert!(g.time_ns > 3.0 * t1.cycles as f64 * 0.5);
+        prop_assert_eq!(g.weight_bytes, 4 * t1.weight_bytes);
+    }
+
+    /// fp16 codec: decode(encode(x)) is within half-precision tolerance for
+    /// in-range values.
+    #[test]
+    fn f16_codec_tolerance(values in prop::collection::vec(-1000.0f32..1000.0, 1..64)) {
+        let bytes = facil_pim::f16::encode_f16_le(&values);
+        let back = facil_pim::f16::decode_f16_le(&bytes);
+        for (a, b) in values.iter().zip(&back) {
+            let tol = a.abs() * 1e-3 + 1e-3;
+            prop_assert!((a - b).abs() <= tol, "{a} vs {b}");
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! SoC-PIM co-scheduling — the paper's "Remaining Challenges"
+//! (Section V-C): while the PIM streams all-bank MAC commands, normal SoC
+//! processes keep issuing memory requests to the same channels. This module
+//! implements a slot-level command-bus simulator for one channel and the
+//! two integration policies the paper contrasts:
+//!
+//! * [`CoschedPolicy::Shared`] — PIM uses every rank (full internal
+//!   bandwidth), SoC requests interleave on free command slots and *evict
+//!   PIM-open rows* on bank conflicts (the row-buffer interference NeuPIMs'
+//!   dual row buffers would remove);
+//! * [`CoschedPolicy::ReservedRank`] — one rank is reserved for the SoC
+//!   (Chopim / MI100-PIM style): no interference, but the PIM loses half
+//!   its processing units.
+
+use facil_dram::DramSpec;
+use serde::{Deserialize, Serialize};
+
+/// How PIM and SoC traffic share the memory system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CoschedPolicy {
+    /// PIM on all ranks; SoC requests interleave and conflict.
+    Shared,
+    /// PIM on rank 0 only; SoC traffic confined to rank 1.
+    ReservedRank,
+}
+
+impl std::fmt::Display for CoschedPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoschedPolicy::Shared => write!(f, "shared"),
+            CoschedPolicy::ReservedRank => write!(f, "reserved-rank"),
+        }
+    }
+}
+
+/// Configuration of one co-schedule run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoschedConfig {
+    /// Policy under test.
+    pub policy: CoschedPolicy,
+    /// Simulated cycles.
+    pub duration_cycles: u64,
+    /// SoC request arrival probability per cycle (per channel).
+    pub soc_rate: f64,
+    /// MAC-AB issue interval of the PIM, cycles.
+    pub mac_interval: u64,
+    /// Deterministic seed for SoC arrivals.
+    pub seed: u64,
+}
+
+impl Default for CoschedConfig {
+    fn default() -> Self {
+        CoschedConfig {
+            policy: CoschedPolicy::Shared,
+            duration_cycles: 200_000,
+            soc_rate: 0.10,
+            mac_interval: 2,
+            seed: 1,
+        }
+    }
+}
+
+/// Outcome of one co-schedule run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoschedResult {
+    /// MAC-AB commands issued / the isolated-PIM ideal (both ranks at full
+    /// rate).
+    pub pim_throughput: f64,
+    /// SoC requests served / requests generated.
+    pub soc_throughput: f64,
+    /// Mean SoC request latency in cycles (queue + service).
+    pub soc_avg_latency: f64,
+    /// PIM rows force-reopened by conflicting SoC accesses.
+    pub pim_row_reopens: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PimRank {
+    active: bool,
+    next_mac: u64,
+    macs_in_row: u64,
+    blocked_until: u64,
+}
+
+/// xorshift64* PRNG — deterministic, dependency-free.
+fn next_rand(state: &mut u64) -> f64 {
+    let mut x = *state;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    *state = x;
+    (x.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Run the slot-level co-schedule simulation for one channel of `spec`.
+pub fn run_cosched(spec: &DramSpec, cfg: CoschedConfig) -> CoschedResult {
+    let tm = &spec.timing;
+    let columns = spec.topology.columns();
+    let banks = spec.topology.banks();
+    let ranks = spec.topology.ranks.min(2) as usize;
+    let row_turnaround = tm.rtp + tm.rp + tm.rcd;
+
+    let mut pim: Vec<PimRank> = (0..ranks)
+        .map(|r| PimRank {
+            active: match cfg.policy {
+                CoschedPolicy::Shared => true,
+                CoschedPolicy::ReservedRank => r == 0,
+            },
+            next_mac: 0,
+            macs_in_row: 0,
+            blocked_until: 0,
+        })
+        .collect();
+
+    let mut rng = cfg.seed | 1;
+    let mut soc_queue: std::collections::VecDeque<(u64, usize, u64)> = Default::default();
+    let mut macs_issued = 0u64;
+    let mut soc_generated = 0u64;
+    let mut soc_served = 0u64;
+    let mut soc_latency_sum = 0u64;
+    let mut reopens = 0u64;
+    let mut slot_free_at = 0u64;
+    let mut prefer_soc = false;
+
+    for t in 0..cfg.duration_cycles {
+        // SoC arrival process.
+        if next_rand(&mut rng) < cfg.soc_rate {
+            let rank = match cfg.policy {
+                CoschedPolicy::Shared => (next_rand(&mut rng) * ranks as f64) as usize % ranks,
+                CoschedPolicy::ReservedRank => ranks - 1,
+            };
+            let bank = (next_rand(&mut rng) * banks as f64) as u64 % banks;
+            soc_queue.push_back((t, rank, bank));
+            soc_generated += 1;
+        }
+        if t < slot_free_at {
+            continue;
+        }
+        // Candidate PIM rank ready to MAC this cycle.
+        let pim_ready = (0..ranks)
+            .find(|&r| pim[r].active && pim[r].next_mac <= t && pim[r].blocked_until <= t);
+        let soc_ready = !soc_queue.is_empty();
+
+        // Round-robin fairness between the two request classes.
+        let issue_soc = soc_ready && (prefer_soc || pim_ready.is_none());
+        if issue_soc {
+            let (arrival, rank, _bank) = soc_queue.pop_front().expect("nonempty");
+            // Service: ACT+RD (its own bank, conservatively always a miss
+            // against the PIM's working set).
+            let mut service = tm.rcd + tm.cl + tm.burst_cycles;
+            if cfg.policy == CoschedPolicy::Shared && pim[rank].active {
+                // Evicts the PIM-open row of that bank: the PIM rank must
+                // re-activate before continuing, and the SoC access pays the
+                // conflict precharge.
+                service += tm.rp;
+                pim[rank].blocked_until = t.max(pim[rank].blocked_until) + tm.rp + tm.rcd;
+                reopens += 1;
+            }
+            soc_latency_sum += (t - arrival) + service;
+            soc_served += 1;
+            slot_free_at = t + 1;
+            prefer_soc = false;
+        } else if let Some(r) = pim_ready {
+            pim[r].next_mac = t + cfg.mac_interval;
+            pim[r].macs_in_row += 1;
+            macs_issued += 1;
+            if pim[r].macs_in_row >= columns {
+                // End of DRAM row: PRE + ACT of the next weight row.
+                pim[r].macs_in_row = 0;
+                pim[r].blocked_until = t + row_turnaround;
+            }
+            slot_free_at = t + 1;
+            prefer_soc = true;
+        } else {
+            prefer_soc = soc_ready;
+        }
+    }
+
+    // Ideal PIM throughput: both ranks MAC-ing at mac_interval with row
+    // turnarounds, no SoC traffic.
+    let row_cycle = columns * cfg.mac_interval + row_turnaround;
+    let ideal_per_rank = cfg.duration_cycles as f64 * (columns as f64 / row_cycle as f64);
+    let ideal = ideal_per_rank * spec.topology.ranks.min(2) as f64;
+    CoschedResult {
+        pim_throughput: macs_issued as f64 / ideal,
+        soc_throughput: if soc_generated == 0 { 1.0 } else { soc_served as f64 / soc_generated as f64 },
+        soc_avg_latency: if soc_served == 0 { 0.0 } else { soc_latency_sum as f64 / soc_served as f64 },
+        pim_row_reopens: reopens,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> DramSpec {
+        DramSpec::lpddr5_6400(64, 8 << 30)
+    }
+
+    #[test]
+    fn policy_crossover_light_vs_heavy_soc_traffic() {
+        // The trade-off behind paper Section V-C: with little SoC traffic,
+        // sharing both ranks beats reserving one (2x the PUs); once SoC
+        // traffic is heavy, row-buffer interference wrecks the shared PIM
+        // and the reserved rank wins despite having half the PUs.
+        let s = spec();
+        let at = |policy, soc_rate| run_cosched(&s, CoschedConfig { policy, soc_rate, ..Default::default() });
+        let shared_light = at(CoschedPolicy::Shared, 0.003);
+        let reserved_light = at(CoschedPolicy::ReservedRank, 0.003);
+        assert!(
+            shared_light.pim_throughput > reserved_light.pim_throughput,
+            "light traffic: shared {} vs reserved {}",
+            shared_light.pim_throughput,
+            reserved_light.pim_throughput
+        );
+        let shared_heavy = at(CoschedPolicy::Shared, 0.2);
+        let reserved_heavy = at(CoschedPolicy::ReservedRank, 0.2);
+        assert!(
+            shared_heavy.pim_throughput < reserved_heavy.pim_throughput,
+            "heavy traffic: shared {} vs reserved {}",
+            shared_heavy.pim_throughput,
+            reserved_heavy.pim_throughput
+        );
+        // Reserved rank caps PIM at ~half the ideal but never reopens rows.
+        assert!(reserved_heavy.pim_throughput < 0.55);
+        assert_eq!(reserved_heavy.pim_row_reopens, 0);
+        assert!(shared_heavy.pim_row_reopens > 0);
+        assert!(shared_heavy.soc_avg_latency > reserved_heavy.soc_avg_latency);
+    }
+
+    #[test]
+    fn no_soc_traffic_means_full_pim_throughput() {
+        let s = spec();
+        let r = run_cosched(&s, CoschedConfig { soc_rate: 0.0, ..Default::default() });
+        assert!(r.pim_throughput > 0.95, "{}", r.pim_throughput);
+        assert_eq!(r.pim_row_reopens, 0);
+        assert_eq!(r.soc_throughput, 1.0);
+    }
+
+    #[test]
+    fn heavier_soc_traffic_hurts_pim_more() {
+        let s = spec();
+        let light = run_cosched(&s, CoschedConfig { soc_rate: 0.05, ..Default::default() });
+        let heavy = run_cosched(&s, CoschedConfig { soc_rate: 0.30, ..Default::default() });
+        assert!(heavy.pim_throughput < light.pim_throughput);
+        assert!(heavy.pim_row_reopens > light.pim_row_reopens);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let s = spec();
+        let a = run_cosched(&s, CoschedConfig::default());
+        let b = run_cosched(&s, CoschedConfig::default());
+        assert_eq!(a, b);
+        let c = run_cosched(&s, CoschedConfig { seed: 99, ..Default::default() });
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn soc_requests_are_all_served_at_moderate_rates() {
+        let s = spec();
+        let r = run_cosched(&s, CoschedConfig { soc_rate: 0.2, ..Default::default() });
+        assert!(r.soc_throughput > 0.95, "{}", r.soc_throughput);
+    }
+}

@@ -1,0 +1,102 @@
+//! Decode-phase energy comparison: SoC GEMV (every weight byte crosses the
+//! DRAM interface) vs PIM GEMV (weights stay on-die; only inputs, outputs
+//! and the attention epilogue cross the pins). One of the standing
+//! arguments for near-bank PIM, quantified with the DRAM energy model.
+
+use facil_dram::{DramStats, EnergyModel};
+use facil_llm::ModelConfig;
+use facil_soc::Platform;
+use serde::{Deserialize, Serialize};
+
+/// Energy of one decode token under both executors, microjoules.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TokenEnergy {
+    /// Decode-step energy with GEMVs on the SoC.
+    pub soc_uj: f64,
+    /// Decode-step energy with GEMVs on the PIM.
+    pub pim_uj: f64,
+    /// soc / pim.
+    pub ratio: f64,
+    /// Interface energy saved by PIM for this token, microjoules.
+    pub io_saved_uj: f64,
+}
+
+/// Estimate the DRAM-side energy of one decode step at context `ctx`.
+///
+/// Both executors read every weight byte once from the arrays; the SoC
+/// additionally pays interface energy for all of it, while the PIM pays
+/// interface energy only for the input broadcast, the output drain and the
+/// SoC-side attention/epilogue traffic.
+pub fn decode_energy_per_token(platform: &Platform, model: &ModelConfig, ctx: u64, energy: &EnergyModel) -> TokenEnergy {
+    let spec = &platform.dram;
+    let tx = spec.topology.transfer_bytes;
+    let weights = model.linear_weight_bytes();
+    let epilogue = model.kv_read_bytes(ctx)
+        + model.kv_write_bytes_per_token()
+        + model.elementwise_bytes_per_token();
+
+    // Weight stream: one column access per transfer, one ACT per DRAM row.
+    let weight_stats = DramStats {
+        reads: weights / tx,
+        activates: weights / spec.topology.row_bytes,
+        ..Default::default()
+    };
+    // Epilogue stream (SoC side in both cases), ~90% row hits.
+    let epilogue_stats = DramStats {
+        reads: epilogue / tx,
+        activates: (epilogue / tx) / 10,
+        ..Default::default()
+    };
+    // PIM-side extra interface traffic: input broadcast per (tile, segment)
+    // and the output drain.
+    let input_bytes = weights / spec.topology.row_bytes * 8; // ~per-row share of input reloads
+    let output_bytes = model.hidden * 4 * model.elem_bytes; // partials + outputs, coarse
+    let pim_io_stats = DramStats {
+        reads: (input_bytes + output_bytes) / tx + 1,
+        activates: 1,
+        ..Default::default()
+    };
+
+    // Elapsed times only feed background energy; use effective-bandwidth
+    // streaming times.
+    let soc_ns = weights as f64 / platform.soc.effective_bw() * 1e9;
+    let pim_ns = soc_ns / 8.0; // PIM streams weights ~an order faster
+
+    let soc = energy.energy(spec, &weight_stats, soc_ns).total_uj()
+        + energy.energy(spec, &epilogue_stats, 0.0).total_uj();
+    let pim = energy.energy_internal(spec, &weight_stats, pim_ns).total_uj()
+        + energy.energy(spec, &pim_io_stats, 0.0).total_uj()
+        + energy.energy(spec, &epilogue_stats, 0.0).total_uj();
+    let io_saved = energy.energy(spec, &weight_stats, 0.0).io_uj;
+    TokenEnergy { soc_uj: soc, pim_uj: pim, ratio: soc / pim, io_saved_uj: io_saved }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use facil_soc::PlatformId;
+
+    #[test]
+    fn pim_saves_energy_on_every_platform() {
+        let e = EnergyModel::default();
+        for id in PlatformId::all() {
+            let p = Platform::get(id);
+            let m = ModelConfig::by_name(p.model_name);
+            let t = decode_energy_per_token(&p, &m, 64, &e);
+            assert!(t.ratio > 1.2, "{id}: ratio {}", t.ratio);
+            assert!(t.io_saved_uj > 0.0);
+            assert!(t.pim_uj > 0.0);
+        }
+    }
+
+    #[test]
+    fn longer_context_costs_more_everywhere() {
+        let e = EnergyModel::default();
+        let p = Platform::get(PlatformId::Jetson);
+        let m = ModelConfig::llama3_8b();
+        let short = decode_energy_per_token(&p, &m, 64, &e);
+        let long = decode_energy_per_token(&p, &m, 1024, &e);
+        assert!(long.soc_uj > short.soc_uj);
+        assert!(long.pim_uj > short.pim_uj);
+    }
+}

@@ -1,0 +1,509 @@
+//! End-to-end SoC-PIM cooperative inference: the four execution strategies
+//! of the paper and their TTFT/TTLT accounting.
+
+use facil_core::{select_mapping_2mb, DType, MatrixConfig, MappingDecision};
+use facil_llm::ModelConfig;
+use facil_pim::PimEngine;
+use facil_soc::Platform;
+use facil_workloads::Query;
+use serde::{Deserialize, Serialize};
+
+use crate::relayout::RelayoutModel;
+
+/// Execution strategy for a query (paper Sections III, VI).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Strategy {
+    /// Everything on the SoC processor; weights in conventional layout.
+    SocOnly,
+    /// The paper's baseline ("hybrid static"): weights in PIM layout,
+    /// prefill GEMMs on the SoC after an on-demand re-layout, decode on PIM.
+    HybridStatic,
+    /// "Hybrid dynamic": like the baseline, but short prefills run their
+    /// GEMMs directly on the PIM (no re-layout), whichever is faster.
+    HybridDynamic,
+    /// FACIL as in Figs. 13/14: prefill GEMMs on the SoC *in place* over
+    /// the PIM-optimized layout (Table III slowdown applied), decode on PIM.
+    FacilStatic,
+    /// FACIL with the dynamic prefill-offload optimization (the "FACIL" of
+    /// Figs. 15/16).
+    FacilDynamic,
+}
+
+impl Strategy {
+    /// All strategies, baseline-first.
+    pub fn all() -> [Strategy; 5] {
+        [
+            Strategy::SocOnly,
+            Strategy::HybridStatic,
+            Strategy::HybridDynamic,
+            Strategy::FacilStatic,
+            Strategy::FacilDynamic,
+        ]
+    }
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Strategy::SocOnly => "SoC-only",
+            Strategy::HybridStatic => "hybrid-static",
+            Strategy::HybridDynamic => "hybrid-dynamic",
+            Strategy::FacilStatic => "FACIL",
+            Strategy::FacilDynamic => "FACIL+dynamic",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Timing result of one query.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QueryResult {
+    /// Time to first token = prefill time (ns).
+    pub ttft_ns: f64,
+    /// Time to last token = prefill + all decode steps (ns).
+    pub ttlt_ns: f64,
+    /// Re-layout time included in the prefill (ns; 0 unless hybrid-*).
+    pub relayout_ns: f64,
+    /// Whether the prefill GEMMs ran on the PIM (dynamic offload).
+    pub prefill_on_pim: bool,
+}
+
+/// Per-weight cached state.
+#[derive(Debug, Clone)]
+struct Weight {
+    matrix: MatrixConfig,
+    decision: MappingDecision,
+    instances: u64,
+    /// PIM GEMV time for one instance, ns, excluding dispatch overhead.
+    pim_gemv_ns: f64,
+}
+
+/// The end-to-end simulator for one (platform, model) pair.
+#[derive(Debug)]
+pub struct InferenceSim {
+    platform: Platform,
+    model: ModelConfig,
+    pim: PimEngine,
+    relayout: RelayoutModel,
+    weights: Vec<Weight>,
+    /// Cached sum over weights of (PIM GEMV + dispatch overhead) x instances.
+    pim_linear_decode_ns: f64,
+    /// Cached sum over weights of SoC GEMV x instances.
+    soc_linear_decode_ns: f64,
+}
+
+impl InferenceSim {
+    /// Build the simulator for a platform, using its Table II model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a model weight cannot be placed on the platform's memory
+    /// (cannot happen for the four presets).
+    pub fn new(platform: Platform) -> Self {
+        let model = ModelConfig::by_name(platform.model_name);
+        Self::with_model(platform, model)
+    }
+
+    /// Build the simulator with an explicit model.
+    pub fn with_model(platform: Platform, model: ModelConfig) -> Self {
+        Self::with_model_and_dtype(platform, model, DType::F16)
+    }
+
+    /// Build the simulator with weight-only quantization: weights stored
+    /// and streamed at `dtype`, activations/KV kept at the model precision.
+    pub fn with_model_and_dtype(platform: Platform, model: ModelConfig, dtype: DType) -> Self {
+        let pim = PimEngine::new(platform.dram.clone(), platform.pim_arch);
+        let relayout = RelayoutModel::new(platform.dram.clone(), platform.pim_arch);
+        let topo = platform.dram.topology;
+        let mut weights = Vec::new();
+        for (op, instances) in model.all_linears() {
+            let matrix = MatrixConfig::new(op.out_features, op.in_features, dtype);
+            let decision = select_mapping_2mb(&matrix, topo, &platform.pim_arch)
+                .expect("paper weights are placeable on paper platforms");
+            let pim_gemv_ns = pim.gemv(&matrix, &decision).time_ns;
+            weights.push(Weight { matrix, decision, instances, pim_gemv_ns });
+        }
+        let pim_linear_decode_ns = weights
+            .iter()
+            .map(|w| (w.pim_gemv_ns + platform.pim_op_overhead_ns) * w.instances as f64)
+            .sum();
+        let soc_linear_decode_ns = weights
+            .iter()
+            .map(|w| {
+                platform.soc.gemv_ns(w.matrix.rows, w.matrix.cols, dtype.bytes()) * w.instances as f64
+            })
+            .sum();
+        InferenceSim {
+            platform,
+            model,
+            pim,
+            relayout,
+            weights,
+            pim_linear_decode_ns,
+            soc_linear_decode_ns,
+        }
+    }
+
+    /// The platform.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// The model.
+    pub fn model(&self) -> &ModelConfig {
+        &self.model
+    }
+
+    /// Total linear-weight bytes at the stored precision (the re-layout
+    /// volume).
+    pub fn weight_bytes(&self) -> u64 {
+        self.weights.iter().map(|w| w.matrix.bytes() * w.instances).sum()
+    }
+
+    /// Re-layout time of all weights (the baseline's per-prefill penalty),
+    /// ns.
+    pub fn relayout_ns(&self) -> f64 {
+        self.relayout.cost_ns(self.weight_bytes())
+    }
+
+    /// Attention + element-wise time of one decode step at context `ctx`,
+    /// executed on the SoC under every strategy, ns.
+    fn decode_epilogue_ns(&self, ctx: u64) -> f64 {
+        let bytes = self.model.kv_read_bytes(ctx)
+            + self.model.kv_write_bytes_per_token()
+            + self.model.elementwise_bytes_per_token();
+        self.platform.soc.stream_ns(bytes)
+    }
+
+    /// One decode step on PIM (linears) + SoC (attention, epilogue), ns.
+    pub fn decode_step_pim_ns(&self, ctx: u64) -> f64 {
+        self.pim_linear_decode_ns + self.decode_epilogue_ns(ctx)
+    }
+
+    /// One decode step fully on the SoC, ns.
+    pub fn decode_step_soc_ns(&self, ctx: u64) -> f64 {
+        self.soc_linear_decode_ns + self.decode_epilogue_ns(ctx)
+    }
+
+    /// One decode step with *both* the linears and the attention
+    /// score/value GEMVs on the PIM (AttAcc/NeuPIMs-style KV-cache
+    /// offload — an extension beyond the paper, which keeps attention on
+    /// the SoC). The KV cache streams at PIM internal bandwidth, but every
+    /// layer pays two extra PIM dispatches (scores, values).
+    pub fn decode_step_pim_attention_ns(&self, ctx: u64) -> f64 {
+        let kv_bytes = self.model.kv_read_bytes(ctx) as f64;
+        // KV tensors are small and freshly written: ~70% of the peak
+        // internal bandwidth is achievable.
+        let kv_stream = kv_bytes / (self.pim.peak_internal_bandwidth() * 0.7) * 1e9;
+        let dispatches = 2.0 * self.model.layers as f64 * self.platform.pim_op_overhead_ns;
+        let epilogue_bytes =
+            self.model.kv_write_bytes_per_token() + self.model.elementwise_bytes_per_token();
+        self.pim_linear_decode_ns
+            + kv_stream
+            + dispatches
+            + self.platform.soc.stream_ns(epilogue_bytes)
+    }
+
+    /// One decode step on a hypothetical ideal NPU: infinite FLOPS, 100% of
+    /// peak bandwidth, no overheads (the comparator of paper Fig. 3).
+    pub fn decode_step_ideal_npu_ns(&self, ctx: u64) -> f64 {
+        let bytes = self.weight_bytes()
+            + self.model.kv_read_bytes(ctx)
+            + self.model.kv_write_bytes_per_token()
+            + self.model.elementwise_bytes_per_token();
+        bytes as f64 / self.platform.soc.peak_bw * 1e9
+    }
+
+    /// Prefill linear time on the SoC (no re-layout, conventional layout),
+    /// ns.
+    fn prefill_linears_soc_ns(&self, p: u64) -> f64 {
+        self.weights
+            .iter()
+            .map(|w| {
+                // lm_head runs once for the last position only.
+                let m = if w.matrix.rows == self.model.vocab { 1 } else { p };
+                self.platform.soc.gemm_ns(m, w.matrix.rows, w.matrix.cols, w.matrix.dtype.bytes())
+                    * w.instances as f64
+            })
+            .sum()
+    }
+
+    /// Prefill linear time on the PIM (GEMM as repeated MAC passes), ns.
+    fn prefill_linears_pim_ns(&self, p: u64) -> f64 {
+        self.weights
+            .iter()
+            .map(|w| {
+                let m = if w.matrix.rows == self.model.vocab { 1 } else { p };
+                (self.pim.gemm(&w.matrix, &w.decision, m).time_ns
+                    + self.platform.pim_op_overhead_ns)
+                    * w.instances as f64
+            })
+            .sum()
+    }
+
+    /// Attention + element-wise time of the whole prefill on the SoC, ns.
+    fn prefill_epilogue_ns(&self, p: u64) -> f64 {
+        let kv_pairs = p * (p + 1) / 2;
+        let bytes = self.model.kv_read_bytes(1) * kv_pairs
+            + self.model.kv_write_bytes_per_token() * p
+            + self.model.elementwise_bytes_per_token() * p;
+        self.platform.soc.stream_ns(bytes)
+    }
+
+    /// TTFT (prefill time) under `strategy` for prefill length `p`, with
+    /// the re-layout share and the PIM-offload decision.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p == 0`.
+    pub fn prefill_ns(&self, strategy: Strategy, p: u64) -> (f64, f64, bool) {
+        assert!(p > 0, "prefill length must be positive");
+        let epilogue = self.prefill_epilogue_ns(p);
+        let soc = self.prefill_linears_soc_ns(p);
+        match strategy {
+            Strategy::SocOnly => (soc + epilogue, 0.0, false),
+            Strategy::HybridStatic => {
+                let relayout = self.relayout_ns();
+                (soc + relayout + epilogue, relayout, false)
+            }
+            Strategy::HybridDynamic => {
+                let relayout = self.relayout_ns();
+                let on_soc = soc + relayout;
+                let on_pim = self.prefill_linears_pim_ns(p);
+                if on_pim < on_soc {
+                    (on_pim + epilogue, 0.0, true)
+                } else {
+                    (on_soc + epilogue, relayout, false)
+                }
+            }
+            Strategy::FacilStatic => {
+                let slowed = soc * (1.0 + self.platform.gemm_layout_slowdown);
+                (slowed + epilogue, 0.0, false)
+            }
+            Strategy::FacilDynamic => {
+                let slowed = soc * (1.0 + self.platform.gemm_layout_slowdown);
+                let on_pim = self.prefill_linears_pim_ns(p);
+                if on_pim < slowed {
+                    (on_pim + epilogue, 0.0, true)
+                } else {
+                    (slowed + epilogue, 0.0, false)
+                }
+            }
+        }
+    }
+
+    /// The *all-at-once* re-layout baseline of paper footnote 2: instead of
+    /// re-laying each matrix out on demand (and discarding the conventional
+    /// copy), all weights are converted to the conventional layout at the
+    /// start of the prefill and converted *back* to the PIM layout when the
+    /// decode phase begins — paying the re-layout cost twice per query.
+    pub fn run_query_all_at_once(&self, q: Query) -> QueryResult {
+        let mut r = self.run_query(Strategy::HybridStatic, q);
+        let back = self.relayout_ns();
+        r.ttlt_ns += back;
+        r.relayout_ns += back;
+        r
+    }
+
+    /// The prefill length below which the PIM executes prefill GEMMs
+    /// faster than the SoC path of `strategy` — the offline profiling
+    /// threshold of the paper's hybrid-dynamic optimization (Section VI-C:
+    /// "we profile the prefill execution time of SoC and PIM beforehand to
+    /// determine the threshold"). Returns 0 if the PIM never wins.
+    pub fn dynamic_offload_threshold(&self, strategy: Strategy) -> u64 {
+        let soc_path = |p: u64| match strategy {
+            Strategy::FacilStatic | Strategy::FacilDynamic => {
+                self.prefill_linears_soc_ns(p) * (1.0 + self.platform.gemm_layout_slowdown)
+            }
+            _ => self.prefill_linears_soc_ns(p) + self.relayout_ns(),
+        };
+        // PIM prefill time grows ~linearly in p while the SoC path is flat
+        // in the memory-bound regime: binary-search the crossover.
+        let (mut lo, mut hi) = (0u64, 4096u64);
+        if self.prefill_linears_pim_ns(1) >= soc_path(1) {
+            return 0;
+        }
+        while lo + 1 < hi {
+            let mid = (lo + hi) / 2;
+            if self.prefill_linears_pim_ns(mid) < soc_path(mid) {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Run a full query under `strategy`.
+    pub fn run_query(&self, strategy: Strategy, q: Query) -> QueryResult {
+        let (ttft_ns, relayout_ns, prefill_on_pim) = self.prefill_ns(strategy, q.prefill.max(1));
+        let mut total = ttft_ns;
+        for i in 0..q.decode {
+            let ctx = q.prefill + i;
+            total += match strategy {
+                Strategy::SocOnly => self.decode_step_soc_ns(ctx),
+                _ => self.decode_step_pim_ns(ctx),
+            };
+        }
+        QueryResult { ttft_ns, ttlt_ns: total, relayout_ns, prefill_on_pim }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use facil_soc::PlatformId;
+
+    fn iphone_sim() -> InferenceSim {
+        InferenceSim::new(Platform::get(PlatformId::Iphone))
+    }
+
+    #[test]
+    fn facil_beats_hybrid_static_ttft() {
+        let sim = iphone_sim();
+        let q = Query { prefill: 16, decode: 8 };
+        let base = sim.run_query(Strategy::HybridStatic, q);
+        let facil = sim.run_query(Strategy::FacilStatic, q);
+        assert!(facil.ttft_ns < base.ttft_ns, "{} vs {}", facil.ttft_ns, base.ttft_ns);
+        assert!(base.relayout_ns > 0.0);
+        assert_eq!(facil.relayout_ns, 0.0);
+        // The whole TTFT gap is (almost exactly) the re-layout cost.
+        let gap = base.ttft_ns - facil.ttft_ns;
+        assert!((gap / base.relayout_ns - 1.0).abs() < 0.1, "gap {gap} vs relayout {}", base.relayout_ns);
+    }
+
+    #[test]
+    fn ttft_speedup_decreases_with_prefill_length() {
+        let sim = iphone_sim();
+        let speedup = |p: u64| {
+            let b = sim.prefill_ns(Strategy::HybridStatic, p).0;
+            let f = sim.prefill_ns(Strategy::FacilStatic, p).0;
+            b / f
+        };
+        let s8 = speedup(8);
+        let s128 = speedup(128);
+        assert!(s8 > s128, "paper Fig. 13: speedup inversely related to prefill ({s8} vs {s128})");
+        assert!(s8 > 1.5, "s8 = {s8}");
+    }
+
+    #[test]
+    fn dynamic_offload_helps_short_prefills() {
+        let sim = iphone_sim();
+        let dyn2 = sim.run_query(Strategy::HybridDynamic, Query { prefill: 2, decode: 1 });
+        let stat2 = sim.run_query(Strategy::HybridStatic, Query { prefill: 2, decode: 1 });
+        assert!(dyn2.ttft_ns <= stat2.ttft_ns);
+        assert!(dyn2.prefill_on_pim, "tiny prefill should offload to PIM");
+        // Long prefills stay on the SoC.
+        let dyn256 = sim.run_query(Strategy::HybridDynamic, Query { prefill: 256, decode: 1 });
+        assert!(!dyn256.prefill_on_pim);
+    }
+
+    #[test]
+    fn pim_decode_beats_soc_decode() {
+        let sim = iphone_sim();
+        let pim = sim.decode_step_pim_ns(64);
+        let soc = sim.decode_step_soc_ns(64);
+        assert!(pim < soc / 2.0, "PIM decode {pim} vs SoC {soc}");
+    }
+
+    #[test]
+    fn pim_decode_beats_ideal_npu() {
+        // Paper Fig. 3: PIM outruns even an ideal NPU bounded by peak BW.
+        let sim = iphone_sim();
+        let pim = sim.decode_step_pim_ns(64);
+        let npu = sim.decode_step_ideal_npu_ns(64);
+        assert!(pim < npu, "PIM {pim} vs ideal NPU {npu}");
+    }
+
+    #[test]
+    fn soc_only_has_fast_ttft_but_slow_ttlt() {
+        let sim = iphone_sim();
+        let q = Query { prefill: 16, decode: 64 };
+        let soc = sim.run_query(Strategy::SocOnly, q);
+        let hybrid = sim.run_query(Strategy::HybridStatic, q);
+        // SoC-only avoids re-layout => good TTFT...
+        assert!(soc.ttft_ns < hybrid.ttft_ns);
+        // ...but decode on the SoC ruins TTLT (paper Section VI-C).
+        assert!(soc.ttlt_ns > hybrid.ttlt_ns);
+    }
+
+    #[test]
+    fn ttlt_includes_all_decode_steps() {
+        let sim = iphone_sim();
+        let q = Query { prefill: 8, decode: 4 };
+        let r = sim.run_query(Strategy::FacilStatic, q);
+        let manual: f64 = (0..4).map(|i| sim.decode_step_pim_ns(8 + i)).sum::<f64>() + r.ttft_ns;
+        assert!((r.ttlt_ns - manual).abs() < 1.0);
+    }
+
+    #[test]
+    fn int8_weights_shrink_everything_but_keep_facil_ahead() {
+        let platform = Platform::get(PlatformId::Iphone);
+        let model = facil_llm::ModelConfig::phi_1_5();
+        let f16 = InferenceSim::with_model_and_dtype(platform.clone(), model.clone(), facil_core::DType::F16);
+        let i8 = InferenceSim::with_model_and_dtype(platform, model, facil_core::DType::I8);
+        assert_eq!(i8.weight_bytes() * 2, f16.weight_bytes());
+        // Quantization shrinks the re-layout and both decode paths...
+        assert!(i8.relayout_ns() < 0.6 * f16.relayout_ns());
+        assert!(i8.decode_step_pim_ns(64) < f16.decode_step_pim_ns(64));
+        // ...and FACIL still beats the baseline on TTFT.
+        let q = Query { prefill: 16, decode: 4 };
+        let base = i8.run_query(Strategy::HybridStatic, q);
+        let facil = i8.run_query(Strategy::FacilStatic, q);
+        assert!(facil.ttft_ns < base.ttft_ns);
+    }
+
+    #[test]
+    fn offload_threshold_matches_per_query_decisions() {
+        let sim = iphone_sim();
+        for strategy in [Strategy::HybridDynamic, Strategy::FacilDynamic] {
+            let thr = sim.dynamic_offload_threshold(strategy);
+            assert!(thr > 0, "{strategy}: PIM must win short prefills");
+            // Queries below the threshold offload; above, they do not.
+            let below = sim.run_query(strategy, Query { prefill: thr.max(2) - 1, decode: 1 });
+            let above = sim.run_query(strategy, Query { prefill: thr + 1, decode: 1 });
+            assert!(below.prefill_on_pim, "{strategy}: p={} should offload", thr - 1);
+            assert!(!above.prefill_on_pim, "{strategy}: p={} should not", thr + 1);
+        }
+        // The baseline pays re-layout on the SoC path, so its threshold is
+        // at least FACIL's.
+        assert!(
+            sim.dynamic_offload_threshold(Strategy::HybridDynamic)
+                >= sim.dynamic_offload_threshold(Strategy::FacilDynamic)
+        );
+    }
+
+    #[test]
+    fn attention_on_pim_wins_only_at_long_contexts() {
+        let sim = iphone_sim();
+        // Short context: dispatch overheads dominate, SoC attention wins.
+        assert!(sim.decode_step_pim_attention_ns(32) > sim.decode_step_pim_ns(32));
+        // Very long context: KV streaming at internal bandwidth wins.
+        assert!(
+            sim.decode_step_pim_attention_ns(65536) < sim.decode_step_pim_ns(65536),
+            "{} vs {}",
+            sim.decode_step_pim_attention_ns(65536),
+            sim.decode_step_pim_ns(65536)
+        );
+    }
+
+    #[test]
+    fn all_at_once_relayout_is_strictly_worse() {
+        // Paper footnote 2: converting everything back after the prefill
+        // doubles the re-layout cost per query.
+        let sim = iphone_sim();
+        let q = Query { prefill: 16, decode: 8 };
+        let on_demand = sim.run_query(Strategy::HybridStatic, q);
+        let all_at_once = sim.run_query_all_at_once(q);
+        assert_eq!(all_at_once.ttft_ns, on_demand.ttft_ns, "TTFT unchanged");
+        assert!((all_at_once.relayout_ns / on_demand.relayout_ns - 2.0).abs() < 1e-9);
+        assert!(all_at_once.ttlt_ns > on_demand.ttlt_ns);
+    }
+
+    #[test]
+    fn strategies_display() {
+        for s in Strategy::all() {
+            assert!(!s.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Dataset-level evaluation helpers: per-query speedups and geometric means
+//! (the aggregation the paper uses for Figs. 13-16).
+
+use facil_workloads::{geomean, Dataset};
+use serde::{Deserialize, Serialize};
+
+use crate::engine::{InferenceSim, QueryResult, Strategy};
+
+/// Aggregated result of running a dataset under one strategy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetRun {
+    /// Strategy evaluated.
+    pub strategy: Strategy,
+    /// Per-query results, in dataset order.
+    pub results: Vec<QueryResult>,
+}
+
+impl DatasetRun {
+    /// Geometric-mean TTFT over the dataset, ns.
+    pub fn geomean_ttft_ns(&self) -> f64 {
+        geomean(self.results.iter().map(|r| r.ttft_ns))
+    }
+
+    /// Geometric-mean TTLT over the dataset, ns.
+    pub fn geomean_ttlt_ns(&self) -> f64 {
+        geomean(self.results.iter().map(|r| r.ttlt_ns))
+    }
+
+    /// Fraction of queries whose prefill was offloaded to the PIM.
+    pub fn pim_prefill_fraction(&self) -> f64 {
+        if self.results.is_empty() {
+            return 0.0;
+        }
+        self.results.iter().filter(|r| r.prefill_on_pim).count() as f64 / self.results.len() as f64
+    }
+}
+
+/// Run every query of `dataset` under `strategy`.
+pub fn run_dataset(sim: &InferenceSim, strategy: Strategy, dataset: &Dataset) -> DatasetRun {
+    let results = dataset.queries.iter().map(|q| sim.run_query(strategy, *q)).collect();
+    DatasetRun { strategy, results }
+}
+
+/// Geometric-mean speedup of `new` over `base`, per query
+/// (the paper's normalization for Figs. 15/16).
+///
+/// # Panics
+///
+/// Panics if the runs have different lengths.
+pub fn geomean_speedup(base: &DatasetRun, new: &DatasetRun, ttft: bool) -> f64 {
+    assert_eq!(base.results.len(), new.results.len(), "runs must cover the same queries");
+    geomean(base.results.iter().zip(&new.results).map(|(b, n)| {
+        if ttft {
+            b.ttft_ns / n.ttft_ns
+        } else {
+            b.ttlt_ns / n.ttlt_ns
+        }
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use facil_soc::{Platform, PlatformId};
+
+    #[test]
+    fn dataset_speedups_follow_paper_ordering() {
+        let sim = InferenceSim::new(Platform::get(PlatformId::Iphone));
+        let data = Dataset::alpaca_like(42, 40);
+        let base = run_dataset(&sim, Strategy::HybridStatic, &data);
+        let dynamic = run_dataset(&sim, Strategy::HybridDynamic, &data);
+        let facil = run_dataset(&sim, Strategy::FacilDynamic, &data);
+        let s_dyn = geomean_speedup(&base, &dynamic, true);
+        let s_facil = geomean_speedup(&base, &facil, true);
+        // Paper Fig. 15: dynamic > static, FACIL > dynamic by a large margin.
+        assert!(s_dyn >= 1.0, "dynamic TTFT speedup {s_dyn}");
+        assert!(s_facil > s_dyn, "FACIL {s_facil} vs dynamic {s_dyn}");
+        assert!(s_facil > 1.5, "FACIL TTFT speedup {s_facil}");
+    }
+
+    #[test]
+    fn soc_only_loses_ttlt_badly() {
+        let sim = InferenceSim::new(Platform::get(PlatformId::Iphone));
+        let data = Dataset::alpaca_like(42, 20);
+        let soc = run_dataset(&sim, Strategy::SocOnly, &data);
+        let facil = run_dataset(&sim, Strategy::FacilDynamic, &data);
+        let ttlt = geomean_speedup(&soc, &facil, false);
+        // Paper Section VI-C: FACIL ~3.5x faster TTLT than SoC-only.
+        assert!(ttlt > 2.0, "TTLT speedup over SoC-only: {ttlt}");
+    }
+
+    #[test]
+    fn run_metadata() {
+        let sim = InferenceSim::new(Platform::get(PlatformId::Iphone));
+        let data = Dataset::code_autocompletion_like(1, 10);
+        let run = run_dataset(&sim, Strategy::FacilDynamic, &data);
+        assert_eq!(run.results.len(), 10);
+        assert!(run.geomean_ttft_ns() > 0.0);
+        assert!(run.geomean_ttlt_ns() > run.geomean_ttft_ns());
+        assert!((0.0..=1.0).contains(&run.pim_prefill_fraction()));
+    }
+}

@@ -1,0 +1,158 @@
+//! Serving-load simulation: the paper evaluates isolated single queries;
+//! an on-device assistant actually receives a *stream* of them. This module
+//! queues Poisson query arrivals on one device (FCFS, run-to-completion)
+//! and reports TTFT/TTLT percentiles including queueing delay — showing how
+//! much additional load FACIL's shorter prefills let a device absorb before
+//! responsiveness collapses.
+
+use facil_workloads::Dataset;
+use serde::{Deserialize, Serialize};
+
+use crate::engine::{InferenceSim, Strategy};
+
+/// Load-test configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServingConfig {
+    /// Mean query arrival rate (queries per second).
+    pub arrival_qps: f64,
+    /// Seed for the arrival process.
+    pub seed: u64,
+}
+
+/// Percentile summary of a serving run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServingResult {
+    /// Queries served.
+    pub completed: usize,
+    /// Median TTFT including queueing, ms.
+    pub ttft_p50_ms: f64,
+    /// 95th-percentile TTFT including queueing, ms.
+    pub ttft_p95_ms: f64,
+    /// Median TTLT including queueing, ms.
+    pub ttlt_p50_ms: f64,
+    /// Fraction of wall time the device was busy.
+    pub utilization: f64,
+    /// Longest queue observed.
+    pub queue_peak: usize,
+}
+
+fn xorshift(state: &mut u64) -> f64 {
+    let mut x = *state;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    *state = x;
+    (x.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+/// Serve every query of `dataset` in order, with Poisson arrivals at
+/// `cfg.arrival_qps`, FCFS on a single device running `strategy`.
+pub fn serve(sim: &InferenceSim, strategy: Strategy, dataset: &Dataset, cfg: ServingConfig) -> ServingResult {
+    let mut rng = cfg.seed | 1;
+    let mut arrival_s = 0.0f64;
+    let mut device_free_s = 0.0f64;
+    let mut busy_s = 0.0f64;
+    let mut ttfts = Vec::with_capacity(dataset.queries.len());
+    let mut ttlts = Vec::with_capacity(dataset.queries.len());
+    let mut queue_peak = 0usize;
+    let mut in_flight: Vec<f64> = Vec::new(); // completion times of queued/served work
+
+    for q in &dataset.queries {
+        // Exponential inter-arrival.
+        let u = xorshift(&mut rng).max(1e-12);
+        arrival_s += -u.ln() / cfg.arrival_qps;
+        let r = sim.run_query(strategy, *q);
+        let start_s = arrival_s.max(device_free_s);
+        let ttft_s = start_s + r.ttft_ns / 1e9 - arrival_s;
+        let ttlt_s = start_s + r.ttlt_ns / 1e9 - arrival_s;
+        device_free_s = start_s + r.ttlt_ns / 1e9;
+        busy_s += r.ttlt_ns / 1e9;
+        ttfts.push(ttft_s * 1e3);
+        ttlts.push(ttlt_s * 1e3);
+        in_flight.retain(|&done| done > arrival_s);
+        in_flight.push(device_free_s);
+        queue_peak = queue_peak.max(in_flight.len());
+    }
+
+    ttfts.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    ttlts.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let span = device_free_s.max(arrival_s);
+    ServingResult {
+        completed: dataset.queries.len(),
+        ttft_p50_ms: percentile(&ttfts, 0.5),
+        ttft_p95_ms: percentile(&ttfts, 0.95),
+        ttlt_p50_ms: percentile(&ttlts, 0.5),
+        utilization: if span > 0.0 { busy_s / span } else { 0.0 },
+        queue_peak,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use facil_soc::{Platform, PlatformId};
+    use std::sync::OnceLock;
+
+    fn sim() -> &'static InferenceSim {
+        static SIM: OnceLock<InferenceSim> = OnceLock::new();
+        SIM.get_or_init(|| InferenceSim::new(Platform::get(PlatformId::Iphone)))
+    }
+
+    fn data() -> Dataset {
+        Dataset::code_autocompletion_like(5, 48)
+    }
+
+    #[test]
+    fn light_load_has_no_queueing() {
+        let d = data();
+        let cfg = ServingConfig { arrival_qps: 1e-4, seed: 3 };
+        let r = serve(sim(), Strategy::FacilDynamic, &d, cfg);
+        // At ~one query per 10000 s, TTFT == pure prefill latency.
+        let iso: Vec<f64> = d
+            .queries
+            .iter()
+            .map(|q| sim().run_query(Strategy::FacilDynamic, *q).ttft_ns / 1e6)
+            .collect();
+        let mut iso_sorted = iso.clone();
+        iso_sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        assert!((r.ttft_p50_ms - iso_sorted[iso_sorted.len() / 2]).abs() < 1.0);
+        assert!(r.utilization < 0.2);
+        assert_eq!(r.queue_peak, 1);
+    }
+
+    #[test]
+    fn heavy_load_inflates_tail_latency() {
+        let d = data();
+        let light = serve(sim(), Strategy::HybridStatic, &d, ServingConfig { arrival_qps: 0.05, seed: 3 });
+        let heavy = serve(sim(), Strategy::HybridStatic, &d, ServingConfig { arrival_qps: 2.0, seed: 3 });
+        assert!(heavy.ttft_p95_ms > 2.0 * light.ttft_p95_ms, "{} vs {}", heavy.ttft_p95_ms, light.ttft_p95_ms);
+        assert!(heavy.queue_peak > light.queue_peak);
+    }
+
+    #[test]
+    fn facil_sustains_more_load_than_baseline() {
+        let d = data();
+        let cfg = ServingConfig { arrival_qps: 0.5, seed: 7 };
+        let base = serve(sim(), Strategy::HybridStatic, &d, cfg);
+        let facil = serve(sim(), Strategy::FacilDynamic, &d, cfg);
+        assert!(facil.ttft_p95_ms < base.ttft_p95_ms, "{} vs {}", facil.ttft_p95_ms, base.ttft_p95_ms);
+        assert!(facil.utilization <= base.utilization + 1e-9);
+    }
+
+    #[test]
+    fn deterministic() {
+        let d = data();
+        let cfg = ServingConfig { arrival_qps: 0.3, seed: 11 };
+        let a = serve(sim(), Strategy::FacilStatic, &d, cfg);
+        let b = serve(sim(), Strategy::FacilStatic, &d, cfg);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,174 @@
+//! Roofline execution model of SoC processors (GPU/NPU).
+//!
+//! The paper measures GEMM/GEMV on real devices; lacking the hardware, we
+//! model them with a calibrated roofline (paper Section VI-B reasons about
+//! its own results exactly this way, via ridge points): an operation takes
+//! `max(flops / effective_flops, bytes / effective_bandwidth)` plus a fixed
+//! kernel-launch overhead. Effective bandwidth uses the per-platform GEMV
+//! bandwidth utilizations the paper reports (76.3 / 88.3 / 33.3 / 74.6 %).
+
+use serde::{Deserialize, Serialize};
+
+/// Kind of SoC processor running the non-PIM operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProcKind {
+    /// Graphics processor (Jetson, MacBook, iPhone in the paper).
+    Gpu,
+    /// Neural processing unit (IdeaPad in the paper).
+    Npu,
+}
+
+/// Roofline model of one SoC processor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SocProcessor {
+    /// Marketing name ("Ampere GPU", "M3 Max", …).
+    pub name: String,
+    /// Processor kind.
+    pub kind: ProcKind,
+    /// Peak FP16 throughput in FLOP/s.
+    pub peak_flops: f64,
+    /// Peak memory bandwidth in bytes/s (Table II).
+    pub peak_bw: f64,
+    /// Fraction of peak FLOP/s achieved by large GEMM kernels.
+    pub gemm_compute_eff: f64,
+    /// Fraction of peak bandwidth achieved by memory-bound kernels
+    /// (the paper's measured GEMV utilizations, Section VI-C).
+    pub bw_util: f64,
+    /// Fixed per-kernel launch/synchronization overhead in nanoseconds.
+    pub kernel_overhead_ns: f64,
+}
+
+impl SocProcessor {
+    /// Ridge-point arithmetic intensity (FLOP/byte): the minimum intensity
+    /// at which the processor reaches peak FLOP/s
+    /// (`peak FLOPS / peak bandwidth`, paper Section VI-B).
+    pub fn ridge_point(&self) -> f64 {
+        self.peak_flops / self.peak_bw
+    }
+
+    /// Effective streaming bandwidth (bytes/s).
+    pub fn effective_bw(&self) -> f64 {
+        self.peak_bw * self.bw_util
+    }
+
+    /// Time of a GEMM `[m x k] . [k x n]^T -> [m x n]` over fp16-sized
+    /// elements (`elem_bytes`), in nanoseconds. `n` and `k` are the weight
+    /// dimensions (output and input features), `m` is the batch/sequence
+    /// dimension: `m == 1` is a GEMV.
+    pub fn gemm_ns(&self, m: u64, n: u64, k: u64, elem_bytes: u64) -> f64 {
+        let flops = 2.0 * m as f64 * n as f64 * k as f64;
+        let bytes = ((n * k) + (m * k) + (m * n)) as f64 * elem_bytes as f64;
+        let compute = flops / (self.peak_flops * self.gemm_compute_eff);
+        let memory = bytes / self.effective_bw();
+        compute.max(memory) * 1e9 + self.kernel_overhead_ns
+    }
+
+    /// Time of a GEMV (`m == 1`), nanoseconds.
+    pub fn gemv_ns(&self, n: u64, k: u64, elem_bytes: u64) -> f64 {
+        self.gemm_ns(1, n, k, elem_bytes)
+    }
+
+    /// Time of a purely memory-bound pass over `bytes` (attention KV reads,
+    /// residual/norm traffic, re-layout copies executed by the SoC),
+    /// nanoseconds, including one kernel overhead.
+    pub fn stream_ns(&self, bytes: u64) -> f64 {
+        bytes as f64 / self.effective_bw() * 1e9 + self.kernel_overhead_ns
+    }
+
+    /// Arithmetic intensity (FLOP/byte) of a GEMM with batch `m` over a
+    /// `n x k` weight (the quantity compared against the ridge point in the
+    /// paper's Fig. 13 analysis).
+    pub fn gemm_intensity(m: u64, n: u64, k: u64, elem_bytes: u64) -> f64 {
+        let flops = 2.0 * m as f64 * n as f64 * k as f64;
+        let bytes = ((n * k) + (m * k) + (m * n)) as f64 * elem_bytes as f64;
+        flops / bytes
+    }
+
+    /// Compute utilization (fraction of peak FLOP/s actually achieved) of a
+    /// GEMM — what paper Fig. 2(b) plots for GEMV.
+    pub fn compute_utilization(&self, m: u64, n: u64, k: u64, elem_bytes: u64) -> f64 {
+        let flops = 2.0 * m as f64 * n as f64 * k as f64;
+        let t = (self.gemm_ns(m, n, k, elem_bytes) - self.kernel_overhead_ns) / 1e9;
+        flops / t / self.peak_flops
+    }
+
+    /// Memory-bandwidth utilization (fraction of peak bytes/s) of a GEMM.
+    pub fn bandwidth_utilization(&self, m: u64, n: u64, k: u64, elem_bytes: u64) -> f64 {
+        let bytes = ((n * k) + (m * k) + (m * n)) as f64 * elem_bytes as f64;
+        let t = (self.gemm_ns(m, n, k, elem_bytes) - self.kernel_overhead_ns) / 1e9;
+        bytes / t / self.peak_bw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn jetson_gpu() -> SocProcessor {
+        SocProcessor {
+            name: "Ampere GPU".into(),
+            kind: ProcKind::Gpu,
+            peak_flops: 42.5e12,
+            peak_bw: 204.8e9,
+            gemm_compute_eff: 0.60,
+            bw_util: 0.763,
+            kernel_overhead_ns: 8_000.0,
+        }
+    }
+
+    #[test]
+    fn ridge_point_matches_paper() {
+        // Paper Section VI-B: Jetson ridge point = 207.5 FLOP/byte.
+        let p = jetson_gpu();
+        assert!((p.ridge_point() - 207.5).abs() < 0.2, "{}", p.ridge_point());
+    }
+
+    #[test]
+    fn gemv_is_memory_bound_with_low_compute_utilization() {
+        // Paper Fig. 2(b): GEMV compute utilization < 1%, memory ~ bw_util.
+        let p = jetson_gpu();
+        let cu = p.compute_utilization(1, 4096, 4096, 2);
+        let bu = p.bandwidth_utilization(1, 4096, 4096, 2);
+        assert!(cu < 0.01, "compute util {cu}");
+        assert!((bu - 0.763).abs() < 0.01, "bandwidth util {bu}");
+    }
+
+    #[test]
+    fn latency_sublinear_until_ridge_point() {
+        // Doubling m below the ridge point must not double latency
+        // (memory-bound plateau), the effect driving Fig. 13.
+        let p = jetson_gpu();
+        let t64 = p.gemm_ns(64, 4096, 4096, 2);
+        let t128 = p.gemm_ns(128, 4096, 4096, 2);
+        assert!(t128 / t64 < 1.2, "still memory bound: {}", t128 / t64);
+        // Far above the ridge point, latency scales ~linearly.
+        let t1k = p.gemm_ns(1024, 4096, 4096, 2);
+        let t2k = p.gemm_ns(2048, 4096, 4096, 2);
+        assert!(t2k / t1k > 1.9, "compute bound: {}", t2k / t1k);
+    }
+
+    #[test]
+    fn intensity_crosses_ridge_where_expected() {
+        let p = jetson_gpu();
+        // Intensity ~ m for m << k; the crossover to compute-bound happens
+        // around m ~ ridge * (1/eff adjustments).
+        let i = SocProcessor::gemm_intensity(64, 4096, 4096, 2);
+        assert!(i > 60.0 && i < 64.5, "{i}");
+        assert!(i < p.ridge_point());
+    }
+
+    #[test]
+    fn stream_is_bandwidth_bound() {
+        let p = jetson_gpu();
+        let t = p.stream_ns(1 << 30) - p.kernel_overhead_ns;
+        let bw = (1u64 << 30) as f64 / (t / 1e9);
+        assert!((bw - p.effective_bw()).abs() / bw < 1e-9);
+    }
+
+    #[test]
+    fn kernel_overhead_dominates_tiny_ops() {
+        let p = jetson_gpu();
+        let t = p.gemv_ns(32, 32, 2);
+        assert!(t < 2.0 * p.kernel_overhead_ns);
+    }
+}

@@ -1,0 +1,23 @@
+//! # facil-soc
+//!
+//! SoC processor models for the FACIL (HPCA 2025) reproduction:
+//!
+//! * [`exec::SocProcessor`] — a calibrated roofline execution model
+//!   (GEMM/GEMV/streaming latency, ridge points, utilizations) substituting
+//!   for the paper's real-device measurements;
+//! * [`platform`] — the four Table II platforms (Jetson AGX Orin, MacBook
+//!   Pro M3 Max, IdeaPad Slim 5, iPhone 15 Pro) with their memory systems
+//!   and calibration constants;
+//! * [`slowdown`] — the Table III experiment: GEMM weight-read traces
+//!   replayed on the DRAM simulator under conventional vs PIM-optimized
+//!   layouts.
+
+#![warn(missing_docs)]
+
+pub mod exec;
+pub mod platform;
+pub mod slowdown;
+
+pub use exec::{ProcKind, SocProcessor};
+pub use platform::{Platform, PlatformId};
+pub use slowdown::{coalesced_burst_latency_ns, gemm_layout_slowdown, streaming_throughput_ratio, SlowdownResult};

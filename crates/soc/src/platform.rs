@@ -1,0 +1,216 @@
+//! The four evaluation platforms of the paper (Table II), with the
+//! calibration constants used throughout the reproduction.
+
+use facil_core::PimArch;
+use facil_dram::DramSpec;
+use serde::{Deserialize, Serialize};
+
+use crate::exec::{ProcKind, SocProcessor};
+
+/// Identifier of one of the paper's evaluation platforms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PlatformId {
+    /// NVIDIA Jetson AGX Orin 64 GB (GPU, LPDDR5-6400 x 256-bit, Llama3-8B).
+    Jetson,
+    /// Apple MacBook Pro M3 Max (GPU, LPDDR5-6400 x 512-bit, Llama3-8B).
+    Macbook,
+    /// Lenovo IdeaPad Slim 5 (Intel NPU, LPDDR5X-7467 x 64-bit, OPT-6.7B).
+    Ideapad,
+    /// Apple iPhone 15 Pro (GPU, LPDDR5-6400 x 64-bit, Phi-1.5).
+    Iphone,
+}
+
+impl PlatformId {
+    /// All four paper platforms, in Table II order.
+    pub fn all() -> [PlatformId; 4] {
+        [PlatformId::Jetson, PlatformId::Macbook, PlatformId::Ideapad, PlatformId::Iphone]
+    }
+}
+
+impl std::fmt::Display for PlatformId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            PlatformId::Jetson => "Jetson AGX Orin",
+            PlatformId::Macbook => "MacBook Pro (M3 Max)",
+            PlatformId::Ideapad => "IdeaPad Slim 5",
+            PlatformId::Iphone => "iPhone 15 Pro",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A complete evaluation platform: SoC processor model, memory system, PIM
+/// configuration, and calibration constants.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Platform {
+    /// Which platform this is.
+    pub id: PlatformId,
+    /// Roofline model of the primary SoC processor (Table II).
+    pub soc: SocProcessor,
+    /// Memory-system specification (Table II).
+    pub dram: DramSpec,
+    /// AiM-style PIM architecture on this memory (paper Section VI-A).
+    pub pim_arch: PimArch,
+    /// Fixed per-operation cost of dispatching work to the PIM (driver, DMA
+    /// descriptor, synchronization) in nanoseconds. Calibrated so that the
+    /// end-to-end PIM decode speedups land in the paper's Fig. 3 range.
+    pub pim_op_overhead_ns: f64,
+    /// Conservative worst-case GEMM slowdown when operating on the
+    /// PIM-optimized layout (paper Table III: 2.1 / 0.1 / 1.1 / 1.6 %).
+    pub gemm_layout_slowdown: f64,
+    /// Name of the LLM evaluated on this platform (Table II).
+    pub model_name: &'static str,
+}
+
+impl Platform {
+    /// Build a platform preset by id.
+    pub fn get(id: PlatformId) -> Platform {
+        match id {
+            PlatformId::Jetson => {
+                let dram = DramSpec::lpddr5_6400(256, 64 << 30);
+                let pim_arch = PimArch::aim(&dram.topology);
+                Platform {
+                    id,
+                    soc: SocProcessor {
+                        name: "Ampere CUDA/Tensor cores".into(),
+                        kind: ProcKind::Gpu,
+                        peak_flops: 42.5e12,
+                        peak_bw: 204.8e9,
+                        gemm_compute_eff: 0.60,
+                        bw_util: 0.763,
+                        kernel_overhead_ns: 8_000.0,
+                    },
+                    dram,
+                    pim_arch,
+                    pim_op_overhead_ns: 90_000.0,
+                    gemm_layout_slowdown: 0.021,
+                    model_name: "llama3-8b",
+                }
+            }
+            PlatformId::Macbook => {
+                let dram = DramSpec::lpddr5_6400(512, 64 << 30);
+                let pim_arch = PimArch::aim(&dram.topology);
+                Platform {
+                    id,
+                    soc: SocProcessor {
+                        name: "M3 Max GPU".into(),
+                        kind: ProcKind::Gpu,
+                        peak_flops: 28.4e12,
+                        peak_bw: 409.6e9,
+                        gemm_compute_eff: 0.62,
+                        bw_util: 0.883,
+                        kernel_overhead_ns: 5_000.0,
+                    },
+                    dram,
+                    pim_arch,
+                    pim_op_overhead_ns: 60_000.0,
+                    gemm_layout_slowdown: 0.001,
+                    model_name: "llama3-8b",
+                }
+            }
+            PlatformId::Ideapad => {
+                let dram = DramSpec::lpddr5x_7467(64, 32 << 30);
+                let pim_arch = PimArch::aim(&dram.topology);
+                Platform {
+                    id,
+                    soc: SocProcessor {
+                        name: "Intel AI Boost NPU".into(),
+                        kind: ProcKind::Npu,
+                        peak_flops: 5.6e12,
+                        peak_bw: 59.7e9,
+                        gemm_compute_eff: 0.50,
+                        bw_util: 0.333,
+                        kernel_overhead_ns: 15_000.0,
+                    },
+                    dram,
+                    pim_arch,
+                    pim_op_overhead_ns: 60_000.0,
+                    gemm_layout_slowdown: 0.011,
+                    model_name: "opt-6.7b",
+                }
+            }
+            PlatformId::Iphone => {
+                let dram = DramSpec::lpddr5_6400(64, 8 << 30);
+                let pim_arch = PimArch::aim(&dram.topology);
+                Platform {
+                    id,
+                    soc: SocProcessor {
+                        name: "A17 Pro GPU".into(),
+                        kind: ProcKind::Gpu,
+                        peak_flops: 4.29e12,
+                        peak_bw: 51.2e9,
+                        gemm_compute_eff: 0.60,
+                        bw_util: 0.746,
+                        kernel_overhead_ns: 10_000.0,
+                    },
+                    dram,
+                    pim_arch,
+                    pim_op_overhead_ns: 50_000.0,
+                    gemm_layout_slowdown: 0.016,
+                    model_name: "phi-1.5",
+                }
+            }
+        }
+    }
+
+    /// All four platforms.
+    pub fn all() -> Vec<Platform> {
+        PlatformId::all().into_iter().map(Platform::get).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_bandwidths_match_table2() {
+        let expect = [204.8, 409.6, 59.736, 51.2];
+        for (p, want) in Platform::all().into_iter().zip(expect) {
+            let got = p.dram.peak_bandwidth_bytes_per_sec() / 1e9;
+            assert!((got - want).abs() < 0.1, "{}: {got} vs {want}", p.id);
+            assert!((p.soc.peak_bw / 1e9 - want).abs() < 0.1);
+        }
+    }
+
+    #[test]
+    fn ridge_points_match_section_vib() {
+        // Paper: Jetson 207.5, MacBook 69.3, IdeaPad 93.8, iPhone 83.8.
+        let expect = [207.5, 69.3, 93.8, 83.8];
+        for (p, want) in Platform::all().into_iter().zip(expect) {
+            let got = p.soc.ridge_point();
+            assert!((got - want).abs() / want < 0.01, "{}: {got} vs {want}", p.id);
+        }
+    }
+
+    #[test]
+    fn bw_utils_match_section_vic() {
+        let expect = [0.763, 0.883, 0.333, 0.746];
+        for (p, want) in Platform::all().into_iter().zip(expect) {
+            assert_eq!(p.soc.bw_util, want, "{}", p.id);
+        }
+    }
+
+    #[test]
+    fn slowdowns_match_table3_worst_case() {
+        let expect = [0.021, 0.001, 0.011, 0.016];
+        for (p, want) in Platform::all().into_iter().zip(expect) {
+            assert_eq!(p.gemm_layout_slowdown, want, "{}", p.id);
+        }
+    }
+
+    #[test]
+    fn pim_arch_has_row_sized_global_buffer() {
+        for p in Platform::all() {
+            assert_eq!(p.pim_arch.chunk_row_bytes, 2048, "{}", p.id);
+            assert_eq!(p.pim_arch.chunk_rows, 1);
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        for id in PlatformId::all() {
+            assert!(!id.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! # facil-workloads
+//!
+//! Seeded synthetic query-length samplers standing in for the paper's two
+//! real-world datasets (Section VI-C):
+//!
+//! * **Alpaca** (conversation / virtual assistant): short free-form prompts,
+//!   longer GPT-3.5-style answers;
+//! * **RealHumanEval "autocompletion"** (code autocompletion): interaction
+//!   logs where each request extends the context by a few tokens and
+//!   expects a short completion.
+//!
+//! The evaluation consumes only `(prefill_len, decode_len)` pairs, so the
+//! substitution preserves what matters: the *shape* of the length
+//! distributions (documented in DESIGN.md). Sampling is deterministic under
+//! a seed.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One inference query: how many tokens are prefilled and generated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Query {
+    /// Input (prompt) length in tokens.
+    pub prefill: u64,
+    /// Output (generation) length in tokens.
+    pub decode: u64,
+}
+
+/// A named set of queries.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Dataset label.
+    pub name: String,
+    /// The sampled queries.
+    pub queries: Vec<Query>,
+}
+
+/// Draw from a standard normal via Box–Muller (avoids a rand_distr
+/// dependency).
+fn normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(1e-12);
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Log-normal sample with the given median (`exp(mu)`) and shape `sigma`,
+/// clamped to `[lo, hi]`.
+fn lognormal(rng: &mut StdRng, median: f64, sigma: f64, lo: u64, hi: u64) -> u64 {
+    let v = (median.ln() + sigma * normal(rng)).exp();
+    (v.round() as u64).clamp(lo, hi)
+}
+
+impl Dataset {
+    /// Alpaca-like conversation queries: prompt median ~32 tokens
+    /// (instruction-style inputs), answers median ~128 tokens.
+    ///
+    /// ```
+    /// use facil_workloads::Dataset;
+    /// let d = Dataset::alpaca_like(42, 100);
+    /// assert_eq!(d.queries.len(), 100);
+    /// assert_eq!(d, Dataset::alpaca_like(42, 100)); // seeded
+    /// ```
+    pub fn alpaca_like(seed: u64, n: usize) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xA1FA_CA00);
+        let queries = (0..n)
+            .map(|_| Query {
+                prefill: lognormal(&mut rng, 32.0, 0.7, 4, 512),
+                decode: lognormal(&mut rng, 128.0, 0.6, 8, 1024),
+            })
+            .collect();
+        Dataset { name: "alpaca-like".into(), queries }
+    }
+
+    /// RealHumanEval-autocompletion-like queries: incremental context
+    /// extensions (median ~20 new tokens per request, shorter than
+    /// conversation prompts) with short completions (median ~48 tokens).
+    pub fn code_autocompletion_like(seed: u64, n: usize) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC0DE_AC00);
+        let queries = (0..n)
+            .map(|_| Query {
+                prefill: lognormal(&mut rng, 20.0, 0.8, 2, 256),
+                decode: lognormal(&mut rng, 48.0, 0.6, 4, 256),
+            })
+            .collect();
+        Dataset { name: "code-autocompletion-like".into(), queries }
+    }
+
+    /// Deterministically subsample a fraction of the queries (the paper
+    /// samples 1% and 10% of each dataset, Section VI-C). At least one
+    /// query is kept.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is outside (0, 1].
+    pub fn subsample(&self, seed: u64, fraction: f64) -> Dataset {
+        assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0, 1]");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5AB5_A3B1E);
+        let mut queries: Vec<Query> =
+            self.queries.iter().copied().filter(|_| rng.random::<f64>() < fraction).collect();
+        if queries.is_empty() {
+            queries.push(self.queries[0]);
+        }
+        Dataset { name: format!("{} ({:.0}% sample)", self.name, fraction * 100.0), queries }
+    }
+
+    /// Geometric-mean prefill length of the dataset.
+    pub fn geomean_prefill(&self) -> f64 {
+        geomean(self.queries.iter().map(|q| q.prefill as f64))
+    }
+
+    /// Geometric-mean decode length of the dataset.
+    pub fn geomean_decode(&self) -> f64 {
+        geomean(self.queries.iter().map(|q| q.decode as f64))
+    }
+}
+
+/// Geometric mean of an iterator of positive values (0 for an empty input).
+pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0u64;
+    for v in values {
+        debug_assert!(v > 0.0, "geomean requires positive values");
+        sum += v.ln();
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        (sum / n as f64).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let a = Dataset::alpaca_like(7, 100);
+        let b = Dataset::alpaca_like(7, 100);
+        assert_eq!(a, b);
+        let c = Dataset::alpaca_like(8, 100);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn alpaca_lengths_are_conversation_shaped() {
+        let d = Dataset::alpaca_like(1, 2000);
+        let gp = d.geomean_prefill();
+        let gd = d.geomean_decode();
+        assert!((20.0..50.0).contains(&gp), "prefill geomean {gp}");
+        assert!((90.0..180.0).contains(&gd), "decode geomean {gd}");
+        assert!(gd > gp, "answers longer than prompts");
+    }
+
+    #[test]
+    fn autocompletion_has_shorter_prefills_than_conversation() {
+        let code = Dataset::code_autocompletion_like(1, 2000);
+        let chat = Dataset::alpaca_like(1, 2000);
+        assert!(code.geomean_prefill() < chat.geomean_prefill());
+        assert!(code.geomean_decode() < chat.geomean_decode());
+    }
+
+    #[test]
+    fn all_lengths_positive_and_bounded() {
+        for d in [Dataset::alpaca_like(3, 500), Dataset::code_autocompletion_like(3, 500)] {
+            for q in &d.queries {
+                assert!(q.prefill >= 2 || d.name.starts_with("alpaca") && q.prefill >= 4);
+                assert!(q.prefill <= 512);
+                assert!(q.decode >= 4);
+                assert!(q.decode <= 1024);
+            }
+        }
+    }
+
+    #[test]
+    fn subsample_is_deterministic_and_proportional() {
+        let d = Dataset::alpaca_like(1, 5000);
+        let a = d.subsample(9, 0.1);
+        let b = d.subsample(9, 0.1);
+        assert_eq!(a, b);
+        let frac = a.queries.len() as f64 / d.queries.len() as f64;
+        assert!((0.07..0.13).contains(&frac), "got {frac}");
+        // Subsampled queries all come from the parent.
+        assert!(a.queries.iter().all(|q| d.queries.contains(q)));
+        assert!(a.name.contains("10% sample"));
+        // Tiny fraction still yields at least one query.
+        assert!(!d.subsample(9, 1e-9).queries.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn bad_fraction_panics() {
+        Dataset::alpaca_like(1, 10).subsample(0, 1.5);
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert_eq!(geomean([]), 0.0);
+        assert!((geomean([2.0, 8.0]) - 4.0).abs() < 1e-12);
+    }
+}

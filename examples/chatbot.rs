@@ -1,0 +1,66 @@
+//! Conversation-assistant scenario (the paper's Alpaca evaluation): run a
+//! batch of sampled chat queries on the Jetson AGX Orin under every
+//! execution strategy and compare responsiveness (TTFT) and total latency
+//! (TTLT).
+//!
+//! Run with: `cargo run --release --example chatbot`
+
+use facil::sim::{geomean_speedup, run_dataset, InferenceSim, Strategy};
+use facil::soc::{Platform, PlatformId};
+use facil::workloads::Dataset;
+
+fn main() {
+    let platform = Platform::get(PlatformId::Jetson);
+    println!(
+        "platform: {} | model: {} | memory: {:.1} GB/s peak",
+        platform.id,
+        platform.model_name,
+        platform.dram.peak_bandwidth_bytes_per_sec() / 1e9
+    );
+
+    let sim = InferenceSim::new(platform);
+    let dataset = Dataset::alpaca_like(2024, 64);
+    println!(
+        "dataset: {} queries, geomean prefill {:.0} tokens, geomean decode {:.0} tokens\n",
+        dataset.queries.len(),
+        dataset.geomean_prefill(),
+        dataset.geomean_decode()
+    );
+
+    let baseline = run_dataset(&sim, Strategy::HybridStatic, &dataset);
+    println!(
+        "{:<16} {:>12} {:>12} {:>14} {:>14}",
+        "strategy", "TTFT (ms)", "TTLT (ms)", "TTFT speedup", "TTLT speedup"
+    );
+    for strategy in Strategy::all() {
+        let run = run_dataset(&sim, strategy, &dataset);
+        println!(
+            "{:<16} {:>12.1} {:>12.1} {:>13.2}x {:>13.2}x",
+            strategy.to_string(),
+            run.geomean_ttft_ns() / 1e6,
+            run.geomean_ttlt_ns() / 1e6,
+            geomean_speedup(&baseline, &run, true),
+            geomean_speedup(&baseline, &run, false),
+        );
+    }
+
+    // The paper's responsiveness framing (Section III): users perceive a
+    // response as instantaneous below 100 ms, and voice assistants need
+    // ~250 ms TTFT.
+    let facil = run_dataset(&sim, Strategy::FacilDynamic, &dataset);
+    let under_100ms =
+        facil.results.iter().filter(|r| r.ttft_ns < 100e6).count() as f64 / facil.results.len() as f64;
+    let under_250ms =
+        facil.results.iter().filter(|r| r.ttft_ns < 250e6).count() as f64 / facil.results.len() as f64;
+    let base_100 = baseline.results.iter().filter(|r| r.ttft_ns < 100e6).count() as f64
+        / baseline.results.len() as f64;
+    let base_250 = baseline.results.iter().filter(|r| r.ttft_ns < 250e6).count() as f64
+        / baseline.results.len() as f64;
+    println!("\nresponsiveness (paper Section III thresholds):");
+    println!("  TTFT < 100 ms: baseline {:.0}% -> FACIL {:.0}%", base_100 * 100.0, under_100ms * 100.0);
+    println!("  TTFT < 250 ms: baseline {:.0}% -> FACIL {:.0}%", base_250 * 100.0, under_250ms * 100.0);
+    println!(
+        "  prefills offloaded to PIM by FACIL's dynamic policy: {:.0}%",
+        facil.pim_prefill_fraction() * 100.0
+    );
+}

@@ -1,0 +1,53 @@
+//! Mapping explorer: for every platform and every weight of its model,
+//! show what the FACIL selector decides — MapID, partitioning, the exact
+//! PA-bit layout — and verify the placement properties of paper
+//! Section II-C hold.
+//!
+//! Run with: `cargo run --release --example mapping_explorer`
+
+use facil::core::{
+    max_map_id_bound, select_mapping_2mb, DType, MappingScheme, MatrixConfig, PlacementChecker,
+    HUGE_PAGE_BITS,
+};
+use facil::llm::ModelConfig;
+use facil::soc::{Platform, PlatformId};
+
+fn main() {
+    for id in PlatformId::all() {
+        let platform = Platform::get(id);
+        let topo = platform.dram.topology;
+        let model = ModelConfig::by_name(platform.model_name);
+        println!("\n=== {} ({}, {} channels x {} ranks x {} banks) ===", id, platform.dram.kind, topo.channels, topo.ranks, topo.banks());
+        println!(
+            "page-offset row bits available: {} | paper max-MapID bound: {}",
+            MappingScheme::in_page_row_bits(&topo, HUGE_PAGE_BITS).unwrap(),
+            max_map_id_bound(&topo, HUGE_PAGE_BITS)
+        );
+        println!("conventional: {}", MappingScheme::conventional(topo));
+
+        let mut seen = std::collections::BTreeSet::new();
+        for (op, _) in model.all_linears() {
+            let matrix = MatrixConfig::new(op.out_features, op.in_features, DType::F16);
+            let d = select_mapping_2mb(&matrix, topo, &platform.pim_arch).expect("mappable");
+            let checker = PlacementChecker::new(&matrix, &d, &platform.pim_arch, 0);
+            let report = checker.check_all().expect("placement invariants hold");
+            println!(
+                "  {:<10} {:>14}  -> MapID {} | partitions {} | PUs/row {} | {}",
+                op.name,
+                format!("{}x{}", op.out_features, op.in_features),
+                d.map_id.0,
+                d.partitions,
+                report.pus_per_row,
+                if seen.insert(d.map_id) { "new frontend slot" } else { "shares slot" },
+            );
+            if seen.len() == 1 {
+                println!("             layout: {}", d.scheme);
+            }
+        }
+        println!(
+            "  distinct MapIDs for the whole model: {} (fits the paper's 4-slot mux: {})",
+            seen.len(),
+            seen.len() <= 3
+        );
+    }
+}

@@ -1,0 +1,28 @@
+//! # facil
+//!
+//! Facade crate for the FACIL (HPCA 2025) reproduction: *Flexible DRAM
+//! Address Mapping for SoC-PIM Cooperative On-device LLM Inference*.
+//!
+//! Re-exports the whole workspace under stable module names:
+//!
+//! * [`dram`] — cycle-level LPDDR5/5X DRAM simulator,
+//! * [`core`] — the FACIL contribution: mapping schemes, MapID selector,
+//!   `pimalloc`, OS paging, memory-controller frontend,
+//! * [`pim`] — AiM-style near-bank PIM execution engine,
+//! * [`soc`] — SoC processor roofline models and the paper's four platforms,
+//! * [`llm`] — LLM workload model (Llama3-8B, OPT-6.7B, Phi-1.5),
+//! * [`workloads`] — synthetic dataset samplers (conversation and code
+//!   autocompletion),
+//! * [`sim`] — end-to-end SoC-PIM inference strategies and TTFT/TTLT
+//!   metrics.
+//!
+//! See the `examples/` directory for runnable end-to-end scenarios and
+//! `crates/bench` for the per-figure experiment regenerators.
+
+pub use facil_core as core;
+pub use facil_dram as dram;
+pub use facil_llm as llm;
+pub use facil_pim as pim;
+pub use facil_sim as sim;
+pub use facil_soc as soc;
+pub use facil_workloads as workloads;

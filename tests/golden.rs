@@ -1,0 +1,52 @@
+//! Golden regression tests: the headline reproduction numbers recorded in
+//! EXPERIMENTS.md, with tolerance bands. If a refactor or recalibration
+//! moves any of these, the change is deliberate — update EXPERIMENTS.md and
+//! these constants together.
+
+use facil_bench::{fig03_pim_speedup, fig13_ttft, fig15_datasets, fig16_datasets, headline_geomeans};
+use facil_sim::InferenceSim;
+use facil_soc::{Platform, PlatformId};
+
+fn within(actual: f64, golden: f64, tol: f64, what: &str) {
+    assert!(
+        (actual / golden - 1.0).abs() < tol,
+        "{what}: measured {actual:.3}, golden {golden:.3} (±{:.0}%)",
+        tol * 100.0
+    );
+}
+
+/// Fig. 13 geomean TTFT speedups per platform (EXPERIMENTS.md).
+#[test]
+fn golden_fig13_geomeans() {
+    let golden = [2.57, 2.50, 1.76, 2.44];
+    let series = fig13_ttft(&[8, 16, 32, 64, 128]);
+    for (s, g) in series.iter().zip(golden) {
+        within(s.geomean, g, 0.05, &format!("fig13 {}", s.platform));
+    }
+}
+
+/// Fig. 3 headline: PIM over ideal NPU ~2.9x (paper 3.32x).
+#[test]
+fn golden_fig03_ratio() {
+    let r = fig03_pim_speedup(64);
+    within(r.speedup_vs_ideal_npu, 2.88, 0.05, "fig3 PIM vs ideal NPU");
+    within(r.speedup_vs_soc, 3.85, 0.05, "fig3 PIM vs GPU");
+}
+
+/// Jetson re-layout cost ~163 ms for the Llama3-8B linear weights.
+#[test]
+fn golden_jetson_relayout() {
+    let sim = InferenceSim::new(Platform::get(PlatformId::Jetson));
+    within(sim.relayout_ns() / 1e6, 163.0, 0.08, "Jetson re-layout ms");
+}
+
+/// Figs. 15/16 dataset headlines (seed 42, 128 queries).
+#[test]
+fn golden_dataset_headlines() {
+    let ttft = headline_geomeans(&fig15_datasets(42, 128));
+    within(ttft[0].1, 2.79, 0.05, "fig15 alpaca-like");
+    within(ttft[1].1, 3.35, 0.05, "fig15 code-autocompletion-like");
+    let ttlt = headline_geomeans(&fig16_datasets(42, 128));
+    within(ttlt[0].1, 1.10, 0.05, "fig16 alpaca-like");
+    within(ttlt[1].1, 1.27, 0.05, "fig16 code-autocompletion-like");
+}
