@@ -41,9 +41,7 @@ fn bench_ablations(c: &mut Criterion) {
 fn bench_tables(c: &mut Criterion) {
     let mut g = c.benchmark_group("tables");
     g.sample_size(10);
-    g.bench_function("table1_hugepage", |b| {
-        b.iter(|| black_box(table1_hugepage(&[2.0], &[0.45])))
-    });
+    g.bench_function("table1_hugepage", |b| b.iter(|| black_box(table1_hugepage(&[2.0], &[0.45]))));
     g.bench_function("table3_gemm_slowdown", |b| {
         b.iter(|| black_box(table3_gemm_slowdown(&[PlatformId::Iphone], &[16])))
     });

@@ -13,11 +13,15 @@
 //! * **decode energy** — SoC vs PIM DRAM-side energy per token;
 //! * **quantization** — fp16 vs int8 weights under the same machinery.
 
-use facil_core::{decision_with_map_id, select_mapping_2mb, DType, MatrixConfig, PimArch, HUGE_PAGE_BITS};
+use facil_core::{
+    decision_with_map_id, select_mapping_2mb, DType, MatrixConfig, PimArch, HUGE_PAGE_BITS,
+};
 use facil_dram::EnergyModel;
 use facil_llm::ModelConfig;
 use facil_pim::{PimEngine, PimTimingConfig};
-use facil_sim::{decode_energy_per_token, run_cosched, CoschedConfig, CoschedPolicy, InferenceSim, Strategy};
+use facil_sim::{
+    decode_energy_per_token, run_cosched, CoschedConfig, CoschedPolicy, InferenceSim, Strategy,
+};
 use facil_soc::{Platform, PlatformId};
 use facil_workloads::Query;
 
@@ -49,7 +53,8 @@ pub fn ablation_mapping_flexibility(id: PlatformId) -> Vec<FlexRow> {
     for (op, _) in model.all_linears() {
         let m = MatrixConfig::new(op.out_features, op.in_features, DType::F16);
         let flexible = select_mapping_2mb(&m, topo, &platform.pim_arch).expect("mappable");
-        let fixed = decision_with_map_id(&m, topo, &platform.pim_arch, 0, HUGE_PAGE_BITS).expect("mappable");
+        let fixed = decision_with_map_id(&m, topo, &platform.pim_arch, 0, HUGE_PAGE_BITS)
+            .expect("mappable");
         let tf = engine.gemv(&m, &flexible).time_ns;
         let tx = engine.gemv(&m, &fixed).time_ns;
         rows.push(FlexRow {
@@ -85,7 +90,10 @@ pub fn ablation_cosched(id: PlatformId) -> Vec<(CoschedPolicy, f64, f64, f64, u6
     let mut out = Vec::new();
     for policy in [CoschedPolicy::Shared, CoschedPolicy::ReservedRank] {
         for rate in [0.0, 0.003, 0.01, 0.05, 0.2] {
-            let r = run_cosched(&platform.dram, CoschedConfig { policy, soc_rate: rate, ..Default::default() });
+            let r = run_cosched(
+                &platform.dram,
+                CoschedConfig { policy, soc_rate: rate, ..Default::default() },
+            );
             out.push((policy, rate, r.pim_throughput, r.soc_avg_latency, r.pim_row_reopens));
         }
     }
@@ -105,7 +113,11 @@ pub fn ablation_pim_microarch() -> Vec<(bool, u64, f64)> {
             let engine = PimEngine::with_config(
                 platform.dram.clone(),
                 platform.pim_arch,
-                PimTimingConfig { mac_interval, gb_double_buffer: double_buffer, ..Default::default() },
+                PimTimingConfig {
+                    mac_interval,
+                    gb_double_buffer: double_buffer,
+                    ..Default::default()
+                },
             );
             out.push((double_buffer, mac_interval, engine.gemv(&m, &d).time_ns / 1e3));
         }
@@ -178,7 +190,8 @@ pub fn ablation_dtype(id: PlatformId) -> Vec<(DType, u8, u64, f64)> {
         .into_iter()
         .map(|dtype| {
             let m = MatrixConfig::new(model.hidden, model.hidden, dtype);
-            let d = select_mapping_2mb(&m, platform.dram.topology, &platform.pim_arch).expect("mappable");
+            let d = select_mapping_2mb(&m, platform.dram.topology, &platform.pim_arch)
+                .expect("mappable");
             let t = engine.gemv(&m, &d).time_ns / 1e3;
             (dtype, d.map_id.0, d.partitions, t)
         })
@@ -196,15 +209,16 @@ mod tests {
             assert!(row.fixed_partitions >= row.flexible_partitions, "{}", row.name);
         }
         // At least one weight must actually suffer from the fixed mapping.
-        let any_worse = ablation_mapping_flexibility(PlatformId::Iphone)
-            .iter()
-            .any(|r| r.slowdown > 1.005);
+        let any_worse =
+            ablation_mapping_flexibility(PlatformId::Iphone).iter().any(|r| r.slowdown > 1.005);
         assert!(any_worse, "flexibility must matter for some weight");
     }
 
     #[test]
     fn all_at_once_is_never_cheaper() {
-        for (id, on_demand, all_at_once) in ablation_relayout_policy(Query { prefill: 16, decode: 16 }) {
+        for (id, on_demand, all_at_once) in
+            ablation_relayout_policy(Query { prefill: 16, decode: 16 })
+        {
             assert!(all_at_once > on_demand, "{id}");
         }
     }

@@ -29,7 +29,12 @@ fn main() {
     let rows: Vec<Vec<String>> = ablation_relayout_policy(Query { prefill: 32, decode: 32 })
         .iter()
         .map(|(id, od, aao)| {
-            vec![id.to_string(), format!("{od:.0} ms"), format!("{aao:.0} ms"), format!("{:.2}x", aao / od)]
+            vec![
+                id.to_string(),
+                format!("{od:.0} ms"),
+                format!("{aao:.0} ms"),
+                format!("{:.2}x", aao / od),
+            ]
         })
         .collect();
     print_table(
@@ -59,7 +64,11 @@ fn main() {
     let rows: Vec<Vec<String>> = ablation_pim_microarch()
         .iter()
         .map(|(db, mi, us)| {
-            vec![if *db { "double-buffered" } else { "single" }.into(), mi.to_string(), format!("{us:.0} us")]
+            vec![
+                if *db { "double-buffered" } else { "single" }.into(),
+                mi.to_string(),
+                format!("{us:.0} us"),
+            ]
         })
         .collect();
     print_table(
@@ -71,7 +80,12 @@ fn main() {
     let rows: Vec<Vec<String>> = ablation_energy(64)
         .iter()
         .map(|(id, soc, pim, ratio)| {
-            vec![id.to_string(), format!("{:.0} uJ", soc), format!("{:.0} uJ", pim), format!("{ratio:.2}x")]
+            vec![
+                id.to_string(),
+                format!("{:.0} uJ", soc),
+                format!("{:.0} uJ", pim),
+                format!("{ratio:.2}x"),
+            ]
         })
         .collect();
     print_table(

@@ -17,8 +17,5 @@ fn main() {
             vec!["PIM".into(), format!("{:.1}", r.pim_ms), format!("{:.2}x", r.speedup_vs_soc)],
         ],
     );
-    println!(
-        "\nPIM speedup over ideal NPU: {:.2}x  (paper: 3.32x)",
-        r.speedup_vs_ideal_npu
-    );
+    println!("\nPIM speedup over ideal NPU: {:.2}x  (paper: 3.32x)", r.speedup_vs_ideal_npu);
 }

@@ -6,8 +6,7 @@ use facil_bench::{fig14_ttlt, print_table};
 fn main() {
     let combos = [(16, 16), (64, 16), (16, 64), (64, 64), (256, 64), (64, 256), (256, 256)];
     let series = fig14_ttlt(&combos);
-    let headers: Vec<String> =
-        combos.iter().map(|(p, d)| format!("P{p}/D{d}")).collect();
+    let headers: Vec<String> = combos.iter().map(|(p, d)| format!("P{p}/D{d}")).collect();
     let mut header_refs: Vec<&str> = vec!["platform"];
     header_refs.extend(headers.iter().map(|s| s.as_str()));
     let rows: Vec<Vec<String>> = series

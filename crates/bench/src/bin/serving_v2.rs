@@ -1,0 +1,155 @@
+//! Serving subsystem showcase: the three claims of the `facil-serve`
+//! continuous-batching simulator, as reproducible sweeps.
+//!
+//! 1. **Continuous batching vs FCFS** — sustainable p95 TTFT across
+//!    offered rates, same strategy and arrival sample.
+//! 2. **Admission control** — bounding the admission queue keeps the
+//!    served tail flat past saturation, trading goodput for latency.
+//! 3. **Fleet mode** — sharding one stream across N devices under
+//!    round-robin vs least-loaded routing.
+//!
+//! Pass `--json` to emit one tagged JSON object per run (JSONL) instead of
+//! the tables.
+
+use facil_bench::print_table;
+use facil_serve::{run_fleet, run_serving, FleetConfig, Routing, ServeConfig, ServeReport};
+use facil_sim::{serve, InferenceSim, ServingConfig, Strategy};
+use facil_soc::{Platform, PlatformId};
+use facil_workloads::{ArrivalProcess, Dataset};
+
+fn emit(json: bool, experiment: &str, params: &str, report: &ServeReport) {
+    if json {
+        println!("{{\"experiment\":\"{experiment}\",{params},\"report\":{}}}", report.to_json());
+    }
+}
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let platform = Platform::get(PlatformId::Iphone);
+    let sim = InferenceSim::new(platform);
+    let dataset = Dataset::code_autocompletion_like(42, 96);
+    let strategy = Strategy::FacilDynamic;
+    if !json {
+        println!(
+            "platform: {} | dataset: {} ({} queries) | strategy: {strategy}",
+            PlatformId::Iphone,
+            dataset.name,
+            dataset.queries.len(),
+        );
+    }
+
+    // -- 1. Continuous batching vs FCFS across offered rates ---------------
+    let mut rows = Vec::new();
+    for qps in [0.5, 1.0, 2.0, 4.0, 8.0, 16.0] {
+        let fcfs = serve(&sim, strategy, &dataset, ServingConfig { arrival_qps: qps, seed: 9 });
+        let cfg = ServeConfig {
+            strategy,
+            seed: 9,
+            queue_cap: 1 << 20,
+            fmfi: 0.0,
+            ..ServeConfig::default()
+        };
+        let cb = run_serving(&sim, &dataset, &ArrivalProcess::Poisson { qps }, cfg);
+        emit(json, "cb_vs_fcfs", &format!("\"qps\":{qps}"), &cb);
+        rows.push(vec![
+            format!("{qps:.1}"),
+            format!("{:.0}", fcfs.ttft_p95_ms),
+            format!("{:.0}", cb.ttft_ms.p95),
+            format!("{:.2}", cb.goodput_qps),
+            format!("{:.1}", cb.tbt_ms.p95),
+            format!("{:.0}%", cb.utilization * 100.0),
+            format!("{:.1}", cb.devices[0].mean_batch),
+        ]);
+    }
+    if !json {
+        print_table(
+            "1. Continuous batching vs FCFS (unbounded queue, one device)",
+            &[
+                "arrivals/s",
+                "FCFS TTFT p95 (ms)",
+                "CB TTFT p95 (ms)",
+                "CB goodput/s",
+                "CB TBT p95 (ms)",
+                "util",
+                "mean batch",
+            ],
+            &rows,
+        );
+    }
+
+    // -- 2. Admission control past saturation ------------------------------
+    let mut rows = Vec::new();
+    for (label, queue_cap) in [("8", 8usize), ("16", 16), ("64", 64), ("unbounded", 1 << 20)] {
+        let cfg = ServeConfig { strategy, seed: 9, queue_cap, fmfi: 0.0, ..ServeConfig::default() };
+        let r = run_serving(&sim, &dataset, &ArrivalProcess::Poisson { qps: 64.0 }, cfg);
+        emit(json, "admission_control", &format!("\"queue_cap\":\"{label}\",\"qps\":64.0"), &r);
+        rows.push(vec![
+            label.to_string(),
+            r.completed.to_string(),
+            r.shed.to_string(),
+            format!("{:.0}", r.ttft_ms.p95),
+            format!("{:.2}", r.goodput_qps),
+            format!("{:.0}%", r.utilization * 100.0),
+        ]);
+    }
+    if !json {
+        print_table(
+            "2. Admission control at 64 arrivals/s (past saturation)",
+            &["queue cap", "completed", "shed", "TTFT p95 (ms)", "goodput/s", "util"],
+            &rows,
+        );
+    }
+
+    // -- 3. Fleet mode ------------------------------------------------------
+    let mut rows = Vec::new();
+    for devices in [1usize, 2, 4] {
+        for routing in [Routing::RoundRobin, Routing::LeastLoaded] {
+            let cfg = ServeConfig { strategy, seed: 9, fmfi: 0.0, ..ServeConfig::default() };
+            let r = run_fleet(
+                &sim,
+                &dataset,
+                &ArrivalProcess::Poisson { qps: 8.0 },
+                cfg,
+                FleetConfig { devices, routing },
+            );
+            emit(
+                json,
+                "fleet",
+                &format!("\"devices\":{devices},\"routing\":\"{routing}\",\"qps\":8.0"),
+                &r,
+            );
+            let utils: Vec<f64> = r.devices.iter().map(|d| d.utilization).collect();
+            let min_u = utils.iter().copied().fold(f64::INFINITY, f64::min);
+            let max_u = utils.iter().copied().fold(0.0f64, f64::max);
+            rows.push(vec![
+                devices.to_string(),
+                routing.to_string(),
+                r.completed.to_string(),
+                r.shed.to_string(),
+                format!("{:.0}", r.ttft_ms.p95),
+                format!("{:.2}", r.goodput_qps),
+                format!("{:.0}%-{:.0}%", min_u * 100.0, max_u * 100.0),
+            ]);
+        }
+    }
+    if !json {
+        print_table(
+            "3. Fleet scaling at 8 arrivals/s",
+            &[
+                "devices",
+                "routing",
+                "completed",
+                "shed",
+                "TTFT p95 (ms)",
+                "goodput/s",
+                "device util",
+            ],
+            &rows,
+        );
+        println!(
+            "\nIteration-level scheduling lifts the sustainable rate over FCFS; bounding the \
+             queue keeps the served tail flat past saturation; least-loaded routing evens \
+             device utilization where round-robin leaves stragglers."
+        );
+    }
+}

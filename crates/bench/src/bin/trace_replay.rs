@@ -36,7 +36,9 @@ fn main() {
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--platform" => platform = platform_by_name(it.next().map(String::as_str).unwrap_or("")),
+            "--platform" => {
+                platform = platform_by_name(it.next().map(String::as_str).unwrap_or(""))
+            }
             "--mapping" => mapping = it.next().cloned().unwrap_or_default(),
             "--help" | "-h" => {
                 println!("trace_replay <trace-file> [--platform P] [--mapping conventional|hashed|pim:<id>]");
@@ -106,6 +108,9 @@ fn main() {
         res.stats.row_conflicts,
         res.stats.hit_rate() * 100.0
     );
-    println!("commands : {} ACT, {} PRE, {} REF", res.stats.activates, res.stats.precharges, res.stats.refreshes);
+    println!(
+        "commands : {} ACT, {} PRE, {} REF",
+        res.stats.activates, res.stats.precharges, res.stats.refreshes
+    );
     println!("energy   : {:.1} uJ total ({:.1} uJ interface)", energy.total_uj(), energy.io_uj);
 }

@@ -98,9 +98,9 @@ pub fn fig02_profile(decode: u64) -> Fig02Result {
         }
         // Attention and element-wise work launch separate kernels per layer
         // on a real device.
-        attention += soc
-            .stream_ns((model.kv_read_bytes(ctx) + model.kv_write_bytes_per_token()) / model.layers)
-            * model.layers as f64;
+        attention += soc.stream_ns(
+            (model.kv_read_bytes(ctx) + model.kv_write_bytes_per_token()) / model.layers,
+        ) * model.layers as f64;
         // ~4 element-wise kernels (norms, residual, activation) per layer.
         other += soc.stream_ns(model.elementwise_bytes_per_token() / model.layers / 4)
             * (model.layers * 4) as f64;
@@ -476,7 +476,11 @@ mod tests {
     fn fig13_shapes() {
         let series = fig13_ttft(&[8, 128]);
         for s in &series {
-            assert!(s.points[0].1 >= s.points[1].1, "{}: speedup must not grow with prefill", s.platform);
+            assert!(
+                s.points[0].1 >= s.points[1].1,
+                "{}: speedup must not grow with prefill",
+                s.platform
+            );
             assert!(s.geomean > 1.2, "{}: geomean {}", s.platform, s.geomean);
         }
         // Paper: IdeaPad is the weakest platform.

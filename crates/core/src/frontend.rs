@@ -76,7 +76,8 @@ impl Frontend {
             if self.installed() >= self.max_slots {
                 return Err(FacilError::FrontendFull { slots: self.max_slots });
             }
-            let scheme = MappingScheme::pim_optimized(self.topo, &self.arch, map_id.0, self.page_bits)?;
+            let scheme =
+                MappingScheme::pim_optimized(self.topo, &self.arch, map_id.0, self.page_bits)?;
             self.slots[idx] = Some(scheme);
         }
         Ok(self.slots[idx].as_ref().expect("just installed"))
@@ -185,10 +186,7 @@ mod tests {
     #[test]
     fn uninstalled_mapid_is_rejected() {
         let f = frontend(3);
-        assert!(matches!(
-            f.translate(0, Some(MapId(2))),
-            Err(FacilError::MapIdOutOfRange { .. })
-        ));
+        assert!(matches!(f.translate(0, Some(MapId(2))), Err(FacilError::MapIdOutOfRange { .. })));
     }
 
     #[test]

@@ -90,9 +90,7 @@ impl PagedKvCache {
     pub fn reserved_pages(&self) -> u64 {
         self.slabs
             .iter()
-            .map(|l| {
-                l.k.iter().chain(&l.v).map(|a| a.pages.len() as u64).sum::<u64>()
-            })
+            .map(|l| l.k.iter().chain(&l.v).map(|a| a.pages.len() as u64).sum::<u64>())
             .sum()
     }
 

@@ -60,6 +60,10 @@ pub use frontend::{Frontend, PinnedMapper};
 pub use kvcache::{KvHalf, PagedKvCache};
 pub use matrix::{DType, MatrixConfig};
 pub use pimalloc::{FacilSystem, PimAllocation, VaMapper};
-pub use scheme::{max_map_id_bound, Field, MappingScheme, Segment, HUGE_PAGE_BITS, HUGE_PAGE_BYTES};
-pub use select::{decision_with_map_id, select_mapping, select_mapping_2mb, MapId, MappingDecision};
+pub use scheme::{
+    max_map_id_bound, Field, MappingScheme, Segment, HUGE_PAGE_BITS, HUGE_PAGE_BYTES,
+};
+pub use select::{
+    decision_with_map_id, select_mapping, select_mapping_2mb, MapId, MappingDecision,
+};
 pub use verify::{PlacementChecker, PlacementReport};

@@ -183,9 +183,7 @@ mod tests {
     #[test]
     fn pim_mmap_carries_mapid() {
         let mut a = AddressSpace::new(16 << 20);
-        let va = a
-            .mmap(3 << 20, MmapFlags { huge: true, map_id: Some(MapId(2)) })
-            .unwrap();
+        let va = a.mmap(3 << 20, MmapFlags { huge: true, map_id: Some(MapId(2)) }).unwrap();
         assert_eq!(va % (2 << 20), 0);
         for off in [0u64, 1 << 20, (2 << 20) + 7] {
             let t = a.translate(va + off).unwrap();

@@ -294,7 +294,7 @@ impl PhysicalMemory {
         }
         // Round the mixed region up to a block boundary so the tail block is
         // not accidentally huge-page ready; pad it with used frames.
-        while fr % FRAMES_PER_HUGE != 0 && used_budget > 0 && fr < self.frames {
+        while !fr.is_multiple_of(FRAMES_PER_HUGE) && used_budget > 0 && fr < self.frames {
             self.set_used(fr);
             used_budget -= 1;
             fr += 1;
@@ -447,7 +447,8 @@ mod tests {
     fn cost_model_monotone_in_compaction() {
         let m = LoadCostModel::default();
         let cheap = AllocStats { pages_direct: 100, ..Default::default() };
-        let costly = AllocStats { pages_compacted: 100, frames_moved: 100 * 384, ..Default::default() };
+        let costly =
+            AllocStats { pages_compacted: 100, frames_moved: 100 * 384, ..Default::default() };
         let t0 = m.huge_page_load_time(1 << 30, &cheap);
         let t1 = m.huge_page_load_time(1 << 30, &costly);
         assert!(t1 > t0);

@@ -116,10 +116,10 @@ mod tests {
     fn nine_unused_bits_fit_mapid() {
         // Paper Section V-A: 21 - 12 = 9 unused bits; 4 suffice for 14 maps.
         assert_eq!(HUGE_PAGE_BITS - BASE_PAGE_BITS, 9);
-        assert!(MAPID_MASK.count_ones() == 4);
+        const { assert!(MAPID_MASK.count_ones() == 4) };
         // MapID bits sit strictly below the huge PFN and above base-page flags.
         assert_eq!(MAPID_MASK & !((1 << HUGE_PAGE_BITS) - 1), 0);
-        assert!(MAPID_SHIFT >= BASE_PAGE_BITS);
+        const { assert!(MAPID_SHIFT >= BASE_PAGE_BITS) };
     }
 
     #[test]

@@ -80,7 +80,8 @@ impl RadixPageTable {
             } else {
                 assert_eq!(slot, 0, "remapping over an existing leaf at level {level}");
                 let id = self.alloc_frame();
-                self.frames.get_mut(&frame).expect("frame exists")[idx] = (id << BASE_PAGE_BITS) | 1;
+                self.frames.get_mut(&frame).expect("frame exists")[idx] =
+                    (id << BASE_PAGE_BITS) | 1;
                 id
             };
             frame = next;
@@ -261,7 +262,8 @@ mod tests {
         use crate::paging::table::PageTable;
         let mut flat = PageTable::new();
         let mut radix = RadixPageTable::new();
-        let cases = [(0u64, 0u64, Some(MapId(1))), (4 << HUGE_PAGE_BITS, 8 << HUGE_PAGE_BITS, None)];
+        let cases =
+            [(0u64, 0u64, Some(MapId(1))), (4 << HUGE_PAGE_BITS, 8 << HUGE_PAGE_BITS, None)];
         for (va, pa, id) in cases {
             match id {
                 Some(id) => {

@@ -139,7 +139,10 @@ mod tests {
     #[test]
     fn unmapped_access_faults() {
         let pt = PageTable::new();
-        assert_eq!(pt.translate(0xdead_beef).unwrap_err(), FacilError::NotMapped { va: 0xdead_beef });
+        assert_eq!(
+            pt.translate(0xdead_beef).unwrap_err(),
+            FacilError::NotMapped { va: 0xdead_beef }
+        );
     }
 
     #[test]

@@ -7,9 +7,9 @@
 //! [`Pte`] and hit/miss behaviour is independent of whether a MapID is
 //! present.
 
+use crate::error::Result;
 use crate::paging::pte::{Pte, BASE_PAGE_BITS, HUGE_PAGE_BITS};
 use crate::paging::table::{PageTable, Translation};
-use crate::error::Result;
 
 /// TLB access statistics.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -79,15 +79,22 @@ impl Tlb {
         // the huge VPN (entries self-identify their size).
         for idx in [self.index(base_vpn), self.index(huge_vpn)] {
             let tick = self.tick;
-            if let Some(e) = self.sets[idx]
-                .iter_mut()
-                .find(|e| if e.huge { e.vpn == huge_vpn } else { e.vpn == base_vpn })
-            {
+            if let Some(e) = self.sets[idx].iter_mut().find(|e| {
+                if e.huge {
+                    e.vpn == huge_vpn
+                } else {
+                    e.vpn == base_vpn
+                }
+            }) {
                 e.lru = tick;
                 self.stats.hits += 1;
                 let offset_bits = if e.huge { HUGE_PAGE_BITS } else { BASE_PAGE_BITS };
                 let offset = va & ((1u64 << offset_bits) - 1);
-                return Ok(Translation { pa: e.pte.pa() + offset, map_id: e.pte.map_id(), huge: e.huge });
+                return Ok(Translation {
+                    pa: e.pte.pa() + offset,
+                    map_id: e.pte.map_id(),
+                    huge: e.huge,
+                });
             }
         }
         // Miss: walk, then fill.

@@ -130,6 +130,15 @@ impl FacilSystem {
         self.phys.fragment_to(used_bytes, fmfi);
     }
 
+    /// Physical-allocator statistics since construction (or the last
+    /// [`FacilSystem::fragment_physical`], which resets them): huge pages
+    /// minted directly vs via compaction, and 4 KB frames moved. This is
+    /// the fragmentation cost signal consumers like `facil-serve` report
+    /// for allocations made under a prepared FMFI state.
+    pub fn alloc_stats(&self) -> crate::paging::AllocStats {
+        self.phys.stats()
+    }
+
     fn take_va(&mut self, bytes: u64) -> u64 {
         let pages = bytes.div_ceil(1 << HUGE_PAGE_BITS);
         let va = self.next_va;

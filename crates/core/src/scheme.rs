@@ -95,7 +95,11 @@ impl MappingScheme {
     ///
     /// Returns [`FacilError::InvalidMapping`] if per-field widths do not
     /// match the topology exactly.
-    pub fn from_segments(topo: Topology, segments: Vec<Segment>, label: impl Into<String>) -> Result<Self> {
+    pub fn from_segments(
+        topo: Topology,
+        segments: Vec<Segment>,
+        label: impl Into<String>,
+    ) -> Result<Self> {
         let mut widths = [0u32; 6];
         let idx = |f: Field| match f {
             Field::Tx => 0,
@@ -154,7 +158,8 @@ impl MappingScheme {
             Segment { field: Field::Rank, width: topo.rank_bits() },
             Segment { field: Field::Row, width: topo.row_bits() },
         ];
-        Self::from_segments(topo, segments, "conventional").expect("conventional scheme is always valid")
+        Self::from_segments(topo, segments, "conventional")
+            .expect("conventional scheme is always valid")
     }
 
     /// Number of page-offset bits available for DRAM row bits in a
@@ -188,7 +193,12 @@ impl MappingScheme {
     ///   in the page offset or the chunk does not tile the DRAM row;
     /// * [`FacilError::MapIdOutOfRange`] if `map_id` exceeds the maximum for
     ///   this topology/page size.
-    pub fn pim_optimized(topo: Topology, arch: &PimArch, map_id: u8, page_bits: u32) -> Result<Self> {
+    pub fn pim_optimized(
+        topo: Topology,
+        arch: &PimArch,
+        map_id: u8,
+        page_bits: u32,
+    ) -> Result<Self> {
         if !arch.tiles_row(&topo) {
             return Err(FacilError::InvalidMapping(format!(
                 "chunk ({} rows x {} bytes) does not tile the {}-byte DRAM row",
@@ -540,7 +550,7 @@ mod tests {
         ] {
             assert!(scheme.bank_hash());
             for i in 0..4096u64 {
-                let pa = (i * 977 * 32) % t.capacity_bytes() & !31;
+                let pa = ((i * 977 * 32) % t.capacity_bytes()) & !31;
                 let da = scheme.map_pa(pa);
                 assert!(da.is_valid(&t));
                 assert_eq!(scheme.unmap(da), pa, "{}", scheme.label());

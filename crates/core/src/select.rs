@@ -118,7 +118,11 @@ pub fn select_mapping(
 }
 
 /// Convenience wrapper using the default 2 MB huge page.
-pub fn select_mapping_2mb(matrix: &MatrixConfig, topo: Topology, arch: &PimArch) -> Result<MappingDecision> {
+pub fn select_mapping_2mb(
+    matrix: &MatrixConfig,
+    topo: Topology,
+    arch: &PimArch,
+) -> Result<MappingDecision> {
     select_mapping(matrix, topo, arch, HUGE_PAGE_BITS)
 }
 
@@ -250,7 +254,8 @@ mod tests {
     fn matrix_narrower_than_chunk_rejected() {
         let t = small_topo();
         let arch = PimArch::aim(&t);
-        let err = select_mapping_2mb(&MatrixConfig::new(64, 256, DType::F16), t, &arch).unwrap_err();
+        let err =
+            select_mapping_2mb(&MatrixConfig::new(64, 256, DType::F16), t, &arch).unwrap_err();
         assert!(matches!(err, FacilError::InvalidRequest(_)));
     }
 
@@ -282,7 +287,7 @@ mod tests {
         let t = small_topo();
         let arch = PimArch::aim(&t);
         let m = MatrixConfig::new(64, 16384, DType::F16); // 32 KB rows
-        // 2 MB pages: 16 KB per bank -> partition x2.
+                                                          // 2 MB pages: 16 KB per bank -> partition x2.
         let small_page = select_mapping(&m, t, &arch, 21).unwrap();
         assert_eq!(small_page.partitions, 2);
         // 1 GB pages: 8 MB per bank -> whole rows fit, no partitioning.

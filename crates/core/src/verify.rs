@@ -56,7 +56,12 @@ impl<'a> PlacementChecker<'a> {
     /// # Panics
     ///
     /// Panics if `base_pa` is not huge-page aligned (2 MB).
-    pub fn new(matrix: &'a MatrixConfig, decision: &'a MappingDecision, arch: &'a PimArch, base_pa: u64) -> Self {
+    pub fn new(
+        matrix: &'a MatrixConfig,
+        decision: &'a MappingDecision,
+        arch: &'a PimArch,
+        base_pa: u64,
+    ) -> Self {
         assert_eq!(base_pa % crate::scheme::HUGE_PAGE_BYTES, 0, "base must be huge-page aligned");
         PlacementChecker { matrix, decision, arch, base_pa }
     }
@@ -102,7 +107,9 @@ impl<'a> PlacementChecker<'a> {
                 let first = self.decision.scheme.map_pa(chunk_base);
                 for t in 1..(self.arch.chunk_row_bytes / tx) {
                     let a = self.decision.scheme.map_pa(chunk_base + t * tx);
-                    if (a.channel, a.rank, a.bank, a.row) != (first.channel, first.rank, first.bank, first.row) {
+                    if (a.channel, a.rank, a.bank, a.row)
+                        != (first.channel, first.rank, first.bank, first.row)
+                    {
                         return Err(FacilError::InvalidMapping(format!(
                             "chunk at row {row} chunk {c} spans banks/rows: {first} vs {a}"
                         )));
@@ -158,7 +165,8 @@ impl<'a> PlacementChecker<'a> {
         // Rows per full cycle of the PU-changing bits: once every PU has one
         // tile row, the next matrix row returns to PU 0 at a *different*
         // local row, so such pairs are not lock-step peers.
-        let rows_per_pu_cycle = (topo.total_banks() / self.decision.partitions) * self.arch.chunk_rows;
+        let rows_per_pu_cycle =
+            (topo.total_banks() / self.decision.partitions) * self.arch.chunk_rows;
         let mut compared = 0;
         for row in self.sample_rows(8) {
             let peer = row + stride;

@@ -16,9 +16,8 @@ enum MmapOp {
 
 fn arb_op() -> impl Strategy<Value = MmapOp> {
     prop_oneof![
-        (1u64..6_000_000, prop::bool::ANY, prop::option::of(0u8..16)).prop_map(|(len, huge, id)| {
-            MmapOp::Map { len, huge, map_id: id.filter(|_| huge) }
-        }),
+        (1u64..6_000_000, prop::bool::ANY, prop::option::of(0u8..16))
+            .prop_map(|(len, huge, id)| { MmapOp::Map { len, huge, map_id: id.filter(|_| huge) } }),
         (0usize..8).prop_map(MmapOp::UnmapNth),
     ]
 }
@@ -38,17 +37,15 @@ proptest! {
             match op {
                 MmapOp::Map { len, huge, map_id } => {
                     let flags = MmapFlags { huge, map_id: map_id.map(MapId) };
-                    match space.mmap(len, flags) {
-                        Ok(va) => {
-                            let page = if huge { 2u64 << 20 } else { 4096 };
-                            let rounded = len.div_ceil(page) * page;
-                            // No overlap with model regions.
-                            for (b, l, _) in &model {
-                                prop_assert!(va + rounded <= *b || b + l <= va);
-                            }
-                            model.push((va, rounded, flags.map_id));
+                    // A mmap Err (OOM) is legal under memory pressure.
+                    if let Ok(va) = space.mmap(len, flags) {
+                        let page = if huge { 2u64 << 20 } else { 4096 };
+                        let rounded = len.div_ceil(page) * page;
+                        // No overlap with model regions.
+                        for (b, l, _) in &model {
+                            prop_assert!(va + rounded <= *b || b + l <= va);
                         }
-                        Err(_) => {} // OOM is legal under memory pressure
+                        model.push((va, rounded, flags.map_id));
                     }
                 }
                 MmapOp::UnmapNth(n) => {

@@ -34,7 +34,7 @@ proptest! {
         for map_id in 0..=max as u8 {
             let s = MappingScheme::pim_optimized(topo, &arch, map_id, HUGE_PAGE_BITS).unwrap();
             for i in 0..64u64 {
-                let pa = (pa_seed.wrapping_mul(i * 2 + 1)) % topo.capacity_bytes() & !31;
+                let pa = (pa_seed.wrapping_mul(i * 2 + 1) % topo.capacity_bytes()) & !31;
                 let da = s.map_pa(pa);
                 prop_assert!(da.is_valid(&topo));
                 prop_assert_eq!(s.unmap(da), pa);

@@ -52,7 +52,10 @@ impl Topology {
         ] {
             assert!(v > 0 && v.is_power_of_two(), "{name} must be a nonzero power of two, got {v}");
         }
-        assert!(row_bytes % transfer_bytes == 0, "row size must be a multiple of the transfer size");
+        assert!(
+            row_bytes.is_multiple_of(transfer_bytes),
+            "row size must be a multiple of the transfer size"
+        );
         Topology { channels, ranks, bank_groups, banks_per_group, rows, row_bytes, transfer_bytes }
     }
 
@@ -150,7 +153,8 @@ impl DramAddress {
     /// bijectivity testing). The field order here is arbitrary but fixed.
     pub fn flat_index(&self, topo: &Topology) -> u64 {
         debug_assert!(self.is_valid(topo));
-        (((self.channel * topo.ranks + self.rank) * topo.banks() + self.bank) * topo.rows + self.row)
+        (((self.channel * topo.ranks + self.rank) * topo.banks() + self.bank) * topo.rows
+            + self.row)
             * topo.columns()
             + self.column
     }

@@ -132,13 +132,17 @@ pub fn run_allbank(spec: &DramSpec, streams: &[PimStream]) -> AllBankResult {
                     if rc_ok {
                         r.last_act = now;
                         r.next_mac = now + tm.rcd;
-                        let prefetch = if s.double_buffer && r.rows_left > 1 { s.gb_cmds_per_row } else { 0 };
-                        r.phase = Phase::Mac { remaining: s.macs_per_row, prefetch_remaining: prefetch };
+                        let prefetch =
+                            if s.double_buffer && r.rows_left > 1 { s.gb_cmds_per_row } else { 0 };
+                        r.phase =
+                            Phase::Mac { remaining: s.macs_per_row, prefetch_remaining: prefetch };
                         commands += 1;
                         issued = true;
                     }
                 }
-                Phase::Mac { remaining, prefetch_remaining } if remaining > 0 && r.next_mac <= now => {
+                Phase::Mac { remaining, prefetch_remaining }
+                    if remaining > 0 && r.next_mac <= now =>
+                {
                     r.next_mac = now + s.mac_interval;
                     macs += 1;
                     commands += 1;
@@ -154,7 +158,9 @@ pub fn run_allbank(spec: &DramSpec, streams: &[PimStream]) -> AllBankResult {
                     }
                     issued = true;
                 }
-                Phase::Mac { remaining, prefetch_remaining } if prefetch_remaining > 0 && r.next_mac > now => {
+                Phase::Mac { remaining, prefetch_remaining }
+                    if prefetch_remaining > 0 && r.next_mac > now =>
+                {
                     // MAC pipeline busy: use the free slot to prefetch the
                     // next row's GB content.
                     r.phase = Phase::Mac { remaining, prefetch_remaining: prefetch_remaining - 1 };
@@ -170,7 +176,8 @@ pub fn run_allbank(spec: &DramSpec, streams: &[PimStream]) -> AllBankResult {
                         // tRP before the next ACT.
                         r.ready_at = now + tm.rp;
                         // Continue from whatever prefetch achieved.
-                        let outstanding = if s.double_buffer { r.pending_gb } else { s.gb_cmds_per_row };
+                        let outstanding =
+                            if s.double_buffer { r.pending_gb } else { s.gb_cmds_per_row };
                         r.pending_gb = 0;
                         r.phase = if outstanding == 0 {
                             Phase::NeedAct

@@ -230,16 +230,14 @@ impl ChannelSim {
         // Build the candidate set: (queue index, action, ready cycle).
         let mut candidates: Vec<(usize, Action, u64)> = Vec::new();
         let mut next_arrival_beyond: Option<u64> = None;
-        let mut seen = 0usize;
         for (i, p) in self.queue.iter().enumerate() {
-            if seen >= self.cfg.window {
+            if i >= self.cfg.window {
                 break;
             }
             if p.req.arrival > self.now {
                 next_arrival_beyond = Some(p.req.arrival);
                 break;
             }
-            seen += 1;
             let rank = p.req.addr.rank as usize;
             let bank = p.req.addr.bank as usize;
             let b = &self.banks[rank][bank];
@@ -555,8 +553,10 @@ mod tests {
             })
         };
         let mut open = ChannelSim::new(&spec);
-        let mut closed =
-            ChannelSim::with_config(&spec, SchedConfig { page_policy: PagePolicy::Closed, ..Default::default() });
+        let mut closed = ChannelSim::with_config(
+            &spec,
+            SchedConfig { page_policy: PagePolicy::Closed, ..Default::default() },
+        );
         for r in make_reqs() {
             open.push(r);
         }
@@ -579,8 +579,10 @@ mod tests {
         let spec = small_spec();
         let make_reqs = || (0..512u64).map(|c| Request::read(addr(0, 0, c / 64, c % 64)));
         let mut open = ChannelSim::new(&spec);
-        let mut closed =
-            ChannelSim::with_config(&spec, SchedConfig { page_policy: PagePolicy::Closed, ..Default::default() });
+        let mut closed = ChannelSim::with_config(
+            &spec,
+            SchedConfig { page_policy: PagePolicy::Closed, ..Default::default() },
+        );
         for r in make_reqs() {
             open.push(r);
         }
@@ -589,7 +591,12 @@ mod tests {
         }
         let so = open.run();
         let sc = closed.run();
-        assert!(so.finish_cycle <= sc.finish_cycle + 8, "{} vs {}", so.finish_cycle, sc.finish_cycle);
+        assert!(
+            so.finish_cycle <= sc.finish_cycle + 8,
+            "{} vs {}",
+            so.finish_cycle,
+            sc.finish_cycle
+        );
         assert!(so.row_hits >= sc.row_hits);
     }
 
@@ -602,8 +609,10 @@ mod tests {
                 Request::read(addr(0, (x >> 8) % 16, (x >> 16) % 64, i % 64))
             })
         };
-        let mut wide = ChannelSim::with_config(&spec, SchedConfig { window: 32, ..Default::default() });
-        let mut narrow = ChannelSim::with_config(&spec, SchedConfig { window: 2, ..Default::default() });
+        let mut wide =
+            ChannelSim::with_config(&spec, SchedConfig { window: 32, ..Default::default() });
+        let mut narrow =
+            ChannelSim::with_config(&spec, SchedConfig { window: 2, ..Default::default() });
         for r in make_reqs() {
             wide.push(r);
         }

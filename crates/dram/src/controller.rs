@@ -129,7 +129,13 @@ mod tests {
         let mut sys = DramSystem::new(&spec);
         sys.enable_logging();
         for c in 0..2u64 {
-            sys.push(Request::read(DramAddress { channel: c, rank: 0, bank: 0, row: 0, column: 0 }));
+            sys.push(Request::read(DramAddress {
+                channel: c,
+                rank: 0,
+                bank: 0,
+                row: 0,
+                column: 0,
+            }));
         }
         sys.run();
         let logs = sys.logs();

@@ -70,11 +70,22 @@ impl EnergyModel {
 
     /// Energy of a PIM-internal interval: column data is consumed by the
     /// near-bank PUs and never crosses the interface (no I/O energy).
-    pub fn energy_internal(&self, spec: &DramSpec, stats: &DramStats, elapsed_ns: f64) -> EnergyBreakdown {
+    pub fn energy_internal(
+        &self,
+        spec: &DramSpec,
+        stats: &DramStats,
+        elapsed_ns: f64,
+    ) -> EnergyBreakdown {
         self.energy_inner(spec, stats, elapsed_ns, false)
     }
 
-    fn energy_inner(&self, spec: &DramSpec, stats: &DramStats, elapsed_ns: f64, io: bool) -> EnergyBreakdown {
+    fn energy_inner(
+        &self,
+        spec: &DramSpec,
+        stats: &DramStats,
+        elapsed_ns: f64,
+        io: bool,
+    ) -> EnergyBreakdown {
         let accesses = (stats.reads + stats.writes) as f64;
         let bits = stats.bytes(spec.topology.transfer_bytes) as f64 * 8.0;
         let ranks = (spec.topology.channels * spec.topology.ranks) as f64;
@@ -94,11 +105,7 @@ impl EnergyModel {
         let tx = spec.topology.transfer_bytes;
         let accesses = bytes.div_ceil(tx);
         let rows = (accesses as f64 * (1.0 - hit_rate)).ceil();
-        let stats = DramStats {
-            reads: accesses,
-            activates: rows as u64,
-            ..Default::default()
-        };
+        let stats = DramStats { reads: accesses, activates: rows as u64, ..Default::default() };
         let ns = bytes as f64 / spec.peak_bandwidth_bytes_per_sec() * 1e9;
         self.energy_inner(spec, &stats, ns, io).total_uj()
     }

@@ -68,7 +68,7 @@ impl FunctionalMemory {
             let key = addr.flat_index(&self.topo);
             match self.blocks.get(&key) {
                 Some(block) => out.extend_from_slice(&block[offset..offset + chunk]),
-                None => out.extend(std::iter::repeat(0u8).take(chunk)),
+                None => out.extend(std::iter::repeat_n(0u8, chunk)),
             }
             cur += chunk as u64;
         }

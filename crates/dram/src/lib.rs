@@ -31,11 +31,11 @@
 
 pub mod addr;
 pub mod allbank;
-pub mod energy;
 pub(crate) mod bank;
 pub mod channel;
 pub mod command;
 pub mod controller;
+pub mod energy;
 pub mod functional;
 pub mod mapper;
 pub mod spec;
@@ -48,10 +48,12 @@ pub use allbank::{run_allbank, AllBankResult, PimStream};
 pub use channel::{ChannelSim, PagePolicy, SchedConfig};
 pub use command::{CommandKind, Op, Request};
 pub use controller::DramSystem;
+pub use energy::{EnergyBreakdown, EnergyModel};
 pub use functional::FunctionalMemory;
 pub use mapper::{AddressMapper, FnMapper};
 pub use spec::{DramKind, DramSpec, Timing};
-pub use energy::{EnergyBreakdown, EnergyModel};
 pub use stats::{DramStats, SimResult};
+pub use trace::{
+    parse_trace, parse_trace_line, run_trace, sequential_trace, TraceEntry, TraceOptions,
+};
 pub use verifylog::{verify_log, LoggedCommand, Violation};
-pub use trace::{parse_trace, parse_trace_line, run_trace, sequential_trace, TraceEntry, TraceOptions};

@@ -49,7 +49,13 @@ mod tests {
 
     #[test]
     fn fn_mapper_delegates() {
-        let m = FnMapper(|pa: u64| DramAddress { channel: pa & 1, rank: 0, bank: 0, row: pa >> 1, column: 0 });
+        let m = FnMapper(|pa: u64| DramAddress {
+            channel: pa & 1,
+            rank: 0,
+            bank: 0,
+            row: pa >> 1,
+            column: 0,
+        });
         assert_eq!(m.map(3).channel, 1);
         assert_eq!(m.map(4).row, 2);
         // Reference and Box blanket impls.

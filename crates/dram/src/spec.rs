@@ -173,8 +173,13 @@ impl DramSpec {
     ///
     /// Panics if `bus_width_bits` is not a multiple of 16 or the resulting
     /// per-bank capacity is not a power-of-two multiple of the row size.
-    pub fn build(kind: DramKind, data_rate_mbps: u64, bus_width_bits: u64, capacity_bytes: u64) -> Self {
-        assert!(bus_width_bits % 16 == 0, "LPDDR5 channels are 16 bits wide");
+    pub fn build(
+        kind: DramKind,
+        data_rate_mbps: u64,
+        bus_width_bits: u64,
+        capacity_bytes: u64,
+    ) -> Self {
+        assert!(bus_width_bits.is_multiple_of(16), "LPDDR5 channels are 16 bits wide");
         let channels = bus_width_bits / 16;
         let ranks = 2;
         let bank_groups = 4;
@@ -182,10 +187,21 @@ impl DramSpec {
         let row_bytes = 2048; // 2 KB row buffer per bank (paper Section II-C)
         let transfer_bytes = 32; // BL16 x 16 bits
         let per_bank = capacity_bytes / (channels * ranks * bank_groups * banks_per_group);
-        assert!(per_bank % row_bytes == 0, "bank capacity must be a multiple of the row size");
+        assert!(
+            per_bank.is_multiple_of(row_bytes),
+            "bank capacity must be a multiple of the row size"
+        );
         let rows = per_bank / row_bytes;
         assert!(rows.is_power_of_two(), "rows per bank must be a power of two (got {rows})");
-        let topology = Topology::new(channels, ranks, bank_groups, banks_per_group, rows, row_bytes, transfer_bytes);
+        let topology = Topology::new(
+            channels,
+            ranks,
+            bank_groups,
+            banks_per_group,
+            rows,
+            row_bytes,
+            transfer_bytes,
+        );
         let clock_mhz = data_rate_mbps / 8;
         let timing = Timing::from_ns(clock_mhz, TimingNs::lpddr5_core());
         DramSpec { kind, data_rate_mbps, bus_width_bits, topology, timing }

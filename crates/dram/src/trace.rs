@@ -29,17 +29,11 @@ impl TraceEntry {
 }
 
 /// Options controlling trace replay.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct TraceOptions {
     /// Cycles between successive request arrivals (0 = issue as fast as the
     /// queues accept, modelling a fully memory-bound requester).
     pub issue_interval: u64,
-}
-
-impl Default for TraceOptions {
-    fn default() -> Self {
-        TraceOptions { issue_interval: 0 }
-    }
 }
 
 /// Replay `trace` through `mapper` on a fresh backend for `spec` and return

@@ -48,7 +48,13 @@ struct BankTrace {
 /// Re-check a per-channel command log against `timing`. Returns all
 /// violations (empty = legal). `banks_per_group` is needed for the
 /// tRRD_L/tCCD_L same-bank-group rules.
-pub fn verify_log(log: &[LoggedCommand], timing: &Timing, ranks: u64, banks: u64, banks_per_group: u64) -> Vec<Violation> {
+pub fn verify_log(
+    log: &[LoggedCommand],
+    timing: &Timing,
+    ranks: u64,
+    banks: u64,
+    banks_per_group: u64,
+) -> Vec<Violation> {
     let mut violations = Vec::new();
     let mut bank_state = vec![BankTrace::default(); (ranks * banks) as usize];
     let mut rank_acts: Vec<Vec<u64>> = vec![Vec::new(); ranks as usize];
@@ -64,7 +70,12 @@ pub fn verify_log(log: &[LoggedCommand], timing: &Timing, ranks: u64, banks: u64
         if let Some(prev) = last_cmd_cycle {
             check(c.cycle >= prev, i, "commands must be time-ordered".into(), &mut violations);
             if c.kind != CommandKind::RefAb {
-                check(c.cycle > prev || c.kind == CommandKind::RefAb, i, "one command per cycle per channel".into(), &mut violations);
+                check(
+                    c.cycle > prev || c.kind == CommandKind::RefAb,
+                    i,
+                    "one command per cycle per channel".into(),
+                    &mut violations,
+                );
             }
         }
         if c.kind != CommandKind::RefAb {
@@ -74,29 +85,59 @@ pub fn verify_log(log: &[LoggedCommand], timing: &Timing, ranks: u64, banks: u64
         match c.kind {
             CommandKind::Act => {
                 let b = bank_state[bi];
-                check(!b.open, i, format!("ACT to open bank rk{} ba{}", c.rank, c.bank), &mut violations);
+                check(
+                    !b.open,
+                    i,
+                    format!("ACT to open bank rk{} ba{}", c.rank, c.bank),
+                    &mut violations,
+                );
                 if let Some(t) = b.last_act {
-                    check(c.cycle >= t + timing.rc, i, format!("tRC violation on rk{} ba{}", c.rank, c.bank), &mut violations);
+                    check(
+                        c.cycle >= t + timing.rc,
+                        i,
+                        format!("tRC violation on rk{} ba{}", c.rank, c.bank),
+                        &mut violations,
+                    );
                 }
                 if let Some(t) = b.last_pre {
-                    check(c.cycle >= t + timing.rp, i, format!("tRP violation on rk{} ba{}", c.rank, c.bank), &mut violations);
+                    check(
+                        c.cycle >= t + timing.rp,
+                        i,
+                        format!("tRP violation on rk{} ba{}", c.rank, c.bank),
+                        &mut violations,
+                    );
                 }
                 // tRRD (same rank) and tFAW.
                 let acts = &rank_acts[c.rank as usize];
                 if let Some(&t) = acts.last() {
-                    check(c.cycle >= t + timing.rrd_s, i, "tRRD_S violation".into(), &mut violations);
+                    check(
+                        c.cycle >= t + timing.rrd_s,
+                        i,
+                        "tRRD_S violation".into(),
+                        &mut violations,
+                    );
                 }
                 // Same bank group: tRRD_L. Scan recent acts for same group.
                 let group = c.bank / banks_per_group;
                 for &(t, g) in recent_groups(log, i, banks_per_group).iter() {
                     if g == group && c.rank == log_rank(log, i, t) {
-                        check(c.cycle >= t + timing.rrd_l, i, "tRRD_L violation".into(), &mut violations);
+                        check(
+                            c.cycle >= t + timing.rrd_l,
+                            i,
+                            "tRRD_L violation".into(),
+                            &mut violations,
+                        );
                         break;
                     }
                 }
                 if acts.len() >= 4 {
                     let t4 = acts[acts.len() - 4];
-                    check(c.cycle >= t4 + timing.faw, i, format!("tFAW violation on rank {}", c.rank), &mut violations);
+                    check(
+                        c.cycle >= t4 + timing.faw,
+                        i,
+                        format!("tFAW violation on rank {}", c.rank),
+                        &mut violations,
+                    );
                 }
                 rank_acts[c.rank as usize].push(c.cycle);
                 bank_state[bi].last_act = Some(c.cycle);
@@ -229,9 +270,7 @@ mod tests {
     fn faw_is_caught() {
         let tm = timing();
         // Five ACTs to different banks spaced only tRRD apart.
-        let log: Vec<_> = (0..5)
-            .map(|i| act(i * tm.rrd_s, i, 0))
-            .collect();
+        let log: Vec<_> = (0..5).map(|i| act(i * tm.rrd_s, i, 0)).collect();
         let v = verify_log(&log, &tm, 2, 16, 4);
         if 4 * tm.rrd_s < tm.faw {
             assert!(v.iter().any(|v| v.rule.contains("tFAW")), "{v:?}");

@@ -181,12 +181,32 @@ impl ModelConfig {
             LinearOp { name: "o_proj", out_features: self.hidden, in_features: self.hidden },
         ];
         if self.gated_ffn {
-            ops.push(LinearOp { name: "gate_proj", out_features: self.intermediate, in_features: self.hidden });
-            ops.push(LinearOp { name: "up_proj", out_features: self.intermediate, in_features: self.hidden });
-            ops.push(LinearOp { name: "down_proj", out_features: self.hidden, in_features: self.intermediate });
+            ops.push(LinearOp {
+                name: "gate_proj",
+                out_features: self.intermediate,
+                in_features: self.hidden,
+            });
+            ops.push(LinearOp {
+                name: "up_proj",
+                out_features: self.intermediate,
+                in_features: self.hidden,
+            });
+            ops.push(LinearOp {
+                name: "down_proj",
+                out_features: self.hidden,
+                in_features: self.intermediate,
+            });
         } else {
-            ops.push(LinearOp { name: "fc1", out_features: self.intermediate, in_features: self.hidden });
-            ops.push(LinearOp { name: "fc2", out_features: self.hidden, in_features: self.intermediate });
+            ops.push(LinearOp {
+                name: "fc1",
+                out_features: self.intermediate,
+                in_features: self.hidden,
+            });
+            ops.push(LinearOp {
+                name: "fc2",
+                out_features: self.hidden,
+                in_features: self.intermediate,
+            });
         }
         ops
     }
@@ -208,10 +228,7 @@ impl ModelConfig {
     /// Total bytes of linear weights (what PIM streams per decode token and
     /// what the baseline must re-layout).
     pub fn linear_weight_bytes(&self) -> u64 {
-        self.all_linears()
-            .iter()
-            .map(|(op, n)| op.weight_bytes(self.elem_bytes) * n)
-            .sum()
+        self.all_linears().iter().map(|(op, n)| op.weight_bytes(self.elem_bytes) * n).sum()
     }
 
     /// Approximate total parameter count including the input embedding.

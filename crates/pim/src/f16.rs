@@ -96,11 +96,8 @@ pub fn encode_f16_le(values: &[f32]) -> Vec<u8> {
 ///
 /// Panics if the byte length is odd.
 pub fn decode_f16_le(bytes: &[u8]) -> Vec<f32> {
-    assert!(bytes.len() % 2 == 0, "fp16 byte stream must have even length");
-    bytes
-        .chunks_exact(2)
-        .map(|c| f16_bits_to_f32(u16::from_le_bytes([c[0], c[1]])))
-        .collect()
+    assert!(bytes.len().is_multiple_of(2), "fp16 byte stream must have even length");
+    bytes.chunks_exact(2).map(|c| f16_bits_to_f32(u16::from_le_bytes([c[0], c[1]]))).collect()
 }
 
 #[cfg(test)]

@@ -18,7 +18,12 @@ use crate::f16::{decode_f16_le, encode_f16_le};
 ///
 /// Panics if `values.len() != rows * cols` or the allocation's dtype is not
 /// 16-bit.
-pub fn store_matrix(mem: &mut FunctionalMemory, sys: &FacilSystem, alloc: &PimAllocation, values: &[f32]) {
+pub fn store_matrix(
+    mem: &mut FunctionalMemory,
+    sys: &FacilSystem,
+    alloc: &PimAllocation,
+    values: &[f32],
+) {
     let m = &alloc.matrix;
     assert_eq!(values.len() as u64, m.rows * m.cols, "value count must match the matrix shape");
     assert_eq!(m.dtype.bytes(), 2, "functional path models 16-bit weights");
@@ -54,7 +59,12 @@ pub fn load_matrix(mem: &FunctionalMemory, sys: &FacilSystem, alloc: &PimAllocat
 ///
 /// Panics if `x.len() != cols`, or if the placement violates the PIM
 /// invariants (which would mean the mapping is broken).
-pub fn pim_gemv(mem: &FunctionalMemory, sys: &FacilSystem, alloc: &PimAllocation, x: &[f32]) -> Vec<f32> {
+pub fn pim_gemv(
+    mem: &FunctionalMemory,
+    sys: &FacilSystem,
+    alloc: &PimAllocation,
+    x: &[f32],
+) -> Vec<f32> {
     let m = &alloc.matrix;
     assert_eq!(x.len() as u64, m.cols, "input length must match matrix columns");
     let topo = sys.spec().topology;
@@ -131,9 +141,7 @@ mod tests {
     }
 
     fn reference_gemv(rows: usize, cols: usize, w: &[f32], x: &[f32]) -> Vec<f32> {
-        (0..rows)
-            .map(|r| (0..cols).map(|c| w[r * cols + c] * x[c]).sum())
-            .collect()
+        (0..rows).map(|r| (0..cols).map(|c| w[r * cols + c] * x[c]).sum()).collect()
     }
 
     #[test]
@@ -162,7 +170,11 @@ mod tests {
         let mut mem = FunctionalMemory::new(sys.spec().topology);
         let w: Vec<f32> = (0..16 * 2048).map(|i| (i % 11) as f32 * 0.125).collect();
         store_matrix(&mut mem, &sys, &alloc, &w);
-        assert_eq!(load_matrix(&mem, &sys, &alloc), w, "row-major SoC view is intact: no re-layout needed");
+        assert_eq!(
+            load_matrix(&mem, &sys, &alloc),
+            w,
+            "row-major SoC view is intact: no re-layout needed"
+        );
     }
 
     #[test]

@@ -156,8 +156,12 @@ impl PimEngine {
         let cycles = rank_cycles.max(bus_cycles);
 
         let weight_bytes = placement.weight_bytes * m;
-        let input_bytes =
-            placement.tiles * placement.segments * self.arch.chunk_row_bytes * topo.ranks * topo.channels * m;
+        let input_bytes = placement.tiles
+            * placement.segments
+            * self.arch.chunk_row_bytes
+            * topo.ranks
+            * topo.channels
+            * m;
         let output_bytes = matrix.rows * placement.partitions * matrix.dtype.bytes() * m;
 
         let stream_ns = self.spec.cycles_to_ns(cycles);

@@ -34,7 +34,12 @@ impl PimPlacement {
     /// # Panics
     ///
     /// Panics if the decision's partition factor exceeds the PU count.
-    pub fn new(matrix: &MatrixConfig, decision: &MappingDecision, topo: &Topology, arch: &PimArch) -> Self {
+    pub fn new(
+        matrix: &MatrixConfig,
+        decision: &MappingDecision,
+        topo: &Topology,
+        arch: &PimArch,
+    ) -> Self {
         let total_pus = topo.total_banks();
         let p = decision.partitions;
         assert!(p <= total_pus, "cannot partition one row over more PUs than exist");
@@ -45,7 +50,8 @@ impl PimPlacement {
         let segments = row_share.div_ceil(arch.chunk_row_bytes);
         let weight_bytes = matrix.padded_bytes();
         // One DRAM row stores `chunk_rows` chunk-rows (= one chunk).
-        let dram_rows_per_bank = tiles * segments * arch.chunk_rows * arch.chunk_row_bytes / topo.row_bytes;
+        let dram_rows_per_bank =
+            tiles * segments * arch.chunk_rows * arch.chunk_row_bytes / topo.row_bytes;
         PimPlacement {
             partitions: p,
             rows_per_tile,
@@ -88,8 +94,8 @@ mod tests {
         assert_eq!(p.rows_per_tile, 128);
         assert_eq!(p.tiles, 16);
         assert_eq!(p.segments, 2); // 4 KB row / 2 KB chunk
-        // 16 tiles x 2 segments = 32 DRAM rows per bank = 64 KB per bank;
-        // 2048 rows x 4 KB / 128 banks = 64 KB. Consistent.
+                                   // 16 tiles x 2 segments = 32 DRAM rows per bank = 64 KB per bank;
+                                   // 2048 rows x 4 KB / 128 banks = 64 KB. Consistent.
         assert_eq!(p.dram_rows_per_bank, 32);
         assert_eq!(p.reduction_elems(&m), 0);
     }

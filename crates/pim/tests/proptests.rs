@@ -11,8 +11,7 @@ fn arb_topology() -> impl Strategy<Value = Topology> {
 }
 
 fn arb_matrix() -> impl Strategy<Value = MatrixConfig> {
-    (4u32..=12, 10u32..=14)
-        .prop_map(|(r, c)| MatrixConfig::new(1 << r, 1 << c, DType::F16))
+    (4u32..=12, 10u32..=14).prop_map(|(r, c)| MatrixConfig::new(1 << r, 1 << c, DType::F16))
 }
 
 proptest! {

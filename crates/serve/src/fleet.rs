@@ -1,0 +1,271 @@
+//! Multi-device fleet driver: shards one arrival stream across N devices
+//! under a pluggable routing policy and aggregates the fleet-wide report.
+//!
+//! Every device runs the same continuous-batching scheduler
+//! ([`DeviceSim`]); the fleet advances all device clocks to each arrival
+//! instant before routing, so the least-loaded policy reads consistent
+//! load signals and the whole run is deterministic for a fixed seed.
+
+use facil_sim::{InferenceSim, Summary};
+use facil_workloads::{ArrivalProcess, Dataset};
+use serde::{Deserialize, Serialize};
+
+use crate::device::{DeviceSim, ServeConfig};
+use crate::metrics::ServeReport;
+use crate::request::{RequestRecord, ShedReason, ShedRecord};
+
+/// How arrivals are assigned to devices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Routing {
+    /// Cycle through devices in index order.
+    RoundRobin,
+    /// Route to the device with the least outstanding work (backlog
+    /// tokens); ties break to the lowest index.
+    LeastLoaded,
+}
+
+impl std::fmt::Display for Routing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Routing::RoundRobin => "round-robin",
+            Routing::LeastLoaded => "least-loaded",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Fleet shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FleetConfig {
+    /// Number of devices sharing the arrival stream.
+    pub devices: usize,
+    /// Routing policy.
+    pub routing: Routing,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig { devices: 1, routing: Routing::RoundRobin }
+    }
+}
+
+/// Serve `dataset` with arrivals from `arrival` on a fleet of
+/// `fleet.devices` identical devices (each a [`DeviceSim`] over `sim`).
+///
+/// Deterministic for a fixed `cfg.seed`: the arrival sample, routing
+/// decisions and every device schedule depend only on the inputs.
+///
+/// # Panics
+///
+/// Panics if `fleet.devices == 0` (and propagates [`ArrivalProcess`]
+/// validation panics).
+pub fn run_fleet(
+    sim: &InferenceSim,
+    dataset: &Dataset,
+    arrival: &ArrivalProcess,
+    cfg: ServeConfig,
+    fleet: FleetConfig,
+) -> ServeReport {
+    assert!(fleet.devices > 0, "fleet needs at least one device");
+    let times = arrival.sample_times(cfg.seed, dataset.queries.len());
+    let mut devices: Vec<DeviceSim> =
+        (0..fleet.devices).map(|d| DeviceSim::new(sim, d, cfg)).collect();
+
+    let mut rr = 0usize;
+    for (i, (q, &t)) in dataset.queries.iter().zip(&times).enumerate() {
+        // Advance every device to the arrival instant so routing reads
+        // up-to-date backlogs (and idle devices' clocks move forward).
+        for d in devices.iter_mut() {
+            d.advance_until(t);
+        }
+        let target = match fleet.routing {
+            Routing::RoundRobin => {
+                let d = rr % devices.len();
+                rr += 1;
+                d
+            }
+            // min_by_key returns the first minimum: ties go to the lowest
+            // device index, keeping the schedule deterministic.
+            Routing::LeastLoaded => devices
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, d)| d.backlog_tokens())
+                .map(|(idx, _)| idx)
+                .expect("non-empty fleet"),
+        };
+        devices[target].enqueue(t, i as u64, *q);
+    }
+    for d in devices.iter_mut() {
+        d.drain();
+    }
+
+    let span_s =
+        devices.iter().map(DeviceSim::now_s).fold(times.last().copied().unwrap_or(0.0), f64::max);
+    let mut requests: Vec<RequestRecord> =
+        devices.iter().flat_map(|d| d.completed().iter().copied()).collect();
+    requests.sort_by_key(|r| r.id);
+    let mut sheds: Vec<ShedRecord> =
+        devices.iter().flat_map(|d| d.shed().iter().copied()).collect();
+    sheds.sort_by_key(|s| s.id);
+
+    let ttft_ms = Summary::from_unsorted(requests.iter().map(|r| r.ttft_ms).collect());
+    let ttlt_ms = Summary::from_unsorted(requests.iter().map(|r| r.ttlt_ms).collect());
+    let tbt_ms =
+        Summary::from_unsorted(devices.iter().flat_map(|d| d.tbt_ms().iter().copied()).collect());
+    let by_reason = |reason: ShedReason| sheds.iter().filter(|s| s.reason == reason).count();
+    let utilization = if span_s > 0.0 {
+        devices.iter().map(DeviceSim::busy_s).sum::<f64>() / (span_s * devices.len() as f64)
+    } else {
+        0.0
+    };
+    let per_qps = |n: usize| if span_s > 0.0 { n as f64 / span_s } else { 0.0 };
+
+    ServeReport {
+        strategy: cfg.strategy,
+        arrival: arrival.to_string(),
+        routing: fleet.routing,
+        num_devices: fleet.devices,
+        offered: dataset.queries.len(),
+        completed: requests.len(),
+        shed: sheds.len(),
+        shed_queue_full: by_reason(ShedReason::QueueFull),
+        shed_oversized: by_reason(ShedReason::Oversized),
+        shed_no_memory: by_reason(ShedReason::NoMemory),
+        span_s,
+        offered_qps: per_qps(dataset.queries.len()),
+        goodput_qps: per_qps(requests.len()),
+        utilization,
+        ttft_ms,
+        tbt_ms,
+        ttlt_ms,
+        devices: devices.iter().map(|d| d.report(span_s)).collect(),
+        requests,
+        sheds,
+    }
+}
+
+/// Single-device serving run: a fleet of one.
+pub fn run_serving(
+    sim: &InferenceSim,
+    dataset: &Dataset,
+    arrival: &ArrivalProcess,
+    cfg: ServeConfig,
+) -> ServeReport {
+    run_fleet(sim, dataset, arrival, cfg, FleetConfig::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use facil_soc::{Platform, PlatformId};
+    use facil_workloads::Query;
+    use std::sync::OnceLock;
+
+    fn sim() -> &'static InferenceSim {
+        static SIM: OnceLock<InferenceSim> = OnceLock::new();
+        SIM.get_or_init(|| InferenceSim::new(Platform::get(PlatformId::Iphone)))
+    }
+
+    fn cfg() -> ServeConfig {
+        ServeConfig { seed: 9, fmfi: 0.0, ..ServeConfig::default() }
+    }
+
+    #[test]
+    fn single_device_run_is_a_fleet_of_one() {
+        let d = Dataset::code_autocompletion_like(3, 24);
+        let arrival = ArrivalProcess::Poisson { qps: 1.0 };
+        let a = run_serving(sim(), &d, &arrival, cfg());
+        let b = run_fleet(sim(), &d, &arrival, cfg(), FleetConfig::default());
+        assert_eq!(a, b);
+        assert_eq!(a.num_devices, 1);
+        assert_eq!(a.offered, 24);
+        assert_eq!(a.completed + a.shed, a.offered);
+    }
+
+    #[test]
+    fn round_robin_cycles_devices() {
+        let d = Dataset { name: "four".into(), queries: vec![Query { prefill: 16, decode: 4 }; 4] };
+        // Arrivals far apart: every request finishes before the next one.
+        let arrival = ArrivalProcess::Trace { times_s: vec![0.0, 100.0, 200.0, 300.0] };
+        let r = run_fleet(
+            sim(),
+            &d,
+            &arrival,
+            cfg(),
+            FleetConfig { devices: 2, routing: Routing::RoundRobin },
+        );
+        assert_eq!(r.completed, 4);
+        assert_eq!(r.devices[0].completed, 2);
+        assert_eq!(r.devices[1].completed, 2);
+    }
+
+    #[test]
+    fn least_loaded_spreads_a_burst_across_idle_devices() {
+        let d =
+            Dataset { name: "burst".into(), queries: vec![Query { prefill: 64, decode: 64 }; 4] };
+        let arrival = ArrivalProcess::Trace { times_s: vec![0.0; 4] };
+        let r = run_fleet(
+            sim(),
+            &d,
+            &arrival,
+            cfg(),
+            FleetConfig { devices: 4, routing: Routing::LeastLoaded },
+        );
+        // Each simultaneous arrival lands on a different (still idle)
+        // device: queued work counts toward the backlog signal.
+        for dev in &r.devices {
+            assert_eq!(dev.completed, 1, "device {} got {}", dev.device, dev.completed);
+        }
+    }
+
+    #[test]
+    fn fleet_run_is_deterministic_for_a_fixed_seed() {
+        let d = Dataset::alpaca_like(11, 48);
+        let arrival = ArrivalProcess::Bursty { qps: 4.0, burst: 4 };
+        let fc = FleetConfig { devices: 4, routing: Routing::LeastLoaded };
+        let a = run_fleet(sim(), &d, &arrival, cfg(), fc);
+        let b = run_fleet(sim(), &d, &arrival, cfg(), fc);
+        assert_eq!(a, b);
+        assert_eq!(a.to_json(), b.to_json());
+        assert!(a.utilization > 0.0 && a.utilization <= 1.0 + 1e-9);
+        for dev in &a.devices {
+            assert!(dev.utilization <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn fleet_relieves_a_single_device_overload() {
+        let d = Dataset::code_autocompletion_like(42, 96);
+        let arrival = ArrivalProcess::Poisson { qps: 32.0 };
+        let one = run_fleet(
+            sim(),
+            &d,
+            &arrival,
+            cfg(),
+            FleetConfig { devices: 1, routing: Routing::LeastLoaded },
+        );
+        let four = run_fleet(
+            sim(),
+            &d,
+            &arrival,
+            cfg(),
+            FleetConfig { devices: 4, routing: Routing::LeastLoaded },
+        );
+        assert!(one.shed > 0, "a 32 qps burst must overload one device");
+        assert!(four.shed < one.shed);
+        assert!(four.completed > one.completed);
+        assert!(four.ttft_ms.p95 < one.ttft_ms.p95);
+        assert_eq!(four.completed + four.shed, four.offered);
+    }
+
+    #[test]
+    fn empty_dataset_yields_an_empty_report() {
+        let d = Dataset { name: "empty".into(), queries: Vec::new() };
+        let r = run_serving(sim(), &d, &ArrivalProcess::Poisson { qps: 1.0 }, cfg());
+        assert_eq!(r.offered, 0);
+        assert_eq!(r.completed, 0);
+        assert_eq!(r.shed, 0);
+        assert_eq!(r.ttft_ms.count, 0);
+        assert_eq!(r.span_s, 0.0);
+    }
+}

@@ -1,0 +1,36 @@
+//! # facil-serve — discrete-event serving simulator for FACIL
+//!
+//! Drives the [`facil_sim::InferenceSim`] timing oracle as a *serving
+//! system*: requests arrive over time (any [`facil_workloads::ArrivalProcess`]),
+//! pass admission control, and are executed with **continuous batching**
+//! (iteration-level scheduling: one chunked-prefill slice of the
+//! head-of-line request plus one decode step for every in-flight request
+//! per iteration, Orca/Sarathi style).
+//!
+//! The simulator is built from three layers:
+//!
+//! - [`DeviceSim`] — one device: bounded admission queue, up-front KV
+//!   reservation against a [`facil_core::FacilSystem`] physical allocator
+//!   (so FMFI fragmentation shows up as real compaction time on the
+//!   serving clock), chunked prefill + batched decode stepping, and
+//!   explicit load shedding ([`ShedReason`]).
+//! - [`run_serving`] / [`run_fleet`] — drive one device or a fleet of N
+//!   identical devices sharing an arrival stream under a [`Routing`]
+//!   policy (round-robin or least-loaded).
+//! - [`ServeReport`] — SLO metrics: per-request TTFT/TBT/TTLT with
+//!   p50/p95/p99 [`facil_sim::Summary`] rollups, goodput vs offered load,
+//!   shed accounting, per-device utilization and queue/KV time series;
+//!   serde-serializable plus a dependency-free JSON writer.
+//!
+//! Everything is deterministic for a fixed seed: two runs with identical
+//! inputs produce byte-identical [`ServeReport::to_json`] output.
+
+pub mod device;
+pub mod fleet;
+pub mod metrics;
+pub mod request;
+
+pub use device::{DeviceSim, ServeConfig};
+pub use fleet::{run_fleet, run_serving, FleetConfig, Routing};
+pub use metrics::{DeviceReport, QueueSample, ServeReport};
+pub use request::{RequestRecord, ShedReason, ShedRecord};

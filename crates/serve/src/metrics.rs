@@ -1,0 +1,343 @@
+//! SLO metrics of a serving run: per-request latency summaries
+//! (TTFT / TBT / TTLT), goodput vs offered load, shed accounting, and
+//! per-device utilization, queue-depth and KV time series.
+//!
+//! Reports are serde-serializable (derive) and additionally carry a
+//! dependency-free [`ServeReport::to_json`] writer so the bench binaries
+//! can emit machine-readable output without a JSON crate in the workspace.
+
+use facil_sim::{Strategy, Summary};
+use serde::{Deserialize, Serialize};
+
+use crate::fleet::Routing;
+use crate::request::{RequestRecord, ShedRecord};
+
+/// One point of a device's load time series (sampled per iteration,
+/// downsampled for the report).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QueueSample {
+    /// Simulated time, seconds.
+    pub t_s: f64,
+    /// Requests waiting for admission.
+    pub queued: usize,
+    /// Admitted requests (prefilling + decoding).
+    pub active: usize,
+    /// KV bytes reserved.
+    pub kv_bytes: u64,
+}
+
+/// Per-device outcome of a serving run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceReport {
+    /// Device index.
+    pub device: usize,
+    /// Requests completed on this device.
+    pub completed: usize,
+    /// Requests shed by this device.
+    pub shed: usize,
+    /// Busy time over the fleet-wide span.
+    pub utilization: f64,
+    /// Longest admission queue observed.
+    pub queue_peak: usize,
+    /// Total KV budget, bytes.
+    pub kv_budget_bytes: u64,
+    /// Peak KV reservation, bytes.
+    pub kv_peak_bytes: u64,
+    /// Time spent compacting huge pages for KV slabs (FMFI cost), seconds.
+    pub kv_compact_s: f64,
+    /// KV huge pages allocated from fully-free blocks.
+    pub kv_pages_direct: u64,
+    /// KV huge pages minted via compaction.
+    pub kv_pages_compacted: u64,
+    /// 4 KB frames moved to mint KV pages.
+    pub kv_frames_moved: u64,
+    /// Scheduler iterations executed.
+    pub iterations: u64,
+    /// Mean work items (decode tokens + prefill chunks) per iteration.
+    pub mean_batch: f64,
+    /// Downsampled queue-depth / KV time series.
+    pub queue_depth: Vec<QueueSample>,
+}
+
+/// Full outcome of a serving run (single device or fleet).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeReport {
+    /// Execution strategy of the timing oracle.
+    pub strategy: Strategy,
+    /// Arrival process description.
+    pub arrival: String,
+    /// Routing policy used across devices.
+    pub routing: Routing,
+    /// Number of devices.
+    pub num_devices: usize,
+    /// Requests offered to the fleet.
+    pub offered: usize,
+    /// Requests served to the last token.
+    pub completed: usize,
+    /// Requests shed (`offered == completed + shed`).
+    pub shed: usize,
+    /// Sheds with reason [`ShedReason::QueueFull`].
+    pub shed_queue_full: usize,
+    /// Sheds with reason [`ShedReason::Oversized`].
+    pub shed_oversized: usize,
+    /// Sheds with reason [`ShedReason::NoMemory`].
+    pub shed_no_memory: usize,
+    /// Wall-clock span of the run, seconds.
+    pub span_s: f64,
+    /// Offered load over the span, queries/s.
+    pub offered_qps: f64,
+    /// Completed load over the span, queries/s.
+    pub goodput_qps: f64,
+    /// Mean device utilization over the span.
+    pub utilization: f64,
+    /// Time-to-first-token summary over completed requests, ms.
+    pub ttft_ms: Summary,
+    /// Inter-token latency summary over completed requests, ms.
+    pub tbt_ms: Summary,
+    /// Time-to-last-token summary over completed requests, ms.
+    pub ttlt_ms: Summary,
+    /// Per-device breakdown.
+    pub devices: Vec<DeviceReport>,
+    /// Every completed request, ordered by id.
+    pub requests: Vec<RequestRecord>,
+    /// Every shed request, ordered by id.
+    pub sheds: Vec<ShedRecord>,
+}
+
+/// Format a float as a JSON number (`null` for non-finite values, which
+/// JSON cannot represent).
+fn jnum(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".into()
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn jstr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn jsummary(s: &Summary) -> String {
+    format!(
+        "{{\"count\":{},\"mean\":{},\"min\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"max\":{}}}",
+        s.count,
+        jnum(s.mean),
+        jnum(s.min),
+        jnum(s.p50),
+        jnum(s.p95),
+        jnum(s.p99),
+        jnum(s.max)
+    )
+}
+
+fn jdevice(d: &DeviceReport) -> String {
+    let series: Vec<String> = d
+        .queue_depth
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"t_s\":{},\"queued\":{},\"active\":{},\"kv_bytes\":{}}}",
+                jnum(p.t_s),
+                p.queued,
+                p.active,
+                p.kv_bytes
+            )
+        })
+        .collect();
+    format!(
+        "{{\"device\":{},\"completed\":{},\"shed\":{},\"utilization\":{},\"queue_peak\":{},\
+         \"kv_budget_bytes\":{},\"kv_peak_bytes\":{},\"kv_compact_s\":{},\
+         \"kv_pages_direct\":{},\"kv_pages_compacted\":{},\"kv_frames_moved\":{},\
+         \"iterations\":{},\"mean_batch\":{},\"queue_depth\":[{}]}}",
+        d.device,
+        d.completed,
+        d.shed,
+        jnum(d.utilization),
+        d.queue_peak,
+        d.kv_budget_bytes,
+        d.kv_peak_bytes,
+        jnum(d.kv_compact_s),
+        d.kv_pages_direct,
+        d.kv_pages_compacted,
+        d.kv_frames_moved,
+        d.iterations,
+        jnum(d.mean_batch),
+        series.join(",")
+    )
+}
+
+fn jrequest(r: &RequestRecord) -> String {
+    format!(
+        "{{\"id\":{},\"device\":{},\"arrival_s\":{},\"admitted_s\":{},\"ttft_ms\":{},\
+         \"ttlt_ms\":{},\"prefill\":{},\"decode\":{}}}",
+        r.id,
+        r.device,
+        jnum(r.arrival_s),
+        jnum(r.admitted_s),
+        jnum(r.ttft_ms),
+        jnum(r.ttlt_ms),
+        r.prefill,
+        r.decode
+    )
+}
+
+fn jshed(s: &ShedRecord) -> String {
+    format!(
+        "{{\"id\":{},\"device\":{},\"arrival_s\":{},\"reason\":{}}}",
+        s.id,
+        s.device,
+        jnum(s.arrival_s),
+        jstr(&s.reason.to_string())
+    )
+}
+
+impl ServeReport {
+    /// Serialize the report as a self-contained JSON object (one line).
+    pub fn to_json(&self) -> String {
+        let devices: Vec<String> = self.devices.iter().map(jdevice).collect();
+        let requests: Vec<String> = self.requests.iter().map(jrequest).collect();
+        let sheds: Vec<String> = self.sheds.iter().map(jshed).collect();
+        format!(
+            "{{\"strategy\":{},\"arrival\":{},\"routing\":{},\"num_devices\":{},\
+             \"offered\":{},\"completed\":{},\"shed\":{},\"shed_queue_full\":{},\
+             \"shed_oversized\":{},\"shed_no_memory\":{},\"span_s\":{},\"offered_qps\":{},\
+             \"goodput_qps\":{},\"utilization\":{},\"ttft_ms\":{},\"tbt_ms\":{},\
+             \"ttlt_ms\":{},\"devices\":[{}],\"requests\":[{}],\"sheds\":[{}]}}",
+            jstr(&self.strategy.to_string()),
+            jstr(&self.arrival),
+            jstr(&self.routing.to_string()),
+            self.num_devices,
+            self.offered,
+            self.completed,
+            self.shed,
+            self.shed_queue_full,
+            self.shed_oversized,
+            self.shed_no_memory,
+            jnum(self.span_s),
+            jnum(self.offered_qps),
+            jnum(self.goodput_qps),
+            jnum(self.utilization),
+            jsummary(&self.ttft_ms),
+            jsummary(&self.tbt_ms),
+            jsummary(&self.ttlt_ms),
+            devices.join(","),
+            requests.join(","),
+            sheds.join(",")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::ShedReason;
+
+    fn sample_report() -> ServeReport {
+        ServeReport {
+            strategy: Strategy::FacilDynamic,
+            arrival: "poisson(1.00/s)".into(),
+            routing: Routing::RoundRobin,
+            num_devices: 1,
+            offered: 2,
+            completed: 1,
+            shed: 1,
+            shed_queue_full: 1,
+            shed_oversized: 0,
+            shed_no_memory: 0,
+            span_s: 2.5,
+            offered_qps: 0.8,
+            goodput_qps: 0.4,
+            utilization: 0.5,
+            ttft_ms: Summary::from_unsorted(vec![10.0]),
+            tbt_ms: Summary::from_unsorted(vec![1.0, 2.0]),
+            ttlt_ms: Summary::from_unsorted(vec![40.0]),
+            devices: vec![DeviceReport {
+                device: 0,
+                completed: 1,
+                shed: 1,
+                utilization: 0.5,
+                queue_peak: 1,
+                kv_budget_bytes: 1 << 30,
+                kv_peak_bytes: 1 << 20,
+                kv_compact_s: 0.0,
+                kv_pages_direct: 2,
+                kv_pages_compacted: 0,
+                kv_frames_moved: 0,
+                iterations: 5,
+                mean_batch: 1.2,
+                queue_depth: vec![QueueSample { t_s: 0.1, queued: 1, active: 1, kv_bytes: 42 }],
+            }],
+            requests: vec![RequestRecord {
+                id: 0,
+                device: 0,
+                arrival_s: 0.0,
+                admitted_s: 0.0,
+                ttft_ms: 10.0,
+                ttlt_ms: 40.0,
+                prefill: 8,
+                decode: 4,
+            }],
+            sheds: vec![ShedRecord {
+                id: 1,
+                device: 0,
+                arrival_s: 0.2,
+                reason: ShedReason::QueueFull,
+            }],
+        }
+    }
+
+    #[test]
+    fn json_is_balanced_and_carries_keys() {
+        let j = sample_report().to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        let opens = j.matches('{').count();
+        let closes = j.matches('}').count();
+        assert_eq!(opens, closes, "unbalanced braces in {j}");
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+        assert_eq!(j.matches('"').count() % 2, 0, "unbalanced quotes");
+        for key in [
+            "\"strategy\"",
+            "\"goodput_qps\"",
+            "\"ttft_ms\"",
+            "\"p95\"",
+            "\"queue_depth\"",
+            "\"reason\":\"queue-full\"",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
+    }
+
+    #[test]
+    fn json_is_deterministic() {
+        assert_eq!(sample_report().to_json(), sample_report().to_json());
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(jnum(f64::INFINITY), "null");
+        assert_eq!(jnum(f64::NAN), "null");
+        assert_eq!(jnum(1.5), "1.5");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(jstr("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(jstr("x\ny"), "\"x\\ny\"");
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based tests of the serving simulator's accounting and
+//! determinism invariants.
+
+use facil_serve::{run_fleet, run_serving, FleetConfig, Routing, ServeConfig};
+use facil_sim::InferenceSim;
+use facil_soc::{Platform, PlatformId};
+use facil_workloads::{ArrivalProcess, Dataset};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use std::sync::OnceLock;
+
+/// One shared simulator (construction runs a DRAM simulation; reuse it).
+fn sim() -> &'static InferenceSim {
+    static SIM: OnceLock<InferenceSim> = OnceLock::new();
+    SIM.get_or_init(|| InferenceSim::new(Platform::get(PlatformId::Iphone)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// No request is ever silently dropped: every offered id shows up
+    /// exactly once, as completed or shed, on any fleet shape.
+    #[test]
+    fn every_request_completes_or_is_explicitly_shed(
+        seed in 0u64..1_000,
+        n in 1usize..24,
+        qps in 0.5f64..16.0,
+        devices in 1usize..4,
+        queue_cap in 1usize..12,
+        max_batch in 1usize..6,
+        chunk in 8u64..128,
+        least_loaded in any::<bool>(),
+    ) {
+        let d = Dataset::code_autocompletion_like(seed, n);
+        let cfg = ServeConfig {
+            seed,
+            queue_cap,
+            max_batch,
+            chunk_tokens: chunk,
+            fmfi: 0.0,
+            ..ServeConfig::default()
+        };
+        let routing = if least_loaded { Routing::LeastLoaded } else { Routing::RoundRobin };
+        let r = run_fleet(
+            sim(),
+            &d,
+            &ArrivalProcess::Poisson { qps },
+            cfg,
+            FleetConfig { devices, routing },
+        );
+        prop_assert_eq!(r.offered, n);
+        prop_assert_eq!(r.completed + r.shed, r.offered);
+        prop_assert_eq!(r.shed_queue_full + r.shed_oversized + r.shed_no_memory, r.shed);
+        let ids: BTreeSet<u64> = r
+            .requests
+            .iter()
+            .map(|q| q.id)
+            .chain(r.sheds.iter().map(|s| s.id))
+            .collect();
+        prop_assert_eq!(ids.len(), n, "an id was double-counted");
+        prop_assert_eq!(ids, (0..n as u64).collect::<BTreeSet<u64>>());
+        // Per-device counts agree with the flat lists.
+        let dev_completed: usize = r.devices.iter().map(|d| d.completed).sum();
+        let dev_shed: usize = r.devices.iter().map(|d| d.shed).sum();
+        prop_assert_eq!(dev_completed, r.completed);
+        prop_assert_eq!(dev_shed, r.shed);
+    }
+
+    /// Utilization is a fraction of the span, fleet-wide and per device,
+    /// and latency records are internally consistent.
+    #[test]
+    fn utilization_and_latency_records_are_well_formed(
+        seed in 0u64..1_000,
+        n in 1usize..24,
+        qps in 0.5f64..16.0,
+        devices in 1usize..4,
+    ) {
+        let d = Dataset::code_autocompletion_like(seed, n);
+        let cfg = ServeConfig { seed, fmfi: 0.0, ..ServeConfig::default() };
+        let r = run_fleet(
+            sim(),
+            &d,
+            &ArrivalProcess::Poisson { qps },
+            cfg,
+            FleetConfig { devices, routing: Routing::LeastLoaded },
+        );
+        prop_assert!(r.utilization >= 0.0 && r.utilization <= 1.0 + 1e-9);
+        for dev in &r.devices {
+            prop_assert!(dev.utilization >= 0.0 && dev.utilization <= 1.0 + 1e-9);
+        }
+        prop_assert!(r.goodput_qps <= r.offered_qps + 1e-12);
+        for q in &r.requests {
+            prop_assert!(q.admitted_s >= q.arrival_s - 1e-12);
+            prop_assert!(q.ttft_ms > 0.0);
+            prop_assert!(q.ttlt_ms >= q.ttft_ms - 1e-12);
+        }
+        // One inter-token sample per generated token past the first.
+        let decode_total: u64 = r.requests.iter().map(|q| q.decode).sum();
+        prop_assert_eq!(r.tbt_ms.count as u64, decode_total);
+    }
+
+    /// Byte-identical determinism: the same inputs give the same JSON.
+    #[test]
+    fn serving_runs_are_byte_identical_across_repeats(
+        seed in 0u64..1_000,
+        n in 1usize..16,
+        qps in 0.5f64..8.0,
+        fmfi in 0.0f64..0.9,
+    ) {
+        let d = Dataset::alpaca_like(seed, n);
+        let cfg = ServeConfig { seed, fmfi, ..ServeConfig::default() };
+        let arrival = ArrivalProcess::Bursty { qps, burst: 3 };
+        let a = run_serving(sim(), &d, &arrival, cfg);
+        let b = run_serving(sim(), &d, &arrival, cfg);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.to_json(), b.to_json());
+    }
+
+    /// For a fixed seed, Poisson arrival times scale as 1/qps, so raising
+    /// the offered rate only compresses the schedule: mean TTFT is monotone
+    /// non-decreasing in the arrival rate when nothing is shed.
+    #[test]
+    fn ttft_is_monotone_in_offered_load(
+        seed in 0u64..1_000,
+        n in 2usize..16,
+        qps in 2.0f64..32.0,
+    ) {
+        let d = Dataset::code_autocompletion_like(seed, n);
+        // queue_cap >= n: nothing is shed, both runs serve every request.
+        let cfg = ServeConfig { seed, queue_cap: 1 << 20, fmfi: 0.0, ..ServeConfig::default() };
+        let light = run_serving(sim(), &d, &ArrivalProcess::Poisson { qps: 0.2 }, cfg);
+        let heavy = run_serving(sim(), &d, &ArrivalProcess::Poisson { qps }, cfg);
+        prop_assert_eq!(light.shed, 0);
+        prop_assert_eq!(heavy.shed, 0);
+        prop_assert!(
+            heavy.ttft_ms.mean >= light.ttft_ms.mean * 0.999,
+            "mean TTFT fell from {} to {} when load rose to {} qps",
+            light.ttft_ms.mean,
+            heavy.ttft_ms.mean,
+            qps
+        );
+    }
+}

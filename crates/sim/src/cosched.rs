@@ -15,6 +15,8 @@
 use facil_dram::DramSpec;
 use serde::{Deserialize, Serialize};
 
+use crate::rng::XorShift64Star;
+
 /// How PIM and SoC traffic share the memory system.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum CoschedPolicy {
@@ -82,16 +84,6 @@ struct PimRank {
     blocked_until: u64,
 }
 
-/// xorshift64* PRNG — deterministic, dependency-free.
-fn next_rand(state: &mut u64) -> f64 {
-    let mut x = *state;
-    x ^= x >> 12;
-    x ^= x << 25;
-    x ^= x >> 27;
-    *state = x;
-    (x.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64
-}
-
 /// Run the slot-level co-schedule simulation for one channel of `spec`.
 pub fn run_cosched(spec: &DramSpec, cfg: CoschedConfig) -> CoschedResult {
     let tm = &spec.timing;
@@ -112,7 +104,7 @@ pub fn run_cosched(spec: &DramSpec, cfg: CoschedConfig) -> CoschedResult {
         })
         .collect();
 
-    let mut rng = cfg.seed | 1;
+    let mut rng = XorShift64Star::new(cfg.seed);
     let mut soc_queue: std::collections::VecDeque<(u64, usize, u64)> = Default::default();
     let mut macs_issued = 0u64;
     let mut soc_generated = 0u64;
@@ -124,12 +116,12 @@ pub fn run_cosched(spec: &DramSpec, cfg: CoschedConfig) -> CoschedResult {
 
     for t in 0..cfg.duration_cycles {
         // SoC arrival process.
-        if next_rand(&mut rng) < cfg.soc_rate {
+        if rng.next_f64() < cfg.soc_rate {
             let rank = match cfg.policy {
-                CoschedPolicy::Shared => (next_rand(&mut rng) * ranks as f64) as usize % ranks,
+                CoschedPolicy::Shared => (rng.next_f64() * ranks as f64) as usize % ranks,
                 CoschedPolicy::ReservedRank => ranks - 1,
             };
-            let bank = (next_rand(&mut rng) * banks as f64) as u64 % banks;
+            let bank = (rng.next_f64() * banks as f64) as u64 % banks;
             soc_queue.push_back((t, rank, bank));
             soc_generated += 1;
         }
@@ -183,8 +175,16 @@ pub fn run_cosched(spec: &DramSpec, cfg: CoschedConfig) -> CoschedResult {
     let ideal = ideal_per_rank * spec.topology.ranks.min(2) as f64;
     CoschedResult {
         pim_throughput: macs_issued as f64 / ideal,
-        soc_throughput: if soc_generated == 0 { 1.0 } else { soc_served as f64 / soc_generated as f64 },
-        soc_avg_latency: if soc_served == 0 { 0.0 } else { soc_latency_sum as f64 / soc_served as f64 },
+        soc_throughput: if soc_generated == 0 {
+            1.0
+        } else {
+            soc_served as f64 / soc_generated as f64
+        },
+        soc_avg_latency: if soc_served == 0 {
+            0.0
+        } else {
+            soc_latency_sum as f64 / soc_served as f64
+        },
         pim_row_reopens: reopens,
     }
 }
@@ -204,7 +204,9 @@ mod tests {
         // traffic is heavy, row-buffer interference wrecks the shared PIM
         // and the reserved rank wins despite having half the PUs.
         let s = spec();
-        let at = |policy, soc_rate| run_cosched(&s, CoschedConfig { policy, soc_rate, ..Default::default() });
+        let at = |policy, soc_rate| {
+            run_cosched(&s, CoschedConfig { policy, soc_rate, ..Default::default() })
+        };
         let shared_light = at(CoschedPolicy::Shared, 0.003);
         let reserved_light = at(CoschedPolicy::ReservedRank, 0.003);
         assert!(

@@ -27,7 +27,12 @@ pub struct TokenEnergy {
 /// additionally pays interface energy for all of it, while the PIM pays
 /// interface energy only for the input broadcast, the output drain and the
 /// SoC-side attention/epilogue traffic.
-pub fn decode_energy_per_token(platform: &Platform, model: &ModelConfig, ctx: u64, energy: &EnergyModel) -> TokenEnergy {
+pub fn decode_energy_per_token(
+    platform: &Platform,
+    model: &ModelConfig,
+    ctx: u64,
+    energy: &EnergyModel,
+) -> TokenEnergy {
     let spec = &platform.dram;
     let tx = spec.topology.transfer_bytes;
     let weights = model.linear_weight_bytes();
@@ -42,11 +47,8 @@ pub fn decode_energy_per_token(platform: &Platform, model: &ModelConfig, ctx: u6
         ..Default::default()
     };
     // Epilogue stream (SoC side in both cases), ~90% row hits.
-    let epilogue_stats = DramStats {
-        reads: epilogue / tx,
-        activates: (epilogue / tx) / 10,
-        ..Default::default()
-    };
+    let epilogue_stats =
+        DramStats { reads: epilogue / tx, activates: (epilogue / tx) / 10, ..Default::default() };
     // PIM-side extra interface traffic: input broadcast per (tile, segment)
     // and the output drain.
     let input_bytes = weights / spec.topology.row_bytes * 8; // ~per-row share of input reloads

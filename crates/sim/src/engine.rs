@@ -1,7 +1,7 @@
 //! End-to-end SoC-PIM cooperative inference: the four execution strategies
 //! of the paper and their TTFT/TTLT accounting.
 
-use facil_core::{select_mapping_2mb, DType, MatrixConfig, MappingDecision};
+use facil_core::{select_mapping_2mb, DType, MappingDecision, MatrixConfig};
 use facil_llm::ModelConfig;
 use facil_pim::PimEngine;
 use facil_soc::Platform;
@@ -88,6 +88,10 @@ pub struct InferenceSim {
     weights: Vec<Weight>,
     /// Cached sum over weights of (PIM GEMV + dispatch overhead) x instances.
     pim_linear_decode_ns: f64,
+    /// Cached sum over weights of PIM GEMV x instances (no dispatch).
+    pim_gemv_decode_ns: f64,
+    /// Cached sum over weights of the dispatch overhead x instances.
+    pim_dispatch_decode_ns: f64,
     /// Cached sum over weights of SoC GEMV x instances.
     soc_linear_decode_ns: f64,
 }
@@ -123,14 +127,15 @@ impl InferenceSim {
             let pim_gemv_ns = pim.gemv(&matrix, &decision).time_ns;
             weights.push(Weight { matrix, decision, instances, pim_gemv_ns });
         }
-        let pim_linear_decode_ns = weights
-            .iter()
-            .map(|w| (w.pim_gemv_ns + platform.pim_op_overhead_ns) * w.instances as f64)
-            .sum();
+        let pim_gemv_decode_ns: f64 =
+            weights.iter().map(|w| w.pim_gemv_ns * w.instances as f64).sum();
+        let pim_dispatch_decode_ns: f64 =
+            weights.iter().map(|w| platform.pim_op_overhead_ns * w.instances as f64).sum();
         let soc_linear_decode_ns = weights
             .iter()
             .map(|w| {
-                platform.soc.gemv_ns(w.matrix.rows, w.matrix.cols, dtype.bytes()) * w.instances as f64
+                platform.soc.gemv_ns(w.matrix.rows, w.matrix.cols, dtype.bytes())
+                    * w.instances as f64
             })
             .sum();
         InferenceSim {
@@ -139,7 +144,9 @@ impl InferenceSim {
             pim,
             relayout,
             weights,
-            pim_linear_decode_ns,
+            pim_linear_decode_ns: pim_gemv_decode_ns + pim_dispatch_decode_ns,
+            pim_gemv_decode_ns,
+            pim_dispatch_decode_ns,
             soc_linear_decode_ns,
         }
     }
@@ -183,6 +190,33 @@ impl InferenceSim {
     /// One decode step fully on the SoC, ns.
     pub fn decode_step_soc_ns(&self, ctx: u64) -> f64 {
         self.soc_linear_decode_ns + self.decode_epilogue_ns(ctx)
+    }
+
+    /// One *batched* decode iteration on the PIM for in-flight requests at
+    /// context lengths `ctxs`, ns (continuous batching, `facil-serve`).
+    ///
+    /// The PIM linears are weight-bound: each request needs its own GEMV
+    /// pass over the weights (near-bank MACs consume one activation vector
+    /// per pass), but the per-operation dispatch overhead (driver, DMA
+    /// descriptor, synchronization) is paid once per weight op for the whole
+    /// batch — the batched descriptor carries all activation vectors. The
+    /// per-request attention/element-wise epilogue still runs on the SoC.
+    ///
+    /// For a single request this equals [`InferenceSim::decode_step_pim_ns`].
+    pub fn decode_batch_pim_ns(&self, ctxs: &[u64]) -> f64 {
+        if ctxs.is_empty() {
+            return 0.0;
+        }
+        self.pim_gemv_decode_ns * ctxs.len() as f64
+            + self.pim_dispatch_decode_ns
+            + ctxs.iter().map(|&c| self.decode_epilogue_ns(c)).sum::<f64>()
+    }
+
+    /// One batched decode iteration fully on the SoC, ns. The SoC GEMV is
+    /// bandwidth-bound on the weights, so batching amortizes nothing in this
+    /// roofline model: the cost is the sum of the per-request steps.
+    pub fn decode_batch_soc_ns(&self, ctxs: &[u64]) -> f64 {
+        ctxs.iter().map(|&c| self.decode_step_soc_ns(c)).sum()
     }
 
     /// One decode step with *both* the linears and the attention
@@ -250,6 +284,22 @@ impl InferenceSim {
         self.platform.soc.stream_ns(bytes)
     }
 
+    /// Whether `strategy` offloads the prefill GEMMs of a `p`-token prefill
+    /// to the PIM (the per-query decision of the dynamic strategies; always
+    /// false for the static ones).
+    pub fn prefill_offloads_to_pim(&self, strategy: Strategy, p: u64) -> bool {
+        match strategy {
+            Strategy::HybridDynamic => {
+                self.prefill_linears_pim_ns(p) < self.prefill_linears_soc_ns(p) + self.relayout_ns()
+            }
+            Strategy::FacilDynamic => {
+                self.prefill_linears_pim_ns(p)
+                    < self.prefill_linears_soc_ns(p) * (1.0 + self.platform.gemm_layout_slowdown)
+            }
+            _ => false,
+        }
+    }
+
     /// TTFT (prefill time) under `strategy` for prefill length `p`, with
     /// the re-layout share and the PIM-offload decision.
     ///
@@ -260,6 +310,7 @@ impl InferenceSim {
         assert!(p > 0, "prefill length must be positive");
         let epilogue = self.prefill_epilogue_ns(p);
         let soc = self.prefill_linears_soc_ns(p);
+        let on_pim = self.prefill_offloads_to_pim(strategy, p);
         match strategy {
             Strategy::SocOnly => (soc + epilogue, 0.0, false),
             Strategy::HybridStatic => {
@@ -267,13 +318,11 @@ impl InferenceSim {
                 (soc + relayout + epilogue, relayout, false)
             }
             Strategy::HybridDynamic => {
-                let relayout = self.relayout_ns();
-                let on_soc = soc + relayout;
-                let on_pim = self.prefill_linears_pim_ns(p);
-                if on_pim < on_soc {
-                    (on_pim + epilogue, 0.0, true)
+                if on_pim {
+                    (self.prefill_linears_pim_ns(p) + epilogue, 0.0, true)
                 } else {
-                    (on_soc + epilogue, relayout, false)
+                    let relayout = self.relayout_ns();
+                    (soc + relayout + epilogue, relayout, false)
                 }
             }
             Strategy::FacilStatic => {
@@ -281,13 +330,106 @@ impl InferenceSim {
                 (slowed + epilogue, 0.0, false)
             }
             Strategy::FacilDynamic => {
-                let slowed = soc * (1.0 + self.platform.gemm_layout_slowdown);
-                let on_pim = self.prefill_linears_pim_ns(p);
-                if on_pim < slowed {
-                    (on_pim + epilogue, 0.0, true)
+                if on_pim {
+                    (self.prefill_linears_pim_ns(p) + epilogue, 0.0, true)
                 } else {
-                    (slowed + epilogue, 0.0, false)
+                    (soc * (1.0 + self.platform.gemm_layout_slowdown) + epilogue, 0.0, false)
                 }
+            }
+        }
+    }
+
+    /// Linear time of a `len`-row prefill chunk on the SoC; the lm_head
+    /// (vocab projection) runs for the last position only, so it is charged
+    /// to the final chunk alone.
+    fn prefill_chunk_linears_soc_ns(&self, len: u64, last: bool) -> f64 {
+        self.weights
+            .iter()
+            .map(|w| {
+                let m = if w.matrix.rows == self.model.vocab {
+                    if last {
+                        1
+                    } else {
+                        return 0.0;
+                    }
+                } else {
+                    len
+                };
+                self.platform.soc.gemm_ns(m, w.matrix.rows, w.matrix.cols, w.matrix.dtype.bytes())
+                    * w.instances as f64
+            })
+            .sum()
+    }
+
+    /// Linear time of a `len`-row prefill chunk on the PIM.
+    fn prefill_chunk_linears_pim_ns(&self, len: u64, last: bool) -> f64 {
+        self.weights
+            .iter()
+            .map(|w| {
+                let m = if w.matrix.rows == self.model.vocab {
+                    if last {
+                        1
+                    } else {
+                        return 0.0;
+                    }
+                } else {
+                    len
+                };
+                (self.pim.gemm(&w.matrix, &w.decision, m).time_ns
+                    + self.platform.pim_op_overhead_ns)
+                    * w.instances as f64
+            })
+            .sum()
+    }
+
+    /// Attention + element-wise time of prefill tokens `[start, start+len)`
+    /// on the SoC: each token attends to all earlier ones.
+    fn prefill_chunk_epilogue_ns(&self, start: u64, len: u64) -> f64 {
+        // sum_{i = start+1 .. start+len} i — always an integer because
+        // `len` and `2*start + len + 1` have opposite parity.
+        let kv_pairs = len * (2 * start + len + 1) / 2;
+        let bytes = self.model.kv_read_bytes(1) * kv_pairs
+            + self.model.kv_write_bytes_per_token() * len
+            + self.model.elementwise_bytes_per_token() * len;
+        self.platform.soc.stream_ns(bytes)
+    }
+
+    /// Cost of processing prefill tokens `[start, start+len)` of a
+    /// `total`-token prefill under `strategy`, ns — the *resumable* prefill
+    /// unit that `facil-serve` interleaves with decode iterations (chunked
+    /// prefill / continuous batching).
+    ///
+    /// Invariants (unit-tested):
+    /// * one whole-prefill chunk (`start == 0`, `len == total`) costs
+    ///   exactly [`InferenceSim::prefill_ns`];
+    /// * splitting a prefill into chunks never costs *less* than the whole
+    ///   (each chunk pays its own kernel-launch / dispatch overheads);
+    /// * the hybrid strategies pay the re-layout once, on the first chunk,
+    ///   and the dynamic offload decision is made on `total` (the engine
+    ///   profiles whole prefills, not chunks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0` or `start + len > total`.
+    pub fn prefill_chunk_ns(&self, strategy: Strategy, start: u64, len: u64, total: u64) -> f64 {
+        assert!(len > 0, "prefill chunk must be non-empty");
+        assert!(start + len <= total, "chunk [{start}, {}) beyond prefill {total}", start + len);
+        let last = start + len == total;
+        let first = start == 0;
+        let epilogue = self.prefill_chunk_epilogue_ns(start, len);
+        let on_pim = self.prefill_offloads_to_pim(strategy, total);
+        if on_pim {
+            return self.prefill_chunk_linears_pim_ns(len, last) + epilogue;
+        }
+        let soc = self.prefill_chunk_linears_soc_ns(len, last);
+        match strategy {
+            Strategy::SocOnly => soc + epilogue,
+            Strategy::HybridStatic | Strategy::HybridDynamic => {
+                let relayout = if first { self.relayout_ns() } else { 0.0 };
+                soc + relayout + epilogue
+            }
+            Strategy::FacilStatic | Strategy::FacilDynamic => {
+                soc * (1.0 + self.platform.gemm_layout_slowdown) + epilogue
             }
         }
     }
@@ -369,7 +511,11 @@ mod tests {
         assert_eq!(facil.relayout_ns, 0.0);
         // The whole TTFT gap is (almost exactly) the re-layout cost.
         let gap = base.ttft_ns - facil.ttft_ns;
-        assert!((gap / base.relayout_ns - 1.0).abs() < 0.1, "gap {gap} vs relayout {}", base.relayout_ns);
+        assert!(
+            (gap / base.relayout_ns - 1.0).abs() < 0.1,
+            "gap {gap} vs relayout {}",
+            base.relayout_ns
+        );
     }
 
     #[test]
@@ -440,7 +586,11 @@ mod tests {
     fn int8_weights_shrink_everything_but_keep_facil_ahead() {
         let platform = Platform::get(PlatformId::Iphone);
         let model = facil_llm::ModelConfig::phi_1_5();
-        let f16 = InferenceSim::with_model_and_dtype(platform.clone(), model.clone(), facil_core::DType::F16);
+        let f16 = InferenceSim::with_model_and_dtype(
+            platform.clone(),
+            model.clone(),
+            facil_core::DType::F16,
+        );
         let i8 = InferenceSim::with_model_and_dtype(platform, model, facil_core::DType::I8);
         assert_eq!(i8.weight_bytes() * 2, f16.weight_bytes());
         // Quantization shrinks the re-layout and both decode paths...
@@ -505,5 +655,79 @@ mod tests {
         for s in Strategy::all() {
             assert!(!s.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn single_chunk_equals_whole_prefill() {
+        let sim = iphone_sim();
+        for strategy in Strategy::all() {
+            for p in [1u64, 7, 64, 300] {
+                let whole = sim.prefill_ns(strategy, p).0;
+                let chunk = sim.prefill_chunk_ns(strategy, 0, p, p);
+                assert!(
+                    (whole - chunk).abs() / whole < 1e-9,
+                    "{strategy} p={p}: whole {whole} vs chunk {chunk}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_prefill_never_cheaper_than_whole() {
+        let sim = iphone_sim();
+        for strategy in Strategy::all() {
+            let p = 130u64;
+            let whole = sim.prefill_ns(strategy, p).0;
+            let mut sum = 0.0;
+            let mut start = 0;
+            while start < p {
+                let len = 32.min(p - start);
+                sum += sim.prefill_chunk_ns(strategy, start, len, p);
+                start += len;
+            }
+            // Chunking pays extra per-chunk kernel/dispatch overheads.
+            assert!(sum >= whole - 1.0, "{strategy}: chunked {sum} vs whole {whole}");
+        }
+    }
+
+    #[test]
+    fn chunk_offload_decision_matches_whole_query() {
+        let sim = iphone_sim();
+        for strategy in [Strategy::HybridDynamic, Strategy::FacilDynamic] {
+            for p in [2u64, 64, 512] {
+                let decided =
+                    sim.run_query(strategy, Query { prefill: p, decode: 1 }).prefill_on_pim;
+                assert_eq!(sim.prefill_offloads_to_pim(strategy, p), decided, "{strategy} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_of_one_decode_equals_single_step() {
+        let sim = iphone_sim();
+        for ctx in [1u64, 64, 1000] {
+            let single = sim.decode_step_pim_ns(ctx);
+            let batch = sim.decode_batch_pim_ns(&[ctx]);
+            assert!((single - batch).abs() < 1e-6, "ctx {ctx}: {single} vs {batch}");
+            let soc_single = sim.decode_step_soc_ns(ctx);
+            assert!((soc_single - sim.decode_batch_soc_ns(&[ctx])).abs() < 1e-6);
+        }
+        assert_eq!(sim.decode_batch_pim_ns(&[]), 0.0);
+        assert_eq!(sim.decode_batch_soc_ns(&[]), 0.0);
+    }
+
+    #[test]
+    fn batched_decode_amortizes_dispatch() {
+        // k requests batched must cost less than k isolated steps (the
+        // dispatch overhead is shared) but more than one step (the GEMV
+        // passes are not).
+        let sim = iphone_sim();
+        let ctxs = [64u64, 64, 64, 64];
+        let batch = sim.decode_batch_pim_ns(&ctxs);
+        let isolated: f64 = ctxs.iter().map(|&c| sim.decode_step_pim_ns(c)).sum();
+        assert!(batch < isolated, "batch {batch} vs isolated {isolated}");
+        assert!(batch > sim.decode_step_pim_ns(64));
+        // Per-token cost strictly improves with batching.
+        assert!(batch / 4.0 < sim.decode_step_pim_ns(64));
     }
 }

@@ -30,11 +30,15 @@ pub mod energy;
 pub mod engine;
 pub mod metrics;
 pub mod relayout;
+pub mod rng;
 pub mod serving;
+pub mod stats;
 
 pub use cosched::{run_cosched, CoschedConfig, CoschedPolicy, CoschedResult};
 pub use energy::{decode_energy_per_token, TokenEnergy};
 pub use engine::{InferenceSim, QueryResult, Strategy};
 pub use metrics::{geomean_speedup, run_dataset, DatasetRun};
 pub use relayout::{RelayoutModel, RelayoutProfile};
+pub use rng::XorShift64Star;
 pub use serving::{serve, ServingConfig, ServingResult};
+pub use stats::{percentile, Summary};

@@ -84,8 +84,8 @@ impl RelayoutModel {
         let cols = 4096.min(topo.row_bytes * 4);
         let rows = (self.sample_bytes / (cols * 2)).max(1);
         let matrix = MatrixConfig::new(rows, cols, DType::F16);
-        let decision =
-            select_mapping_2mb(&matrix, topo, &self.arch).expect("representative matrix is mappable");
+        let decision = select_mapping_2mb(&matrix, topo, &self.arch)
+            .expect("representative matrix is mappable");
         let conventional = MappingScheme::conventional(topo);
 
         let mut sys = DramSystem::new(&self.spec);

@@ -9,6 +9,8 @@ use facil_workloads::Dataset;
 use serde::{Deserialize, Serialize};
 
 use crate::engine::{InferenceSim, Strategy};
+use crate::rng::XorShift64Star;
+use crate::stats::percentile;
 
 /// Load-test configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -36,27 +38,15 @@ pub struct ServingResult {
     pub queue_peak: usize,
 }
 
-fn xorshift(state: &mut u64) -> f64 {
-    let mut x = *state;
-    x ^= x >> 12;
-    x ^= x << 25;
-    x ^= x >> 27;
-    *state = x;
-    (x.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64
-}
-
-fn percentile(sorted: &[f64], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
-    sorted[idx]
-}
-
 /// Serve every query of `dataset` in order, with Poisson arrivals at
 /// `cfg.arrival_qps`, FCFS on a single device running `strategy`.
-pub fn serve(sim: &InferenceSim, strategy: Strategy, dataset: &Dataset, cfg: ServingConfig) -> ServingResult {
-    let mut rng = cfg.seed | 1;
+pub fn serve(
+    sim: &InferenceSim,
+    strategy: Strategy,
+    dataset: &Dataset,
+    cfg: ServingConfig,
+) -> ServingResult {
+    let mut rng = XorShift64Star::new(cfg.seed);
     let mut arrival_s = 0.0f64;
     let mut device_free_s = 0.0f64;
     let mut busy_s = 0.0f64;
@@ -67,8 +57,7 @@ pub fn serve(sim: &InferenceSim, strategy: Strategy, dataset: &Dataset, cfg: Ser
 
     for q in &dataset.queries {
         // Exponential inter-arrival.
-        let u = xorshift(&mut rng).max(1e-12);
-        arrival_s += -u.ln() / cfg.arrival_qps;
+        arrival_s += rng.next_exp(cfg.arrival_qps);
         let r = sim.run_query(strategy, *q);
         let start_s = arrival_s.max(device_free_s);
         let ttft_s = start_s + r.ttft_ns / 1e9 - arrival_s;
@@ -123,7 +112,7 @@ mod tests {
             .collect();
         let mut iso_sorted = iso.clone();
         iso_sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-        assert!((r.ttft_p50_ms - iso_sorted[iso_sorted.len() / 2]).abs() < 1.0);
+        assert!((r.ttft_p50_ms - crate::stats::percentile(&iso_sorted, 0.5)).abs() < 1.0);
         assert!(r.utilization < 0.2);
         assert_eq!(r.queue_peak, 1);
     }
@@ -131,9 +120,16 @@ mod tests {
     #[test]
     fn heavy_load_inflates_tail_latency() {
         let d = data();
-        let light = serve(sim(), Strategy::HybridStatic, &d, ServingConfig { arrival_qps: 0.05, seed: 3 });
-        let heavy = serve(sim(), Strategy::HybridStatic, &d, ServingConfig { arrival_qps: 2.0, seed: 3 });
-        assert!(heavy.ttft_p95_ms > 2.0 * light.ttft_p95_ms, "{} vs {}", heavy.ttft_p95_ms, light.ttft_p95_ms);
+        let light =
+            serve(sim(), Strategy::HybridStatic, &d, ServingConfig { arrival_qps: 0.05, seed: 3 });
+        let heavy =
+            serve(sim(), Strategy::HybridStatic, &d, ServingConfig { arrival_qps: 2.0, seed: 3 });
+        assert!(
+            heavy.ttft_p95_ms > 2.0 * light.ttft_p95_ms,
+            "{} vs {}",
+            heavy.ttft_p95_ms,
+            light.ttft_p95_ms
+        );
         assert!(heavy.queue_peak > light.queue_peak);
     }
 
@@ -143,7 +139,12 @@ mod tests {
         let cfg = ServingConfig { arrival_qps: 0.5, seed: 7 };
         let base = serve(sim(), Strategy::HybridStatic, &d, cfg);
         let facil = serve(sim(), Strategy::FacilDynamic, &d, cfg);
-        assert!(facil.ttft_p95_ms < base.ttft_p95_ms, "{} vs {}", facil.ttft_p95_ms, base.ttft_p95_ms);
+        assert!(
+            facil.ttft_p95_ms < base.ttft_p95_ms,
+            "{} vs {}",
+            facil.ttft_p95_ms,
+            base.ttft_p95_ms
+        );
         assert!(facil.utilization <= base.utilization + 1e-9);
     }
 

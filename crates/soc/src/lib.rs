@@ -20,4 +20,6 @@ pub mod slowdown;
 
 pub use exec::{ProcKind, SocProcessor};
 pub use platform::{Platform, PlatformId};
-pub use slowdown::{coalesced_burst_latency_ns, gemm_layout_slowdown, streaming_throughput_ratio, SlowdownResult};
+pub use slowdown::{
+    coalesced_burst_latency_ns, gemm_layout_slowdown, streaming_throughput_ratio, SlowdownResult,
+};

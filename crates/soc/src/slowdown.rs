@@ -37,7 +37,12 @@ pub struct SlowdownResult {
 
 /// Latency of one coalesced read burst of `bytes` starting at `base_pa`,
 /// issued to an idle memory system, in nanoseconds.
-pub fn coalesced_burst_latency_ns<M: AddressMapper>(spec: &DramSpec, mapper: &M, base_pa: u64, bytes: u64) -> f64 {
+pub fn coalesced_burst_latency_ns<M: AddressMapper>(
+    spec: &DramSpec,
+    mapper: &M,
+    base_pa: u64,
+    bytes: u64,
+) -> f64 {
     let tx = spec.topology.transfer_bytes;
     let trace = (0..bytes.div_ceil(tx)).map(|i| TraceEntry::read(base_pa + i * tx));
     run_trace(spec, mapper, trace, TraceOptions::default()).elapsed_ns

@@ -1,0 +1,265 @@
+//! Arrival processes for serving simulations.
+//!
+//! The original serving extension only knew Poisson arrivals; a production
+//! assistant sees far less well-behaved traffic. This module provides the
+//! arrival-time samplers consumed by `facil-serve`:
+//!
+//! * [`ArrivalProcess::Poisson`] — memoryless baseline;
+//! * [`ArrivalProcess::Bursty`] — Poisson-arriving *bursts* of back-to-back
+//!   queries (a user pasting a document, an agent fanning out tool calls);
+//! * [`ArrivalProcess::Diurnal`] — sinusoidally rate-modulated Poisson
+//!   (day/night load swings), sampled by thinning;
+//! * [`ArrivalProcess::Trace`] — replay of explicit arrival timestamps
+//!   (tiled if more queries are requested than the trace holds).
+//!
+//! All samplers are deterministic under a seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A stochastic (or replayed) query arrival process.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// Memoryless arrivals at a constant mean rate.
+    Poisson {
+        /// Mean arrival rate, queries per second.
+        qps: f64,
+    },
+    /// Bursts of `burst` simultaneous queries; burst *events* arrive as a
+    /// Poisson process at `qps / burst`, so the long-run mean rate is `qps`.
+    Bursty {
+        /// Long-run mean arrival rate, queries per second.
+        qps: f64,
+        /// Queries per burst (1 degenerates to Poisson).
+        burst: u64,
+    },
+    /// Rate-modulated Poisson: the instantaneous rate swings sinusoidally
+    /// between `base_qps` and `peak_qps` with period `period_s`, sampled by
+    /// thinning against the peak rate.
+    Diurnal {
+        /// Trough arrival rate, queries per second.
+        base_qps: f64,
+        /// Peak arrival rate, queries per second.
+        peak_qps: f64,
+        /// Period of one load cycle, seconds.
+        period_s: f64,
+    },
+    /// Replay explicit arrival offsets (seconds, ascending). When more
+    /// queries are requested than the trace holds, the trace is tiled
+    /// end-to-end, shifted by its span per repetition.
+    Trace {
+        /// Arrival timestamps in seconds.
+        times_s: Vec<f64>,
+    },
+}
+
+impl ArrivalProcess {
+    /// Sample `n` ascending arrival times (seconds from the start of the
+    /// run), deterministically under `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive rates, `burst == 0`, a non-positive diurnal
+    /// period, `peak_qps < base_qps`, or an empty/unsorted/negative trace.
+    pub fn sample_times(&self, seed: u64, n: usize) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xA881_7A1F_0CE5_5ED5);
+        let exp =
+            |rng: &mut StdRng, rate: f64| -> f64 { -rng.random::<f64>().max(1e-12).ln() / rate };
+        match self {
+            ArrivalProcess::Poisson { qps } => {
+                assert!(*qps > 0.0, "Poisson rate must be positive");
+                let mut t = 0.0;
+                (0..n)
+                    .map(|_| {
+                        t += exp(&mut rng, *qps);
+                        t
+                    })
+                    .collect()
+            }
+            ArrivalProcess::Bursty { qps, burst } => {
+                assert!(*qps > 0.0, "bursty rate must be positive");
+                assert!(*burst > 0, "burst size must be positive");
+                let event_rate = qps / *burst as f64;
+                let mut t = 0.0;
+                let mut times = Vec::with_capacity(n);
+                while times.len() < n {
+                    t += exp(&mut rng, event_rate);
+                    for _ in 0..*burst {
+                        if times.len() == n {
+                            break;
+                        }
+                        times.push(t);
+                    }
+                }
+                times
+            }
+            ArrivalProcess::Diurnal { base_qps, peak_qps, period_s } => {
+                assert!(*base_qps > 0.0, "diurnal base rate must be positive");
+                assert!(peak_qps >= base_qps, "peak rate must be >= base rate");
+                assert!(*period_s > 0.0, "diurnal period must be positive");
+                let mut t = 0.0;
+                let mut times = Vec::with_capacity(n);
+                while times.len() < n {
+                    // Thinning: candidates at the peak rate, accepted with
+                    // probability rate(t) / peak.
+                    t += exp(&mut rng, *peak_qps);
+                    let phase = (2.0 * std::f64::consts::PI * t / period_s).cos();
+                    let rate = base_qps + (peak_qps - base_qps) * 0.5 * (1.0 - phase);
+                    if rng.random::<f64>() * peak_qps <= rate {
+                        times.push(t);
+                    }
+                }
+                times
+            }
+            ArrivalProcess::Trace { times_s } => {
+                assert!(!times_s.is_empty(), "trace must not be empty");
+                assert!(times_s.windows(2).all(|w| w[0] <= w[1]), "trace must be ascending");
+                assert!(times_s[0] >= 0.0, "trace times must be non-negative");
+                // Tile the trace; keep repetitions strictly ordered even for
+                // traces whose last gap is zero.
+                let span = (times_s[times_s.len() - 1] - times_s[0]).max(1e-9)
+                    + mean_gap(times_s).max(1e-9);
+                (0..n)
+                    .map(|i| {
+                        let rep = (i / times_s.len()) as f64;
+                        times_s[i % times_s.len()] + rep * span
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Long-run mean arrival rate (queries per second); for traces, the
+    /// empirical rate over the trace span.
+    pub fn mean_qps(&self) -> f64 {
+        match self {
+            ArrivalProcess::Poisson { qps } | ArrivalProcess::Bursty { qps, .. } => *qps,
+            ArrivalProcess::Diurnal { base_qps, peak_qps, .. } => 0.5 * (base_qps + peak_qps),
+            ArrivalProcess::Trace { times_s } => {
+                let span = times_s[times_s.len() - 1] - times_s[0];
+                if span <= 0.0 {
+                    times_s.len() as f64
+                } else {
+                    times_s.len() as f64 / span
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for ArrivalProcess {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArrivalProcess::Poisson { qps } => write!(f, "poisson({qps:.2}/s)"),
+            ArrivalProcess::Bursty { qps, burst } => write!(f, "bursty({qps:.2}/s x{burst})"),
+            ArrivalProcess::Diurnal { base_qps, peak_qps, period_s } => {
+                write!(f, "diurnal({base_qps:.2}-{peak_qps:.2}/s, T={period_s:.0}s)")
+            }
+            ArrivalProcess::Trace { times_s } => write!(f, "trace({} events)", times_s.len()),
+        }
+    }
+}
+
+/// Mean inter-arrival gap of an ascending trace (0 for a single event).
+fn mean_gap(times: &[f64]) -> f64 {
+    if times.len() < 2 {
+        return 0.0;
+    }
+    (times[times.len() - 1] - times[0]) / (times.len() - 1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean_rate(times: &[f64]) -> f64 {
+        times.len() as f64 / times[times.len() - 1]
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        for proc in [
+            ArrivalProcess::Poisson { qps: 2.0 },
+            ArrivalProcess::Bursty { qps: 2.0, burst: 4 },
+            ArrivalProcess::Diurnal { base_qps: 0.5, peak_qps: 4.0, period_s: 60.0 },
+        ] {
+            let a = proc.sample_times(7, 500);
+            let b = proc.sample_times(7, 500);
+            assert_eq!(a, b, "{proc}");
+            let c = proc.sample_times(8, 500);
+            assert_ne!(a, c, "{proc}");
+        }
+    }
+
+    #[test]
+    fn times_are_ascending_and_rate_is_close() {
+        for proc in [
+            ArrivalProcess::Poisson { qps: 3.0 },
+            ArrivalProcess::Bursty { qps: 3.0, burst: 5 },
+            ArrivalProcess::Diurnal { base_qps: 1.0, peak_qps: 5.0, period_s: 120.0 },
+        ] {
+            let t = proc.sample_times(3, 4000);
+            assert!(t.windows(2).all(|w| w[0] <= w[1]), "{proc}");
+            assert!(t[0] >= 0.0);
+            let rate = mean_rate(&t);
+            let want = proc.mean_qps();
+            assert!((rate - want).abs() / want < 0.15, "{proc}: rate {rate} vs {want}");
+        }
+    }
+
+    #[test]
+    fn bursts_are_coincident() {
+        let t = ArrivalProcess::Bursty { qps: 2.0, burst: 4 }.sample_times(1, 400);
+        let coincident = t.windows(2).filter(|w| w[0] == w[1]).count();
+        // 3 of every 4 consecutive gaps inside a burst are zero.
+        assert!(coincident >= 250, "got {coincident}");
+        // Poisson has none.
+        let p = ArrivalProcess::Poisson { qps: 2.0 }.sample_times(1, 400);
+        assert_eq!(p.windows(2).filter(|w| w[0] == w[1]).count(), 0);
+    }
+
+    #[test]
+    fn diurnal_peaks_are_denser_than_troughs() {
+        let period = 200.0;
+        let proc = ArrivalProcess::Diurnal { base_qps: 0.2, peak_qps: 4.0, period_s: period };
+        let t = proc.sample_times(5, 4000);
+        // Phase 0..0.25 and 0.75..1 of each cycle are trough-side; the
+        // middle half is peak-side (rate = base + amp*(1-cos)/2).
+        let (mut peak, mut trough) = (0usize, 0usize);
+        for &x in &t {
+            let phase = (x / period).fract();
+            if (0.25..0.75).contains(&phase) {
+                peak += 1;
+            } else {
+                trough += 1;
+            }
+        }
+        assert!(peak as f64 > 2.0 * trough as f64, "peak {peak} vs trough {trough}");
+    }
+
+    #[test]
+    fn trace_replays_and_tiles() {
+        let proc = ArrivalProcess::Trace { times_s: vec![0.0, 1.0, 3.0] };
+        let t = proc.sample_times(0, 7);
+        assert_eq!(t.len(), 7);
+        assert_eq!(&t[..3], &[0.0, 1.0, 3.0]);
+        assert!(t.windows(2).all(|w| w[0] <= w[1]), "{t:?}");
+        // Second repetition is shifted past the first.
+        assert!(t[3] > t[2]);
+        // Seed does not matter for replay.
+        assert_eq!(proc.sample_times(0, 7), proc.sample_times(99, 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn unsorted_trace_panics() {
+        ArrivalProcess::Trace { times_s: vec![1.0, 0.5] }.sample_times(0, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_panics() {
+        ArrivalProcess::Poisson { qps: 0.0 }.sample_times(0, 1);
+    }
+}

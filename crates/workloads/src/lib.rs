@@ -16,6 +16,10 @@
 
 #![warn(missing_docs)]
 
+pub mod arrival;
+
+pub use arrival::ArrivalProcess;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};

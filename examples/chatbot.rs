@@ -48,17 +48,25 @@ fn main() {
     // response as instantaneous below 100 ms, and voice assistants need
     // ~250 ms TTFT.
     let facil = run_dataset(&sim, Strategy::FacilDynamic, &dataset);
-    let under_100ms =
-        facil.results.iter().filter(|r| r.ttft_ns < 100e6).count() as f64 / facil.results.len() as f64;
-    let under_250ms =
-        facil.results.iter().filter(|r| r.ttft_ns < 250e6).count() as f64 / facil.results.len() as f64;
+    let under_100ms = facil.results.iter().filter(|r| r.ttft_ns < 100e6).count() as f64
+        / facil.results.len() as f64;
+    let under_250ms = facil.results.iter().filter(|r| r.ttft_ns < 250e6).count() as f64
+        / facil.results.len() as f64;
     let base_100 = baseline.results.iter().filter(|r| r.ttft_ns < 100e6).count() as f64
         / baseline.results.len() as f64;
     let base_250 = baseline.results.iter().filter(|r| r.ttft_ns < 250e6).count() as f64
         / baseline.results.len() as f64;
     println!("\nresponsiveness (paper Section III thresholds):");
-    println!("  TTFT < 100 ms: baseline {:.0}% -> FACIL {:.0}%", base_100 * 100.0, under_100ms * 100.0);
-    println!("  TTFT < 250 ms: baseline {:.0}% -> FACIL {:.0}%", base_250 * 100.0, under_250ms * 100.0);
+    println!(
+        "  TTFT < 100 ms: baseline {:.0}% -> FACIL {:.0}%",
+        base_100 * 100.0,
+        under_100ms * 100.0
+    );
+    println!(
+        "  TTFT < 250 ms: baseline {:.0}% -> FACIL {:.0}%",
+        base_250 * 100.0,
+        under_250ms * 100.0
+    );
     println!(
         "  prefills offloaded to PIM by FACIL's dynamic policy: {:.0}%",
         facil.pim_prefill_fraction() * 100.0

@@ -17,8 +17,8 @@ fn main() {
     let platform = Platform::get(PlatformId::Iphone);
     println!("platform: {} | policy comparison under background SoC traffic\n", platform.id);
     println!(
-        "{:>14} | {:>12} {:>12} {:>10} | {:>12} {:>12} | {}",
-        "SoC req/cycle", "shared PIM", "reserved PIM", "winner", "shared lat", "reserved lat", "row reopens (shared)"
+        "{:>14} | {:>12} {:>12} {:>10} | {:>12} {:>12} | row reopens (shared)",
+        "SoC req/cycle", "shared PIM", "reserved PIM", "winner", "shared lat", "reserved lat",
     );
 
     let mut crossover = None;
@@ -29,9 +29,14 @@ fn main() {
         );
         let reserved = run_cosched(
             &platform.dram,
-            CoschedConfig { policy: CoschedPolicy::ReservedRank, soc_rate: rate, ..Default::default() },
+            CoschedConfig {
+                policy: CoschedPolicy::ReservedRank,
+                soc_rate: rate,
+                ..Default::default()
+            },
         );
-        let winner = if shared.pim_throughput >= reserved.pim_throughput { "shared" } else { "reserved" };
+        let winner =
+            if shared.pim_throughput >= reserved.pim_throughput { "shared" } else { "reserved" };
         if winner == "reserved" && crossover.is_none() {
             crossover = Some(rate);
         }

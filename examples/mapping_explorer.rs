@@ -17,7 +17,14 @@ fn main() {
         let platform = Platform::get(id);
         let topo = platform.dram.topology;
         let model = ModelConfig::by_name(platform.model_name);
-        println!("\n=== {} ({}, {} channels x {} ranks x {} banks) ===", id, platform.dram.kind, topo.channels, topo.ranks, topo.banks());
+        println!(
+            "\n=== {} ({}, {} channels x {} ranks x {} banks) ===",
+            id,
+            platform.dram.kind,
+            topo.channels,
+            topo.ranks,
+            topo.banks()
+        );
         println!(
             "page-offset row bits available: {} | paper max-MapID bound: {}",
             MappingScheme::in_page_row_bits(&topo, HUGE_PAGE_BITS).unwrap(),

@@ -31,9 +31,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2. The SoC stores the weights through ordinary row-major virtual
     //    addresses — no knowledge of the DRAM layout required.
     let mut mem = FunctionalMemory::new(sys.spec().topology);
-    let weights: Vec<f32> = (0..matrix.rows * matrix.cols)
-        .map(|i| ((i % 13) as f32 - 6.0) * 0.125)
-        .collect();
+    let weights: Vec<f32> =
+        (0..matrix.rows * matrix.cols).map(|i| ((i % 13) as f32 - 6.0) * 0.125).collect();
     store_matrix(&mut mem, &sys, &w, &weights);
 
     // 3. The PIM walks the same cells bank by bank and computes y = W x.
@@ -43,16 +42,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Check against a plain reference GEMV.
     let reference: Vec<f32> = (0..matrix.rows as usize)
         .map(|r| {
-            (0..matrix.cols as usize)
-                .map(|c| weights[r * matrix.cols as usize + c] * x[c])
-                .sum()
+            (0..matrix.cols as usize).map(|c| weights[r * matrix.cols as usize + c] * x[c]).sum()
         })
         .collect();
-    let max_err = y
-        .iter()
-        .zip(&reference)
-        .map(|(a, b)| (a - b).abs())
-        .fold(0.0f32, f32::max);
+    let max_err = y.iter().zip(&reference).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max);
     println!("\nPIM GEMV max error vs reference: {max_err:.2e} (fp16 rounding only)");
 
     // 4. And the SoC reads the matrix back row-major, intact — this is what

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Local CI: everything the repo expects to pass before a merge.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --workspace --release
+
+echo "== tests =="
+cargo test --workspace -q
+
+echo "== rustfmt =="
+cargo fmt --all --check
+
+echo "== clippy =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "CI OK"

@@ -14,7 +14,9 @@
 //! * [`workloads`] — synthetic dataset samplers (conversation and code
 //!   autocompletion),
 //! * [`sim`] — end-to-end SoC-PIM inference strategies and TTFT/TTLT
-//!   metrics.
+//!   metrics,
+//! * [`serve`] — discrete-event serving simulator: continuous batching,
+//!   admission control, SLO metrics, multi-device fleets.
 //!
 //! See the `examples/` directory for runnable end-to-end scenarios and
 //! `crates/bench` for the per-figure experiment regenerators.
@@ -23,6 +25,7 @@ pub use facil_core as core;
 pub use facil_dram as dram;
 pub use facil_llm as llm;
 pub use facil_pim as pim;
+pub use facil_serve as serve;
 pub use facil_sim as sim;
 pub use facil_soc as soc;
 pub use facil_workloads as workloads;

@@ -23,16 +23,16 @@ fn soc_writes_pim_computes_soc_reads() {
     let alloc = sys.pimalloc(matrix).unwrap();
     let mut mem = FunctionalMemory::new(sys.spec().topology);
 
-    let w: Vec<f32> = (0..matrix.rows * matrix.cols).map(|i| ((i % 9) as f32 - 4.0) * 0.5).collect();
+    let w: Vec<f32> =
+        (0..matrix.rows * matrix.cols).map(|i| ((i % 9) as f32 - 4.0) * 0.5).collect();
     let x: Vec<f32> = (0..matrix.cols).map(|i| ((i % 3) as f32 - 1.0) * 0.25).collect();
     store_matrix(&mut mem, &sys, &alloc, &w);
 
     // PIM side.
     let y = pim_gemv(&mem, &sys, &alloc, &x);
     for r in 0..matrix.rows as usize {
-        let want: f32 = (0..matrix.cols as usize)
-            .map(|c| w[r * matrix.cols as usize + c] * x[c])
-            .sum();
+        let want: f32 =
+            (0..matrix.cols as usize).map(|c| w[r * matrix.cols as usize + c] * x[c]).sum();
         assert!((y[r] - want).abs() <= want.abs() * 1e-3 + 1e-3, "row {r}: {} vs {want}", y[r]);
     }
     // SoC side, re-layout-free.
@@ -53,16 +53,18 @@ fn all_paper_models_place_on_their_platforms() {
             // One row of each shape suffices to exercise mapping/placement
             // without allocating 16 GB of simulated frames per weight.
             let matrix = MatrixConfig::new(op.out_features.min(1024), op.in_features, DType::F16);
-            let alloc = sys
-                .pimalloc(matrix)
-                .unwrap_or_else(|e| panic!("{id}/{}: {e}", op.name));
+            let alloc = sys.pimalloc(matrix).unwrap_or_else(|e| panic!("{id}/{}: {e}", op.name));
             distinct.insert(alloc.map_id());
             let checker = PlacementChecker::new(&matrix, &alloc.decision, &platform.pim_arch, 0);
             let report = checker.check_all().unwrap_or_else(|e| panic!("{id}/{}: {e}", op.name));
             assert_eq!(report.pus_per_row, alloc.decision.partitions, "{id}/{}", op.name);
             sys.free(&alloc);
         }
-        assert!(distinct.len() <= 3, "{id}: {} distinct MapIDs exceed the paper's mux", distinct.len());
+        assert!(
+            distinct.len() <= 3,
+            "{id}: {} distinct MapIDs exceed the paper's mux",
+            distinct.len()
+        );
     }
 }
 
@@ -132,7 +134,9 @@ fn pim_internal_bandwidth_exceeds_external_everywhere() {
         let engine = PimEngine::new(platform.dram.clone(), platform.pim_arch);
         let model = ModelConfig::by_name(platform.model_name);
         let matrix = MatrixConfig::new(model.hidden, model.hidden, DType::F16);
-        let d = facil::core::select_mapping_2mb(&matrix, platform.dram.topology, &platform.pim_arch).unwrap();
+        let d =
+            facil::core::select_mapping_2mb(&matrix, platform.dram.topology, &platform.pim_arch)
+                .unwrap();
         let t = engine.gemv(&matrix, &d);
         let external = platform.dram.peak_bandwidth_bytes_per_sec();
         assert!(t.internal_bw > 4.0 * external, "{id}: {:.2e} vs {:.2e}", t.internal_bw, external);

@@ -3,7 +3,9 @@
 //! moves any of these, the change is deliberate — update EXPERIMENTS.md and
 //! these constants together.
 
-use facil_bench::{fig03_pim_speedup, fig13_ttft, fig15_datasets, fig16_datasets, headline_geomeans};
+use facil_bench::{
+    fig03_pim_speedup, fig13_ttft, fig15_datasets, fig16_datasets, headline_geomeans,
+};
 use facil_sim::InferenceSim;
 use facil_soc::{Platform, PlatformId};
 
