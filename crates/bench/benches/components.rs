@@ -135,7 +135,7 @@ fn bench_serving(c: &mut Criterion) {
     use facil_sim::{serve, InferenceSim, ServingConfig, Strategy};
     use facil_soc::{Platform, PlatformId};
     use facil_workloads::Dataset;
-    let sim = InferenceSim::new(Platform::get(PlatformId::Iphone));
+    let sim = InferenceSim::new(Platform::get(PlatformId::Iphone)).expect("default model fits");
     let dataset = Dataset::code_autocompletion_like(1, 32);
     let mut g = c.benchmark_group("serving");
     g.sample_size(10);

@@ -75,7 +75,8 @@ pub fn ablation_relayout_policy(q: Query) -> Vec<(PlatformId, f64, f64)> {
     PlatformId::all()
         .into_iter()
         .map(|id| {
-            let sim = InferenceSim::new(Platform::get(id));
+            let sim = InferenceSim::new(Platform::get(id))
+                .expect("default model fits every stock platform");
             let on_demand = sim.run_query(Strategy::HybridStatic, q).ttlt_ns / 1e6;
             let all_at_once = sim.run_query_all_at_once(q).ttlt_ns / 1e6;
             (id, on_demand, all_at_once)
@@ -166,7 +167,8 @@ pub fn ablation_quantized_e2e(id: PlatformId) -> Vec<(DType, f64, f64, f64, f64)
     [DType::F16, DType::I8]
         .into_iter()
         .map(|dtype| {
-            let sim = InferenceSim::with_model_and_dtype(platform.clone(), model.clone(), dtype);
+            let sim = InferenceSim::with_model_and_dtype(platform.clone(), model.clone(), dtype)
+                .expect("ablation models fit the platform DRAM");
             let base = sim.prefill_ns(Strategy::HybridStatic, 32).0;
             let facil = sim.prefill_ns(Strategy::FacilStatic, 32).0;
             (

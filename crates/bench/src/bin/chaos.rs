@@ -1,0 +1,191 @@
+//! Fault-injection showcase: graceful degradation and failover in the
+//! `facil-serve` simulator, as reproducible experiments.
+//!
+//! 1. **Degraded mode** — a PIM-unit fault mid-run. FACIL's mapping keeps
+//!    the weights SoC-readable, so it serves straight through at SoC GEMV
+//!    speed; the hybrid baseline stalls for a full weight re-layout (and
+//!    pays it again to come back when the PIM recovers).
+//! 2. **Crash failover** — one device of a fleet crashes with work in
+//!    flight. Pending and in-flight requests fail over to survivors under
+//!    a bounded-retry policy; nothing is silently lost.
+//! 3. **Fault-rate sweep** — seeded random fault plans at increasing
+//!    crash rates: availability, goodput, and deadline-violation rate as
+//!    the fleet gets less reliable.
+//!
+//! Pass `--json` to emit one tagged JSON object per run (JSONL) instead
+//! of the tables; `--smoke` shrinks every experiment for CI.
+
+use facil_bench::print_table;
+use facil_serve::{
+    run_fleet_with_faults, FaultEvent, FaultKind, FaultPlan, FaultRates, FleetConfig, Routing,
+    ServeConfig, ServeReport,
+};
+use facil_sim::{InferenceSim, Strategy};
+use facil_soc::{Platform, PlatformId};
+use facil_workloads::{ArrivalProcess, Dataset};
+
+fn emit(json: bool, experiment: &str, params: &str, report: &ServeReport) {
+    if json {
+        println!("{{\"experiment\":\"{experiment}\",{params},\"report\":{}}}", report.to_json());
+    }
+}
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let platform = Platform::get(PlatformId::Iphone);
+    let sim = InferenceSim::new(platform).expect("default model fits");
+    let n = if smoke { 16 } else { 48 };
+    if !json {
+        println!(
+            "platform: {} | {} queries per run{}",
+            PlatformId::Iphone,
+            n,
+            if smoke { " (smoke)" } else { "" }
+        );
+    }
+
+    // -- 1. Degraded mode: PIM fault, FACIL vs hybrid ----------------------
+    // Light load so the SoC-speed degraded device keeps up: the comparison
+    // is service speed, not queue blow-up.
+    let dataset = Dataset::code_autocompletion_like(42, n);
+    let arrival = ArrivalProcess::Poisson { qps: 0.05 };
+    let fleet1 = FleetConfig { devices: 1, routing: Routing::RoundRobin };
+    let pim_fault = FaultPlan {
+        events: vec![FaultEvent {
+            device: 0,
+            at_s: 2.0,
+            kind: FaultKind::PimFault { duration_s: 1e6 },
+        }],
+        ..FaultPlan::none()
+    };
+    let mut rows = Vec::new();
+    for strategy in [Strategy::FacilDynamic, Strategy::HybridStatic, Strategy::SocOnly] {
+        let cfg = ServeConfig {
+            strategy,
+            seed: 9,
+            queue_cap: 1 << 20,
+            fmfi: 0.0,
+            ..ServeConfig::default()
+        };
+        let r = run_fleet_with_faults(&sim, &dataset, &arrival, cfg, fleet1, &pim_fault)
+            .expect("valid plan");
+        emit(json, "degraded_mode", &format!("\"strategy\":\"{strategy}\",\"qps\":0.05"), &r);
+        rows.push(vec![
+            strategy.to_string(),
+            r.completed.to_string(),
+            r.shed.to_string(),
+            format!("{:.3}", r.goodput_qps),
+            format!("{:.0}", r.ttft_ms.p95),
+            format!("{:.1}", r.degraded_s),
+            format!("{:.3}", r.relayout_stall_s),
+        ]);
+    }
+    if !json {
+        print_table(
+            "1. PIM-unit fault at t=2s, one device (goodput under fault)",
+            &[
+                "strategy",
+                "completed",
+                "shed",
+                "goodput/s",
+                "TTFT p95 (ms)",
+                "degraded (s)",
+                "relayout stall (s)",
+            ],
+            &rows,
+        );
+    }
+
+    // -- 2. Crash failover: fleet loses a device mid-run -------------------
+    let dataset = Dataset::code_autocompletion_like(7, n);
+    let arrival = ArrivalProcess::Poisson { qps: 8.0 };
+    let crash = FaultPlan {
+        events: vec![FaultEvent {
+            device: 0,
+            at_s: 0.5,
+            kind: FaultKind::Crash { recover_s: None },
+        }],
+        max_retries: 4,
+        retry_backoff_s: 0.05,
+        ..FaultPlan::none()
+    };
+    let mut rows = Vec::new();
+    for (label, plan) in [("fault-free", FaultPlan::none()), ("crash dev 0 @ 0.5s", crash)] {
+        let cfg = ServeConfig { seed: 9, fmfi: 0.0, ..ServeConfig::default() };
+        let fc = FleetConfig { devices: 3, routing: Routing::LeastLoaded };
+        let r =
+            run_fleet_with_faults(&sim, &dataset, &arrival, cfg, fc, &plan).expect("valid plan");
+        assert_eq!(r.completed + r.shed, r.offered, "conservation must hold");
+        emit(json, "crash_failover", &format!("\"plan\":\"{label}\",\"devices\":3"), &r);
+        rows.push(vec![
+            label.to_string(),
+            r.completed.to_string(),
+            r.shed.to_string(),
+            r.failovers.to_string(),
+            r.retries.to_string(),
+            format!("{:.3}", r.availability),
+            format!("{:.1}", r.downtime_s),
+        ]);
+    }
+    if !json {
+        print_table(
+            "2. Crash failover, 3 devices at 8 arrivals/s (zero requests lost)",
+            &["plan", "completed", "shed", "failovers", "retries", "availability", "down (s)"],
+            &rows,
+        );
+    }
+
+    // -- 3. Seeded fault-rate sweep ----------------------------------------
+    let dataset = Dataset::alpaca_like(3, n);
+    let arrival = ArrivalProcess::Poisson { qps: 4.0 };
+    let crash_rates: &[f64] = if smoke { &[0.0, 0.2] } else { &[0.0, 0.05, 0.1, 0.2, 0.4] };
+    let mut rows = Vec::new();
+    for &crash_per_s in crash_rates {
+        let rates = FaultRates {
+            crash_per_s,
+            pim_per_s: crash_per_s / 2.0,
+            kv_per_s: crash_per_s / 2.0,
+            mean_outage_s: 0.5,
+        };
+        let mut plan = FaultPlan::random(1234, 4, 30.0, rates);
+        plan.max_retries = 3;
+        plan.retry_backoff_s = 0.05;
+        plan.deadline_s = 20.0;
+        let cfg = ServeConfig { seed: 9, fmfi: 0.0, ..ServeConfig::default() };
+        let fc = FleetConfig { devices: 4, routing: Routing::LeastLoaded };
+        let r =
+            run_fleet_with_faults(&sim, &dataset, &arrival, cfg, fc, &plan).expect("valid plan");
+        emit(json, "fault_rate_sweep", &format!("\"crash_per_s\":{crash_per_s},\"devices\":4"), &r);
+        rows.push(vec![
+            format!("{crash_per_s:.2}"),
+            (plan.events.len()).to_string(),
+            format!("{:.3}", r.availability),
+            format!("{:.2}", r.goodput_qps),
+            format!("{:.3}", r.deadline_violation_rate),
+            r.failovers.to_string(),
+            (r.shed_failed + r.shed_deadline).to_string(),
+        ]);
+    }
+    if !json {
+        print_table(
+            "3. Seeded fault-rate sweep, 4 devices at 4 arrivals/s (20 s deadline)",
+            &[
+                "crashes/s/dev",
+                "fault events",
+                "availability",
+                "goodput/s",
+                "violation rate",
+                "failovers",
+                "failed+expired",
+            ],
+            &rows,
+        );
+        println!(
+            "\nFACIL rides out PIM faults at SoC speed on its SoC-readable layout while the \
+             hybrid baseline stalls for a re-layout; crashed devices' work fails over to \
+             survivors with nothing silently lost; availability and goodput degrade smoothly \
+             with the fault rate."
+        );
+    }
+}

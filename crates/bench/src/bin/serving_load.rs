@@ -18,7 +18,7 @@ use facil_workloads::{ArrivalProcess, Dataset};
 fn main() {
     let json = std::env::args().any(|a| a == "--json");
     let platform = Platform::get(PlatformId::Iphone);
-    let sim = InferenceSim::new(platform);
+    let sim = InferenceSim::new(platform).expect("default model fits");
     let dataset = Dataset::code_autocompletion_like(42, 96);
     if !json {
         println!(
@@ -41,7 +41,8 @@ fn main() {
                 fmfi: 0.0,
                 ..ServeConfig::default()
             };
-            let cb = run_serving(&sim, &dataset, &ArrivalProcess::Poisson { qps }, cfg);
+            let cb = run_serving(&sim, &dataset, &ArrivalProcess::Poisson { qps }, cfg)
+                .expect("serving run with a valid config");
             if json {
                 println!(
                     "{{\"strategy\":\"{strategy}\",\"qps\":{qps},\

@@ -26,7 +26,7 @@ fn emit(json: bool, experiment: &str, params: &str, report: &ServeReport) {
 fn main() {
     let json = std::env::args().any(|a| a == "--json");
     let platform = Platform::get(PlatformId::Iphone);
-    let sim = InferenceSim::new(platform);
+    let sim = InferenceSim::new(platform).expect("default model fits");
     let dataset = Dataset::code_autocompletion_like(42, 96);
     let strategy = Strategy::FacilDynamic;
     if !json {
@@ -49,7 +49,8 @@ fn main() {
             fmfi: 0.0,
             ..ServeConfig::default()
         };
-        let cb = run_serving(&sim, &dataset, &ArrivalProcess::Poisson { qps }, cfg);
+        let cb = run_serving(&sim, &dataset, &ArrivalProcess::Poisson { qps }, cfg)
+            .expect("serving run with a valid config");
         emit(json, "cb_vs_fcfs", &format!("\"qps\":{qps}"), &cb);
         rows.push(vec![
             format!("{qps:.1}"),
@@ -81,7 +82,8 @@ fn main() {
     let mut rows = Vec::new();
     for (label, queue_cap) in [("8", 8usize), ("16", 16), ("64", 64), ("unbounded", 1 << 20)] {
         let cfg = ServeConfig { strategy, seed: 9, queue_cap, fmfi: 0.0, ..ServeConfig::default() };
-        let r = run_serving(&sim, &dataset, &ArrivalProcess::Poisson { qps: 64.0 }, cfg);
+        let r = run_serving(&sim, &dataset, &ArrivalProcess::Poisson { qps: 64.0 }, cfg)
+            .expect("serving run with a valid config");
         emit(json, "admission_control", &format!("\"queue_cap\":\"{label}\",\"qps\":64.0"), &r);
         rows.push(vec![
             label.to_string(),
@@ -111,7 +113,8 @@ fn main() {
                 &ArrivalProcess::Poisson { qps: 8.0 },
                 cfg,
                 FleetConfig { devices, routing },
-            );
+            )
+            .expect("fleet run with a valid config");
             emit(
                 json,
                 "fleet",

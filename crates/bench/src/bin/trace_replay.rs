@@ -93,7 +93,10 @@ fn main() {
     println!("platform : {} ({})", p.id, p.dram.kind);
     println!("mapping  : {scheme}");
     println!("accesses : {}", trace.len());
-    let res = run_trace(&p.dram, &scheme, trace, TraceOptions::default());
+    let res = run_trace(&p.dram, &scheme, trace, TraceOptions::default()).unwrap_or_else(|e| {
+        eprintln!("trace replay failed: {e}");
+        std::process::exit(2);
+    });
     let energy = EnergyModel::default().energy(&p.dram, &res.stats, res.elapsed_ns);
     println!("elapsed  : {:.3} us", res.elapsed_ns / 1e3);
     println!(

@@ -154,7 +154,8 @@ pub struct Fig03Result {
 /// prompt on the Jetson, with GEMVs offloaded to PIM vs the GPU vs an ideal
 /// NPU.
 pub fn fig03_pim_speedup(tokens: u64) -> Fig03Result {
-    let sim = InferenceSim::new(Platform::get(PlatformId::Jetson));
+    let sim = InferenceSim::new(Platform::get(PlatformId::Jetson))
+        .expect("default model fits the Jetson DRAM");
     let mut soc = 0.0;
     let mut npu = 0.0;
     let mut pim = 0.0;
@@ -190,7 +191,8 @@ pub struct Fig06Point {
 
 /// Regenerate Fig. 6 on the Jetson for the given prefill lengths.
 pub fn fig06_relayout(prefills: &[u64]) -> Vec<Fig06Point> {
-    let sim = InferenceSim::new(Platform::get(PlatformId::Jetson));
+    let sim = InferenceSim::new(Platform::get(PlatformId::Jetson))
+        .expect("default model fits the Jetson DRAM");
     prefills
         .iter()
         .map(|&p| Fig06Point {
@@ -323,7 +325,8 @@ pub fn fig13_ttft(prefills: &[u64]) -> Vec<Fig13Series> {
     PlatformId::all()
         .into_iter()
         .map(|id| {
-            let sim = InferenceSim::new(Platform::get(id));
+            let sim = InferenceSim::new(Platform::get(id))
+                .expect("default model fits every stock platform");
             let points: Vec<(u64, f64)> = prefills
                 .iter()
                 .map(|&p| {
@@ -357,7 +360,8 @@ pub fn fig14_ttlt(combos: &[(u64, u64)]) -> Vec<Fig14Series> {
     PlatformId::all()
         .into_iter()
         .map(|id| {
-            let sim = InferenceSim::new(Platform::get(id));
+            let sim = InferenceSim::new(Platform::get(id))
+                .expect("default model fits every stock platform");
             let points = combos
                 .iter()
                 .map(|&(p, d)| {
@@ -396,7 +400,8 @@ pub struct DatasetFigRow {
 fn dataset_fig(ttft: bool, seed: u64, queries: usize) -> Vec<DatasetFigRow> {
     let mut rows = Vec::new();
     for id in PlatformId::all() {
-        let sim = InferenceSim::new(Platform::get(id));
+        let sim =
+            InferenceSim::new(Platform::get(id)).expect("default model fits every stock platform");
         for dataset in
             [Dataset::alpaca_like(seed, queries), Dataset::code_autocompletion_like(seed, queries)]
         {

@@ -35,6 +35,17 @@ pub enum FacilError {
     /// An allocation request was malformed (zero-sized matrix, unsupported
     /// dtype-row combination, …).
     InvalidRequest(String),
+    /// A serving-fleet device is crashed, out of range, or otherwise unable
+    /// to accept work.
+    DeviceUnavailable {
+        /// Fleet index of the device.
+        device: usize,
+    },
+    /// A request's deadline elapsed before it could be served.
+    DeadlineExceeded {
+        /// The deadline that was missed, in milliseconds after arrival.
+        deadline_ms: u64,
+    },
 }
 
 impl fmt::Display for FacilError {
@@ -52,11 +63,23 @@ impl fmt::Display for FacilError {
             }
             FacilError::NotMapped { va } => write!(f, "virtual address {va:#x} is not mapped"),
             FacilError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
+            FacilError::DeviceUnavailable { device } => {
+                write!(f, "device {device} is unavailable")
+            }
+            FacilError::DeadlineExceeded { deadline_ms } => {
+                write!(f, "deadline of {deadline_ms} ms exceeded")
+            }
         }
     }
 }
 
 impl std::error::Error for FacilError {}
+
+impl From<facil_dram::MapFault> for FacilError {
+    fn from(e: facil_dram::MapFault) -> Self {
+        FacilError::NotMapped { va: e.addr }
+    }
+}
 
 /// Convenience alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, FacilError>;
@@ -74,12 +97,20 @@ mod tests {
             FacilError::OutOfMemory { requested: 10, free: 5 },
             FacilError::NotMapped { va: 0x1000 },
             FacilError::InvalidRequest("y".into()),
+            FacilError::DeviceUnavailable { device: 2 },
+            FacilError::DeadlineExceeded { deadline_ms: 250 },
         ];
         for e in errors {
             let s = e.to_string();
             assert!(!s.is_empty());
             assert!(s.chars().next().unwrap().is_lowercase() || s.starts_with("MapID"));
         }
+    }
+
+    #[test]
+    fn map_fault_converts_to_not_mapped() {
+        let e: FacilError = facil_dram::MapFault { addr: 0x2000 }.into();
+        assert_eq!(e, FacilError::NotMapped { va: 0x2000 });
     }
 
     #[test]

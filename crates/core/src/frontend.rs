@@ -8,7 +8,7 @@
 //! hardware cost is five N-to-1 multiplexers (channel, rank, bank, column,
 //! row) — pure combinational logic, which [`Frontend::mux_inputs`] reports.
 
-use facil_dram::{AddressMapper, DramAddress, Topology};
+use facil_dram::{AddressMapper, DramAddress, MapFault, Topology};
 
 use crate::arch::PimArch;
 use crate::error::{FacilError, Result};
@@ -135,8 +135,8 @@ impl<'a> PinnedMapper<'a> {
 }
 
 impl AddressMapper for PinnedMapper<'_> {
-    fn map(&self, pa: u64) -> DramAddress {
-        self.frontend.translate(pa, self.map_id).expect("pinned MapID verified at construction")
+    fn map(&self, pa: u64) -> std::result::Result<DramAddress, MapFault> {
+        self.frontend.translate(pa, self.map_id).map_err(|_| MapFault { addr: pa })
     }
 }
 

@@ -13,7 +13,7 @@
 //!    access the matrix through plain row-major virtual addresses while the
 //!    controller applies the PIM-optimized device mapping underneath.
 
-use facil_dram::{AddressMapper, DramAddress, DramSpec};
+use facil_dram::{AddressMapper, DramAddress, DramSpec, MapFault};
 use serde::{Deserialize, Serialize};
 
 use crate::arch::PimArch;
@@ -236,11 +236,12 @@ pub struct VaMapper<'a> {
 }
 
 impl AddressMapper for VaMapper<'_> {
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on unmapped virtual addresses (a real access would fault).
-    fn map(&self, va: u64) -> DramAddress {
-        self.system.translate_va(va).expect("access to unmapped VA")
+    /// [`MapFault`] on unmapped virtual addresses (a real access would
+    /// fault); callers decide whether that is fatal.
+    fn map(&self, va: u64) -> std::result::Result<DramAddress, MapFault> {
+        self.system.translate_va(va).map_err(|_| MapFault { addr: va })
     }
 }
 
@@ -320,8 +321,9 @@ mod tests {
         let mut sys = system();
         let a = sys.pimalloc(MatrixConfig::new(64, 2048, DType::F16)).unwrap();
         let mapper = sys.va_mapper();
-        let d = mapper.map(a.va);
+        let d = mapper.map(a.va).unwrap();
         assert!(d.is_valid(&sys.spec().topology));
+        assert!(mapper.map(!31u64).is_err(), "unmapped VA faults instead of panicking");
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //!   keep the conventional assignment, so the OS can mix mapped and normal
 //!   pages freely.
 
-use facil_dram::{AddressMapper, DramAddress, Topology};
+use facil_dram::{AddressMapper, DramAddress, MapFault, Topology};
 use serde::{Deserialize, Serialize};
 
 use crate::arch::PimArch;
@@ -324,8 +324,8 @@ impl MappingScheme {
 }
 
 impl AddressMapper for MappingScheme {
-    fn map(&self, pa: u64) -> DramAddress {
-        self.map_pa(pa)
+    fn map(&self, pa: u64) -> std::result::Result<DramAddress, MapFault> {
+        Ok(self.map_pa(pa))
     }
 }
 

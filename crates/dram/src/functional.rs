@@ -9,7 +9,7 @@
 use std::collections::HashMap;
 
 use crate::addr::{DramAddress, Topology};
-use crate::mapper::AddressMapper;
+use crate::mapper::{AddressMapper, MapFault};
 
 /// Byte-accurate DRAM contents, sparse (unwritten cells read as zero).
 #[derive(Debug, Clone)]
@@ -38,32 +38,52 @@ impl FunctionalMemory {
 
     /// Write `data` starting at physical byte address `pa`, translating each
     /// transfer through `mapper`.
-    pub fn write_bytes<M: AddressMapper>(&mut self, mapper: &M, pa: u64, data: &[u8]) {
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`MapFault`] the mapper raises; bytes before the
+    /// faulting transfer are already written.
+    pub fn write_bytes<M: AddressMapper>(
+        &mut self,
+        mapper: &M,
+        pa: u64,
+        data: &[u8],
+    ) -> Result<(), MapFault> {
         let tx = self.topo.transfer_bytes;
         let mut cur = pa;
         let mut remaining = data;
         while !remaining.is_empty() {
             let offset = (cur % tx) as usize;
             let chunk = ((tx as usize) - offset).min(remaining.len());
-            let addr = mapper.map(cur);
+            let addr = mapper.map(cur)?;
             debug_assert!(addr.is_valid(&self.topo));
             let block = self.block_mut(addr);
             block[offset..offset + chunk].copy_from_slice(&remaining[..chunk]);
             remaining = &remaining[chunk..];
             cur += chunk as u64;
         }
+        Ok(())
     }
 
     /// Read `len` bytes starting at physical byte address `pa` through
     /// `mapper`. Unwritten cells read as zero.
-    pub fn read_bytes<M: AddressMapper>(&self, mapper: &M, pa: u64, len: usize) -> Vec<u8> {
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`MapFault`] the mapper raises.
+    pub fn read_bytes<M: AddressMapper>(
+        &self,
+        mapper: &M,
+        pa: u64,
+        len: usize,
+    ) -> Result<Vec<u8>, MapFault> {
         let tx = self.topo.transfer_bytes;
         let mut out = Vec::with_capacity(len);
         let mut cur = pa;
         while out.len() < len {
             let offset = (cur % tx) as usize;
             let chunk = ((tx as usize) - offset).min(len - out.len());
-            let addr = mapper.map(cur);
+            let addr = mapper.map(cur)?;
             debug_assert!(addr.is_valid(&self.topo));
             let key = addr.flat_index(&self.topo);
             match self.blocks.get(&key) {
@@ -72,7 +92,7 @@ impl FunctionalMemory {
             }
             cur += chunk as u64;
         }
-        out
+        Ok(out)
     }
 
     /// Read one whole transfer at a device address (used by the PIM engine,
@@ -154,9 +174,9 @@ mod tests {
         let m = identity_mapper(t);
         let mut mem = FunctionalMemory::new(t);
         let data: Vec<u8> = (0..=255).collect();
-        mem.write_bytes(&m, 100, &data); // unaligned start
-        assert_eq!(mem.read_bytes(&m, 100, 256), data);
-        assert_eq!(mem.read_bytes(&m, 0, 4), vec![0, 0, 0, 0]);
+        mem.write_bytes(&m, 100, &data).unwrap(); // unaligned start
+        assert_eq!(mem.read_bytes(&m, 100, 256).unwrap(), data);
+        assert_eq!(mem.read_bytes(&m, 0, 4).unwrap(), vec![0, 0, 0, 0]);
     }
 
     #[test]
@@ -170,8 +190,8 @@ mod tests {
         let cap = t.capacity_bytes() as usize;
         let mut mem = FunctionalMemory::new(t);
         let data: Vec<u8> = (0..cap).map(|i| (i % 251) as u8).collect();
-        mem.write_bytes(&a, 0, &data);
-        let through_b = mem.read_bytes(&b, 0, cap);
+        mem.write_bytes(&a, 0, &data).unwrap();
+        let through_b = mem.read_bytes(&b, 0, cap).unwrap();
         // Different bit assignment => a different view...
         assert_ne!(through_b, data);
         // ...but the same cells: full-space multiset is preserved.
@@ -181,7 +201,7 @@ mod tests {
         sorted_b.sort_unstable();
         assert_eq!(sorted_a, sorted_b, "same multiset of bytes through any bijective mapping");
         // And reading back through the original mapping is intact.
-        assert_eq!(mem.read_bytes(&a, 0, cap), data);
+        assert_eq!(mem.read_bytes(&a, 0, cap).unwrap(), data);
     }
 
     #[test]

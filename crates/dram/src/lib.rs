@@ -50,7 +50,7 @@ pub use command::{CommandKind, Op, Request};
 pub use controller::DramSystem;
 pub use energy::{EnergyBreakdown, EnergyModel};
 pub use functional::FunctionalMemory;
-pub use mapper::{AddressMapper, FnMapper};
+pub use mapper::{AddressMapper, FnMapper, MapFault};
 pub use spec::{DramKind, DramSpec, Timing};
 pub use stats::{DramStats, SimResult};
 pub use trace::{

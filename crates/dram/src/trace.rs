@@ -4,7 +4,7 @@
 
 use crate::command::{Op, Request};
 use crate::controller::DramSystem;
-use crate::mapper::AddressMapper;
+use crate::mapper::{AddressMapper, MapFault};
 use crate::spec::DramSpec;
 use crate::stats::SimResult;
 
@@ -41,15 +41,20 @@ pub struct TraceOptions {
 ///
 /// Duplicate physical addresses are allowed (they model re-reads). The trace
 /// order defines arrival order.
+///
+/// # Errors
+///
+/// Propagates the first [`MapFault`] the mapper raises (e.g. an unmapped
+/// virtual address in a VA-level trace).
 pub fn run_trace<M: AddressMapper>(
     spec: &DramSpec,
     mapper: &M,
     trace: impl IntoIterator<Item = TraceEntry>,
     opts: TraceOptions,
-) -> SimResult {
+) -> Result<SimResult, MapFault> {
     let mut sys = DramSystem::new(spec);
     for (i, e) in trace.into_iter().enumerate() {
-        let addr = mapper.map(e.pa);
+        let addr = mapper.map(e.pa)?;
         debug_assert!(
             addr.is_valid(&spec.topology),
             "mapper produced out-of-range address {addr} for pa {:#x}",
@@ -58,7 +63,7 @@ pub fn run_trace<M: AddressMapper>(
         let arrival = i as u64 * opts.issue_interval;
         sys.push(Request { addr, op: e.op, arrival });
     }
-    sys.run()
+    Ok(sys.run())
 }
 
 /// Parse one line of a text trace: `R <addr>` or `W <addr>`, where the
@@ -165,7 +170,7 @@ mod tests {
         let spec = DramSpec::lpddr5_6400(64, 8 << 30); // 4 channels
         let mapper = test_mapper(&spec);
         let trace = sequential_trace(0, 16384, spec.topology.transfer_bytes, Op::Read);
-        let res = run_trace(&spec, &mapper, trace, TraceOptions::default());
+        let res = run_trace(&spec, &mapper, trace, TraceOptions::default()).unwrap();
         let util = res.utilization(spec.peak_bandwidth_bytes_per_sec());
         assert!(util > 0.85, "sequential read utilization {util:.3} too low");
     }
@@ -181,8 +186,8 @@ mod tests {
         let rnd: Vec<_> = (0..n)
             .map(|i| TraceEntry::read((i.wrapping_mul(0x9E3779B97F4A7C15) % cap) & !31))
             .collect();
-        let s = run_trace(&spec, &mapper, seq, TraceOptions::default());
-        let r = run_trace(&spec, &mapper, rnd, TraceOptions::default());
+        let s = run_trace(&spec, &mapper, seq, TraceOptions::default()).unwrap();
+        let r = run_trace(&spec, &mapper, rnd, TraceOptions::default()).unwrap();
         assert!(
             r.bandwidth_bytes_per_sec < s.bandwidth_bytes_per_sec,
             "random ({:.2e}) should be slower than sequential ({:.2e})",
@@ -197,8 +202,8 @@ mod tests {
         let spec = DramSpec::lpddr5_6400(16, 256 << 20);
         let mapper = test_mapper(&spec);
         let trace = sequential_trace(0, 1024, 32, Op::Read);
-        let fast = run_trace(&spec, &mapper, trace.clone(), TraceOptions::default());
-        let slow = run_trace(&spec, &mapper, trace, TraceOptions { issue_interval: 16 });
+        let fast = run_trace(&spec, &mapper, trace.clone(), TraceOptions::default()).unwrap();
+        let slow = run_trace(&spec, &mapper, trace, TraceOptions { issue_interval: 16 }).unwrap();
         assert!(slow.elapsed_ns > 2.0 * fast.elapsed_ns);
     }
 }

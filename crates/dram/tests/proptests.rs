@@ -95,10 +95,10 @@ proptest! {
         let mut model = vec![0u8; cap];
         for (pa, data) in &writes {
             let pa = *pa as usize % (cap - data.len());
-            mem.write_bytes(&mapper, pa as u64, data);
+            mem.write_bytes(&mapper, pa as u64, data).unwrap();
             model[pa..pa + data.len()].copy_from_slice(data);
         }
-        prop_assert_eq!(mem.read_bytes(&mapper, 0, cap), model);
+        prop_assert_eq!(mem.read_bytes(&mapper, 0, cap).unwrap(), model);
     }
 }
 

@@ -18,12 +18,17 @@ use crate::f16::{decode_f16_le, encode_f16_le};
 ///
 /// Panics if `values.len() != rows * cols` or the allocation's dtype is not
 /// 16-bit.
+///
+/// # Errors
+///
+/// [`facil_core::FacilError::NotMapped`] if the allocation's VA range is no
+/// longer mapped (e.g. it was freed).
 pub fn store_matrix(
     mem: &mut FunctionalMemory,
     sys: &FacilSystem,
     alloc: &PimAllocation,
     values: &[f32],
-) {
+) -> facil_core::Result<()> {
     let m = &alloc.matrix;
     assert_eq!(values.len() as u64, m.rows * m.cols, "value count must match the matrix shape");
     assert_eq!(m.dtype.bytes(), 2, "functional path models 16-bit weights");
@@ -31,20 +36,30 @@ pub fn store_matrix(
     for r in 0..m.rows {
         let row = &values[(r * m.cols) as usize..((r + 1) * m.cols) as usize];
         let bytes = encode_f16_le(row);
-        mem.write_bytes(&mapper, alloc.element_va(r, 0), &bytes);
+        mem.write_bytes(&mapper, alloc.element_va(r, 0), &bytes)?;
     }
+    Ok(())
 }
 
 /// Read the matrix back through the SoC view (for re-layout-free GEMM).
-pub fn load_matrix(mem: &FunctionalMemory, sys: &FacilSystem, alloc: &PimAllocation) -> Vec<f32> {
+///
+/// # Errors
+///
+/// [`facil_core::FacilError::NotMapped`] if the allocation's VA range is no
+/// longer mapped.
+pub fn load_matrix(
+    mem: &FunctionalMemory,
+    sys: &FacilSystem,
+    alloc: &PimAllocation,
+) -> facil_core::Result<Vec<f32>> {
     let m = &alloc.matrix;
     let mapper = sys.va_mapper();
     let mut out = Vec::with_capacity((m.rows * m.cols) as usize);
     for r in 0..m.rows {
-        let bytes = mem.read_bytes(&mapper, alloc.element_va(r, 0), (m.cols * 2) as usize);
+        let bytes = mem.read_bytes(&mapper, alloc.element_va(r, 0), (m.cols * 2) as usize)?;
         out.extend(decode_f16_le(&bytes));
     }
-    out
+    Ok(out)
 }
 
 /// Execute `y = W x` the PIM way: walk the matrix chunk by chunk, resolve
@@ -154,7 +169,7 @@ mod tests {
         // Deterministic small-magnitude weights (exact in fp16).
         let w: Vec<f32> = (0..rows * cols).map(|i| ((i % 7) as f32 - 3.0) * 0.25).collect();
         let x: Vec<f32> = (0..cols).map(|i| ((i % 5) as f32 - 2.0) * 0.5).collect();
-        store_matrix(&mut mem, &sys, &alloc, &w);
+        store_matrix(&mut mem, &sys, &alloc, &w).unwrap();
 
         let y = pim_gemv(&mem, &sys, &alloc, &x);
         let reference = reference_gemv(rows as usize, cols as usize, &w, &x);
@@ -169,9 +184,9 @@ mod tests {
         let alloc = sys.pimalloc(MatrixConfig::new(16, 2048, DType::F16)).unwrap();
         let mut mem = FunctionalMemory::new(sys.spec().topology);
         let w: Vec<f32> = (0..16 * 2048).map(|i| (i % 11) as f32 * 0.125).collect();
-        store_matrix(&mut mem, &sys, &alloc, &w);
+        store_matrix(&mut mem, &sys, &alloc, &w).unwrap();
         assert_eq!(
-            load_matrix(&mem, &sys, &alloc),
+            load_matrix(&mem, &sys, &alloc).unwrap(),
             w,
             "row-major SoC view is intact: no re-layout needed"
         );
@@ -188,7 +203,7 @@ mod tests {
         let mut mem = FunctionalMemory::new(sys.spec().topology);
         let w: Vec<f32> = (0..8 * 4096).map(|i| ((i % 3) as f32 - 1.0) * 0.5).collect();
         let x: Vec<f32> = (0..4096).map(|i| ((i % 4) as f32 - 1.5) * 0.25).collect();
-        store_matrix(&mut mem, &sys, &alloc, &w);
+        store_matrix(&mut mem, &sys, &alloc, &w).unwrap();
         let y = pim_gemv(&mem, &sys, &alloc, &x);
         let reference = reference_gemv(8, 4096, &w, &x);
         for (a, b) in y.iter().zip(&reference) {
@@ -206,7 +221,7 @@ mod tests {
         let mut mem = FunctionalMemory::new(sys.spec().topology);
         let w: Vec<f32> = (0..64 * 1024).map(|i| ((i % 5) as f32 - 2.0) * 0.5).collect();
         let x: Vec<f32> = (0..1024).map(|i| ((i % 6) as f32 - 2.5) * 0.25).collect();
-        store_matrix(&mut mem, &sys, &alloc, &w);
+        store_matrix(&mut mem, &sys, &alloc, &w).unwrap();
         let y = pim_gemv(&mem, &sys, &alloc, &x);
         for (r, got) in y.iter().enumerate() {
             let want: f32 = (0..1024).map(|c| w[r * 1024 + c] * x[c]).sum();

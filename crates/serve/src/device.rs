@@ -15,6 +15,28 @@
 //! pay realistic huge-page compaction (the paper's Table I mechanism).
 //! Reserving up-front makes the scheduler deadlock-free: an admitted
 //! request can always run to completion, so `completed + shed == offered`.
+//!
+//! # Fault behaviour
+//!
+//! A device built with [`DeviceSim::with_faults`] honours its slice of a
+//! [`FaultPlan`]:
+//!
+//! - **Crash** windows evict every pending and in-flight request (KV
+//!   released, progress lost) into the eviction buffer the fleet driver
+//!   harvests with [`DeviceSim::take_evicted`]; a permanent crash leaves
+//!   the device dead.
+//! - **Freeze** windows stall the clock without losing state.
+//! - **PIM-fault** windows switch iteration costing to *degraded mode*:
+//!   FACIL strategies keep serving immediately at SoC GEMV speed (their
+//!   layout is SoC-readable, paying only the small Table III penalty),
+//!   while hybrid baselines are charged a full weight re-layout on entry
+//!   *and* on exit of the window
+//!   ([`InferenceSim::degraded_relayout_ns`]).
+//! - **KV-fault** windows block admission; in-flight requests keep their
+//!   reservations and keep running.
+//!
+//! Faults take effect at iteration boundaries (iterations are atomic), so
+//! every run remains deterministic for a fixed plan.
 
 use std::collections::VecDeque;
 
@@ -24,6 +46,7 @@ use facil_sim::{InferenceSim, Strategy};
 use facil_workloads::Query;
 use serde::{Deserialize, Serialize};
 
+use crate::faults::{FaultKind, FaultPlan};
 use crate::metrics::{DeviceReport, QueueSample};
 use crate::request::{RequestRecord, ShedReason, ShedRecord};
 
@@ -69,6 +92,7 @@ struct PendingReq {
     id: u64,
     arrival_s: f64,
     query: Query,
+    attempt: u32,
 }
 
 /// An admitted request (KV fully reserved) in prefill or decode phase.
@@ -83,9 +107,37 @@ struct ActiveReq {
     decoded: u64,
     first_token_s: f64,
     last_token_s: f64,
+    attempt: u32,
 }
 
-/// One simulated device: queues, KV memory, and the iteration clock.
+/// A request this device lost to a crash; the fleet driver re-queues it on
+/// a survivor (or sheds it as [`ShedReason::Failed`] once the retry budget
+/// is exhausted).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvictedReq {
+    /// Request id.
+    pub id: u64,
+    /// Original arrival time, seconds (latencies keep counting from here).
+    pub arrival_s: f64,
+    /// When the device lost it, seconds.
+    pub evicted_s: f64,
+    /// Failover attempts already consumed (before this eviction).
+    pub attempt: u32,
+    /// The query itself, so it can be replayed elsewhere.
+    pub query: Query,
+}
+
+/// A device outage interval (`end == f64::INFINITY` for a permanent
+/// crash).
+#[derive(Debug, Clone, Copy)]
+struct OutageWindow {
+    start: f64,
+    end: f64,
+    crash: bool,
+}
+
+/// One simulated device: queues, KV memory, the iteration clock, and its
+/// slice of the fault schedule.
 #[derive(Debug)]
 pub struct DeviceSim<'a> {
     sim: &'a InferenceSim,
@@ -114,12 +166,37 @@ pub struct DeviceSim<'a> {
     decode_tokens: u64,
     prefill_chunks: u64,
     series: Vec<QueueSample>,
+    // Fault state.
+    deadline_s: f64,
+    outages: Vec<OutageWindow>,
+    pim_windows: Vec<(f64, f64)>,
+    kv_windows: Vec<(f64, f64)>,
+    next_outage: usize,
+    dead: bool,
+    in_degraded: bool,
+    degraded_s: f64,
+    relayout_stall_s: f64,
+    crashes: usize,
+    evicted: Vec<EvictedReq>,
+    evicted_total: usize,
 }
 
 impl<'a> DeviceSim<'a> {
-    /// Build a device around the timing oracle `sim`, preparing its
-    /// physical memory at the configured occupancy and FMFI.
+    /// Build a fault-free device around the timing oracle `sim`, preparing
+    /// its physical memory at the configured occupancy and FMFI.
     pub fn new(sim: &'a InferenceSim, device: usize, cfg: ServeConfig) -> Self {
+        DeviceSim::with_faults(sim, device, cfg, &FaultPlan::none())
+    }
+
+    /// Build a device that honours its slice of `plan` (events whose
+    /// `device` field matches). The plan is assumed validated
+    /// ([`FaultPlan::validate`]).
+    pub fn with_faults(
+        sim: &'a InferenceSim,
+        device: usize,
+        cfg: ServeConfig,
+        plan: &FaultPlan,
+    ) -> Self {
         let platform = sim.platform();
         let model = sim.model();
         let mut sys = FacilSystem::new(platform.dram.clone(), platform.pim_arch);
@@ -146,6 +223,32 @@ impl<'a> DeviceSim<'a> {
         };
         sys.fragment_physical(occupied, cfg.fmfi.clamp(0.0, 1.0));
         let kv_budget = sys.free_bytes();
+        let mut outages = Vec::new();
+        let mut pim_windows = Vec::new();
+        let mut kv_windows = Vec::new();
+        for e in plan.events.iter().filter(|e| e.device == device) {
+            match e.kind {
+                FaultKind::Crash { recover_s } => outages.push(OutageWindow {
+                    start: e.at_s,
+                    end: recover_s.map_or(f64::INFINITY, |r| e.at_s + r),
+                    crash: true,
+                }),
+                FaultKind::Freeze { duration_s } => outages.push(OutageWindow {
+                    start: e.at_s,
+                    end: e.at_s + duration_s,
+                    crash: false,
+                }),
+                FaultKind::PimFault { duration_s } => {
+                    pim_windows.push((e.at_s, e.at_s + duration_s))
+                }
+                FaultKind::KvFault { duration_s } => kv_windows.push((e.at_s, e.at_s + duration_s)),
+            }
+        }
+        // Stable sorts keep the plan's order for coincident faults, so the
+        // schedule stays deterministic.
+        outages.sort_by(|a, b| a.start.total_cmp(&b.start));
+        pim_windows.sort_by(|a, b| a.0.total_cmp(&b.0));
+        kv_windows.sort_by(|a, b| a.0.total_cmp(&b.0));
         DeviceSim {
             sim,
             cfg,
@@ -173,6 +276,18 @@ impl<'a> DeviceSim<'a> {
             decode_tokens: 0,
             prefill_chunks: 0,
             series: Vec::new(),
+            deadline_s: plan.deadline_s,
+            outages,
+            pim_windows,
+            kv_windows,
+            next_outage: 0,
+            dead: false,
+            in_degraded: false,
+            degraded_s: 0.0,
+            relayout_stall_s: 0.0,
+            crashes: 0,
+            evicted: Vec::new(),
+            evicted_total: 0,
         }
     }
 
@@ -211,6 +326,27 @@ impl<'a> DeviceSim<'a> {
         &self.tbt_ms
     }
 
+    /// True if the device can accept a request arriving at `t_s` (alive
+    /// and not inside an outage window).
+    pub fn accepts(&self, t_s: f64) -> bool {
+        !self.dead && !self.outages.iter().any(|w| w.start <= t_s && t_s < w.end)
+    }
+
+    /// True once a permanent crash has taken the device down for good.
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    /// Drain the requests lost to crashes since the last harvest.
+    pub fn take_evicted(&mut self) -> Vec<EvictedReq> {
+        std::mem::take(&mut self.evicted)
+    }
+
+    /// Seconds served in degraded (PIM-down) mode so far.
+    pub fn degraded_s(&self) -> f64 {
+        self.degraded_s
+    }
+
     /// Worst-case KV footprint of `q` in bytes: whole slab sets covering
     /// `prefill + decode` tokens across every layer's K and V halves.
     pub fn kv_bytes_needed(&self, q: &Query) -> u64 {
@@ -240,17 +376,53 @@ impl<'a> DeviceSim<'a> {
         self.active_count() > 0
     }
 
+    /// First PIM-fault window containing `t`, if any.
+    fn pim_down_at(&self, t: f64) -> bool {
+        self.pim_windows.iter().any(|&(s, e)| s <= t && t < e)
+    }
+
+    /// End of the KV-fault window containing `t`, if admission is blocked.
+    fn kv_block_end(&self, t: f64) -> Option<f64> {
+        self.kv_windows.iter().find(|&&(s, e)| s <= t && t < e).map(|&(_, e)| e)
+    }
+
     /// Offer a request arriving at `t_s`. It is queued, or shed with a
     /// recorded reason — never silently dropped.
     pub fn enqueue(&mut self, t_s: f64, id: u64, query: Query) {
+        self.enqueue_attempt(t_s, t_s, id, query, 0);
+    }
+
+    /// Offer a (possibly re-queued) request landing on this device at
+    /// `t_s`; `arrival_s` is the original fleet arrival time latencies are
+    /// measured from, and `attempt` counts earlier failovers.
+    pub fn enqueue_attempt(
+        &mut self,
+        t_s: f64,
+        arrival_s: f64,
+        id: u64,
+        query: Query,
+        attempt: u32,
+    ) {
+        if self.dead {
+            // Defensive: the fleet routes around dead devices, but a direct
+            // caller must not lose the request either.
+            self.evicted.push(EvictedReq { id, arrival_s, evicted_s: t_s, attempt, query });
+            self.evicted_total += 1;
+            return;
+        }
         if !self.has_active() && self.pending.is_empty() {
-            self.now_s = self.now_s.max(t_s);
+            self.jump_idle_to(t_s);
+            if self.dead {
+                self.evicted.push(EvictedReq { id, arrival_s, evicted_s: t_s, attempt, query });
+                self.evicted_total += 1;
+                return;
+            }
         }
         if self.kv_bytes_needed(&query) > self.kv_budget {
             self.shed.push(ShedRecord {
                 id,
                 device: self.device,
-                arrival_s: t_s,
+                arrival_s,
                 reason: ShedReason::Oversized,
             });
             return;
@@ -259,12 +431,12 @@ impl<'a> DeviceSim<'a> {
             self.shed.push(ShedRecord {
                 id,
                 device: self.device,
-                arrival_s: t_s,
+                arrival_s,
                 reason: ShedReason::QueueFull,
             });
             return;
         }
-        self.pending.push_back(PendingReq { id, arrival_s: t_s, query });
+        self.pending.push_back(PendingReq { id, arrival_s, query, attempt });
         self.queue_peak = self.queue_peak.max(self.pending.len());
     }
 
@@ -274,9 +446,25 @@ impl<'a> DeviceSim<'a> {
     /// free KV budget it *waits* for in-flight requests to release theirs —
     /// except on an idle device, where waiting could never help, so the
     /// head is shed (`NoMemory`) and the queue keeps making progress.
+    /// Requests whose deadline already passed are shed (`DeadlineExpired`)
+    /// instead of admitted, and a KV-fault window pauses admission
+    /// entirely.
     fn try_admit(&mut self) {
         while self.active_count() < self.cfg.max_batch.max(1) {
-            let Some(front) = self.pending.front() else { return };
+            let Some(&front) = self.pending.front() else { return };
+            if self.deadline_s > 0.0 && self.now_s > front.arrival_s + self.deadline_s {
+                self.pending.pop_front();
+                self.shed.push(ShedRecord {
+                    id: front.id,
+                    device: self.device,
+                    arrival_s: front.arrival_s,
+                    reason: ShedReason::DeadlineExpired,
+                });
+                continue;
+            }
+            if self.kv_block_end(self.now_s).is_some() {
+                return;
+            }
             let tokens = front.query.prefill.max(1) + front.query.decode;
             let stats_before = self.sys.alloc_stats();
             let mut kv = PagedKvCache::new(self.kv_layers, self.kv_dim, self.kv_dtype);
@@ -290,18 +478,19 @@ impl<'a> DeviceSim<'a> {
                     self.now_s += compact_s;
                     self.busy_s += compact_s;
                     self.kv_compact_s += compact_s;
-                    let p = self.pending.pop_front().expect("front exists");
+                    self.pending.pop_front();
                     self.kv_peak_bytes = self.kv_peak_bytes.max(self.kv_in_use());
                     self.prefilling.push_back(ActiveReq {
-                        id: p.id,
-                        arrival_s: p.arrival_s,
-                        admitted_s: self.now_s.max(p.arrival_s),
-                        query: p.query,
+                        id: front.id,
+                        arrival_s: front.arrival_s,
+                        admitted_s: self.now_s.max(front.arrival_s),
+                        query: front.query,
                         kv,
                         prefill_done: 0,
                         decoded: 0,
                         first_token_s: 0.0,
                         last_token_s: 0.0,
+                        attempt: front.attempt,
                     });
                 }
                 Err(_) => {
@@ -309,11 +498,11 @@ impl<'a> DeviceSim<'a> {
                     // reserved; release them before deciding.
                     kv.free(&mut self.sys);
                     if self.active_count() == 0 {
-                        let p = self.pending.pop_front().expect("front exists");
+                        self.pending.pop_front();
                         self.shed.push(ShedRecord {
-                            id: p.id,
+                            id: front.id,
                             device: self.device,
-                            arrival_s: p.arrival_s,
+                            arrival_s: front.arrival_s,
                             reason: ShedReason::NoMemory,
                         });
                     } else {
@@ -326,12 +515,25 @@ impl<'a> DeviceSim<'a> {
 
     /// Execute one iteration: a prefill chunk for the oldest prefilling
     /// request plus one batched decode step for every decoding request.
+    /// Inside a PIM-fault window the iteration is costed in degraded mode,
+    /// and entering/leaving the window charges the strategy's re-layout
+    /// stall (zero for FACIL, a full weight re-layout for hybrid).
     fn step(&mut self) {
         debug_assert!(self.has_active(), "step requires admitted work");
+        let degraded = self.pim_down_at(self.now_s);
+        if degraded != self.in_degraded {
+            let stall = self.sim.degraded_relayout_ns(self.cfg.strategy) / 1e9;
+            self.now_s += stall;
+            self.busy_s += stall;
+            self.relayout_stall_s += stall;
+            self.in_degraded = degraded;
+        }
         let ctxs: Vec<u64> =
             self.decoding.iter().map(|r| r.query.prefill.max(1) + r.decoded).collect();
         let decode_ns = if ctxs.is_empty() {
             0.0
+        } else if degraded {
+            self.sim.decode_batch_degraded_ns(self.cfg.strategy, &ctxs)
         } else if self.cfg.strategy == Strategy::SocOnly {
             self.sim.decode_batch_soc_ns(&ctxs)
         } else {
@@ -343,11 +545,18 @@ impl<'a> DeviceSim<'a> {
             (r.prefill_done, len, total)
         });
         let prefill_ns = chunk.map_or(0.0, |(start, len, total)| {
-            self.sim.prefill_chunk_ns(self.cfg.strategy, start, len, total)
+            if degraded {
+                self.sim.prefill_chunk_degraded_ns(self.cfg.strategy, start, len, total)
+            } else {
+                self.sim.prefill_chunk_ns(self.cfg.strategy, start, len, total)
+            }
         });
         let dt = (decode_ns + prefill_ns) / 1e9;
         self.now_s += dt;
         self.busy_s += dt;
+        if degraded {
+            self.degraded_s += dt;
+        }
         self.iterations += 1;
         self.decode_tokens += ctxs.len() as u64;
         self.prefill_chunks += u64::from(chunk.is_some());
@@ -374,17 +583,23 @@ impl<'a> DeviceSim<'a> {
         // The prefill chunk completes; a finished prefill emits the first
         // token and moves to the decode set.
         if let Some((_, len, total)) = chunk {
-            let head = self.prefilling.front_mut().expect("chunk implies a head");
-            head.prefill_done += len;
-            if head.prefill_done >= total {
-                let mut r = self.prefilling.pop_front().expect("head exists");
-                r.first_token_s = now;
-                r.last_token_s = now;
-                if r.query.decode == 0 {
-                    r.kv.free(&mut self.sys);
-                    self.finish(r, now);
-                } else {
-                    self.decoding.push(r);
+            let finished = match self.prefilling.front_mut() {
+                Some(head) => {
+                    head.prefill_done += len;
+                    head.prefill_done >= total
+                }
+                None => false,
+            };
+            if finished {
+                if let Some(mut r) = self.prefilling.pop_front() {
+                    r.first_token_s = now;
+                    r.last_token_s = now;
+                    if r.query.decode == 0 {
+                        r.kv.free(&mut self.sys);
+                        self.finish(r, now);
+                    } else {
+                        self.decoding.push(r);
+                    }
                 }
             }
         }
@@ -407,36 +622,128 @@ impl<'a> DeviceSim<'a> {
             ttlt_ms: (now - r.arrival_s) * 1e3,
             prefill: r.query.prefill,
             decode: r.query.decode,
+            retries: r.attempt,
         });
+    }
+
+    /// Move every queued and in-flight request to the eviction buffer (KV
+    /// released, progress lost).
+    fn evict_all(&mut self, t_s: f64) {
+        for p in self.pending.drain(..) {
+            self.evicted.push(EvictedReq {
+                id: p.id,
+                arrival_s: p.arrival_s,
+                evicted_s: t_s,
+                attempt: p.attempt,
+                query: p.query,
+            });
+        }
+        for mut r in self.prefilling.drain(..).chain(self.decoding.drain(..)) {
+            r.kv.free(&mut self.sys);
+            self.evicted.push(EvictedReq {
+                id: r.id,
+                arrival_s: r.arrival_s,
+                evicted_s: t_s,
+                attempt: r.attempt,
+                query: r.query,
+            });
+        }
+    }
+
+    /// Apply the next outage window once the clock has crossed its start.
+    /// Returns true if any state changed (caller re-evaluates its loop).
+    fn process_outage(&mut self) -> bool {
+        let Some(&w) = self.outages.get(self.next_outage) else { return false };
+        if self.now_s < w.start {
+            return false;
+        }
+        self.next_outage += 1;
+        if w.crash {
+            self.crashes += 1;
+            let before = self.evicted.len();
+            self.evict_all(self.now_s);
+            self.evicted_total += self.evicted.len() - before;
+            if w.end.is_finite() {
+                self.now_s = self.now_s.max(w.end);
+            } else {
+                self.dead = true;
+            }
+        } else if self.now_s < w.end {
+            // Freeze: the clock stalls (no busy time), nothing is lost.
+            self.now_s = w.end;
+        }
+        true
+    }
+
+    /// Jump an *empty* device's clock forward to `t_s`, stepping over any
+    /// outage windows on the way (nothing is present to evict; a permanent
+    /// crash on the way still kills the device).
+    fn jump_idle_to(&mut self, t_s: f64) {
+        debug_assert!(!self.has_active() && self.pending.is_empty());
+        while let Some(&w) = self.outages.get(self.next_outage) {
+            if w.start > t_s.max(self.now_s) {
+                break;
+            }
+            self.next_outage += 1;
+            if w.crash {
+                self.crashes += 1;
+            }
+            if w.end.is_infinite() {
+                self.dead = true;
+                self.now_s = self.now_s.max(w.start);
+                return;
+            }
+            self.now_s = self.now_s.max(w.end);
+        }
+        self.now_s = self.now_s.max(t_s);
+    }
+
+    /// Run the scheduler until the clock reaches `limit` or there is
+    /// nothing left to do (`limit` may be infinite for a drain).
+    fn run_until(&mut self, limit: f64) {
+        loop {
+            if self.dead {
+                return;
+            }
+            if self.process_outage() {
+                continue;
+            }
+            self.try_admit();
+            if self.has_active() {
+                if self.now_s >= limit {
+                    return;
+                }
+                self.step();
+                continue;
+            }
+            if !self.pending.is_empty() {
+                // Head blocked by a KV-fault window on an idle device: jump
+                // to the unblock point (bounded by the limit).
+                if let Some(end) = self.kv_block_end(self.now_s) {
+                    let target = end.min(limit);
+                    if target > self.now_s {
+                        self.now_s = target;
+                        continue;
+                    }
+                }
+                return;
+            }
+            if self.now_s < limit && limit.is_finite() {
+                self.jump_idle_to(limit);
+            }
+            return;
+        }
     }
 
     /// Run iterations until the clock reaches `t_s` or the device runs out
     /// of admitted work (an idle device jumps its clock forward to `t_s`).
     pub fn advance_until(&mut self, t_s: f64) {
-        loop {
-            self.try_admit();
-            if !self.has_active() || self.now_s >= t_s {
-                break;
-            }
-            self.step();
-        }
-        if !self.has_active() && self.pending.is_empty() && self.now_s < t_s {
-            self.now_s = t_s;
-        }
+        self.run_until(t_s);
     }
 
-    /// Run every queued and admitted request to completion.
+    /// Run every queued and admitted request to completion (or eviction).
     pub fn drain(&mut self) {
-        loop {
-            self.try_admit();
-            if self.has_active() {
-                self.step();
-            } else if self.pending.is_empty() {
-                return;
-            }
-            // An idle device with a non-empty queue always progresses:
-            // try_admit either admits or sheds the head.
-        }
+        self.run_until(f64::INFINITY);
     }
 
     /// Per-device report; `span_s` is the fleet-wide wall-clock span the
@@ -446,6 +753,14 @@ impl<'a> DeviceSim<'a> {
         // Downsample the per-iteration series to a bounded time series.
         let stride = self.series.len().div_ceil(240).max(1);
         let queue_depth: Vec<QueueSample> = self.series.iter().step_by(stride).copied().collect();
+        // `.max(0.0)` also normalizes the empty sum's -0.0 identity.
+        let down_s: f64 = self
+            .outages
+            .iter()
+            .map(|w| (w.end.min(span_s) - w.start.min(span_s)).max(0.0))
+            .sum::<f64>()
+            .max(0.0);
+        let uptime = if span_s > 0.0 { (1.0 - down_s / span_s).clamp(0.0, 1.0) } else { 1.0 };
         DeviceReport {
             device: self.device,
             completed: self.completed.len(),
@@ -464,6 +779,12 @@ impl<'a> DeviceSim<'a> {
             } else {
                 (self.decode_tokens + self.prefill_chunks) as f64 / self.iterations as f64
             },
+            uptime,
+            down_s,
+            degraded_s: self.degraded_s,
+            relayout_stall_s: self.relayout_stall_s,
+            crashes: self.crashes,
+            evicted: self.evicted_total,
             queue_depth,
         }
     }
@@ -472,16 +793,21 @@ impl<'a> DeviceSim<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::FaultEvent;
     use facil_soc::{Platform, PlatformId};
     use std::sync::OnceLock;
 
     fn sim() -> &'static InferenceSim {
         static SIM: OnceLock<InferenceSim> = OnceLock::new();
-        SIM.get_or_init(|| InferenceSim::new(Platform::get(PlatformId::Iphone)))
+        SIM.get_or_init(|| InferenceSim::new(Platform::get(PlatformId::Iphone)).unwrap())
     }
 
     fn unfragmented() -> ServeConfig {
         ServeConfig { fmfi: 0.0, ..ServeConfig::default() }
+    }
+
+    fn plan_with(events: Vec<FaultEvent>) -> FaultPlan {
+        FaultPlan { events, ..FaultPlan::none() }
     }
 
     #[test]
@@ -630,5 +956,151 @@ mod tests {
             late_first_token_s < first_done_s,
             "late TTFT at {late_first_token_s:.3}s must precede backlog completion at {first_done_s:.3}s"
         );
+    }
+
+    #[test]
+    fn crash_evicts_everything_and_loses_nothing() {
+        let plan = plan_with(vec![FaultEvent {
+            device: 0,
+            at_s: 0.001,
+            kind: FaultKind::Crash { recover_s: None },
+        }]);
+        let mut dev = DeviceSim::with_faults(sim(), 0, unfragmented(), &plan);
+        for id in 0..5 {
+            dev.enqueue(0.0, id, Query { prefill: 64, decode: 64 });
+        }
+        dev.drain();
+        assert!(dev.is_dead());
+        let lost = dev.take_evicted();
+        assert_eq!(dev.completed().len() + dev.shed().len() + lost.len(), 5);
+        assert!(!lost.is_empty(), "the crash must interrupt in-flight work");
+        assert_eq!(dev.kv_in_use(), 0, "evicted KV reservations are released");
+        for e in &lost {
+            assert!(e.evicted_s >= 0.001);
+            assert_eq!(e.attempt, 0);
+        }
+        // A dead device refuses new arrivals but still never loses them.
+        assert!(!dev.accepts(10.0));
+        dev.enqueue(10.0, 99, Query { prefill: 8, decode: 8 });
+        let again = dev.take_evicted();
+        assert_eq!(again.len(), 1);
+        assert_eq!(again[0].id, 99);
+    }
+
+    #[test]
+    fn recovered_crash_comes_back_and_serves_again() {
+        let plan = plan_with(vec![FaultEvent {
+            device: 0,
+            at_s: 0.001,
+            kind: FaultKind::Crash { recover_s: Some(1.0) },
+        }]);
+        let mut dev = DeviceSim::with_faults(sim(), 0, unfragmented(), &plan);
+        dev.enqueue(0.0, 0, Query { prefill: 64, decode: 64 });
+        dev.drain();
+        assert!(!dev.is_dead());
+        assert_eq!(dev.take_evicted().len(), 1);
+        assert!(!dev.accepts(0.5), "down during the outage window");
+        assert!(dev.accepts(2.0), "recovered after the window");
+        dev.enqueue(2.0, 1, Query { prefill: 16, decode: 4 });
+        dev.drain();
+        assert_eq!(dev.completed().len(), 1);
+        assert_eq!(dev.completed()[0].id, 1);
+    }
+
+    #[test]
+    fn freeze_delays_but_loses_nothing() {
+        let freeze_s = 3.0;
+        let plan = plan_with(vec![FaultEvent {
+            device: 0,
+            at_s: 0.0005,
+            kind: FaultKind::Freeze { duration_s: freeze_s },
+        }]);
+        let q = Query { prefill: 64, decode: 32 };
+        let mut frozen = DeviceSim::with_faults(sim(), 0, unfragmented(), &plan);
+        frozen.enqueue(0.0, 0, q);
+        frozen.drain();
+        let mut clean = DeviceSim::new(sim(), 0, unfragmented());
+        clean.enqueue(0.0, 0, q);
+        clean.drain();
+        assert_eq!(frozen.completed().len(), 1);
+        assert!(frozen.take_evicted().is_empty());
+        let delay_ms = frozen.completed()[0].ttlt_ms - clean.completed()[0].ttlt_ms;
+        assert!(
+            delay_ms > 0.9 * freeze_s * 1e3,
+            "freeze must delay completion by about the window ({delay_ms} ms)"
+        );
+    }
+
+    #[test]
+    fn pim_fault_degrades_facil_but_stalls_hybrid_for_relayout() {
+        let window =
+            FaultEvent { device: 0, at_s: 0.0, kind: FaultKind::PimFault { duration_s: 1e9 } };
+        let q = Query { prefill: 64, decode: 64 };
+        let run = |strategy, plan: &FaultPlan| {
+            let mut dev =
+                DeviceSim::with_faults(sim(), 0, ServeConfig { strategy, ..unfragmented() }, plan);
+            dev.enqueue(0.0, 0, q);
+            dev.drain();
+            (dev.completed()[0], dev.report(dev.now_s()))
+        };
+        let plan = plan_with(vec![window]);
+        let (facil, facil_rep) = run(Strategy::FacilDynamic, &plan);
+        let (hybrid, hybrid_rep) = run(Strategy::HybridDynamic, &plan);
+        let (facil_ok, _) = run(Strategy::FacilDynamic, &FaultPlan::none());
+        // FACIL: no relayout stall, serves right away at SoC speed.
+        assert_eq!(facil_rep.relayout_stall_s, 0.0);
+        assert!(facil_rep.degraded_s > 0.0);
+        assert!(facil.ttlt_ms > facil_ok.ttlt_ms, "degraded decode is slower than PIM decode");
+        // Hybrid: pays a full weight re-layout before serving again.
+        assert!(hybrid_rep.relayout_stall_s > 0.0);
+        assert!(
+            hybrid.ttft_ms > facil.ttft_ms,
+            "hybrid TTFT {} must exceed FACIL degraded TTFT {} (relayout stall)",
+            hybrid.ttft_ms,
+            facil.ttft_ms
+        );
+    }
+
+    #[test]
+    fn kv_fault_blocks_admission_then_resumes() {
+        let block_s = 2.0;
+        let plan = plan_with(vec![FaultEvent {
+            device: 0,
+            at_s: 0.0,
+            kind: FaultKind::KvFault { duration_s: block_s },
+        }]);
+        let mut dev = DeviceSim::with_faults(sim(), 0, unfragmented(), &plan);
+        dev.enqueue(0.0, 0, Query { prefill: 16, decode: 4 });
+        dev.drain();
+        assert_eq!(dev.completed().len(), 1);
+        let r = dev.completed()[0];
+        assert!(
+            r.admitted_s >= block_s,
+            "admission at {} must wait out the {block_s}s KV fault",
+            r.admitted_s
+        );
+    }
+
+    #[test]
+    fn expired_deadline_sheds_at_admission() {
+        let mut plan = FaultPlan::none();
+        plan.deadline_s = 0.5;
+        // Freeze the device past every deadline while requests queue up.
+        plan.events.push(FaultEvent {
+            device: 0,
+            at_s: 0.0001,
+            kind: FaultKind::Freeze { duration_s: 10.0 },
+        });
+        // max_batch 1: only the head is admitted before the freeze, the
+        // rest queue up and expire behind it.
+        let cfg = ServeConfig { max_batch: 1, ..unfragmented() };
+        let mut dev = DeviceSim::with_faults(sim(), 0, cfg, &plan);
+        for id in 0..3 {
+            dev.enqueue(0.0, id, Query { prefill: 16, decode: 4 });
+        }
+        dev.drain();
+        assert!(dev.completed().len() <= 1, "late arrivals must expire");
+        assert!(dev.shed().iter().any(|s| s.reason == ShedReason::DeadlineExpired));
+        assert_eq!(dev.completed().len() + dev.shed().len(), 3);
     }
 }

@@ -1,0 +1,272 @@
+//! Deterministic fault injection for the serving simulator.
+//!
+//! A [`FaultPlan`] is a seeded, fully-explicit schedule of failures — no
+//! randomness at execution time, so two runs with the same plan produce
+//! byte-identical reports. Four fault kinds are modelled:
+//!
+//! - **Crash** ([`FaultKind::Crash`]): the device goes down at `at_s`,
+//!   losing every pending and in-flight request (their KV reservations are
+//!   released and the fleet driver fails them over to survivors). With
+//!   `recover_s` the device comes back empty at `at_s + recover_s`;
+//!   without it the crash is permanent.
+//! - **Freeze** ([`FaultKind::Freeze`]): the device stops executing for a
+//!   window but keeps its state — requests are delayed, not lost.
+//! - **PIM-unit fault** ([`FaultKind::PimFault`]): the in-DRAM compute
+//!   units are unavailable for a window. FACIL strategies degrade to SoC
+//!   GEMV immediately (the PIM-optimized layout stays SoC-readable);
+//!   hybrid baselines must re-layout their weights to the conventional
+//!   mapping before serving again, and re-layout back when the fault
+//!   clears.
+//! - **KV fault** ([`FaultKind::KvFault`]): transient KV-reservation
+//!   failure — admission is blocked for the window, in-flight requests
+//!   keep their memory and keep running.
+//!
+//! The plan also carries fleet-wide robustness policy: per-request
+//! deadlines, the retry budget, and the exponential-backoff base used when
+//! a request must be re-queued after a failure.
+
+use facil_core::FacilError;
+use facil_sim::XorShift64Star;
+use serde::{Deserialize, Serialize};
+
+/// What goes wrong in a [`FaultEvent`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Device outage losing all queued and in-flight work; recovers after
+    /// `recover_s` seconds, or never (`None`).
+    Crash {
+        /// Seconds until the device rejoins the fleet (empty), if ever.
+        recover_s: Option<f64>,
+    },
+    /// Device stops executing for `duration_s` seconds but loses nothing.
+    Freeze {
+        /// Length of the stall window, seconds.
+        duration_s: f64,
+    },
+    /// PIM compute units unavailable for `duration_s` seconds; the device
+    /// serves in degraded (SoC-only) mode.
+    PimFault {
+        /// Length of the degraded window, seconds.
+        duration_s: f64,
+    },
+    /// KV-cache reservations fail for `duration_s` seconds; admission is
+    /// paused.
+    KvFault {
+        /// Length of the admission-blocked window, seconds.
+        duration_s: f64,
+    },
+}
+
+/// One scheduled failure on one device.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Fleet index of the affected device.
+    pub device: usize,
+    /// When the fault strikes, seconds from the start of the run.
+    pub at_s: f64,
+    /// What fails.
+    pub kind: FaultKind,
+}
+
+/// A complete, deterministic fault schedule plus the fleet's robustness
+/// policy (deadlines and retry budget).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Scheduled faults (any order; devices filter their own).
+    pub events: Vec<FaultEvent>,
+    /// Per-request deadline, seconds from arrival; `0.0` disables
+    /// deadlines.
+    pub deadline_s: f64,
+    /// How many times a request may be re-queued after a failure before it
+    /// is shed as [`crate::ShedReason::Failed`].
+    pub max_retries: u32,
+    /// Base of the exponential backoff charged to the serving clock before
+    /// a retry: attempt `k` waits `retry_backoff_s * 2^(k-1)` seconds.
+    pub retry_backoff_s: f64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+/// Average fault arrival rates used by [`FaultPlan::random`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultRates {
+    /// Device crashes per device-second (all recoverable).
+    pub crash_per_s: f64,
+    /// PIM-unit faults per device-second.
+    pub pim_per_s: f64,
+    /// KV-reservation faults per device-second.
+    pub kv_per_s: f64,
+    /// Mean outage / degraded-window length, seconds.
+    pub mean_outage_s: f64,
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults, no deadlines, no retries. Serving with
+    /// this plan is bit-for-bit identical to serving without fault
+    /// injection at all.
+    pub fn none() -> Self {
+        FaultPlan { events: Vec::new(), deadline_s: 0.0, max_retries: 0, retry_backoff_s: 0.0 }
+    }
+
+    /// Generate a seeded random plan over `span_s` seconds on a fleet of
+    /// `devices`: each fault class arrives per-device as a Poisson process
+    /// at the configured rate, with exponentially-distributed outage
+    /// lengths around `rates.mean_outage_s`. Deterministic for a fixed
+    /// seed.
+    pub fn random(seed: u64, devices: usize, span_s: f64, rates: FaultRates) -> Self {
+        let mut rng = XorShift64Star::new(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0xc4a0);
+        let mut events = Vec::new();
+        for device in 0..devices {
+            let classes = [(rates.crash_per_s, 0u8), (rates.pim_per_s, 1u8), (rates.kv_per_s, 2u8)];
+            for (rate, class) in classes {
+                if rate <= 0.0 {
+                    continue;
+                }
+                let mut t = 0.0;
+                loop {
+                    t += rng.next_exp(rate);
+                    if t >= span_s {
+                        break;
+                    }
+                    let outage = rng.next_exp(1.0 / rates.mean_outage_s.max(1e-3)).max(1e-3);
+                    let kind = match class {
+                        0 => FaultKind::Crash { recover_s: Some(outage) },
+                        1 => FaultKind::PimFault { duration_s: outage },
+                        _ => FaultKind::KvFault { duration_s: outage },
+                    };
+                    events.push(FaultEvent { device, at_s: t, kind });
+                }
+            }
+        }
+        FaultPlan { events, ..FaultPlan::none() }
+    }
+
+    /// Check the plan against a fleet of `devices` devices.
+    ///
+    /// # Errors
+    ///
+    /// * [`FacilError::DeviceUnavailable`] if an event targets a device
+    ///   index outside the fleet;
+    /// * [`FacilError::InvalidRequest`] for non-finite or negative times,
+    ///   non-positive fault durations, or a negative/non-finite deadline
+    ///   or backoff.
+    pub fn validate(&self, devices: usize) -> facil_core::Result<()> {
+        for e in &self.events {
+            if e.device >= devices {
+                return Err(FacilError::DeviceUnavailable { device: e.device });
+            }
+            if !e.at_s.is_finite() || e.at_s < 0.0 {
+                return Err(FacilError::InvalidRequest(format!(
+                    "fault time {} is not a finite non-negative number",
+                    e.at_s
+                )));
+            }
+            let duration = match e.kind {
+                FaultKind::Crash { recover_s } => recover_s.unwrap_or(1.0),
+                FaultKind::Freeze { duration_s }
+                | FaultKind::PimFault { duration_s }
+                | FaultKind::KvFault { duration_s } => duration_s,
+            };
+            if !duration.is_finite() || duration <= 0.0 {
+                return Err(FacilError::InvalidRequest(format!(
+                    "fault duration {duration} must be finite and positive"
+                )));
+            }
+        }
+        if !self.deadline_s.is_finite() || self.deadline_s < 0.0 {
+            return Err(FacilError::InvalidRequest(format!(
+                "deadline {} must be finite and non-negative",
+                self.deadline_s
+            )));
+        }
+        if !self.retry_backoff_s.is_finite() || self.retry_backoff_s < 0.0 {
+            return Err(FacilError::InvalidRequest(format!(
+                "retry backoff {} must be finite and non-negative",
+                self.retry_backoff_s
+            )));
+        }
+        Ok(())
+    }
+
+    /// True if the plan injects no faults and enforces no deadlines (the
+    /// fast path that exactly reproduces fault-free serving).
+    pub fn is_none(&self) -> bool {
+        self.events.is_empty() && self.deadline_s == 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_plan_is_empty_and_valid() {
+        let p = FaultPlan::none();
+        assert!(p.is_none());
+        p.validate(1).unwrap();
+        p.validate(0).unwrap();
+    }
+
+    #[test]
+    fn out_of_range_device_is_rejected() {
+        let p = FaultPlan {
+            events: vec![FaultEvent {
+                device: 3,
+                at_s: 1.0,
+                kind: FaultKind::Freeze { duration_s: 1.0 },
+            }],
+            ..FaultPlan::none()
+        };
+        assert_eq!(p.validate(3).unwrap_err(), FacilError::DeviceUnavailable { device: 3 });
+        p.validate(4).unwrap();
+    }
+
+    #[test]
+    fn bad_times_and_durations_are_rejected() {
+        let mk = |at_s: f64, kind: FaultKind| FaultPlan {
+            events: vec![FaultEvent { device: 0, at_s, kind }],
+            ..FaultPlan::none()
+        };
+        assert!(mk(-1.0, FaultKind::Freeze { duration_s: 1.0 }).validate(1).is_err());
+        assert!(mk(f64::NAN, FaultKind::Freeze { duration_s: 1.0 }).validate(1).is_err());
+        assert!(mk(0.0, FaultKind::Freeze { duration_s: 0.0 }).validate(1).is_err());
+        assert!(mk(0.0, FaultKind::PimFault { duration_s: -2.0 }).validate(1).is_err());
+        assert!(mk(0.0, FaultKind::Crash { recover_s: Some(f64::INFINITY) }).validate(1).is_err());
+        assert!(mk(0.0, FaultKind::Crash { recover_s: None }).validate(1).is_ok());
+    }
+
+    #[test]
+    fn bad_policy_is_rejected() {
+        let mut p = FaultPlan::none();
+        p.deadline_s = -0.5;
+        assert!(p.validate(1).is_err());
+        p.deadline_s = 0.0;
+        p.retry_backoff_s = f64::NAN;
+        assert!(p.validate(1).is_err());
+    }
+
+    #[test]
+    fn random_plan_is_deterministic_and_valid() {
+        let rates =
+            FaultRates { crash_per_s: 0.05, pim_per_s: 0.05, kv_per_s: 0.05, mean_outage_s: 2.0 };
+        let a = FaultPlan::random(7, 4, 100.0, rates);
+        let b = FaultPlan::random(7, 4, 100.0, rates);
+        assert_eq!(a, b);
+        assert!(!a.events.is_empty(), "expected some faults over 400 device-seconds");
+        a.validate(4).unwrap();
+        let c = FaultPlan::random(8, 4, 100.0, rates);
+        assert_ne!(a, c, "different seeds give different plans");
+    }
+
+    #[test]
+    fn zero_rates_give_an_empty_schedule() {
+        let rates =
+            FaultRates { crash_per_s: 0.0, pim_per_s: 0.0, kv_per_s: 0.0, mean_outage_s: 2.0 };
+        let p = FaultPlan::random(1, 8, 1000.0, rates);
+        assert!(p.events.is_empty());
+    }
+}

@@ -5,12 +5,26 @@
 //! ([`DeviceSim`]); the fleet advances all device clocks to each arrival
 //! instant before routing, so the least-loaded policy reads consistent
 //! load signals and the whole run is deterministic for a fixed seed.
+//!
+//! With a [`FaultPlan`] ([`run_fleet_with_faults`]) the driver also
+//! provides graceful degradation: requests lost to device crashes are
+//! harvested ([`DeviceSim::take_evicted`]) and *failed over* to surviving
+//! devices with exponential backoff charged to the serving clock, bounded
+//! by the plan's retry budget ([`ShedReason::Failed`] once exhausted);
+//! per-request deadlines expire stale work instead of serving it late
+//! ([`ShedReason::DeadlineExpired`]). With [`FaultPlan::none`] the
+//! schedule — and the serialized report — is bit-for-bit identical to the
+//! fault-free driver.
+
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
 
 use facil_sim::{InferenceSim, Summary};
-use facil_workloads::{ArrivalProcess, Dataset};
+use facil_workloads::{ArrivalProcess, Dataset, Query};
 use serde::{Deserialize, Serialize};
 
-use crate::device::{DeviceSim, ServeConfig};
+use crate::device::{DeviceSim, EvictedReq, ServeConfig};
+use crate::faults::FaultPlan;
 use crate::metrics::ServeReport;
 use crate::request::{RequestRecord, ShedReason, ShedRecord};
 
@@ -49,54 +63,225 @@ impl Default for FleetConfig {
     }
 }
 
+impl FleetConfig {
+    /// Check the fleet shape before running.
+    ///
+    /// # Errors
+    ///
+    /// [`facil_core::FacilError::InvalidRequest`] if the fleet has no
+    /// devices.
+    pub fn validate(&self) -> facil_core::Result<()> {
+        if self.devices == 0 {
+            return Err(facil_core::FacilError::InvalidRequest(
+                "fleet needs at least one device".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A re-queued request waiting out its retry backoff.
+#[derive(Debug, Clone, Copy)]
+struct Retry {
+    t_s: f64,
+    seq: u64,
+    id: u64,
+    arrival_s: f64,
+    query: Query,
+    attempt: u32,
+}
+
+impl PartialEq for Retry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Retry {}
+impl PartialOrd for Retry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Retry {
+    /// Fire time first, then insertion order — a total, deterministic
+    /// order even for coincident retries.
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.t_s.total_cmp(&other.t_s).then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// Mutable fleet-driver state shared by the arrival loop and the
+/// quiescence loop.
+struct Driver<'p> {
+    plan: &'p FaultPlan,
+    routing: Routing,
+    rr: usize,
+    seq: u64,
+    retryq: BinaryHeap<Reverse<Retry>>,
+    fleet_sheds: Vec<ShedRecord>,
+    failovers: usize,
+    retries: usize,
+}
+
+impl Driver<'_> {
+    /// Collect crash-evicted requests from every device and schedule their
+    /// failover (or fail them permanently).
+    fn harvest(&mut self, devices: &mut [DeviceSim]) {
+        for (d, dev) in devices.iter_mut().enumerate() {
+            for ev in dev.take_evicted() {
+                self.failovers += 1;
+                self.requeue_or_fail(d, ev);
+            }
+        }
+    }
+
+    /// Schedule a retry after exponential backoff, or shed the request if
+    /// the retry budget or its deadline is exhausted. `device` is the
+    /// device the request last touched (recorded on the shed).
+    fn requeue_or_fail(&mut self, device: usize, ev: EvictedReq) {
+        if ev.attempt >= self.plan.max_retries {
+            self.fleet_sheds.push(ShedRecord {
+                id: ev.id,
+                device,
+                arrival_s: ev.arrival_s,
+                reason: ShedReason::Failed,
+            });
+            return;
+        }
+        let backoff = self.plan.retry_backoff_s * 2f64.powi(ev.attempt as i32);
+        let t_s = ev.evicted_s + backoff;
+        if self.plan.deadline_s > 0.0 && t_s - ev.arrival_s > self.plan.deadline_s {
+            self.fleet_sheds.push(ShedRecord {
+                id: ev.id,
+                device,
+                arrival_s: ev.arrival_s,
+                reason: ShedReason::DeadlineExpired,
+            });
+            return;
+        }
+        self.retryq.push(Reverse(Retry {
+            t_s,
+            seq: self.seq,
+            id: ev.id,
+            arrival_s: ev.arrival_s,
+            query: ev.query,
+            attempt: ev.attempt + 1,
+        }));
+        self.seq += 1;
+        self.retries += 1;
+    }
+
+    /// Route one request (fresh or retried) to an accepting device, or
+    /// schedule another retry when every device is down.
+    fn offer(
+        &mut self,
+        devices: &mut [DeviceSim],
+        t_s: f64,
+        id: u64,
+        arrival_s: f64,
+        query: Query,
+        attempt: u32,
+    ) {
+        let accepting: Vec<usize> =
+            (0..devices.len()).filter(|&i| devices[i].accepts(t_s)).collect();
+        let Some(&first) = accepting.first() else {
+            self.requeue_or_fail(0, EvictedReq { id, arrival_s, evicted_s: t_s, attempt, query });
+            return;
+        };
+        let target = match self.routing {
+            Routing::RoundRobin => {
+                let k = accepting[self.rr % accepting.len()];
+                self.rr += 1;
+                k
+            }
+            // min_by_key returns the first minimum: ties go to the lowest
+            // accepting device index, keeping the schedule deterministic.
+            Routing::LeastLoaded => accepting
+                .iter()
+                .copied()
+                .min_by_key(|&i| devices[i].backlog_tokens())
+                .unwrap_or(first),
+        };
+        devices[target].enqueue_attempt(t_s, arrival_s, id, query, attempt);
+    }
+}
+
 /// Serve `dataset` with arrivals from `arrival` on a fleet of
-/// `fleet.devices` identical devices (each a [`DeviceSim`] over `sim`).
+/// `fleet.devices` identical devices (each a [`DeviceSim`] over `sim`),
+/// injecting the failures scheduled in `plan`.
 ///
-/// Deterministic for a fixed `cfg.seed`: the arrival sample, routing
-/// decisions and every device schedule depend only on the inputs.
+/// Deterministic for a fixed `cfg.seed` and plan: the arrival sample,
+/// fault schedule, routing and retry decisions and every device schedule
+/// depend only on the inputs — repeated runs serialize to byte-identical
+/// JSON. With [`FaultPlan::none`] the result is exactly the fault-free
+/// [`run_fleet`] schedule.
 ///
-/// # Panics
+/// Fleet-level sheds ([`ShedReason::Failed`], and
+/// [`ShedReason::DeadlineExpired`] raised at re-queue time) record the
+/// device the request last ran on, or 0 if it never reached one.
 ///
-/// Panics if `fleet.devices == 0` (and propagates [`ArrivalProcess`]
-/// validation panics).
-pub fn run_fleet(
+/// # Errors
+///
+/// * [`FleetConfig::validate`] errors for an empty fleet;
+/// * [`FaultPlan::validate`] errors for a malformed plan.
+pub fn run_fleet_with_faults(
     sim: &InferenceSim,
     dataset: &Dataset,
     arrival: &ArrivalProcess,
     cfg: ServeConfig,
     fleet: FleetConfig,
-) -> ServeReport {
-    assert!(fleet.devices > 0, "fleet needs at least one device");
+    plan: &FaultPlan,
+) -> facil_core::Result<ServeReport> {
+    fleet.validate()?;
+    plan.validate(fleet.devices)?;
     let times = arrival.sample_times(cfg.seed, dataset.queries.len());
     let mut devices: Vec<DeviceSim> =
-        (0..fleet.devices).map(|d| DeviceSim::new(sim, d, cfg)).collect();
+        (0..fleet.devices).map(|d| DeviceSim::with_faults(sim, d, cfg, plan)).collect();
+    let mut drv = Driver {
+        plan,
+        routing: fleet.routing,
+        rr: 0,
+        seq: dataset.queries.len() as u64,
+        retryq: BinaryHeap::new(),
+        fleet_sheds: Vec::new(),
+        failovers: 0,
+        retries: 0,
+    };
 
-    let mut rr = 0usize;
     for (i, (q, &t)) in dataset.queries.iter().zip(&times).enumerate() {
+        // Fire retries that come due before this arrival.
+        while let Some(&Reverse(r)) = drv.retryq.peek() {
+            if r.t_s > t {
+                break;
+            }
+            drv.retryq.pop();
+            for d in devices.iter_mut() {
+                d.advance_until(r.t_s);
+            }
+            drv.harvest(&mut devices);
+            drv.offer(&mut devices, r.t_s, r.id, r.arrival_s, r.query, r.attempt);
+        }
         // Advance every device to the arrival instant so routing reads
         // up-to-date backlogs (and idle devices' clocks move forward).
         for d in devices.iter_mut() {
             d.advance_until(t);
         }
-        let target = match fleet.routing {
-            Routing::RoundRobin => {
-                let d = rr % devices.len();
-                rr += 1;
-                d
-            }
-            // min_by_key returns the first minimum: ties go to the lowest
-            // device index, keeping the schedule deterministic.
-            Routing::LeastLoaded => devices
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, d)| d.backlog_tokens())
-                .map(|(idx, _)| idx)
-                .expect("non-empty fleet"),
-        };
-        devices[target].enqueue(t, i as u64, *q);
+        drv.harvest(&mut devices);
+        drv.offer(&mut devices, t, i as u64, t, *q, 0);
     }
-    for d in devices.iter_mut() {
-        d.drain();
+    // Quiesce: drain all devices, fail over anything lost on the way, and
+    // keep going until no retry is outstanding anywhere.
+    loop {
+        for d in devices.iter_mut() {
+            d.drain();
+        }
+        drv.harvest(&mut devices);
+        let Some(Reverse(r)) = drv.retryq.pop() else { break };
+        for d in devices.iter_mut() {
+            d.advance_until(r.t_s);
+        }
+        drv.harvest(&mut devices);
+        drv.offer(&mut devices, r.t_s, r.id, r.arrival_s, r.query, r.attempt);
     }
 
     let span_s =
@@ -104,8 +289,11 @@ pub fn run_fleet(
     let mut requests: Vec<RequestRecord> =
         devices.iter().flat_map(|d| d.completed().iter().copied()).collect();
     requests.sort_by_key(|r| r.id);
-    let mut sheds: Vec<ShedRecord> =
-        devices.iter().flat_map(|d| d.shed().iter().copied()).collect();
+    let mut sheds: Vec<ShedRecord> = devices
+        .iter()
+        .flat_map(|d| d.shed().iter().copied())
+        .chain(drv.fleet_sheds.iter().copied())
+        .collect();
     sheds.sort_by_key(|s| s.id);
 
     let ttft_ms = Summary::from_unsorted(requests.iter().map(|r| r.ttft_ms).collect());
@@ -119,51 +307,102 @@ pub fn run_fleet(
         0.0
     };
     let per_qps = |n: usize| if span_s > 0.0 { n as f64 / span_s } else { 0.0 };
+    let device_reports: Vec<_> = devices.iter().map(|d| d.report(span_s)).collect();
+    let downtime_s: f64 = device_reports.iter().map(|d| d.down_s).sum();
+    let degraded_s: f64 = device_reports.iter().map(|d| d.degraded_s).sum();
+    let relayout_stall_s: f64 = device_reports.iter().map(|d| d.relayout_stall_s).sum();
+    let availability = if span_s > 0.0 {
+        (1.0 - downtime_s / (span_s * devices.len() as f64)).clamp(0.0, 1.0)
+    } else {
+        1.0
+    };
+    let shed_deadline = by_reason(ShedReason::DeadlineExpired);
+    let deadline_violations = if plan.deadline_s > 0.0 {
+        let deadline_ms = plan.deadline_s * 1e3;
+        shed_deadline + requests.iter().filter(|r| r.ttlt_ms > deadline_ms).count()
+    } else {
+        0
+    };
+    let offered = dataset.queries.len();
+    let deadline_violation_rate =
+        if offered > 0 { deadline_violations as f64 / offered as f64 } else { 0.0 };
 
-    ServeReport {
+    Ok(ServeReport {
         strategy: cfg.strategy,
         arrival: arrival.to_string(),
         routing: fleet.routing,
         num_devices: fleet.devices,
-        offered: dataset.queries.len(),
+        offered,
         completed: requests.len(),
         shed: sheds.len(),
         shed_queue_full: by_reason(ShedReason::QueueFull),
         shed_oversized: by_reason(ShedReason::Oversized),
         shed_no_memory: by_reason(ShedReason::NoMemory),
+        shed_failed: by_reason(ShedReason::Failed),
+        shed_deadline,
         span_s,
-        offered_qps: per_qps(dataset.queries.len()),
+        offered_qps: per_qps(offered),
         goodput_qps: per_qps(requests.len()),
         utilization,
+        availability,
+        downtime_s,
+        degraded_s,
+        relayout_stall_s,
+        failovers: drv.failovers,
+        retries: drv.retries,
+        deadline_violations,
+        deadline_violation_rate,
         ttft_ms,
         tbt_ms,
         ttlt_ms,
-        devices: devices.iter().map(|d| d.report(span_s)).collect(),
+        devices: device_reports,
         requests,
         sheds,
-    }
+    })
+}
+
+/// Serve `dataset` with arrivals from `arrival` on a fault-free fleet
+/// ([`run_fleet_with_faults`] with [`FaultPlan::none`]).
+///
+/// # Errors
+///
+/// [`FleetConfig::validate`] errors for an empty fleet.
+pub fn run_fleet(
+    sim: &InferenceSim,
+    dataset: &Dataset,
+    arrival: &ArrivalProcess,
+    cfg: ServeConfig,
+    fleet: FleetConfig,
+) -> facil_core::Result<ServeReport> {
+    run_fleet_with_faults(sim, dataset, arrival, cfg, fleet, &FaultPlan::none())
 }
 
 /// Single-device serving run: a fleet of one.
+///
+/// # Errors
+///
+/// See [`run_fleet`].
 pub fn run_serving(
     sim: &InferenceSim,
     dataset: &Dataset,
     arrival: &ArrivalProcess,
     cfg: ServeConfig,
-) -> ServeReport {
+) -> facil_core::Result<ServeReport> {
     run_fleet(sim, dataset, arrival, cfg, FleetConfig::default())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::{FaultEvent, FaultKind};
+    use facil_core::FacilError;
     use facil_soc::{Platform, PlatformId};
-    use facil_workloads::Query;
+    use std::collections::BTreeSet;
     use std::sync::OnceLock;
 
     fn sim() -> &'static InferenceSim {
         static SIM: OnceLock<InferenceSim> = OnceLock::new();
-        SIM.get_or_init(|| InferenceSim::new(Platform::get(PlatformId::Iphone)))
+        SIM.get_or_init(|| InferenceSim::new(Platform::get(PlatformId::Iphone)).unwrap())
     }
 
     fn cfg() -> ServeConfig {
@@ -174,12 +413,49 @@ mod tests {
     fn single_device_run_is_a_fleet_of_one() {
         let d = Dataset::code_autocompletion_like(3, 24);
         let arrival = ArrivalProcess::Poisson { qps: 1.0 };
-        let a = run_serving(sim(), &d, &arrival, cfg());
-        let b = run_fleet(sim(), &d, &arrival, cfg(), FleetConfig::default());
+        let a = run_serving(sim(), &d, &arrival, cfg()).unwrap();
+        let b = run_fleet(sim(), &d, &arrival, cfg(), FleetConfig::default()).unwrap();
         assert_eq!(a, b);
         assert_eq!(a.num_devices, 1);
         assert_eq!(a.offered, 24);
         assert_eq!(a.completed + a.shed, a.offered);
+    }
+
+    #[test]
+    fn empty_fleet_is_rejected_not_a_panic() {
+        let d = Dataset::code_autocompletion_like(3, 4);
+        let err = run_fleet(
+            sim(),
+            &d,
+            &ArrivalProcess::Poisson { qps: 1.0 },
+            cfg(),
+            FleetConfig { devices: 0, routing: Routing::RoundRobin },
+        )
+        .unwrap_err();
+        assert!(matches!(err, FacilError::InvalidRequest(_)));
+    }
+
+    #[test]
+    fn plan_targeting_a_missing_device_is_rejected() {
+        let d = Dataset::code_autocompletion_like(3, 4);
+        let plan = FaultPlan {
+            events: vec![FaultEvent {
+                device: 7,
+                at_s: 0.5,
+                kind: FaultKind::Freeze { duration_s: 1.0 },
+            }],
+            ..FaultPlan::none()
+        };
+        let err = run_fleet_with_faults(
+            sim(),
+            &d,
+            &ArrivalProcess::Poisson { qps: 1.0 },
+            cfg(),
+            FleetConfig { devices: 2, routing: Routing::RoundRobin },
+            &plan,
+        )
+        .unwrap_err();
+        assert_eq!(err, FacilError::DeviceUnavailable { device: 7 });
     }
 
     #[test]
@@ -193,7 +469,8 @@ mod tests {
             &arrival,
             cfg(),
             FleetConfig { devices: 2, routing: Routing::RoundRobin },
-        );
+        )
+        .unwrap();
         assert_eq!(r.completed, 4);
         assert_eq!(r.devices[0].completed, 2);
         assert_eq!(r.devices[1].completed, 2);
@@ -210,7 +487,8 @@ mod tests {
             &arrival,
             cfg(),
             FleetConfig { devices: 4, routing: Routing::LeastLoaded },
-        );
+        )
+        .unwrap();
         // Each simultaneous arrival lands on a different (still idle)
         // device: queued work counts toward the backlog signal.
         for dev in &r.devices {
@@ -223,8 +501,8 @@ mod tests {
         let d = Dataset::alpaca_like(11, 48);
         let arrival = ArrivalProcess::Bursty { qps: 4.0, burst: 4 };
         let fc = FleetConfig { devices: 4, routing: Routing::LeastLoaded };
-        let a = run_fleet(sim(), &d, &arrival, cfg(), fc);
-        let b = run_fleet(sim(), &d, &arrival, cfg(), fc);
+        let a = run_fleet(sim(), &d, &arrival, cfg(), fc).unwrap();
+        let b = run_fleet(sim(), &d, &arrival, cfg(), fc).unwrap();
         assert_eq!(a, b);
         assert_eq!(a.to_json(), b.to_json());
         assert!(a.utilization > 0.0 && a.utilization <= 1.0 + 1e-9);
@@ -243,14 +521,16 @@ mod tests {
             &arrival,
             cfg(),
             FleetConfig { devices: 1, routing: Routing::LeastLoaded },
-        );
+        )
+        .unwrap();
         let four = run_fleet(
             sim(),
             &d,
             &arrival,
             cfg(),
             FleetConfig { devices: 4, routing: Routing::LeastLoaded },
-        );
+        )
+        .unwrap();
         assert!(one.shed > 0, "a 32 qps burst must overload one device");
         assert!(four.shed < one.shed);
         assert!(four.completed > one.completed);
@@ -261,11 +541,88 @@ mod tests {
     #[test]
     fn empty_dataset_yields_an_empty_report() {
         let d = Dataset { name: "empty".into(), queries: Vec::new() };
-        let r = run_serving(sim(), &d, &ArrivalProcess::Poisson { qps: 1.0 }, cfg());
+        let r = run_serving(sim(), &d, &ArrivalProcess::Poisson { qps: 1.0 }, cfg()).unwrap();
         assert_eq!(r.offered, 0);
         assert_eq!(r.completed, 0);
         assert_eq!(r.shed, 0);
         assert_eq!(r.ttft_ms.count, 0);
         assert_eq!(r.span_s, 0.0);
+    }
+
+    #[test]
+    fn crash_fails_work_over_to_survivors_without_losing_requests() {
+        let d = Dataset::code_autocompletion_like(5, 48);
+        let arrival = ArrivalProcess::Poisson { qps: 8.0 };
+        let plan = FaultPlan {
+            events: vec![FaultEvent {
+                device: 0,
+                at_s: 0.5,
+                kind: FaultKind::Crash { recover_s: None },
+            }],
+            max_retries: 4,
+            retry_backoff_s: 0.05,
+            ..FaultPlan::none()
+        };
+        let fc = FleetConfig { devices: 3, routing: Routing::LeastLoaded };
+        let r = run_fleet_with_faults(sim(), &d, &arrival, cfg(), fc, &plan).unwrap();
+        assert_eq!(r.completed + r.shed, r.offered, "conservation under crash");
+        let ids: BTreeSet<u64> =
+            r.requests.iter().map(|q| q.id).chain(r.sheds.iter().map(|s| s.id)).collect();
+        assert_eq!(ids.len(), r.offered, "no id lost or double-counted");
+        assert!(r.failovers > 0, "the crash must evict in-flight work");
+        assert!(r.retries > 0);
+        assert!(r.requests.iter().any(|q| q.retries > 0), "some survivor reran a failed request");
+        assert!(r.downtime_s > 0.0);
+        assert!(r.availability < 1.0);
+        assert!(r.devices[0].crashes >= 1);
+        // Survivors picked up the dead device's share.
+        assert!(r.devices[1].completed + r.devices[2].completed > r.devices[0].completed);
+    }
+
+    #[test]
+    fn all_devices_dead_fails_requests_after_bounded_retries() {
+        let d = Dataset { name: "two".into(), queries: vec![Query { prefill: 16, decode: 4 }; 2] };
+        let arrival = ArrivalProcess::Trace { times_s: vec![1.0, 2.0] };
+        let plan = FaultPlan {
+            events: vec![FaultEvent {
+                device: 0,
+                at_s: 0.0,
+                kind: FaultKind::Crash { recover_s: None },
+            }],
+            max_retries: 2,
+            retry_backoff_s: 0.1,
+            ..FaultPlan::none()
+        };
+        let fc = FleetConfig { devices: 1, routing: Routing::RoundRobin };
+        let r = run_fleet_with_faults(sim(), &d, &arrival, cfg(), fc, &plan).unwrap();
+        assert_eq!(r.completed, 0);
+        assert_eq!(r.shed, 2);
+        assert_eq!(r.shed_failed, 2);
+        assert!(r.retries > 0, "retries were attempted before giving up");
+        assert_eq!(r.availability, 0.0);
+    }
+
+    #[test]
+    fn deadline_expires_stale_retries() {
+        let d = Dataset { name: "one".into(), queries: vec![Query { prefill: 16, decode: 4 }] };
+        let arrival = ArrivalProcess::Trace { times_s: vec![1.0] };
+        // Sole device is down from before the arrival; the backoff pushes
+        // the retry past the deadline.
+        let plan = FaultPlan {
+            events: vec![FaultEvent {
+                device: 0,
+                at_s: 0.0,
+                kind: FaultKind::Crash { recover_s: None },
+            }],
+            deadline_s: 0.2,
+            max_retries: 10,
+            retry_backoff_s: 0.3,
+        };
+        let fc = FleetConfig { devices: 1, routing: Routing::RoundRobin };
+        let r = run_fleet_with_faults(sim(), &d, &arrival, cfg(), fc, &plan).unwrap();
+        assert_eq!(r.completed, 0);
+        assert_eq!(r.shed_deadline, 1);
+        assert_eq!(r.deadline_violations, 1);
+        assert!(r.deadline_violation_rate > 0.99);
     }
 }

@@ -7,30 +7,44 @@
 //! head-of-line request plus one decode step for every in-flight request
 //! per iteration, Orca/Sarathi style).
 //!
-//! The simulator is built from three layers:
+//! The simulator is built from four layers:
 //!
 //! - [`DeviceSim`] — one device: bounded admission queue, up-front KV
 //!   reservation against a [`facil_core::FacilSystem`] physical allocator
 //!   (so FMFI fragmentation shows up as real compaction time on the
 //!   serving clock), chunked prefill + batched decode stepping, and
 //!   explicit load shedding ([`ShedReason`]).
-//! - [`run_serving`] / [`run_fleet`] — drive one device or a fleet of N
-//!   identical devices sharing an arrival stream under a [`Routing`]
-//!   policy (round-robin or least-loaded).
-//! - [`ServeReport`] — SLO metrics: per-request TTFT/TBT/TTLT with
-//!   p50/p95/p99 [`facil_sim::Summary`] rollups, goodput vs offered load,
-//!   shed accounting, per-device utilization and queue/KV time series;
+//! - [`FaultPlan`] — deterministic fault injection: device crashes and
+//!   freezes, PIM-unit faults (FACIL degrades to SoC GEMV on its
+//!   SoC-readable layout while hybrid baselines stall for a weight
+//!   re-layout), transient KV-reservation failures, plus per-request
+//!   deadlines and a bounded exponential-backoff retry policy.
+//! - [`run_serving`] / [`run_fleet`] / [`run_fleet_with_faults`] — drive
+//!   one device or a fleet of N identical devices sharing an arrival
+//!   stream under a [`Routing`] policy (round-robin or least-loaded),
+//!   failing crashed devices' work over to survivors.
+//! - [`ServeReport`] — SLO and availability metrics: per-request
+//!   TTFT/TBT/TTLT with p50/p95/p99 [`facil_sim::Summary`] rollups,
+//!   goodput vs offered load, shed accounting, per-device utilization,
+//!   uptime and degraded-mode time, failover/retry counts,
+//!   deadline-violation rate, and queue/KV time series;
 //!   serde-serializable plus a dependency-free JSON writer.
 //!
-//! Everything is deterministic for a fixed seed: two runs with identical
-//! inputs produce byte-identical [`ServeReport::to_json`] output.
+//! Everything is deterministic for a fixed seed and fault plan: two runs
+//! with identical inputs produce byte-identical [`ServeReport::to_json`]
+//! output, and [`FaultPlan::none`] reproduces the fault-free schedule
+//! exactly.
+
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod device;
+pub mod faults;
 pub mod fleet;
 pub mod metrics;
 pub mod request;
 
-pub use device::{DeviceSim, ServeConfig};
-pub use fleet::{run_fleet, run_serving, FleetConfig, Routing};
+pub use device::{DeviceSim, EvictedReq, ServeConfig};
+pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultRates};
+pub use fleet::{run_fleet, run_fleet_with_faults, run_serving, FleetConfig, Routing};
 pub use metrics::{DeviceReport, QueueSample, ServeReport};
 pub use request::{RequestRecord, ShedReason, ShedRecord};

@@ -55,6 +55,20 @@ pub struct DeviceReport {
     pub iterations: u64,
     /// Mean work items (decode tokens + prefill chunks) per iteration.
     pub mean_batch: f64,
+    /// Fraction of the span the device was up (outside crash/freeze
+    /// windows).
+    pub uptime: f64,
+    /// Seconds of the span spent down.
+    pub down_s: f64,
+    /// Seconds served in degraded (PIM-down) mode.
+    pub degraded_s: f64,
+    /// Seconds stalled re-laying-out weights on degraded-mode transitions
+    /// (zero for FACIL strategies).
+    pub relayout_stall_s: f64,
+    /// Crash events this device lived through.
+    pub crashes: usize,
+    /// Requests this device lost to crashes (harvested for failover).
+    pub evicted: usize,
     /// Downsampled queue-depth / KV time series.
     pub queue_depth: Vec<QueueSample>,
 }
@@ -82,14 +96,38 @@ pub struct ServeReport {
     pub shed_oversized: usize,
     /// Sheds with reason [`ShedReason::NoMemory`].
     pub shed_no_memory: usize,
+    /// Sheds with reason [`ShedReason::Failed`] (retry budget exhausted).
+    pub shed_failed: usize,
+    /// Sheds with reason [`ShedReason::DeadlineExpired`].
+    pub shed_deadline: usize,
     /// Wall-clock span of the run, seconds.
     pub span_s: f64,
     /// Offered load over the span, queries/s.
     pub offered_qps: f64,
-    /// Completed load over the span, queries/s.
+    /// Completed load over the span, queries/s (goodput-under-fault when a
+    /// plan injects failures).
     pub goodput_qps: f64,
     /// Mean device utilization over the span.
     pub utilization: f64,
+    /// Mean fraction of device-seconds the fleet was up
+    /// (`1 - downtime / (span * devices)`).
+    pub availability: f64,
+    /// Total device-seconds lost to crash/freeze windows.
+    pub downtime_s: f64,
+    /// Total device-seconds served in degraded (PIM-down) mode.
+    pub degraded_s: f64,
+    /// Total seconds stalled on degraded-mode weight re-layouts.
+    pub relayout_stall_s: f64,
+    /// Requests evicted by crashes and handed back to the fleet driver.
+    pub failovers: usize,
+    /// Retry attempts scheduled (each charged exponential backoff on the
+    /// serving clock).
+    pub retries: usize,
+    /// Requests that missed their deadline (expired before service, or
+    /// completed past it). 0 when deadlines are disabled.
+    pub deadline_violations: usize,
+    /// `deadline_violations / offered` (0 when deadlines are disabled).
+    pub deadline_violation_rate: f64,
     /// Time-to-first-token summary over completed requests, ms.
     pub ttft_ms: Summary,
     /// Inter-token latency summary over completed requests, ms.
@@ -164,7 +202,8 @@ fn jdevice(d: &DeviceReport) -> String {
         "{{\"device\":{},\"completed\":{},\"shed\":{},\"utilization\":{},\"queue_peak\":{},\
          \"kv_budget_bytes\":{},\"kv_peak_bytes\":{},\"kv_compact_s\":{},\
          \"kv_pages_direct\":{},\"kv_pages_compacted\":{},\"kv_frames_moved\":{},\
-         \"iterations\":{},\"mean_batch\":{},\"queue_depth\":[{}]}}",
+         \"iterations\":{},\"mean_batch\":{},\"uptime\":{},\"down_s\":{},\"degraded_s\":{},\
+         \"relayout_stall_s\":{},\"crashes\":{},\"evicted\":{},\"queue_depth\":[{}]}}",
         d.device,
         d.completed,
         d.shed,
@@ -178,6 +217,12 @@ fn jdevice(d: &DeviceReport) -> String {
         d.kv_frames_moved,
         d.iterations,
         jnum(d.mean_batch),
+        jnum(d.uptime),
+        jnum(d.down_s),
+        jnum(d.degraded_s),
+        jnum(d.relayout_stall_s),
+        d.crashes,
+        d.evicted,
         series.join(",")
     )
 }
@@ -185,7 +230,7 @@ fn jdevice(d: &DeviceReport) -> String {
 fn jrequest(r: &RequestRecord) -> String {
     format!(
         "{{\"id\":{},\"device\":{},\"arrival_s\":{},\"admitted_s\":{},\"ttft_ms\":{},\
-         \"ttlt_ms\":{},\"prefill\":{},\"decode\":{}}}",
+         \"ttlt_ms\":{},\"prefill\":{},\"decode\":{},\"retries\":{}}}",
         r.id,
         r.device,
         jnum(r.arrival_s),
@@ -193,7 +238,8 @@ fn jrequest(r: &RequestRecord) -> String {
         jnum(r.ttft_ms),
         jnum(r.ttlt_ms),
         r.prefill,
-        r.decode
+        r.decode,
+        r.retries
     )
 }
 
@@ -216,8 +262,12 @@ impl ServeReport {
         format!(
             "{{\"strategy\":{},\"arrival\":{},\"routing\":{},\"num_devices\":{},\
              \"offered\":{},\"completed\":{},\"shed\":{},\"shed_queue_full\":{},\
-             \"shed_oversized\":{},\"shed_no_memory\":{},\"span_s\":{},\"offered_qps\":{},\
-             \"goodput_qps\":{},\"utilization\":{},\"ttft_ms\":{},\"tbt_ms\":{},\
+             \"shed_oversized\":{},\"shed_no_memory\":{},\"shed_failed\":{},\
+             \"shed_deadline\":{},\"span_s\":{},\"offered_qps\":{},\
+             \"goodput_qps\":{},\"utilization\":{},\"availability\":{},\"downtime_s\":{},\
+             \"degraded_s\":{},\"relayout_stall_s\":{},\"failovers\":{},\"retries\":{},\
+             \"deadline_violations\":{},\"deadline_violation_rate\":{},\
+             \"ttft_ms\":{},\"tbt_ms\":{},\
              \"ttlt_ms\":{},\"devices\":[{}],\"requests\":[{}],\"sheds\":[{}]}}",
             jstr(&self.strategy.to_string()),
             jstr(&self.arrival),
@@ -229,10 +279,20 @@ impl ServeReport {
             self.shed_queue_full,
             self.shed_oversized,
             self.shed_no_memory,
+            self.shed_failed,
+            self.shed_deadline,
             jnum(self.span_s),
             jnum(self.offered_qps),
             jnum(self.goodput_qps),
             jnum(self.utilization),
+            jnum(self.availability),
+            jnum(self.downtime_s),
+            jnum(self.degraded_s),
+            jnum(self.relayout_stall_s),
+            self.failovers,
+            self.retries,
+            self.deadline_violations,
+            jnum(self.deadline_violation_rate),
             jsummary(&self.ttft_ms),
             jsummary(&self.tbt_ms),
             jsummary(&self.ttlt_ms),
@@ -260,10 +320,20 @@ mod tests {
             shed_queue_full: 1,
             shed_oversized: 0,
             shed_no_memory: 0,
+            shed_failed: 0,
+            shed_deadline: 0,
             span_s: 2.5,
             offered_qps: 0.8,
             goodput_qps: 0.4,
             utilization: 0.5,
+            availability: 0.9,
+            downtime_s: 0.25,
+            degraded_s: 0.1,
+            relayout_stall_s: 0.0,
+            failovers: 1,
+            retries: 1,
+            deadline_violations: 0,
+            deadline_violation_rate: 0.0,
             ttft_ms: Summary::from_unsorted(vec![10.0]),
             tbt_ms: Summary::from_unsorted(vec![1.0, 2.0]),
             ttlt_ms: Summary::from_unsorted(vec![40.0]),
@@ -281,6 +351,12 @@ mod tests {
                 kv_frames_moved: 0,
                 iterations: 5,
                 mean_batch: 1.2,
+                uptime: 0.9,
+                down_s: 0.25,
+                degraded_s: 0.1,
+                relayout_stall_s: 0.0,
+                crashes: 1,
+                evicted: 1,
                 queue_depth: vec![QueueSample { t_s: 0.1, queued: 1, active: 1, kv_bytes: 42 }],
             }],
             requests: vec![RequestRecord {
@@ -292,6 +368,7 @@ mod tests {
                 ttlt_ms: 40.0,
                 prefill: 8,
                 decode: 4,
+                retries: 1,
             }],
             sheds: vec![ShedRecord {
                 id: 1,
@@ -318,6 +395,11 @@ mod tests {
             "\"p95\"",
             "\"queue_depth\"",
             "\"reason\":\"queue-full\"",
+            "\"availability\"",
+            "\"failovers\"",
+            "\"deadline_violation_rate\"",
+            "\"uptime\"",
+            "\"retries\":1",
         ] {
             assert!(j.contains(key), "missing {key} in {j}");
         }

@@ -18,6 +18,12 @@ pub enum ShedReason {
     /// otherwise idle device (fragmentation ate the budget); shedding it
     /// keeps the queue making progress.
     NoMemory,
+    /// The request was lost to device failures and its retry budget is
+    /// exhausted (or no device could ever accept it again).
+    Failed,
+    /// The request's deadline elapsed before it could be admitted (or
+    /// re-queued after a failure).
+    DeadlineExpired,
 }
 
 impl std::fmt::Display for ShedReason {
@@ -26,6 +32,8 @@ impl std::fmt::Display for ShedReason {
             ShedReason::QueueFull => "queue-full",
             ShedReason::Oversized => "oversized",
             ShedReason::NoMemory => "no-memory",
+            ShedReason::Failed => "failed",
+            ShedReason::DeadlineExpired => "deadline-expired",
         };
         write!(f, "{s}")
     }
@@ -51,6 +59,9 @@ pub struct RequestRecord {
     pub prefill: u64,
     /// Generation length, tokens.
     pub decode: u64,
+    /// Times this request was re-queued after a device failure before it
+    /// completed (0 on the failure-free path).
+    pub retries: u32,
 }
 
 /// One rejected request.

@@ -3,7 +3,10 @@
 //! latency; admission control bounds the tail past saturation) hold as
 //! executable checks, not just bench-output prose.
 
-use facil_serve::{run_serving, ServeConfig};
+use facil_serve::{
+    run_fleet_with_faults, run_serving, FaultEvent, FaultKind, FaultPlan, FleetConfig, Routing,
+    ServeConfig,
+};
 use facil_sim::{serve, InferenceSim, ServingConfig, Strategy};
 use facil_soc::{Platform, PlatformId};
 use facil_workloads::{ArrivalProcess, Dataset};
@@ -11,7 +14,9 @@ use std::sync::OnceLock;
 
 fn sim() -> &'static InferenceSim {
     static SIM: OnceLock<InferenceSim> = OnceLock::new();
-    SIM.get_or_init(|| InferenceSim::new(Platform::get(PlatformId::Iphone)))
+    SIM.get_or_init(|| {
+        InferenceSim::new(Platform::get(PlatformId::Iphone)).expect("default model fits")
+    })
 }
 
 /// Continuous batching sustains a strictly higher offered rate than the
@@ -40,7 +45,7 @@ fn continuous_batching_sustains_higher_qps_than_fcfs() {
         .iter()
         .copied()
         .filter(|&qps| {
-            let r = run_serving(sim(), &d, &ArrivalProcess::Poisson { qps }, cfg);
+            let r = run_serving(sim(), &d, &ArrivalProcess::Poisson { qps }, cfg).unwrap();
             assert_eq!(r.shed, 0, "unbounded queue must not shed");
             r.ttft_ms.p95 <= target_p95_ms
         })
@@ -63,7 +68,7 @@ fn admission_control_bounds_tail_latency_past_saturation() {
     let d = Dataset::code_autocompletion_like(42, 96);
     let bounded = |qps: f64| {
         let cfg = ServeConfig { seed: 9, queue_cap: 16, fmfi: 0.0, ..ServeConfig::default() };
-        run_serving(sim(), &d, &ArrivalProcess::Poisson { qps }, cfg)
+        run_serving(sim(), &d, &ArrivalProcess::Poisson { qps }, cfg).unwrap()
     };
     let saturated = bounded(16.0);
     let overloaded = bounded(64.0);
@@ -83,7 +88,8 @@ fn admission_control_bounds_tail_latency_past_saturation() {
     // tail absorbs the whole backlog.
     let unbounded_cfg =
         ServeConfig { seed: 9, queue_cap: 1 << 20, fmfi: 0.0, ..ServeConfig::default() };
-    let unbounded = run_serving(sim(), &d, &ArrivalProcess::Poisson { qps: 64.0 }, unbounded_cfg);
+    let unbounded =
+        run_serving(sim(), &d, &ArrivalProcess::Poisson { qps: 64.0 }, unbounded_cfg).unwrap();
     assert_eq!(unbounded.shed, 0);
     assert!(
         unbounded.ttft_ms.p95 > overloaded.ttft_ms.p95,
@@ -93,4 +99,61 @@ fn admission_control_bounds_tail_latency_past_saturation() {
     );
     // Goodput is what admission control trades the tail against.
     assert!(unbounded.completed > overloaded.completed);
+}
+
+/// The paper's degraded-mode claim as an executable check: a PIM-unit
+/// fault leaves FACIL's weights SoC-readable, so it keeps serving
+/// immediately at SoC GEMV speed with bounded TTFT inflation, while the
+/// hybrid baseline must stall for a full weight re-layout before it can
+/// serve again (and pay it once more to come back).
+#[test]
+fn facil_serves_through_pim_fault_while_hybrid_stalls_for_relayout() {
+    // Light load: the degraded (SoC-speed) device must still keep up, so
+    // the TTFT comparison measures service speed, not queue blow-up.
+    let d = Dataset::code_autocompletion_like(7, 32);
+    let arrival = ArrivalProcess::Poisson { qps: 0.05 };
+    let fleet = FleetConfig { devices: 1, routing: Routing::RoundRobin };
+    // The PIM unit is down for essentially the whole run.
+    let plan = FaultPlan {
+        events: vec![FaultEvent {
+            device: 0,
+            at_s: 2.0,
+            kind: FaultKind::PimFault { duration_s: 600.0 },
+        }],
+        ..FaultPlan::none()
+    };
+    let run = |strategy: Strategy, plan: &FaultPlan| {
+        let cfg = ServeConfig {
+            strategy,
+            seed: 9,
+            queue_cap: 1 << 20,
+            fmfi: 0.0,
+            ..ServeConfig::default()
+        };
+        run_fleet_with_faults(sim(), &d, &arrival, cfg, fleet, plan).unwrap()
+    };
+    let facil_clean = run(Strategy::FacilDynamic, &FaultPlan::none());
+    let facil_fault = run(Strategy::FacilDynamic, &plan);
+    let hybrid_fault = run(Strategy::HybridStatic, &plan);
+
+    // FACIL keeps serving: nothing shed, positive goodput, zero relayout
+    // stall, and real time spent in degraded mode.
+    assert_eq!(facil_fault.shed, 0);
+    assert_eq!(facil_fault.completed, facil_fault.offered);
+    assert!(facil_fault.goodput_qps > 0.0);
+    assert_eq!(facil_fault.relayout_stall_s, 0.0);
+    assert!(facil_fault.degraded_s > 0.0, "the fault window must be exercised");
+    // Bounded TTFT inflation: FACIL prefill already runs on the SoC over
+    // the PIM-optimized layout, so the fault moves the tail by at most a
+    // small factor (decode slows to SoC GEMV, prefill barely changes).
+    assert!(
+        facil_fault.ttft_ms.p95 <= 4.0 * facil_clean.ttft_ms.p95,
+        "degraded p95 TTFT {} ms vs clean {} ms: inflation must stay bounded",
+        facil_fault.ttft_ms.p95,
+        facil_clean.ttft_ms.p95
+    );
+    // The hybrid baseline pays the full weight re-layout on the serving
+    // clock before it can serve through the same window.
+    assert!(hybrid_fault.relayout_stall_s > 0.0, "hybrid must stall for re-layout on a PIM fault");
+    assert!(facil_fault.relayout_stall_s < hybrid_fault.relayout_stall_s);
 }

@@ -1,7 +1,10 @@
 //! Property-based tests of the serving simulator's accounting and
 //! determinism invariants.
 
-use facil_serve::{run_fleet, run_serving, FleetConfig, Routing, ServeConfig};
+use facil_serve::{
+    run_fleet, run_fleet_with_faults, run_serving, FaultPlan, FaultRates, FleetConfig, Routing,
+    ServeConfig,
+};
 use facil_sim::InferenceSim;
 use facil_soc::{Platform, PlatformId};
 use facil_workloads::{ArrivalProcess, Dataset};
@@ -12,7 +15,9 @@ use std::sync::OnceLock;
 /// One shared simulator (construction runs a DRAM simulation; reuse it).
 fn sim() -> &'static InferenceSim {
     static SIM: OnceLock<InferenceSim> = OnceLock::new();
-    SIM.get_or_init(|| InferenceSim::new(Platform::get(PlatformId::Iphone)))
+    SIM.get_or_init(|| {
+        InferenceSim::new(Platform::get(PlatformId::Iphone)).expect("default model fits")
+    })
 }
 
 proptest! {
@@ -47,10 +52,17 @@ proptest! {
             &ArrivalProcess::Poisson { qps },
             cfg,
             FleetConfig { devices, routing },
-        );
+        ).unwrap();
         prop_assert_eq!(r.offered, n);
         prop_assert_eq!(r.completed + r.shed, r.offered);
-        prop_assert_eq!(r.shed_queue_full + r.shed_oversized + r.shed_no_memory, r.shed);
+        prop_assert_eq!(
+            r.shed_queue_full
+                + r.shed_oversized
+                + r.shed_no_memory
+                + r.shed_failed
+                + r.shed_deadline,
+            r.shed
+        );
         let ids: BTreeSet<u64> = r
             .requests
             .iter()
@@ -83,7 +95,7 @@ proptest! {
             &ArrivalProcess::Poisson { qps },
             cfg,
             FleetConfig { devices, routing: Routing::LeastLoaded },
-        );
+        ).unwrap();
         prop_assert!(r.utilization >= 0.0 && r.utilization <= 1.0 + 1e-9);
         for dev in &r.devices {
             prop_assert!(dev.utilization >= 0.0 && dev.utilization <= 1.0 + 1e-9);
@@ -110,8 +122,8 @@ proptest! {
         let d = Dataset::alpaca_like(seed, n);
         let cfg = ServeConfig { seed, fmfi, ..ServeConfig::default() };
         let arrival = ArrivalProcess::Bursty { qps, burst: 3 };
-        let a = run_serving(sim(), &d, &arrival, cfg);
-        let b = run_serving(sim(), &d, &arrival, cfg);
+        let a = run_serving(sim(), &d, &arrival, cfg).unwrap();
+        let b = run_serving(sim(), &d, &arrival, cfg).unwrap();
         prop_assert_eq!(&a, &b);
         prop_assert_eq!(a.to_json(), b.to_json());
     }
@@ -128,8 +140,8 @@ proptest! {
         let d = Dataset::code_autocompletion_like(seed, n);
         // queue_cap >= n: nothing is shed, both runs serve every request.
         let cfg = ServeConfig { seed, queue_cap: 1 << 20, fmfi: 0.0, ..ServeConfig::default() };
-        let light = run_serving(sim(), &d, &ArrivalProcess::Poisson { qps: 0.2 }, cfg);
-        let heavy = run_serving(sim(), &d, &ArrivalProcess::Poisson { qps }, cfg);
+        let light = run_serving(sim(), &d, &ArrivalProcess::Poisson { qps: 0.2 }, cfg).unwrap();
+        let heavy = run_serving(sim(), &d, &ArrivalProcess::Poisson { qps }, cfg).unwrap();
         prop_assert_eq!(light.shed, 0);
         prop_assert_eq!(heavy.shed, 0);
         prop_assert!(
@@ -139,5 +151,122 @@ proptest! {
             heavy.ttft_ms.mean,
             qps
         );
+    }
+
+    /// Conservation survives arbitrary fault injection: crashes, freezes,
+    /// PIM faults, KV faults, deadlines, and bounded retries never lose or
+    /// double-count a request — every offered id is completed or shed with
+    /// an explicit reason, exactly once.
+    #[test]
+    fn conservation_holds_under_random_faults(
+        seed in 0u64..1_000,
+        fault_seed in 0u64..1_000,
+        n in 1usize..24,
+        qps in 0.5f64..16.0,
+        devices in 1usize..4,
+        crash_per_s in 0.0f64..0.8,
+        pim_per_s in 0.0f64..0.8,
+        kv_per_s in 0.0f64..0.8,
+        max_retries in 0u32..4,
+        deadline_on in any::<bool>(),
+    ) {
+        let d = Dataset::code_autocompletion_like(seed, n);
+        let cfg = ServeConfig { seed, fmfi: 0.0, ..ServeConfig::default() };
+        let rates = FaultRates {
+            crash_per_s,
+            pim_per_s,
+            kv_per_s,
+            mean_outage_s: 0.4,
+        };
+        let mut plan = FaultPlan::random(fault_seed, devices, 20.0, rates);
+        plan.max_retries = max_retries;
+        plan.retry_backoff_s = 0.05;
+        plan.deadline_s = if deadline_on { 5.0 } else { 0.0 };
+        let r = run_fleet_with_faults(
+            sim(),
+            &d,
+            &ArrivalProcess::Poisson { qps },
+            cfg,
+            FleetConfig { devices, routing: Routing::LeastLoaded },
+            &plan,
+        ).unwrap();
+        prop_assert_eq!(r.offered, n);
+        prop_assert_eq!(r.completed + r.shed, r.offered);
+        prop_assert_eq!(
+            r.shed_queue_full
+                + r.shed_oversized
+                + r.shed_no_memory
+                + r.shed_failed
+                + r.shed_deadline,
+            r.shed
+        );
+        let ids: BTreeSet<u64> = r
+            .requests
+            .iter()
+            .map(|q| q.id)
+            .chain(r.sheds.iter().map(|s| s.id))
+            .collect();
+        prop_assert_eq!(ids.len(), n, "an id was lost or double-counted");
+        prop_assert_eq!(ids, (0..n as u64).collect::<BTreeSet<u64>>());
+        prop_assert!(r.availability >= 0.0 && r.availability <= 1.0 + 1e-9);
+        prop_assert!(r.deadline_violation_rate >= 0.0 && r.deadline_violation_rate <= 1.0 + 1e-9);
+        if plan.deadline_s == 0.0 {
+            prop_assert_eq!(r.deadline_violations, 0);
+        }
+    }
+
+    /// Byte-identical determinism under faults: the same seed and the same
+    /// fault plan give the same JSON report, byte for byte.
+    #[test]
+    fn faulty_runs_are_byte_identical_across_repeats(
+        seed in 0u64..1_000,
+        fault_seed in 0u64..1_000,
+        n in 1usize..16,
+        qps in 0.5f64..8.0,
+        devices in 1usize..4,
+    ) {
+        let d = Dataset::alpaca_like(seed, n);
+        let cfg = ServeConfig { seed, fmfi: 0.0, ..ServeConfig::default() };
+        let rates = FaultRates {
+            crash_per_s: 0.3,
+            pim_per_s: 0.3,
+            kv_per_s: 0.3,
+            mean_outage_s: 0.5,
+        };
+        let mut plan = FaultPlan::random(fault_seed, devices, 15.0, rates);
+        plan.max_retries = 3;
+        plan.retry_backoff_s = 0.05;
+        let arrival = ArrivalProcess::Bursty { qps, burst: 3 };
+        let fleet = FleetConfig { devices, routing: Routing::RoundRobin };
+        let a = run_fleet_with_faults(sim(), &d, &arrival, cfg, fleet, &plan).unwrap();
+        let b = run_fleet_with_faults(sim(), &d, &arrival, cfg, fleet, &plan).unwrap();
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.to_json(), b.to_json());
+    }
+
+    /// Zero-fault regression: injecting an empty fault plan reproduces the
+    /// fault-free scheduler exactly — same report, same JSON bytes.
+    #[test]
+    fn empty_fault_plan_reproduces_faultless_run_exactly(
+        seed in 0u64..1_000,
+        n in 1usize..16,
+        qps in 0.5f64..12.0,
+        devices in 1usize..4,
+        least_loaded in any::<bool>(),
+    ) {
+        let d = Dataset::code_autocompletion_like(seed, n);
+        let cfg = ServeConfig { seed, ..ServeConfig::default() };
+        let routing = if least_loaded { Routing::LeastLoaded } else { Routing::RoundRobin };
+        let fleet = FleetConfig { devices, routing };
+        let arrival = ArrivalProcess::Poisson { qps };
+        let plain = run_fleet(sim(), &d, &arrival, cfg, fleet).unwrap();
+        let faulted =
+            run_fleet_with_faults(sim(), &d, &arrival, cfg, fleet, &FaultPlan::none()).unwrap();
+        prop_assert_eq!(&plain, &faulted);
+        prop_assert_eq!(plain.to_json(), faulted.to_json());
+        prop_assert_eq!(faulted.failovers, 0);
+        prop_assert_eq!(faulted.retries, 0);
+        prop_assert_eq!(faulted.shed_failed, 0);
+        prop_assert_eq!(faulted.shed_deadline, 0);
     }
 }

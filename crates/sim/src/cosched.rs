@@ -135,8 +135,7 @@ pub fn run_cosched(spec: &DramSpec, cfg: CoschedConfig) -> CoschedResult {
 
         // Round-robin fairness between the two request classes.
         let issue_soc = soc_ready && (prefer_soc || pim_ready.is_none());
-        if issue_soc {
-            let (arrival, rank, _bank) = soc_queue.pop_front().expect("nonempty");
+        if let Some((arrival, rank, _bank)) = if issue_soc { soc_queue.pop_front() } else { None } {
             // Service: ACT+RD (its own bank, conservatively always a miss
             // against the PIM's working set).
             let mut service = tm.rcd + tm.cl + tm.burst_cycles;

@@ -99,31 +99,42 @@ pub struct InferenceSim {
 impl InferenceSim {
     /// Build the simulator for a platform, using its Table II model.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if a model weight cannot be placed on the platform's memory
-    /// (cannot happen for the four presets).
-    pub fn new(platform: Platform) -> Self {
+    /// Propagates mapping-selection errors if a model weight cannot be
+    /// placed on the platform's memory (cannot happen for the four presets).
+    pub fn new(platform: Platform) -> facil_core::Result<Self> {
         let model = ModelConfig::by_name(platform.model_name);
         Self::with_model(platform, model)
     }
 
     /// Build the simulator with an explicit model.
-    pub fn with_model(platform: Platform, model: ModelConfig) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping-selection errors (unplaceable weight matrices).
+    pub fn with_model(platform: Platform, model: ModelConfig) -> facil_core::Result<Self> {
         Self::with_model_and_dtype(platform, model, DType::F16)
     }
 
     /// Build the simulator with weight-only quantization: weights stored
     /// and streamed at `dtype`, activations/KV kept at the model precision.
-    pub fn with_model_and_dtype(platform: Platform, model: ModelConfig, dtype: DType) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping-selection errors (unplaceable weight matrices).
+    pub fn with_model_and_dtype(
+        platform: Platform,
+        model: ModelConfig,
+        dtype: DType,
+    ) -> facil_core::Result<Self> {
         let pim = PimEngine::new(platform.dram.clone(), platform.pim_arch);
         let relayout = RelayoutModel::new(platform.dram.clone(), platform.pim_arch);
         let topo = platform.dram.topology;
         let mut weights = Vec::new();
         for (op, instances) in model.all_linears() {
             let matrix = MatrixConfig::new(op.out_features, op.in_features, dtype);
-            let decision = select_mapping_2mb(&matrix, topo, &platform.pim_arch)
-                .expect("paper weights are placeable on paper platforms");
+            let decision = select_mapping_2mb(&matrix, topo, &platform.pim_arch)?;
             let pim_gemv_ns = pim.gemv(&matrix, &decision).time_ns;
             weights.push(Weight { matrix, decision, instances, pim_gemv_ns });
         }
@@ -138,7 +149,7 @@ impl InferenceSim {
                     * w.instances as f64
             })
             .sum();
-        InferenceSim {
+        Ok(InferenceSim {
             platform,
             model,
             pim,
@@ -148,7 +159,7 @@ impl InferenceSim {
             pim_gemv_decode_ns,
             pim_dispatch_decode_ns,
             soc_linear_decode_ns,
-        }
+        })
     }
 
     /// The platform.
@@ -217,6 +228,76 @@ impl InferenceSim {
     /// roofline model: the cost is the sum of the per-request steps.
     pub fn decode_batch_soc_ns(&self, ctxs: &[u64]) -> f64 {
         ctxs.iter().map(|&c| self.decode_step_soc_ns(c)).sum()
+    }
+
+    /// One-time cost `strategy` pays when the PIM units fail (and again
+    /// when they recover), ns — the paper's flexibility argument (§IV)
+    /// made measurable.
+    ///
+    /// FACIL's PIM-optimized layout stays SoC-readable, so FACIL (and the
+    /// SoC-only strategy, whose weights are conventional already) switch to
+    /// the SoC path for free. A conventional PIM system's weights are *only*
+    /// readable by the PIM datapath: before the SoC can serve, all weights
+    /// must be re-laid-out to the conventional mapping — and converted back
+    /// on recovery, which is why this is charged at both transitions.
+    pub fn degraded_relayout_ns(&self, strategy: Strategy) -> f64 {
+        match strategy {
+            Strategy::HybridStatic | Strategy::HybridDynamic => self.relayout_ns(),
+            Strategy::SocOnly | Strategy::FacilStatic | Strategy::FacilDynamic => 0.0,
+        }
+    }
+
+    /// One batched decode iteration in *degraded mode* (PIM units down), ns:
+    /// everything runs on the SoC.
+    ///
+    /// * FACIL strategies execute SoC GEMVs in place over the PIM-optimized
+    ///   layout, paying the Table III layout slowdown;
+    /// * the hybrid baseline runs plain SoC GEMVs — but only after
+    ///   [`InferenceSim::degraded_relayout_ns`] has been charged, since its
+    ///   weights start in a PIM-only layout;
+    /// * SoC-only is unchanged.
+    pub fn decode_batch_degraded_ns(&self, strategy: Strategy, ctxs: &[u64]) -> f64 {
+        match strategy {
+            Strategy::FacilStatic | Strategy::FacilDynamic => ctxs
+                .iter()
+                .map(|&c| {
+                    self.soc_linear_decode_ns * (1.0 + self.platform.gemm_layout_slowdown)
+                        + self.decode_epilogue_ns(c)
+                })
+                .sum(),
+            Strategy::SocOnly | Strategy::HybridStatic | Strategy::HybridDynamic => {
+                self.decode_batch_soc_ns(ctxs)
+            }
+        }
+    }
+
+    /// Cost of a prefill chunk in *degraded mode* (PIM units down), ns.
+    /// No dynamic PIM offload is possible; FACIL pays the layout slowdown;
+    /// the hybrid baseline runs plain SoC GEMMs over the conventional copy
+    /// produced by the degraded-entry re-layout (no per-prefill re-layout
+    /// while degraded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0` or `start + len > total`.
+    pub fn prefill_chunk_degraded_ns(
+        &self,
+        strategy: Strategy,
+        start: u64,
+        len: u64,
+        total: u64,
+    ) -> f64 {
+        assert!(len > 0, "prefill chunk must be non-empty");
+        assert!(start + len <= total, "chunk [{start}, {}) beyond prefill {total}", start + len);
+        let last = start + len == total;
+        let epilogue = self.prefill_chunk_epilogue_ns(start, len);
+        let soc = self.prefill_chunk_linears_soc_ns(len, last);
+        match strategy {
+            Strategy::FacilStatic | Strategy::FacilDynamic => {
+                soc * (1.0 + self.platform.gemm_layout_slowdown) + epilogue
+            }
+            Strategy::SocOnly | Strategy::HybridStatic | Strategy::HybridDynamic => soc + epilogue,
+        }
     }
 
     /// One decode step with *both* the linears and the attention
@@ -497,7 +578,7 @@ mod tests {
     use facil_soc::PlatformId;
 
     fn iphone_sim() -> InferenceSim {
-        InferenceSim::new(Platform::get(PlatformId::Iphone))
+        InferenceSim::new(Platform::get(PlatformId::Iphone)).unwrap()
     }
 
     #[test]
@@ -590,8 +671,10 @@ mod tests {
             platform.clone(),
             model.clone(),
             facil_core::DType::F16,
-        );
-        let i8 = InferenceSim::with_model_and_dtype(platform, model, facil_core::DType::I8);
+        )
+        .unwrap();
+        let i8 =
+            InferenceSim::with_model_and_dtype(platform, model, facil_core::DType::I8).unwrap();
         assert_eq!(i8.weight_bytes() * 2, f16.weight_bytes());
         // Quantization shrinks the re-layout and both decode paths...
         assert!(i8.relayout_ns() < 0.6 * f16.relayout_ns());
@@ -729,5 +812,50 @@ mod tests {
         assert!(batch > sim.decode_step_pim_ns(64));
         // Per-token cost strictly improves with batching.
         assert!(batch / 4.0 < sim.decode_step_pim_ns(64));
+    }
+
+    #[test]
+    fn degraded_relayout_charged_only_to_hybrid() {
+        let sim = iphone_sim();
+        for s in [Strategy::SocOnly, Strategy::FacilStatic, Strategy::FacilDynamic] {
+            assert_eq!(sim.degraded_relayout_ns(s), 0.0, "{s} switches for free");
+        }
+        for s in [Strategy::HybridStatic, Strategy::HybridDynamic] {
+            assert_eq!(sim.degraded_relayout_ns(s), sim.relayout_ns(), "{s} pays full re-layout");
+        }
+    }
+
+    #[test]
+    fn degraded_decode_runs_at_soc_speed_with_layout_penalty() {
+        let sim = iphone_sim();
+        let ctxs = [64u64, 64];
+        let soc = sim.decode_batch_soc_ns(&ctxs);
+        let facil = sim.decode_batch_degraded_ns(Strategy::FacilDynamic, &ctxs);
+        // FACIL degrades to SoC GEMV speed, inflated by the (small) Table
+        // III slowdown — never by a re-layout.
+        assert!(facil >= soc);
+        assert!(facil <= soc * 1.05, "facil degraded {facil} vs soc {soc}");
+        assert_eq!(sim.decode_batch_degraded_ns(Strategy::HybridStatic, &ctxs), soc);
+        assert_eq!(sim.decode_batch_degraded_ns(Strategy::SocOnly, &ctxs), soc);
+        // Degraded decode is much slower than healthy PIM decode.
+        assert!(facil > sim.decode_batch_pim_ns(&ctxs) * 2.0);
+    }
+
+    #[test]
+    fn degraded_prefill_never_offloads_and_matches_soc_path() {
+        let sim = iphone_sim();
+        let p = 64u64;
+        let soc_only = sim.prefill_chunk_degraded_ns(Strategy::SocOnly, 0, p, p);
+        let facil = sim.prefill_chunk_degraded_ns(Strategy::FacilDynamic, 0, p, p);
+        let hybrid = sim.prefill_chunk_degraded_ns(Strategy::HybridDynamic, 0, p, p);
+        assert!(facil >= soc_only);
+        assert!(facil <= soc_only * 1.05);
+        assert_eq!(hybrid, soc_only, "hybrid serves from the conventional copy while degraded");
+        // Even where the healthy dynamic strategies would offload to PIM,
+        // the degraded path must not (prefill 2 offloads when healthy).
+        assert!(sim.prefill_offloads_to_pim(Strategy::FacilDynamic, 2));
+        let healthy = sim.prefill_chunk_ns(Strategy::FacilDynamic, 0, 2, 2);
+        let degraded = sim.prefill_chunk_degraded_ns(Strategy::FacilDynamic, 0, 2, 2);
+        assert!(degraded > healthy, "degraded {degraded} vs healthy (offloaded) {healthy}");
     }
 }

@@ -16,14 +16,16 @@
 //! use facil_soc::{Platform, PlatformId};
 //! use facil_workloads::Query;
 //!
-//! let sim = InferenceSim::new(Platform::get(PlatformId::Jetson));
+//! let sim = InferenceSim::new(Platform::get(PlatformId::Jetson))?;
 //! let q = Query { prefill: 64, decode: 64 };
 //! let base = sim.run_query(Strategy::HybridStatic, q);
 //! let facil = sim.run_query(Strategy::FacilStatic, q);
 //! println!("TTFT speedup: {:.2}x", base.ttft_ns / facil.ttft_ns);
+//! # Ok::<(), facil_core::FacilError>(())
 //! ```
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod cosched;
 pub mod energy;

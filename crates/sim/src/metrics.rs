@@ -65,7 +65,7 @@ mod tests {
 
     #[test]
     fn dataset_speedups_follow_paper_ordering() {
-        let sim = InferenceSim::new(Platform::get(PlatformId::Iphone));
+        let sim = InferenceSim::new(Platform::get(PlatformId::Iphone)).unwrap();
         let data = Dataset::alpaca_like(42, 40);
         let base = run_dataset(&sim, Strategy::HybridStatic, &data);
         let dynamic = run_dataset(&sim, Strategy::HybridDynamic, &data);
@@ -80,7 +80,7 @@ mod tests {
 
     #[test]
     fn soc_only_loses_ttlt_badly() {
-        let sim = InferenceSim::new(Platform::get(PlatformId::Iphone));
+        let sim = InferenceSim::new(Platform::get(PlatformId::Iphone)).unwrap();
         let data = Dataset::alpaca_like(42, 20);
         let soc = run_dataset(&sim, Strategy::SocOnly, &data);
         let facil = run_dataset(&sim, Strategy::FacilDynamic, &data);
@@ -91,7 +91,7 @@ mod tests {
 
     #[test]
     fn run_metadata() {
-        let sim = InferenceSim::new(Platform::get(PlatformId::Iphone));
+        let sim = InferenceSim::new(Platform::get(PlatformId::Iphone)).unwrap();
         let data = Dataset::code_autocompletion_like(1, 10);
         let run = run_dataset(&sim, Strategy::FacilDynamic, &data);
         assert_eq!(run.results.len(), 10);

@@ -84,6 +84,9 @@ impl RelayoutModel {
         let cols = 4096.min(topo.row_bytes * 4);
         let rows = (self.sample_bytes / (cols * 2)).max(1);
         let matrix = MatrixConfig::new(rows, cols, DType::F16);
+        // The representative matrix is constructed from the topology itself,
+        // so selection cannot fail for any spec this model accepts.
+        #[allow(clippy::expect_used)]
         let decision = select_mapping_2mb(&matrix, topo, &self.arch)
             .expect("representative matrix is mappable");
         let conventional = MappingScheme::conventional(topo);

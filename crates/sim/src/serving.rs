@@ -71,8 +71,8 @@ pub fn serve(
         queue_peak = queue_peak.max(in_flight.len());
     }
 
-    ttfts.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-    ttlts.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    ttfts.sort_by(|a, b| a.total_cmp(b));
+    ttlts.sort_by(|a, b| a.total_cmp(b));
     let span = device_free_s.max(arrival_s);
     ServingResult {
         completed: dataset.queries.len(),
@@ -92,7 +92,7 @@ mod tests {
 
     fn sim() -> &'static InferenceSim {
         static SIM: OnceLock<InferenceSim> = OnceLock::new();
-        SIM.get_or_init(|| InferenceSim::new(Platform::get(PlatformId::Iphone)))
+        SIM.get_or_init(|| InferenceSim::new(Platform::get(PlatformId::Iphone)).unwrap())
     }
 
     fn data() -> Dataset {
@@ -111,7 +111,7 @@ mod tests {
             .map(|q| sim().run_query(Strategy::FacilDynamic, *q).ttft_ns / 1e6)
             .collect();
         let mut iso_sorted = iso.clone();
-        iso_sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        iso_sorted.sort_by(|a, b| a.total_cmp(b));
         assert!((r.ttft_p50_ms - crate::stats::percentile(&iso_sorted, 0.5)).abs() < 1.0);
         assert!(r.utilization < 0.2);
         assert_eq!(r.queue_peak, 1);

@@ -49,7 +49,7 @@ impl Summary {
     ///
     /// Panics if a value is NaN.
     pub fn from_unsorted(mut values: Vec<f64>) -> Summary {
-        values.sort_by(|a, b| a.partial_cmp(b).expect("finite latency samples"));
+        values.sort_by(|a, b| a.total_cmp(b));
         Summary::from_sorted(&values)
     }
 

@@ -9,7 +9,7 @@ use std::sync::OnceLock;
 /// One shared simulator (construction runs a DRAM simulation; reuse it).
 fn sim() -> &'static InferenceSim {
     static SIM: OnceLock<InferenceSim> = OnceLock::new();
-    SIM.get_or_init(|| InferenceSim::new(Platform::get(PlatformId::Iphone)))
+    SIM.get_or_init(|| InferenceSim::new(Platform::get(PlatformId::Iphone)).unwrap())
 }
 
 proptest! {

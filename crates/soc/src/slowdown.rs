@@ -37,15 +37,19 @@ pub struct SlowdownResult {
 
 /// Latency of one coalesced read burst of `bytes` starting at `base_pa`,
 /// issued to an idle memory system, in nanoseconds.
+///
+/// # Errors
+///
+/// Propagates translation faults from `mapper`.
 pub fn coalesced_burst_latency_ns<M: AddressMapper>(
     spec: &DramSpec,
     mapper: &M,
     base_pa: u64,
     bytes: u64,
-) -> f64 {
+) -> facil_core::Result<f64> {
     let tx = spec.topology.transfer_bytes;
     let trace = (0..bytes.div_ceil(tx)).map(|i| TraceEntry::read(base_pa + i * tx));
-    run_trace(spec, mapper, trace, TraceOptions::default()).elapsed_ns
+    Ok(run_trace(spec, mapper, trace, TraceOptions::default())?.elapsed_ns)
 }
 
 /// Latency-hiding model: the fraction of extra memory latency a GPU/NPU
@@ -82,8 +86,8 @@ pub fn gemm_layout_slowdown(
     let samples = 8;
     for i in 0..samples {
         let base = i * 17 * burst;
-        conv_lat += coalesced_burst_latency_ns(spec, &conventional, base, burst);
-        pim_lat += coalesced_burst_latency_ns(spec, &decision.scheme, base, burst);
+        conv_lat += coalesced_burst_latency_ns(spec, &conventional, base, burst)?;
+        pim_lat += coalesced_burst_latency_ns(spec, &decision.scheme, base, burst)?;
     }
     conv_lat /= samples as f64;
     pim_lat /= samples as f64;
@@ -116,8 +120,8 @@ pub fn streaming_throughput_ratio(
     let conventional = MappingScheme::conventional(spec.topology);
     let region = sample_bytes.min(matrix.padded_bytes()).max(2 << 20);
     let trace = gemm_weight_trace(region, readers, spec.topology.transfer_bytes);
-    let conv = run_trace(spec, &conventional, trace.clone(), TraceOptions::default());
-    let pim = run_trace(spec, &decision.scheme, trace, TraceOptions::default());
+    let conv = run_trace(spec, &conventional, trace.clone(), TraceOptions::default())?;
+    let pim = run_trace(spec, &decision.scheme, trace, TraceOptions::default())?;
     Ok(conv.elapsed_ns / pim.elapsed_ns)
 }
 

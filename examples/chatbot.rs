@@ -18,7 +18,7 @@ fn main() {
         platform.dram.peak_bandwidth_bytes_per_sec() / 1e9
     );
 
-    let sim = InferenceSim::new(platform);
+    let sim = InferenceSim::new(platform).expect("default model fits");
     let dataset = Dataset::alpaca_like(2024, 64);
     println!(
         "dataset: {} queries, geomean prefill {:.0} tokens, geomean decode {:.0} tokens\n",

@@ -11,7 +11,7 @@ use facil::workloads::Dataset;
 
 fn main() {
     let platform = Platform::get(PlatformId::Iphone);
-    let sim = InferenceSim::new(platform);
+    let sim = InferenceSim::new(platform).expect("default model fits");
     let session = Dataset::code_autocompletion_like(7, 24);
 
     println!("autocompletion session on {}, {}:", PlatformId::Iphone, sim.model().name);

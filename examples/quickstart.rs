@@ -33,7 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut mem = FunctionalMemory::new(sys.spec().topology);
     let weights: Vec<f32> =
         (0..matrix.rows * matrix.cols).map(|i| ((i % 13) as f32 - 6.0) * 0.125).collect();
-    store_matrix(&mut mem, &sys, &w, &weights);
+    store_matrix(&mut mem, &sys, &w, &weights).expect("allocation is mapped");
 
     // 3. The PIM walks the same cells bank by bank and computes y = W x.
     let x: Vec<f32> = (0..matrix.cols).map(|i| ((i % 7) as f32 - 3.0) * 0.25).collect();
@@ -50,7 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 4. And the SoC reads the matrix back row-major, intact — this is what
     //    lets it run GEMM without any re-layout.
-    assert_eq!(load_matrix(&mem, &sys, &w), weights);
+    assert_eq!(load_matrix(&mem, &sys, &w).expect("allocation is mapped"), weights);
     println!("SoC row-major readback intact: re-layout-free sharing works");
 
     // 5. How long would that GEMV take on the PIM?

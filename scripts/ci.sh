@@ -15,4 +15,18 @@ cargo fmt --all --check
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== chaos smoke =="
+# Fault-injection showcase must run clean and emit valid JSONL.
+cargo run --release -q -p facil-bench --bin chaos -- --smoke --json \
+  | python3 -c 'import json,sys
+lines = [json.loads(l) for l in sys.stdin if l.strip()]
+assert lines, "chaos --json produced no output"
+for o in lines:
+    assert "experiment" in o and "report" in o, o.keys()
+degraded = [o for o in lines if o["experiment"] == "degraded_mode"]
+assert any(o["report"]["goodput_qps"] > 0 for o in degraded), "no goodput under PIM fault"
+crash = [o for o in lines if o["experiment"] == "crash_failover"]
+assert all(o["report"]["completed"] + o["report"]["shed"] == o["report"]["offered"] for o in crash)
+print(f"chaos smoke OK ({len(lines)} runs)")'
+
 echo "CI OK"

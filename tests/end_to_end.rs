@@ -26,7 +26,7 @@ fn soc_writes_pim_computes_soc_reads() {
     let w: Vec<f32> =
         (0..matrix.rows * matrix.cols).map(|i| ((i % 9) as f32 - 4.0) * 0.5).collect();
     let x: Vec<f32> = (0..matrix.cols).map(|i| ((i % 3) as f32 - 1.0) * 0.25).collect();
-    store_matrix(&mut mem, &sys, &alloc, &w);
+    store_matrix(&mut mem, &sys, &alloc, &w).unwrap();
 
     // PIM side.
     let y = pim_gemv(&mem, &sys, &alloc, &x);
@@ -36,7 +36,7 @@ fn soc_writes_pim_computes_soc_reads() {
         assert!((y[r] - want).abs() <= want.abs() * 1e-3 + 1e-3, "row {r}: {} vs {want}", y[r]);
     }
     // SoC side, re-layout-free.
-    assert_eq!(load_matrix(&mem, &sys, &alloc), w);
+    assert_eq!(load_matrix(&mem, &sys, &alloc).unwrap(), w);
 }
 
 /// Every weight of every paper model is placeable on its paper platform,
@@ -74,7 +74,7 @@ fn all_paper_models_place_on_their_platforms() {
 #[test]
 fn strategy_invariants_on_all_platforms() {
     for id in PlatformId::all() {
-        let sim = InferenceSim::new(Platform::get(id));
+        let sim = InferenceSim::new(Platform::get(id)).unwrap();
         for q in [Query { prefill: 8, decode: 16 }, Query { prefill: 128, decode: 16 }] {
             let soc = sim.run_query(Strategy::SocOnly, q);
             let stat = sim.run_query(Strategy::HybridStatic, q);
@@ -100,7 +100,7 @@ fn strategy_invariants_on_all_platforms() {
 #[test]
 fn facil_gap_is_the_relayout_cost() {
     for id in PlatformId::all() {
-        let sim = InferenceSim::new(Platform::get(id));
+        let sim = InferenceSim::new(Platform::get(id)).unwrap();
         let p = 32;
         let (base, relayout, _) = sim.prefill_ns(Strategy::HybridStatic, p);
         let (facil, zero, _) = sim.prefill_ns(Strategy::FacilStatic, p);
@@ -116,7 +116,7 @@ fn facil_gap_is_the_relayout_cost() {
 /// Dataset sampling and evaluation are deterministic end to end.
 #[test]
 fn experiments_are_deterministic() {
-    let sim = InferenceSim::new(Platform::get(PlatformId::Iphone));
+    let sim = InferenceSim::new(Platform::get(PlatformId::Iphone)).unwrap();
     let d1 = Dataset::code_autocompletion_like(99, 16);
     let d2 = Dataset::code_autocompletion_like(99, 16);
     assert_eq!(d1, d2);

@@ -35,7 +35,7 @@ fn kv_cache_supports_attention_on_pim() {
     }
     // And the engine-side model agrees attention-on-PIM exists and crosses
     // over at long contexts.
-    let sim = InferenceSim::new(Platform::get(PlatformId::Iphone));
+    let sim = InferenceSim::new(Platform::get(PlatformId::Iphone)).unwrap();
     assert!(sim.decode_step_pim_attention_ns(32768) < sim.decode_step_pim_ns(32768));
 }
 
@@ -63,7 +63,7 @@ fn structural_and_fast_paths_agree() {
 /// hybrid-dynamic >= hybrid-static on p95 TTFT at every tested rate.
 #[test]
 fn serving_ordering_holds_under_load() {
-    let sim = InferenceSim::new(Platform::get(PlatformId::Iphone));
+    let sim = InferenceSim::new(Platform::get(PlatformId::Iphone)).unwrap();
     let dataset = Dataset::alpaca_like(3, 48);
     for qps in [0.1, 0.5, 1.0] {
         let cfg = ServingConfig { arrival_qps: qps, seed: 13 };
@@ -104,6 +104,6 @@ fn bank_hashed_mapping_roundtrips_data() {
     let scheme = MappingScheme::conventional(spec.topology).with_bank_hash();
     let mut mem = FunctionalMemory::new(spec.topology);
     let data: Vec<u8> = (0..4096).map(|i| (i % 251) as u8).collect();
-    mem.write_bytes(&scheme, 0x10_0000, &data);
-    assert_eq!(mem.read_bytes(&scheme, 0x10_0000, data.len()), data);
+    mem.write_bytes(&scheme, 0x10_0000, &data).unwrap();
+    assert_eq!(mem.read_bytes(&scheme, 0x10_0000, data.len()).unwrap(), data);
 }

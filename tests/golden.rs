@@ -38,7 +38,7 @@ fn golden_fig03_ratio() {
 /// Jetson re-layout cost ~163 ms for the Llama3-8B linear weights.
 #[test]
 fn golden_jetson_relayout() {
-    let sim = InferenceSim::new(Platform::get(PlatformId::Jetson));
+    let sim = InferenceSim::new(Platform::get(PlatformId::Jetson)).unwrap();
     within(sim.relayout_ns() / 1e6, 163.0, 0.08, "Jetson re-layout ms");
 }
 
