@@ -2,12 +2,16 @@
 //! co-scheduling, PIM microarchitecture, energy, and quantization.
 
 use facil_bench::ablations::*;
-use facil_bench::print_table;
+use facil_bench::{print_table, BenchCli};
 use facil_soc::PlatformId;
+use facil_telemetry::RunManifest;
 use facil_workloads::Query;
 
 fn main() {
-    let rows: Vec<Vec<String>> = ablation_mapping_flexibility(PlatformId::Iphone)
+    let (cli, _) = BenchCli::parse();
+
+    let flex = ablation_mapping_flexibility(PlatformId::Iphone);
+    let rows: Vec<Vec<String>> = flex
         .iter()
         .map(|r| {
             vec![
@@ -20,13 +24,16 @@ fn main() {
             ]
         })
         .collect();
-    print_table(
-        "Ablation: flexible per-page MapID vs one global PIM mapping (iPhone, Phi-1.5)",
-        &["weight", "flex parts", "fixed parts", "flex us", "fixed us", "fixed/flex"],
-        &rows,
-    );
+    if !cli.json {
+        print_table(
+            "Ablation: flexible per-page MapID vs one global PIM mapping (iPhone, Phi-1.5)",
+            &["weight", "flex parts", "fixed parts", "flex us", "fixed us", "fixed/flex"],
+            &rows,
+        );
+    }
 
-    let rows: Vec<Vec<String>> = ablation_relayout_policy(Query { prefill: 32, decode: 32 })
+    let relayout = ablation_relayout_policy(Query { prefill: 32, decode: 32 });
+    let rows: Vec<Vec<String>> = relayout
         .iter()
         .map(|(id, od, aao)| {
             vec![
@@ -37,11 +44,13 @@ fn main() {
             ]
         })
         .collect();
-    print_table(
-        "Ablation: re-layout policy, P32/D32 (paper footnote 2)",
-        &["platform", "on-demand TTLT", "all-at-once TTLT", "penalty"],
-        &rows,
-    );
+    if !cli.json {
+        print_table(
+            "Ablation: re-layout policy, P32/D32 (paper footnote 2)",
+            &["platform", "on-demand TTLT", "all-at-once TTLT", "penalty"],
+            &rows,
+        );
+    }
 
     let rows: Vec<Vec<String>> = ablation_cosched(PlatformId::Iphone)
         .iter()
@@ -55,11 +64,13 @@ fn main() {
             ]
         })
         .collect();
-    print_table(
-        "Ablation: SoC-PIM co-scheduling (paper Section V-C)",
-        &["policy", "SoC req/cycle", "PIM throughput", "SoC latency (cyc)", "PIM row reopens"],
-        &rows,
-    );
+    if !cli.json {
+        print_table(
+            "Ablation: SoC-PIM co-scheduling (paper Section V-C)",
+            &["policy", "SoC req/cycle", "PIM throughput", "SoC latency (cyc)", "PIM row reopens"],
+            &rows,
+        );
+    }
 
     let rows: Vec<Vec<String>> = ablation_pim_microarch()
         .iter()
@@ -71,13 +82,16 @@ fn main() {
             ]
         })
         .collect();
-    print_table(
-        "Ablation: PIM global-buffer & MAC rate (Jetson, FC1 GEMV)",
-        &["global buffer", "MAC interval (cyc)", "GEMV time"],
-        &rows,
-    );
+    if !cli.json {
+        print_table(
+            "Ablation: PIM global-buffer & MAC rate (Jetson, FC1 GEMV)",
+            &["global buffer", "MAC interval (cyc)", "GEMV time"],
+            &rows,
+        );
+    }
 
-    let rows: Vec<Vec<String>> = ablation_energy(64)
+    let energy = ablation_energy(64);
+    let rows: Vec<Vec<String>> = energy
         .iter()
         .map(|(id, soc, pim, ratio)| {
             vec![
@@ -88,13 +102,16 @@ fn main() {
             ]
         })
         .collect();
-    print_table(
-        "Ablation: DRAM-side decode energy per token (ctx 64)",
-        &["platform", "SoC GEMV", "PIM GEMV", "SoC/PIM"],
-        &rows,
-    );
+    if !cli.json {
+        print_table(
+            "Ablation: DRAM-side decode energy per token (ctx 64)",
+            &["platform", "SoC GEMV", "PIM GEMV", "SoC/PIM"],
+            &rows,
+        );
+    }
 
-    let rows: Vec<Vec<String>> = ablation_quantized_e2e(PlatformId::Iphone)
+    let quant = ablation_quantized_e2e(PlatformId::Iphone);
+    let rows: Vec<Vec<String>> = quant
         .iter()
         .map(|(dt, relayout, ttft, speedup, decode)| {
             vec![
@@ -106,11 +123,13 @@ fn main() {
             ]
         })
         .collect();
-    print_table(
-        "Ablation: weight-only quantization end to end (iPhone, P32)",
-        &["dtype", "relayout", "FACIL TTFT", "TTFT speedup", "PIM ms/token"],
-        &rows,
-    );
+    if !cli.json {
+        print_table(
+            "Ablation: weight-only quantization end to end (iPhone, P32)",
+            &["dtype", "relayout", "FACIL TTFT", "TTFT speedup", "PIM ms/token"],
+            &rows,
+        );
+    }
 
     let rows: Vec<Vec<String>> = ablation_pim_style()
         .iter()
@@ -118,11 +137,13 @@ fn main() {
             vec![style.clone(), map_id.to_string(), layout.clone(), format!("{us:.1} us")]
         })
         .collect();
-    print_table(
-        "Ablation: AiM-style vs HBM-PIM-style mapping (1-channel LPDDR5, 1024x1024 fp16)",
-        &["style", "MapID", "scheme", "GEMV"],
-        &rows,
-    );
+    if !cli.json {
+        print_table(
+            "Ablation: AiM-style vs HBM-PIM-style mapping (1-channel LPDDR5, 1024x1024 fp16)",
+            &["style", "MapID", "scheme", "GEMV"],
+            &rows,
+        );
+    }
 
     let rows: Vec<Vec<String>> = ablation_dtype(PlatformId::Iphone)
         .iter()
@@ -130,9 +151,22 @@ fn main() {
             vec![dt.to_string(), map_id.to_string(), parts.to_string(), format!("{us:.1} us")]
         })
         .collect();
-    print_table(
-        "Ablation: weight precision (iPhone, hidden x hidden GEMV)",
-        &["dtype", "MapID", "partitions", "PIM GEMV"],
-        &rows,
-    );
+    if !cli.json {
+        print_table(
+            "Ablation: weight precision (iPhone, hidden x hidden GEMV)",
+            &["dtype", "MapID", "partitions", "PIM GEMV"],
+            &rows,
+        );
+    }
+
+    let mut manifest = RunManifest::new("ablations", cli.seed_or(0));
+    manifest.config_str("platform", "iphone");
+    let flex_worst = flex.iter().map(|r| r.slowdown).fold(0.0f64, f64::max);
+    let relayout_worst = relayout.iter().map(|(_, od, aao)| aao / od).fold(0.0f64, f64::max);
+    let energy_worst = energy.iter().map(|(_, _, _, ratio)| *ratio).fold(0.0f64, f64::max);
+    manifest
+        .result_num("mapping_flex_worst_slowdown", flex_worst)
+        .result_num("relayout_worst_penalty", relayout_worst)
+        .result_num("energy_worst_soc_over_pim", energy_worst);
+    cli.emit_manifest(&manifest);
 }

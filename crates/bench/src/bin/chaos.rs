@@ -13,35 +13,36 @@
 //!    the fleet gets less reliable.
 //!
 //! Pass `--json` to emit one tagged JSON object per run (JSONL) instead
-//! of the tables; `--smoke` shrinks every experiment for CI.
+//! of the tables; `--smoke` shrinks every experiment for CI;
+//! `--trace <path>` writes a Chrome/Perfetto trace of the crash-failover
+//! run (degraded-mode, crash, failover and retry events on serve tracks).
 
-use facil_bench::print_table;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use facil_bench::{emit_run, print_table, BenchCli};
 use facil_serve::{
-    run_fleet_with_faults, FaultEvent, FaultKind, FaultPlan, FaultRates, FleetConfig, Routing,
-    ServeConfig, ServeReport,
+    run_fleet_with_faults, run_fleet_with_faults_traced, FaultEvent, FaultKind, FaultPlan,
+    FaultRates, FleetConfig, Routing, ServeConfig,
 };
 use facil_sim::{InferenceSim, Strategy};
 use facil_soc::{Platform, PlatformId};
+use facil_telemetry::json::{escaped, number};
+use facil_telemetry::{RingSink, RunManifest};
 use facil_workloads::{ArrivalProcess, Dataset};
 
-fn emit(json: bool, experiment: &str, params: &str, report: &ServeReport) {
-    if json {
-        println!("{{\"experiment\":\"{experiment}\",{params},\"report\":{}}}", report.to_json());
-    }
-}
-
 fn main() {
-    let json = std::env::args().any(|a| a == "--json");
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (cli, _) = BenchCli::parse();
+    let seed = cli.seed_or(9);
     let platform = Platform::get(PlatformId::Iphone);
     let sim = InferenceSim::new(platform).expect("default model fits");
-    let n = if smoke { 16 } else { 48 };
-    if !json {
+    let n = if cli.smoke { 16 } else { 48 };
+    if !cli.json {
         println!(
             "platform: {} | {} queries per run{}",
             PlatformId::Iphone,
             n,
-            if smoke { " (smoke)" } else { "" }
+            if cli.smoke { " (smoke)" } else { "" }
         );
     }
 
@@ -61,16 +62,16 @@ fn main() {
     };
     let mut rows = Vec::new();
     for strategy in [Strategy::FacilDynamic, Strategy::HybridStatic, Strategy::SocOnly] {
-        let cfg = ServeConfig {
-            strategy,
-            seed: 9,
-            queue_cap: 1 << 20,
-            fmfi: 0.0,
-            ..ServeConfig::default()
-        };
+        let cfg =
+            ServeConfig { strategy, seed, queue_cap: 1 << 20, fmfi: 0.0, ..ServeConfig::default() };
         let r = run_fleet_with_faults(&sim, &dataset, &arrival, cfg, fleet1, &pim_fault)
             .expect("valid plan");
-        emit(json, "degraded_mode", &format!("\"strategy\":\"{strategy}\",\"qps\":0.05"), &r);
+        emit_run(
+            &cli,
+            "degraded_mode",
+            &[("strategy", &escaped(&strategy.to_string())), ("qps", "0.05")],
+            &r.to_json(),
+        );
         rows.push(vec![
             strategy.to_string(),
             r.completed.to_string(),
@@ -81,7 +82,7 @@ fn main() {
             format!("{:.3}", r.relayout_stall_s),
         ]);
     }
-    if !json {
+    if !cli.json {
         print_table(
             "1. PIM-unit fault at t=2s, one device (goodput under fault)",
             &[
@@ -110,14 +111,22 @@ fn main() {
         retry_backoff_s: 0.05,
         ..FaultPlan::none()
     };
+    let mut crash_availability = 1.0;
     let mut rows = Vec::new();
-    for (label, plan) in [("fault-free", FaultPlan::none()), ("crash dev 0 @ 0.5s", crash)] {
-        let cfg = ServeConfig { seed: 9, fmfi: 0.0, ..ServeConfig::default() };
+    for (label, plan) in [("fault-free", FaultPlan::none()), ("crash dev 0 @ 0.5s", crash.clone())]
+    {
+        let cfg = ServeConfig { seed, fmfi: 0.0, ..ServeConfig::default() };
         let fc = FleetConfig { devices: 3, routing: Routing::LeastLoaded };
         let r =
             run_fleet_with_faults(&sim, &dataset, &arrival, cfg, fc, &plan).expect("valid plan");
         assert_eq!(r.completed + r.shed, r.offered, "conservation must hold");
-        emit(json, "crash_failover", &format!("\"plan\":\"{label}\",\"devices\":3"), &r);
+        emit_run(
+            &cli,
+            "crash_failover",
+            &[("plan", &escaped(label)), ("devices", "3")],
+            &r.to_json(),
+        );
+        crash_availability = r.availability;
         rows.push(vec![
             label.to_string(),
             r.completed.to_string(),
@@ -128,7 +137,7 @@ fn main() {
             format!("{:.1}", r.downtime_s),
         ]);
     }
-    if !json {
+    if !cli.json {
         print_table(
             "2. Crash failover, 3 devices at 8 arrivals/s (zero requests lost)",
             &["plan", "completed", "shed", "failovers", "retries", "availability", "down (s)"],
@@ -136,10 +145,21 @@ fn main() {
         );
     }
 
+    // The same crash scenario again, traced: crash/freeze spans, failover
+    // and retry instants land on per-device and fleet tracks.
+    if cli.wants_trace() {
+        let sink = Rc::new(RefCell::new(RingSink::new(1 << 20)));
+        let cfg = ServeConfig { seed, fmfi: 0.0, ..ServeConfig::default() };
+        let fc = FleetConfig { devices: 3, routing: Routing::LeastLoaded };
+        run_fleet_with_faults_traced(&sim, &dataset, &arrival, cfg, fc, &crash, sink.clone())
+            .expect("valid plan");
+        cli.write_trace(&sink.borrow());
+    }
+
     // -- 3. Seeded fault-rate sweep ----------------------------------------
     let dataset = Dataset::alpaca_like(3, n);
     let arrival = ArrivalProcess::Poisson { qps: 4.0 };
-    let crash_rates: &[f64] = if smoke { &[0.0, 0.2] } else { &[0.0, 0.05, 0.1, 0.2, 0.4] };
+    let crash_rates: &[f64] = if cli.smoke { &[0.0, 0.2] } else { &[0.0, 0.05, 0.1, 0.2, 0.4] };
     let mut rows = Vec::new();
     for &crash_per_s in crash_rates {
         let rates = FaultRates {
@@ -152,11 +172,16 @@ fn main() {
         plan.max_retries = 3;
         plan.retry_backoff_s = 0.05;
         plan.deadline_s = 20.0;
-        let cfg = ServeConfig { seed: 9, fmfi: 0.0, ..ServeConfig::default() };
+        let cfg = ServeConfig { seed, fmfi: 0.0, ..ServeConfig::default() };
         let fc = FleetConfig { devices: 4, routing: Routing::LeastLoaded };
         let r =
             run_fleet_with_faults(&sim, &dataset, &arrival, cfg, fc, &plan).expect("valid plan");
-        emit(json, "fault_rate_sweep", &format!("\"crash_per_s\":{crash_per_s},\"devices\":4"), &r);
+        emit_run(
+            &cli,
+            "fault_rate_sweep",
+            &[("crash_per_s", &number(crash_per_s)), ("devices", "4")],
+            &r.to_json(),
+        );
         rows.push(vec![
             format!("{crash_per_s:.2}"),
             (plan.events.len()).to_string(),
@@ -167,7 +192,7 @@ fn main() {
             (r.shed_failed + r.shed_deadline).to_string(),
         ]);
     }
-    if !json {
+    if !cli.json {
         print_table(
             "3. Seeded fault-rate sweep, 4 devices at 4 arrivals/s (20 s deadline)",
             &[
@@ -188,4 +213,12 @@ fn main() {
              with the fault rate."
         );
     }
+
+    let mut manifest = RunManifest::new("chaos", seed);
+    manifest
+        .config_str("platform", "iphone")
+        .config_uint("queries", n as u64)
+        .config_bool("smoke", cli.smoke);
+    manifest.result_num("crash_availability", crash_availability);
+    cli.emit_manifest(&manifest);
 }

@@ -1,32 +1,49 @@
 //! Regenerates paper Fig. 2: decode-phase profiling on the Jetson GPU.
 
-use facil_bench::{fig02_profile, print_table};
+use facil_bench::{fig02_profile, print_table, BenchCli};
+use facil_telemetry::RunManifest;
 
 fn main() {
-    let r = fig02_profile(64);
-    print_table(
-        "Fig. 2(a): decode time breakdown (Jetson, Llama3-8B, 64 tokens)",
-        &["component", "share"],
-        &[
-            vec!["linear (GEMV)".into(), format!("{:.1}%", r.linear_fraction * 100.0)],
-            vec!["attention".into(), format!("{:.1}%", r.attention_fraction * 100.0)],
-            vec!["other".into(), format!("{:.1}%", r.other_fraction * 100.0)],
-        ],
-    );
-    let rows: Vec<Vec<String>> = r
-        .utils
-        .iter()
-        .map(|u| {
-            vec![
-                u.name.into(),
-                format!("{:.2}%", u.compute_util * 100.0),
-                format!("{:.1}%", u.memory_util * 100.0),
-            ]
-        })
-        .collect();
-    print_table(
-        "Fig. 2(b): GEMV compute / memory utilization",
-        &["dimension", "compute util", "memory BW util"],
-        &rows,
-    );
+    let (cli, _) = BenchCli::parse();
+    let decode = if cli.smoke { 16 } else { 64 };
+    let r = fig02_profile(decode);
+    if !cli.json {
+        print_table(
+            &format!("Fig. 2(a): decode time breakdown (Jetson, Llama3-8B, {decode} tokens)"),
+            &["component", "share"],
+            &[
+                vec!["linear (GEMV)".into(), format!("{:.1}%", r.linear_fraction * 100.0)],
+                vec!["attention".into(), format!("{:.1}%", r.attention_fraction * 100.0)],
+                vec!["other".into(), format!("{:.1}%", r.other_fraction * 100.0)],
+            ],
+        );
+        let rows: Vec<Vec<String>> = r
+            .utils
+            .iter()
+            .map(|u| {
+                vec![
+                    u.name.into(),
+                    format!("{:.2}%", u.compute_util * 100.0),
+                    format!("{:.1}%", u.memory_util * 100.0),
+                ]
+            })
+            .collect();
+        print_table(
+            "Fig. 2(b): GEMV compute / memory utilization",
+            &["dimension", "compute util", "memory BW util"],
+            &rows,
+        );
+    }
+
+    let mut manifest = RunManifest::new("fig02_profile", cli.seed_or(0));
+    manifest.config_str("platform", "jetson").config_uint("decode", decode);
+    manifest
+        .result_num("linear_fraction", r.linear_fraction)
+        .result_num("attention_fraction", r.attention_fraction)
+        .result_num("other_fraction", r.other_fraction);
+    if let Some(u) = r.utils.first() {
+        manifest.result_num("gemv_compute_util", u.compute_util);
+        manifest.result_num("gemv_memory_util", u.memory_util);
+    }
+    cli.emit_manifest(&manifest);
 }

@@ -1,21 +1,36 @@
 //! Regenerates paper Fig. 3: potential speedup of PIM-offloaded decode.
 
-use facil_bench::{fig03_pim_speedup, print_table};
+use facil_bench::{fig03_pim_speedup, print_table, BenchCli};
+use facil_telemetry::RunManifest;
 
 fn main() {
-    let r = fig03_pim_speedup(64);
-    print_table(
-        "Fig. 3: decode of 64 tokens (in=out=64) on Jetson, Llama3-8B",
-        &["executor", "time (ms)", "speedup vs GPU"],
-        &[
-            vec!["GPU (SoC)".into(), format!("{:.1}", r.soc_ms), "1.00x".into()],
-            vec![
-                "ideal NPU".into(),
-                format!("{:.1}", r.ideal_npu_ms),
-                format!("{:.2}x", r.soc_ms / r.ideal_npu_ms),
+    let (cli, _) = BenchCli::parse();
+    let tokens = if cli.smoke { 16 } else { 64 };
+    let r = fig03_pim_speedup(tokens);
+    if !cli.json {
+        print_table(
+            &format!("Fig. 3: decode of {tokens} tokens (in=out={tokens}) on Jetson, Llama3-8B"),
+            &["executor", "time (ms)", "speedup vs GPU"],
+            &[
+                vec!["GPU (SoC)".into(), format!("{:.1}", r.soc_ms), "1.00x".into()],
+                vec![
+                    "ideal NPU".into(),
+                    format!("{:.1}", r.ideal_npu_ms),
+                    format!("{:.2}x", r.soc_ms / r.ideal_npu_ms),
+                ],
+                vec!["PIM".into(), format!("{:.1}", r.pim_ms), format!("{:.2}x", r.speedup_vs_soc)],
             ],
-            vec!["PIM".into(), format!("{:.1}", r.pim_ms), format!("{:.2}x", r.speedup_vs_soc)],
-        ],
-    );
-    println!("\nPIM speedup over ideal NPU: {:.2}x  (paper: 3.32x)", r.speedup_vs_ideal_npu);
+        );
+        println!("\nPIM speedup over ideal NPU: {:.2}x  (paper: 3.32x)", r.speedup_vs_ideal_npu);
+    }
+
+    let mut manifest = RunManifest::new("fig03_pim_speedup", cli.seed_or(0));
+    manifest.config_str("platform", "jetson").config_uint("tokens", tokens);
+    manifest
+        .result_num("soc_ms", r.soc_ms)
+        .result_num("ideal_npu_ms", r.ideal_npu_ms)
+        .result_num("pim_ms", r.pim_ms)
+        .result_num("speedup_vs_soc", r.speedup_vs_soc)
+        .result_num("speedup_vs_ideal_npu", r.speedup_vs_ideal_npu);
+    cli.emit_manifest(&manifest);
 }

@@ -1,24 +1,49 @@
 //! Regenerates paper Fig. 6: TTFT inflation caused by weight re-layout.
 
-use facil_bench::{fig06_relayout, print_table};
+use facil_bench::{fig06_relayout, print_table, BenchCli};
+use facil_telemetry::{JsonWriter, RunManifest};
 
 fn main() {
-    let points = fig06_relayout(&[4, 8, 16, 32, 64, 128, 256, 512]);
-    let rows: Vec<Vec<String>> = points
-        .iter()
-        .map(|p| {
-            vec![
-                p.prefill.to_string(),
-                format!("{:.0}", p.ttft_ms),
-                format!("{:.0}", p.ttft_with_relayout_ms),
-                format!("{:.2}x", p.ttft_with_relayout_ms / p.ttft_ms),
-            ]
-        })
-        .collect();
-    print_table(
-        "Fig. 6: TTFT with/without re-layout (Jetson, Llama3-8B)",
-        &["prefill", "TTFT (ms)", "TTFT + re-layout (ms)", "inflation"],
-        &rows,
-    );
-    println!("\npaper: ~100 ms -> ~300 ms (about 3x) around P=64");
+    let (cli, _) = BenchCli::parse();
+    let prefills: &[u64] =
+        if cli.smoke { &[4, 64, 512] } else { &[4, 8, 16, 32, 64, 128, 256, 512] };
+    let points = fig06_relayout(prefills);
+    if !cli.json {
+        let rows: Vec<Vec<String>> = points
+            .iter()
+            .map(|p| {
+                vec![
+                    p.prefill.to_string(),
+                    format!("{:.0}", p.ttft_ms),
+                    format!("{:.0}", p.ttft_with_relayout_ms),
+                    format!("{:.2}x", p.ttft_with_relayout_ms / p.ttft_ms),
+                ]
+            })
+            .collect();
+        print_table(
+            "Fig. 6: TTFT with/without re-layout (Jetson, Llama3-8B)",
+            &["prefill", "TTFT (ms)", "TTFT + re-layout (ms)", "inflation"],
+            &rows,
+        );
+        println!("\npaper: ~100 ms -> ~300 ms (about 3x) around P=64");
+    }
+
+    let mut w = JsonWriter::with_capacity(512);
+    w.begin_array();
+    for p in &points {
+        w.begin_object()
+            .field_uint("prefill", p.prefill)
+            .field_num("ttft_ms", p.ttft_ms)
+            .field_num("ttft_with_relayout_ms", p.ttft_with_relayout_ms)
+            .end_object();
+    }
+    w.end_array();
+    let max_inflation =
+        points.iter().map(|p| p.ttft_with_relayout_ms / p.ttft_ms).fold(0.0f64, f64::max);
+    let sweep: Vec<String> = prefills.iter().map(u64::to_string).collect();
+    let mut manifest = RunManifest::new("fig06_relayout", cli.seed_or(0));
+    manifest.config_str("platform", "jetson");
+    manifest.config_raw("prefills", &format!("[{}]", sweep.join(",")));
+    manifest.result_raw("points", &w.finish()).result_num("max_inflation", max_inflation);
+    cli.emit_manifest(&manifest);
 }

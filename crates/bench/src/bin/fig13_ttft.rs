@@ -1,24 +1,36 @@
 //! Regenerates paper Fig. 13: TTFT speedup of FACIL over the SoC-PIM
 //! hybrid-static baseline across prefill lengths.
 
-use facil_bench::{fig13_ttft, print_table};
+use facil_bench::{fig13_ttft, print_table, BenchCli};
+use facil_telemetry::RunManifest;
 
 fn main() {
-    let prefills = [8, 16, 32, 64, 128];
-    let series = fig13_ttft(&prefills);
-    let rows: Vec<Vec<String>> = series
-        .iter()
-        .map(|s| {
-            let mut v = vec![s.platform.to_string()];
-            v.extend(s.points.iter().map(|(_, sp)| format!("{sp:.2}x")));
-            v.push(format!("{:.2}x", s.geomean));
-            v
-        })
-        .collect();
-    print_table(
-        "Fig. 13: FACIL TTFT speedup vs hybrid-static",
-        &["platform", "P8", "P16", "P32", "P64", "P128", "geomean"],
-        &rows,
-    );
-    println!("\npaper geomeans: Jetson 2.89x, MacBook 2.19x, IdeaPad 1.55x, iPhone 2.36x");
+    let (cli, _) = BenchCli::parse();
+    let prefills: &[u64] = if cli.smoke { &[8, 64] } else { &[8, 16, 32, 64, 128] };
+    let series = fig13_ttft(prefills);
+    if !cli.json {
+        let rows: Vec<Vec<String>> = series
+            .iter()
+            .map(|s| {
+                let mut v = vec![s.platform.to_string()];
+                v.extend(s.points.iter().map(|(_, sp)| format!("{sp:.2}x")));
+                v.push(format!("{:.2}x", s.geomean));
+                v
+            })
+            .collect();
+        let mut headers = vec!["platform".to_string()];
+        headers.extend(prefills.iter().map(|p| format!("P{p}")));
+        headers.push("geomean".to_string());
+        let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        print_table("Fig. 13: FACIL TTFT speedup vs hybrid-static", &header_refs, &rows);
+        println!("\npaper geomeans: Jetson 2.89x, MacBook 2.19x, IdeaPad 1.55x, iPhone 2.36x");
+    }
+
+    let sweep: Vec<String> = prefills.iter().map(u64::to_string).collect();
+    let mut manifest = RunManifest::new("fig13_ttft", cli.seed_or(0));
+    manifest.config_raw("prefills", &format!("[{}]", sweep.join(",")));
+    for s in &series {
+        manifest.result_num(&format!("geomean_{}", s.platform), s.geomean);
+    }
+    cli.emit_manifest(&manifest);
 }

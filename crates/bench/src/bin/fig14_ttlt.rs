@@ -1,22 +1,46 @@
 //! Regenerates paper Fig. 14: TTLT speedup of FACIL over hybrid-static
 //! across prefill:decode combinations.
 
-use facil_bench::{fig14_ttlt, print_table};
+use facil_bench::{fig14_ttlt, print_table, BenchCli};
+use facil_telemetry::{JsonWriter, RunManifest};
 
 fn main() {
-    let combos = [(16, 16), (64, 16), (16, 64), (64, 64), (256, 64), (64, 256), (256, 256)];
-    let series = fig14_ttlt(&combos);
-    let headers: Vec<String> = combos.iter().map(|(p, d)| format!("P{p}/D{d}")).collect();
-    let mut header_refs: Vec<&str> = vec!["platform"];
-    header_refs.extend(headers.iter().map(|s| s.as_str()));
-    let rows: Vec<Vec<String>> = series
-        .iter()
-        .map(|s| {
-            let mut v = vec![s.platform.to_string()];
-            v.extend(s.points.iter().map(|(_, sp)| format!("{sp:.3}x")));
-            v
-        })
-        .collect();
-    print_table("Fig. 14: FACIL TTLT speedup vs hybrid-static", &header_refs, &rows);
-    println!("\npaper: ~10% improvement up to decode length 64, amortized for long decodes");
+    let (cli, _) = BenchCli::parse();
+    let combos: &[(u64, u64)] = if cli.smoke {
+        &[(16, 16), (256, 256)]
+    } else {
+        &[(16, 16), (64, 16), (16, 64), (64, 64), (256, 64), (64, 256), (256, 256)]
+    };
+    let series = fig14_ttlt(combos);
+    if !cli.json {
+        let headers: Vec<String> = combos.iter().map(|(p, d)| format!("P{p}/D{d}")).collect();
+        let mut header_refs: Vec<&str> = vec!["platform"];
+        header_refs.extend(headers.iter().map(|s| s.as_str()));
+        let rows: Vec<Vec<String>> = series
+            .iter()
+            .map(|s| {
+                let mut v = vec![s.platform.to_string()];
+                v.extend(s.points.iter().map(|(_, sp)| format!("{sp:.3}x")));
+                v
+            })
+            .collect();
+        print_table("Fig. 14: FACIL TTLT speedup vs hybrid-static", &header_refs, &rows);
+        println!("\npaper: ~10% improvement up to decode length 64, amortized for long decodes");
+    }
+
+    let mut manifest = RunManifest::new("fig14_ttlt", cli.seed_or(0));
+    for s in &series {
+        let mut w = JsonWriter::with_capacity(256);
+        w.begin_array();
+        for ((p, d), sp) in &s.points {
+            w.begin_object()
+                .field_uint("prefill", *p)
+                .field_uint("decode", *d)
+                .field_num("speedup", *sp)
+                .end_object();
+        }
+        w.end_array();
+        manifest.result_raw(&s.platform.to_string(), &w.finish());
+    }
+    cli.emit_manifest(&manifest);
 }

@@ -1,30 +1,45 @@
 //! Regenerates paper Fig. 15: TTFT on the conversation and code
 //! autocompletion datasets, normalized to hybrid-static.
 
-use facil_bench::{fig15_datasets, headline_geomeans, print_table};
+use facil_bench::{fig15_datasets, headline_geomeans, print_table, BenchCli};
+use facil_telemetry::RunManifest;
 
 fn main() {
-    let rows = fig15_datasets(42, 128);
-    let table: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
-            vec![
-                r.platform.to_string(),
-                r.dataset.clone(),
-                format!("{:.2}x", r.soc_only),
-                "1.00x".into(),
-                format!("{:.2}x", r.hybrid_dynamic),
-                format!("{:.2}x", r.facil),
-            ]
-        })
-        .collect();
-    print_table(
-        "Fig. 15: TTFT speedup over hybrid-static (128 sampled queries, seed 42)",
-        &["platform", "dataset", "SoC-only", "hybrid-static", "hybrid-dynamic", "FACIL"],
-        &table,
-    );
-    for (name, g) in headline_geomeans(&rows) {
-        println!("FACIL TTFT geomean on {name}: {g:.2}x");
+    let (cli, _) = BenchCli::parse();
+    let seed = cli.seed_or(42);
+    let queries = if cli.smoke { 32 } else { 128 };
+    let rows = fig15_datasets(seed, queries);
+    if !cli.json {
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.platform.to_string(),
+                    r.dataset.clone(),
+                    format!("{:.2}x", r.soc_only),
+                    "1.00x".into(),
+                    format!("{:.2}x", r.hybrid_dynamic),
+                    format!("{:.2}x", r.facil),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!(
+                "Fig. 15: TTFT speedup over hybrid-static ({queries} sampled queries, seed {seed})"
+            ),
+            &["platform", "dataset", "SoC-only", "hybrid-static", "hybrid-dynamic", "FACIL"],
+            &table,
+        );
+        for (name, g) in headline_geomeans(&rows) {
+            println!("FACIL TTFT geomean on {name}: {g:.2}x");
+        }
+        println!("paper: 2.37x (Alpaca), 2.63x (code autocompletion)");
     }
-    println!("paper: 2.37x (Alpaca), 2.63x (code autocompletion)");
+
+    let mut manifest = RunManifest::new("fig15_datasets_ttft", seed);
+    manifest.config_uint("queries", queries as u64).config_str("metric", "ttft");
+    for (name, g) in headline_geomeans(&rows) {
+        manifest.result_num(&format!("geomean_{name}"), g);
+    }
+    cli.emit_manifest(&manifest);
 }

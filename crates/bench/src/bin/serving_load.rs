@@ -9,18 +9,21 @@
 //! scheduling). Pass `--json` to emit one JSON object per point instead of
 //! the table.
 
-use facil_bench::print_table;
+use facil_bench::{print_table, BenchCli};
 use facil_serve::{run_serving, ServeConfig};
 use facil_sim::{serve, InferenceSim, ServingConfig, Strategy};
 use facil_soc::{Platform, PlatformId};
+use facil_telemetry::{JsonWriter, RunManifest};
 use facil_workloads::{ArrivalProcess, Dataset};
 
 fn main() {
-    let json = std::env::args().any(|a| a == "--json");
+    let (cli, _) = BenchCli::parse();
+    let seed = cli.seed_or(9);
     let platform = Platform::get(PlatformId::Iphone);
     let sim = InferenceSim::new(platform).expect("default model fits");
-    let dataset = Dataset::code_autocompletion_like(42, 96);
-    if !json {
+    let n = if cli.smoke { 24 } else { 96 };
+    let dataset = Dataset::code_autocompletion_like(42, n);
+    if !cli.json {
         println!(
             "platform: {} | dataset: {} ({} queries, geomean prefill {:.0})",
             PlatformId::Iphone,
@@ -30,31 +33,38 @@ fn main() {
         );
     }
 
+    let rates: &[f64] = if cli.smoke { &[0.5, 2.0] } else { &[0.2, 0.5, 1.0, 2.0] };
+    let mut points = 0u64;
     let mut rows = Vec::new();
     for strategy in [Strategy::HybridStatic, Strategy::HybridDynamic, Strategy::FacilDynamic] {
-        for qps in [0.2, 0.5, 1.0, 2.0] {
-            let fcfs = serve(&sim, strategy, &dataset, ServingConfig { arrival_qps: qps, seed: 9 });
+        for &qps in rates {
+            let fcfs = serve(&sim, strategy, &dataset, ServingConfig { arrival_qps: qps, seed });
             let cfg = ServeConfig {
                 strategy,
-                seed: 9,
+                seed,
                 queue_cap: 1 << 20,
                 fmfi: 0.0,
                 ..ServeConfig::default()
             };
             let cb = run_serving(&sim, &dataset, &ArrivalProcess::Poisson { qps }, cfg)
                 .expect("serving run with a valid config");
-            if json {
-                println!(
-                    "{{\"strategy\":\"{strategy}\",\"qps\":{qps},\
-                     \"fcfs\":{{\"ttft_p50_ms\":{},\"ttft_p95_ms\":{},\"ttlt_p50_ms\":{},\
-                     \"utilization\":{},\"queue_peak\":{}}},\"serve\":{}}}",
-                    fcfs.ttft_p50_ms,
-                    fcfs.ttft_p95_ms,
-                    fcfs.ttlt_p50_ms,
-                    fcfs.utilization,
-                    fcfs.queue_peak,
-                    cb.to_json()
-                );
+            points += 1;
+            if cli.json {
+                let mut w = JsonWriter::with_capacity(1024);
+                w.begin_object()
+                    .field_str("strategy", &strategy.to_string())
+                    .field_num("qps", qps)
+                    .key("fcfs")
+                    .begin_object()
+                    .field_num("ttft_p50_ms", fcfs.ttft_p50_ms)
+                    .field_num("ttft_p95_ms", fcfs.ttft_p95_ms)
+                    .field_num("ttlt_p50_ms", fcfs.ttlt_p50_ms)
+                    .field_num("utilization", fcfs.utilization)
+                    .field_uint("queue_peak", fcfs.queue_peak as u64)
+                    .end_object()
+                    .field_raw("serve", &cb.to_json())
+                    .end_object();
+                println!("{}", w.finish());
             } else {
                 rows.push(vec![
                     strategy.to_string(),
@@ -69,7 +79,7 @@ fn main() {
             }
         }
     }
-    if !json {
+    if !cli.json {
         print_table(
             "Serving load: TTFT under Poisson arrivals (queueing included)",
             &[
@@ -89,4 +99,12 @@ fn main() {
              baseline; continuous batching pushes the sustainable rate further still."
         );
     }
+
+    let mut manifest = RunManifest::new("serving_load", seed);
+    manifest
+        .config_str("platform", "iphone")
+        .config_uint("queries", n as u64)
+        .config_bool("smoke", cli.smoke);
+    manifest.result_uint("points", points);
+    cli.emit_manifest(&manifest);
 }

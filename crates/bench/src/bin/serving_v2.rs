@@ -9,27 +9,84 @@
 //!    round-robin vs least-loaded routing.
 //!
 //! Pass `--json` to emit one tagged JSON object per run (JSONL) instead of
-//! the tables.
+//! the tables; `--smoke` shrinks every sweep for CI; `--trace <path>`
+//! writes a Chrome/Perfetto trace with DRAM-command, PIM-kernel and serve
+//! scheduler tracks (open it in `ui.perfetto.dev`).
 
-use facil_bench::print_table;
-use facil_serve::{run_fleet, run_serving, FleetConfig, Routing, ServeConfig, ServeReport};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use facil_bench::{emit_run, print_table, BenchCli};
+use facil_core::{select_mapping_2mb, DType, MappingScheme, MatrixConfig};
+use facil_dram::{replay_on, sequential_trace, DramSystem, Op, TraceOptions};
+use facil_llm::ModelConfig;
+use facil_pim::PimEngine;
+use facil_serve::{
+    run_fleet, run_fleet_with_faults_traced, run_serving, FaultEvent, FaultKind, FaultPlan,
+    FleetConfig, Routing, ServeConfig,
+};
 use facil_sim::{serve, InferenceSim, ServingConfig, Strategy};
 use facil_soc::{Platform, PlatformId};
+use facil_telemetry::json::{escaped, number};
+use facil_telemetry::{RingSink, RunManifest};
 use facil_workloads::{ArrivalProcess, Dataset};
 
-fn emit(json: bool, experiment: &str, params: &str, report: &ServeReport) {
-    if json {
-        println!("{{\"experiment\":\"{experiment}\",{params},\"report\":{}}}", report.to_json());
-    }
+/// Record one Chrome trace covering all three instrumented layers: a short
+/// logged DRAM replay (per-bank command tracks), one PIM GEMV kernel span,
+/// and a traced two-device fleet run with a mid-run crash (admissions,
+/// batches, failovers, retries on the serve tracks).
+fn record_trace(cli: &BenchCli, sim: &InferenceSim, dataset: &Dataset, cfg: ServeConfig) {
+    let sink = Rc::new(RefCell::new(RingSink::new(1 << 20)));
+    let mut handle = sink.clone();
+
+    let p = Platform::get(PlatformId::Iphone);
+    let scheme = MappingScheme::conventional(p.dram.topology);
+    let mut sys = DramSystem::new(&p.dram);
+    sys.enable_logging();
+    replay_on(&mut sys, &scheme, sequential_trace(0, 256, 32, Op::Read), TraceOptions::default())
+        .expect("sequential demo trace maps");
+    sys.export_trace(&mut handle);
+
+    let model = ModelConfig::by_name(p.model_name);
+    let m = MatrixConfig::new(model.hidden, model.hidden, DType::F16);
+    let decision = select_mapping_2mb(&m, p.dram.topology, &p.pim_arch).expect("mappable");
+    let engine = PimEngine::new(p.dram.clone(), p.pim_arch);
+    engine.gemv_traced(&m, &decision, &mut handle, 0.0);
+
+    let plan = FaultPlan {
+        events: vec![FaultEvent {
+            device: 0,
+            at_s: 0.5,
+            kind: FaultKind::Crash { recover_s: None },
+        }],
+        max_retries: 4,
+        retry_backoff_s: 0.05,
+        ..FaultPlan::none()
+    };
+    let fleet = FleetConfig { devices: 2, routing: Routing::LeastLoaded };
+    run_fleet_with_faults_traced(
+        sim,
+        dataset,
+        &ArrivalProcess::Poisson { qps: 8.0 },
+        cfg,
+        fleet,
+        &plan,
+        sink.clone(),
+    )
+    .expect("valid plan");
+
+    cli.write_trace(&sink.borrow());
 }
 
 fn main() {
-    let json = std::env::args().any(|a| a == "--json");
+    let (cli, _) = BenchCli::parse();
+    let seed = cli.seed_or(9);
     let platform = Platform::get(PlatformId::Iphone);
     let sim = InferenceSim::new(platform).expect("default model fits");
-    let dataset = Dataset::code_autocompletion_like(42, 96);
+    let n = if cli.smoke { 24 } else { 96 };
+    let dataset = Dataset::code_autocompletion_like(42, n);
     let strategy = Strategy::FacilDynamic;
-    if !json {
+    if !cli.json {
         println!(
             "platform: {} | dataset: {} ({} queries) | strategy: {strategy}",
             PlatformId::Iphone,
@@ -37,21 +94,21 @@ fn main() {
             dataset.queries.len(),
         );
     }
+    let mut runs = 0u64;
+    let mut peak_goodput = 0.0f64;
 
     // -- 1. Continuous batching vs FCFS across offered rates ---------------
+    let rates: &[f64] = if cli.smoke { &[0.5, 8.0] } else { &[0.5, 1.0, 2.0, 4.0, 8.0, 16.0] };
     let mut rows = Vec::new();
-    for qps in [0.5, 1.0, 2.0, 4.0, 8.0, 16.0] {
-        let fcfs = serve(&sim, strategy, &dataset, ServingConfig { arrival_qps: qps, seed: 9 });
-        let cfg = ServeConfig {
-            strategy,
-            seed: 9,
-            queue_cap: 1 << 20,
-            fmfi: 0.0,
-            ..ServeConfig::default()
-        };
+    for &qps in rates {
+        let fcfs = serve(&sim, strategy, &dataset, ServingConfig { arrival_qps: qps, seed });
+        let cfg =
+            ServeConfig { strategy, seed, queue_cap: 1 << 20, fmfi: 0.0, ..ServeConfig::default() };
         let cb = run_serving(&sim, &dataset, &ArrivalProcess::Poisson { qps }, cfg)
             .expect("serving run with a valid config");
-        emit(json, "cb_vs_fcfs", &format!("\"qps\":{qps}"), &cb);
+        emit_run(&cli, "cb_vs_fcfs", &[("qps", &number(qps))], &cb.to_json());
+        runs += 1;
+        peak_goodput = peak_goodput.max(cb.goodput_qps);
         rows.push(vec![
             format!("{qps:.1}"),
             format!("{:.0}", fcfs.ttft_p95_ms),
@@ -62,7 +119,7 @@ fn main() {
             format!("{:.1}", cb.devices[0].mean_batch),
         ]);
     }
-    if !json {
+    if !cli.json {
         print_table(
             "1. Continuous batching vs FCFS (unbounded queue, one device)",
             &[
@@ -79,12 +136,24 @@ fn main() {
     }
 
     // -- 2. Admission control past saturation ------------------------------
+    let caps: &[(&str, usize)] = if cli.smoke {
+        &[("8", 8), ("unbounded", 1 << 20)]
+    } else {
+        &[("8", 8), ("16", 16), ("64", 64), ("unbounded", 1 << 20)]
+    };
     let mut rows = Vec::new();
-    for (label, queue_cap) in [("8", 8usize), ("16", 16), ("64", 64), ("unbounded", 1 << 20)] {
-        let cfg = ServeConfig { strategy, seed: 9, queue_cap, fmfi: 0.0, ..ServeConfig::default() };
+    for &(label, queue_cap) in caps {
+        let cfg = ServeConfig { strategy, seed, queue_cap, fmfi: 0.0, ..ServeConfig::default() };
         let r = run_serving(&sim, &dataset, &ArrivalProcess::Poisson { qps: 64.0 }, cfg)
             .expect("serving run with a valid config");
-        emit(json, "admission_control", &format!("\"queue_cap\":\"{label}\",\"qps\":64.0"), &r);
+        emit_run(
+            &cli,
+            "admission_control",
+            &[("queue_cap", &escaped(label)), ("qps", "64.0")],
+            &r.to_json(),
+        );
+        runs += 1;
+        peak_goodput = peak_goodput.max(r.goodput_qps);
         rows.push(vec![
             label.to_string(),
             r.completed.to_string(),
@@ -94,7 +163,7 @@ fn main() {
             format!("{:.0}%", r.utilization * 100.0),
         ]);
     }
-    if !json {
+    if !cli.json {
         print_table(
             "2. Admission control at 64 arrivals/s (past saturation)",
             &["queue cap", "completed", "shed", "TTFT p95 (ms)", "goodput/s", "util"],
@@ -103,10 +172,11 @@ fn main() {
     }
 
     // -- 3. Fleet mode ------------------------------------------------------
+    let fleet_sizes: &[usize] = if cli.smoke { &[1, 2] } else { &[1, 2, 4] };
     let mut rows = Vec::new();
-    for devices in [1usize, 2, 4] {
+    for &devices in fleet_sizes {
         for routing in [Routing::RoundRobin, Routing::LeastLoaded] {
-            let cfg = ServeConfig { strategy, seed: 9, fmfi: 0.0, ..ServeConfig::default() };
+            let cfg = ServeConfig { strategy, seed, fmfi: 0.0, ..ServeConfig::default() };
             let r = run_fleet(
                 &sim,
                 &dataset,
@@ -115,12 +185,18 @@ fn main() {
                 FleetConfig { devices, routing },
             )
             .expect("fleet run with a valid config");
-            emit(
-                json,
+            emit_run(
+                &cli,
                 "fleet",
-                &format!("\"devices\":{devices},\"routing\":\"{routing}\",\"qps\":8.0"),
-                &r,
+                &[
+                    ("devices", &devices.to_string()),
+                    ("routing", &escaped(&routing.to_string())),
+                    ("qps", "8.0"),
+                ],
+                &r.to_json(),
             );
+            runs += 1;
+            peak_goodput = peak_goodput.max(r.goodput_qps);
             let utils: Vec<f64> = r.devices.iter().map(|d| d.utilization).collect();
             let min_u = utils.iter().copied().fold(f64::INFINITY, f64::min);
             let max_u = utils.iter().copied().fold(0.0f64, f64::max);
@@ -135,7 +211,7 @@ fn main() {
             ]);
         }
     }
-    if !json {
+    if !cli.json {
         print_table(
             "3. Fleet scaling at 8 arrivals/s",
             &[
@@ -155,4 +231,18 @@ fn main() {
              device utilization where round-robin leaves stragglers."
         );
     }
+
+    if cli.wants_trace() {
+        let cfg = ServeConfig { strategy, seed, fmfi: 0.0, ..ServeConfig::default() };
+        record_trace(&cli, &sim, &dataset, cfg);
+    }
+
+    let mut manifest = RunManifest::new("serving_v2", seed);
+    manifest
+        .config_str("platform", "iphone")
+        .config_str("strategy", &strategy.to_string())
+        .config_uint("queries", n as u64)
+        .config_bool("smoke", cli.smoke);
+    manifest.result_uint("runs", runs).result_num("peak_goodput_qps", peak_goodput);
+    cli.emit_manifest(&manifest);
 }

@@ -1,25 +1,53 @@
 //! Regenerates paper Table I: huge-page model load time under memory
 //! utilization and fragmentation.
 
-use facil_bench::{print_table, table1_hugepage};
+use facil_bench::{print_table, table1_hugepage, BenchCli};
+use facil_telemetry::{JsonWriter, RunManifest};
 
 fn main() {
-    let ratios = [2.5, 2.0, 1.5, 1.1];
-    let fmfis = [0.05, 0.45, 0.75];
-    let cells = table1_hugepage(&ratios, &fmfis);
-    let mut rows = Vec::new();
-    for (i, &fmfi) in fmfis.iter().enumerate() {
-        let mut row = vec![format!("FMFI ~{fmfi:.2}")];
-        for j in 0..ratios.len() {
-            let c = &cells[i * ratios.len() + j];
-            row.push(format!("{:.2}s ({:.2}x)", c.load_s, c.normalized));
+    let (cli, _) = BenchCli::parse();
+    let ratios: &[f64] = if cli.smoke { &[2.5, 1.1] } else { &[2.5, 2.0, 1.5, 1.1] };
+    let fmfis: &[f64] = if cli.smoke { &[0.05, 0.75] } else { &[0.05, 0.45, 0.75] };
+    let cells = table1_hugepage(ratios, fmfis);
+    if !cli.json {
+        let mut rows = Vec::new();
+        for (i, &fmfi) in fmfis.iter().enumerate() {
+            let mut row = vec![format!("FMFI ~{fmfi:.2}")];
+            for j in 0..ratios.len() {
+                let c = &cells[i * ratios.len() + j];
+                row.push(format!("{:.2}s ({:.2}x)", c.load_s, c.normalized));
+            }
+            rows.push(row);
         }
-        rows.push(row);
+        let mut headers = vec![String::new()];
+        headers.extend(ratios.iter().map(|r| format!("free={r}x")));
+        let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        print_table(
+            "Table I: Llama3-8B (16.2 GB) load time into 2 MB huge pages, 64 GB system",
+            &header_refs,
+            &rows,
+        );
+        println!("\npaper: 10.24s (1.16x) best case .. 16.72s (1.90x) worst case");
     }
-    print_table(
-        "Table I: Llama3-8B (16.2 GB) load time into 2 MB huge pages, 64 GB system",
-        &["", "free=2.5x", "free=2.0x", "free=1.5x", "free=1.1x"],
-        &rows,
-    );
-    println!("\npaper: 10.24s (1.16x) best case .. 16.72s (1.90x) worst case");
+
+    let mut w = JsonWriter::with_capacity(512);
+    w.begin_array();
+    for c in &cells {
+        w.begin_object()
+            .field_num("free_ratio", c.free_ratio)
+            .field_num("fmfi", c.fmfi)
+            .field_num("load_s", c.load_s)
+            .field_num("normalized", c.normalized)
+            .end_object();
+    }
+    w.end_array();
+    let best = cells.iter().map(|c| c.load_s).fold(f64::INFINITY, f64::min);
+    let worst = cells.iter().map(|c| c.load_s).fold(0.0f64, f64::max);
+    let mut manifest = RunManifest::new("table1_hugepage", cli.seed_or(0));
+    manifest.config_uint("cells", cells.len() as u64);
+    manifest
+        .result_raw("cells", &w.finish())
+        .result_num("best_load_s", best)
+        .result_num("worst_load_s", worst);
+    cli.emit_manifest(&manifest);
 }

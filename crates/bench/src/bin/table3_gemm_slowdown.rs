@@ -1,23 +1,39 @@
 //! Regenerates paper Table III: GEMM slowdown on the PIM-optimized layout.
 
-use facil_bench::{print_table, table3_gemm_slowdown};
+use facil_bench::{print_table, table3_gemm_slowdown, BenchCli};
 use facil_soc::PlatformId;
+use facil_telemetry::RunManifest;
 
 fn main() {
-    let prefills = [4, 16, 64];
-    let rows = table3_gemm_slowdown(&PlatformId::all(), &prefills);
-    let table: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
-            let mut v = vec![r.platform.to_string(), r.group.to_string()];
-            v.extend(r.slowdowns.iter().map(|s| format!("{:.2}%", s * 100.0)));
-            v
-        })
-        .collect();
-    print_table(
-        "Table III: GEMM slowdown on PIM-optimized layout",
-        &["platform", "weights", "P=4", "P=16", "P=64"],
-        &table,
-    );
-    println!("\npaper worst cases: Jetson 2.1%, MacBook 0.1%, IdeaPad 1.1%, iPhone 1.6%");
+    let (cli, _) = BenchCli::parse();
+    let prefills: &[u64] = if cli.smoke { &[4, 64] } else { &[4, 16, 64] };
+    let rows = table3_gemm_slowdown(&PlatformId::all(), prefills);
+    if !cli.json {
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                let mut v = vec![r.platform.to_string(), r.group.to_string()];
+                v.extend(r.slowdowns.iter().map(|s| format!("{:.2}%", s * 100.0)));
+                v
+            })
+            .collect();
+        let mut headers = vec!["platform".to_string(), "weights".to_string()];
+        headers.extend(prefills.iter().map(|p| format!("P={p}")));
+        let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        print_table("Table III: GEMM slowdown on PIM-optimized layout", &header_refs, &table);
+        println!("\npaper worst cases: Jetson 2.1%, MacBook 0.1%, IdeaPad 1.1%, iPhone 1.6%");
+    }
+
+    let sweep: Vec<String> = prefills.iter().map(u64::to_string).collect();
+    let mut manifest = RunManifest::new("table3_gemm_slowdown", cli.seed_or(0));
+    manifest.config_raw("prefills", &format!("[{}]", sweep.join(",")));
+    for id in PlatformId::all() {
+        let worst = rows
+            .iter()
+            .filter(|r| r.platform == id)
+            .flat_map(|r| r.slowdowns.iter().copied())
+            .fold(0.0f64, f64::max);
+        manifest.result_num(&format!("worst_slowdown_{id}"), worst);
+    }
+    cli.emit_manifest(&manifest);
 }

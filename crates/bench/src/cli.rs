@@ -1,0 +1,199 @@
+//! Shared command-line conventions for the `src/bin/` bench binaries.
+//!
+//! Every binary accepts the same observability flags on top of its own
+//! arguments:
+//!
+//! * `--json` — machine-readable output: tagged experiment JSONL lines
+//!   (where the binary has per-run output) plus one
+//!   [`RunManifest`] record, and no tables;
+//! * `--out <path>` — append the run manifest to `<path>` (JSONL) instead
+//!   of printing it to stdout;
+//! * `--seed <n>` — override the binary's default RNG seed;
+//! * `--trace <path>` — write a Chrome/Perfetto `trace_event` JSON file
+//!   of the run, openable in `ui.perfetto.dev` (binaries that trace:
+//!   `serving_v2`, `chaos`, `trace_replay`);
+//! * `--smoke` — shrink the workload for CI smoke runs.
+//!
+//! Flags the module does not know are handed back to the binary untouched,
+//! so binaries with positional arguments (`trace_replay`) keep their own
+//! parsing.
+
+use facil_telemetry::{JsonWriter, RingSink, RunManifest};
+
+/// Common flags shared by the bench binaries.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BenchCli {
+    /// Emit machine-readable JSON instead of tables (`--json`).
+    pub json: bool,
+    /// Shrink the workload for CI smoke runs (`--smoke`).
+    pub smoke: bool,
+    /// Seed override (`--seed <n>`).
+    pub seed: Option<u64>,
+    /// Run-manifest destination (`--out <path>`).
+    pub out: Option<String>,
+    /// Chrome-trace destination (`--trace <path>`).
+    pub trace: Option<String>,
+}
+
+impl BenchCli {
+    /// Parse the common flags out of `args`, returning them together with
+    /// the remaining binary-specific arguments in their original order.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message when a flag that takes a value is
+    /// missing one, or when `--seed` is not an unsigned integer.
+    pub fn try_parse(
+        args: impl IntoIterator<Item = String>,
+    ) -> std::result::Result<(Self, Vec<String>), String> {
+        let mut cli = BenchCli::default();
+        let mut rest = Vec::new();
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--json" => cli.json = true,
+                "--smoke" => cli.smoke = true,
+                "--seed" => {
+                    let v = it.next().ok_or("--seed needs a value")?;
+                    cli.seed = Some(v.parse().map_err(|e| format!("bad --seed {v:?}: {e}"))?);
+                }
+                "--out" => cli.out = Some(it.next().ok_or("--out needs a path")?),
+                "--trace" => cli.trace = Some(it.next().ok_or("--trace needs a path")?),
+                _ => rest.push(a),
+            }
+        }
+        Ok((cli, rest))
+    }
+
+    /// Parse from [`std::env::args`], exiting with status 2 on a bad flag.
+    pub fn parse() -> (Self, Vec<String>) {
+        match Self::try_parse(std::env::args().skip(1)) {
+            Ok(parsed) => parsed,
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// The run seed: `--seed` when given, the binary's default otherwise.
+    pub fn seed_or(&self, default: u64) -> u64 {
+        self.seed.unwrap_or(default)
+    }
+
+    /// Whether a Chrome trace was requested (`--trace`).
+    pub fn wants_trace(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Emit the run manifest: appended to `--out` when given, printed to
+    /// stdout under `--json`, dropped otherwise (human table mode).
+    pub fn emit_manifest(&self, m: &RunManifest) {
+        let line = m.to_json_line();
+        match &self.out {
+            Some(path) => {
+                use std::io::Write;
+                let written = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)
+                    .and_then(|mut f| writeln!(f, "{line}"));
+                if let Err(e) = written {
+                    eprintln!("cannot write manifest to {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+            None if self.json => println!("{line}"),
+            None => {}
+        }
+    }
+
+    /// Write `sink` as a Chrome `trace_event` file to `--trace`, if given.
+    /// Progress goes to stderr so `--json` stdout stays parseable.
+    pub fn write_trace(&self, sink: &RingSink) {
+        let Some(path) = &self.trace else { return };
+        if let Err(e) = std::fs::write(path, sink.to_chrome_json()) {
+            eprintln!("cannot write trace to {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("trace: {} events -> {path} (open in ui.perfetto.dev)", sink.len());
+        if sink.dropped() > 0 {
+            eprintln!("trace: ring full, oldest {} events dropped", sink.dropped());
+        }
+    }
+}
+
+/// Print one tagged experiment line under `--json`:
+/// `{"experiment":<name>,<params...>,"report":<report>}`.
+///
+/// `params` values and `report_json` are raw, already-serialized JSON
+/// fragments (use [`facil_telemetry::json::number`] /
+/// [`facil_telemetry::json::escaped`] for scalars). A no-op without
+/// `--json`, so table-mode runs stay clean.
+pub fn emit_run(cli: &BenchCli, experiment: &str, params: &[(&str, &str)], report_json: &str) {
+    if !cli.json {
+        return;
+    }
+    let mut w = JsonWriter::with_capacity(report_json.len() + 128);
+    w.begin_object().field_str("experiment", experiment);
+    for (k, v) in params {
+        w.field_raw(k, v);
+    }
+    w.field_raw("report", report_json);
+    w.end_object();
+    println!("{}", w.finish());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> (BenchCli, Vec<String>) {
+        BenchCli::try_parse(args.iter().map(|s| s.to_string())).expect("valid args")
+    }
+
+    #[test]
+    fn common_flags_are_split_from_binary_args() {
+        let (cli, rest) = parse(&[
+            "trace.txt",
+            "--json",
+            "--seed",
+            "7",
+            "--platform",
+            "jetson",
+            "--trace",
+            "t.json",
+            "--smoke",
+            "--out",
+            "runs.jsonl",
+        ]);
+        assert!(cli.json && cli.smoke);
+        assert_eq!(cli.seed, Some(7));
+        assert_eq!(cli.out.as_deref(), Some("runs.jsonl"));
+        assert_eq!(cli.trace.as_deref(), Some("t.json"));
+        assert_eq!(rest, vec!["trace.txt", "--platform", "jetson"]);
+    }
+
+    #[test]
+    fn defaults_are_off() {
+        let (cli, rest) = parse(&[]);
+        assert_eq!(cli, BenchCli::default());
+        assert!(rest.is_empty());
+        assert!(!cli.wants_trace());
+        assert_eq!(cli.seed_or(42), 42);
+    }
+
+    #[test]
+    fn bad_or_missing_values_are_errors() {
+        assert!(BenchCli::try_parse(["--seed".to_string()]).is_err());
+        assert!(BenchCli::try_parse(["--seed".to_string(), "x".to_string()]).is_err());
+        assert!(BenchCli::try_parse(["--out".to_string()]).is_err());
+        assert!(BenchCli::try_parse(["--trace".to_string()]).is_err());
+    }
+
+    #[test]
+    fn seed_override_wins() {
+        let (cli, _) = parse(&["--seed", "11"]);
+        assert_eq!(cli.seed_or(42), 11);
+    }
+}

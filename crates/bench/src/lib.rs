@@ -16,10 +16,17 @@
 //! | Fig. 14 | [`fig14_ttlt`] | `fig14_ttlt` |
 //! | Fig. 15 | [`fig15_datasets`] | `fig15_datasets_ttft` |
 //! | Fig. 16 | [`fig16_datasets`] | `fig16_datasets_ttlt` |
+//!
+//! Every binary shares the observability flags of [`cli::BenchCli`]
+//! (`--json`, `--out`, `--seed`, `--trace`, `--smoke`) and emits one
+//! schema-versioned [`facil_telemetry::RunManifest`] record per run.
 
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod cli;
+
+pub use cli::{emit_run, BenchCli};
 
 use facil_core::paging::{LoadCostModel, PhysicalMemory};
 use facil_core::{DType, MatrixConfig};

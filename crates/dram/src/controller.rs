@@ -1,8 +1,12 @@
 //! Multi-channel DRAM backend: distributes decoded requests to per-channel
 //! FR-FCFS schedulers and aggregates statistics.
 
+use std::collections::BTreeMap;
+
+use facil_telemetry::{ArgValue, TraceSink, TrackId};
+
 use crate::channel::ChannelSim;
-use crate::command::Request;
+use crate::command::{CommandKind, Request};
 use crate::spec::DramSpec;
 use crate::stats::{DramStats, SimResult};
 
@@ -56,6 +60,58 @@ impl DramSystem {
     /// Total requests still queued across channels.
     pub fn pending(&self) -> usize {
         self.channels.iter().map(|c| c.pending()).sum()
+    }
+
+    /// Convert the captured command logs into trace spans on `sink`, one
+    /// track per bank (`ch{c}/r{r}/b{b}`) plus one refresh track per rank,
+    /// all under the `dram` process group.
+    ///
+    /// Requires [`DramSystem::enable_logging`] before [`DramSystem::run`];
+    /// without logs (or with a disabled sink) this is a no-op. Spans are
+    /// placed at the *data/occupancy* phase each command implies: ACT
+    /// covers tRCD, RD/WR cover their burst after CL/CWL, PRE covers tRP,
+    /// and REFab covers tRFCab.
+    pub fn export_trace<S: TraceSink>(&self, sink: &mut S) {
+        if !sink.enabled() {
+            return;
+        }
+        let t = &self.spec.timing;
+        for (c, ch) in self.channels.iter().enumerate() {
+            let Some(log) = ch.log() else { continue };
+            let mut bank_tracks: BTreeMap<(u64, u64), TrackId> = BTreeMap::new();
+            let mut refresh_tracks: BTreeMap<u64, TrackId> = BTreeMap::new();
+            for cmd in log {
+                let ns = |cycles: u64| self.spec.cycles_to_ns(cycles);
+                match cmd.kind {
+                    CommandKind::RefAb => {
+                        let track = *refresh_tracks.entry(cmd.rank).or_insert_with(|| {
+                            sink.track("dram", &format!("ch{c}/r{}/refresh", cmd.rank))
+                        });
+                        sink.complete(track, "REFab", ns(cmd.cycle), ns(t.rfc_ab), &[]);
+                    }
+                    kind => {
+                        let track = *bank_tracks.entry((cmd.rank, cmd.bank)).or_insert_with(|| {
+                            sink.track("dram", &format!("ch{c}/r{}/b{}", cmd.rank, cmd.bank))
+                        });
+                        let (name, start, dur, arg_key) = match kind {
+                            CommandKind::Act => ("ACT", cmd.cycle, t.rcd, "row"),
+                            CommandKind::Rd => ("RD", cmd.cycle + t.cl, t.burst_cycles, "col"),
+                            CommandKind::Wr => ("WR", cmd.cycle + t.cwl, t.burst_cycles, "col"),
+                            CommandKind::Pre => ("PRE", cmd.cycle, t.rp, "bank"),
+                            CommandKind::RefAb => unreachable!("handled above"),
+                        };
+                        let arg_val = if kind == CommandKind::Pre { cmd.bank } else { cmd.arg };
+                        sink.complete(
+                            track,
+                            name,
+                            ns(start),
+                            ns(dur),
+                            &[(arg_key, ArgValue::U64(arg_val))],
+                        );
+                    }
+                }
+            }
+        }
     }
 
     /// Schedule every queued request to completion.
@@ -144,6 +200,53 @@ mod tests {
             // ACT + RD per channel.
             assert_eq!(log.len(), 2);
         }
+    }
+
+    #[test]
+    fn export_trace_lays_out_banks_as_tracks() {
+        use facil_telemetry::RingSink;
+
+        let spec = DramSpec::lpddr5_6400(32, 512 << 20); // 2 channels
+        let mut sys = DramSystem::new(&spec);
+        sys.enable_logging();
+        for c in 0..2u64 {
+            for col in 0..2u64 {
+                sys.push(Request::read(DramAddress {
+                    channel: c,
+                    rank: 0,
+                    bank: c, // distinct banks so each channel owns a track
+                    row: 0,
+                    column: col,
+                }));
+            }
+        }
+        sys.run();
+        let mut sink = RingSink::new(64);
+        sys.export_trace(&mut sink);
+        // Per channel: 1 ACT + 2 RD.
+        assert_eq!(sink.len(), 6);
+        let json = sink.to_chrome_json();
+        assert!(json.contains(r#""name":"ch0/r0/b0""#));
+        assert!(json.contains(r#""name":"ch1/r0/b1""#));
+        assert!(json.contains(r#""name":"ACT""#));
+        assert!(json.contains(r#""name":"RD""#));
+        // RD data phase starts CL after the issue cycle, after the ACT span.
+        let act_ns = spec.cycles_to_ns(spec.timing.rcd);
+        assert!(sink.events().any(|e| e.name == "RD" && e.ts_ns >= act_ns));
+    }
+
+    #[test]
+    fn export_trace_without_logging_is_empty() {
+        use facil_telemetry::{NullSink, RingSink};
+
+        let spec = DramSpec::lpddr5_6400(16, 256 << 20);
+        let mut sys = DramSystem::new(&spec);
+        sys.push(Request::read(DramAddress { channel: 0, rank: 0, bank: 0, row: 0, column: 0 }));
+        sys.run();
+        let mut sink = RingSink::new(16);
+        sys.export_trace(&mut sink); // logging never enabled
+        assert!(sink.is_empty());
+        sys.export_trace(&mut NullSink); // disabled sink: no-op either way
     }
 
     #[test]

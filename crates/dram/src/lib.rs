@@ -54,6 +54,6 @@ pub use mapper::{AddressMapper, FnMapper, MapFault};
 pub use spec::{DramKind, DramSpec, Timing};
 pub use stats::{DramStats, SimResult};
 pub use trace::{
-    parse_trace, parse_trace_line, run_trace, sequential_trace, TraceEntry, TraceOptions,
+    parse_trace, parse_trace_line, replay_on, run_trace, sequential_trace, TraceEntry, TraceOptions,
 };
 pub use verifylog::{verify_log, LoggedCommand, Violation};

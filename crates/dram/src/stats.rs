@@ -1,5 +1,6 @@
 //! Aggregated statistics reported by the DRAM simulator.
 
+use facil_telemetry::MetricsRegistry;
 use serde::{Deserialize, Serialize};
 
 /// Counters collected while scheduling a request stream.
@@ -39,6 +40,22 @@ impl DramStats {
         } else {
             self.row_hits as f64 / total as f64
         }
+    }
+
+    /// Register every counter into `reg` under `dram.*` names, plus the
+    /// derived `dram.hit_rate` gauge. Accumulates on repeated calls, which
+    /// is exactly the [`DramStats::merge`] behavior for the counters.
+    pub fn register_into(&self, reg: &mut MetricsRegistry) {
+        reg.inc("dram.reads", self.reads);
+        reg.inc("dram.writes", self.writes);
+        reg.inc("dram.activates", self.activates);
+        reg.inc("dram.precharges", self.precharges);
+        reg.inc("dram.refreshes", self.refreshes);
+        reg.inc("dram.row_hits", self.row_hits);
+        reg.inc("dram.row_misses", self.row_misses);
+        reg.inc("dram.row_conflicts", self.row_conflicts);
+        reg.set_gauge("dram.finish_cycle", self.finish_cycle as f64);
+        reg.set_gauge("dram.hit_rate", self.hit_rate());
     }
 
     /// Merge counters from another channel, taking the max finish cycle
@@ -88,9 +105,115 @@ mod tests {
         assert!((a.hit_rate() - 0.5).abs() < 1e-12);
     }
 
+    // Exhaustive struct literals — no `..Default::default()` — so adding a
+    // counter to DramStats without extending merge() (and this test) fails
+    // to compile rather than silently dropping the new field on merge.
+    #[test]
+    fn merge_covers_every_field() {
+        let mut a = DramStats {
+            reads: 1,
+            writes: 2,
+            activates: 3,
+            precharges: 4,
+            refreshes: 5,
+            row_hits: 6,
+            row_misses: 7,
+            row_conflicts: 8,
+            finish_cycle: 9,
+        };
+        let b = DramStats {
+            reads: 10,
+            writes: 20,
+            activates: 30,
+            precharges: 40,
+            refreshes: 50,
+            row_hits: 60,
+            row_misses: 70,
+            row_conflicts: 80,
+            finish_cycle: 5,
+        };
+        a.merge(&b);
+        let expected = DramStats {
+            reads: 11,
+            writes: 22,
+            activates: 33,
+            precharges: 44,
+            refreshes: 55,
+            row_hits: 66,
+            row_misses: 77,
+            row_conflicts: 88,
+            finish_cycle: 9, // max, not sum: channels run concurrently
+        };
+        assert_eq!(a, expected);
+    }
+
+    #[test]
+    fn merge_into_default_is_identity() {
+        let b = DramStats {
+            reads: 1,
+            writes: 2,
+            activates: 3,
+            precharges: 4,
+            refreshes: 5,
+            row_hits: 6,
+            row_misses: 7,
+            row_conflicts: 8,
+            finish_cycle: 9,
+        };
+        let mut a = DramStats::default();
+        a.merge(&b);
+        assert_eq!(a, b);
+    }
+
     #[test]
     fn empty_hit_rate_is_zero() {
         assert_eq!(DramStats::default().hit_rate(), 0.0);
+        // A single miss still yields a well-defined (zero) hit rate.
+        let s = DramStats { row_misses: 1, ..Default::default() };
+        assert_eq!(s.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn zero_access_utilization_is_zero() {
+        let r = SimResult {
+            stats: DramStats::default(),
+            elapsed_ns: 0.0,
+            bandwidth_bytes_per_sec: 0.0,
+        };
+        assert_eq!(r.utilization(51.2e9), 0.0);
+        assert!(r.utilization(51.2e9).is_finite());
+    }
+
+    #[test]
+    fn register_into_exposes_all_counters() {
+        use facil_telemetry::MetricsRegistry;
+
+        let s = DramStats {
+            reads: 1,
+            writes: 2,
+            activates: 3,
+            precharges: 4,
+            refreshes: 5,
+            row_hits: 6,
+            row_misses: 2,
+            row_conflicts: 0,
+            finish_cycle: 90,
+        };
+        let mut reg = MetricsRegistry::new();
+        s.register_into(&mut reg);
+        assert_eq!(reg.counter("dram.reads"), 1);
+        assert_eq!(reg.counter("dram.writes"), 2);
+        assert_eq!(reg.counter("dram.activates"), 3);
+        assert_eq!(reg.counter("dram.precharges"), 4);
+        assert_eq!(reg.counter("dram.refreshes"), 5);
+        assert_eq!(reg.counter("dram.row_hits"), 6);
+        assert_eq!(reg.counter("dram.row_misses"), 2);
+        assert_eq!(reg.counter("dram.row_conflicts"), 0);
+        assert_eq!(reg.gauge("dram.finish_cycle"), Some(90.0));
+        assert_eq!(reg.gauge("dram.hit_rate"), Some(0.75));
+        // Re-registering accumulates like merge().
+        s.register_into(&mut reg);
+        assert_eq!(reg.counter("dram.reads"), 2);
     }
 
     #[test]

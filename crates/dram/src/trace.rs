@@ -53,10 +53,28 @@ pub fn run_trace<M: AddressMapper>(
     opts: TraceOptions,
 ) -> Result<SimResult, MapFault> {
     let mut sys = DramSystem::new(spec);
+    replay_on(&mut sys, mapper, trace, opts)
+}
+
+/// Like [`run_trace`], but on a caller-constructed backend — so the caller
+/// can [`DramSystem::enable_logging`] first and
+/// [`DramSystem::export_trace`] afterwards.
+///
+/// # Errors
+///
+/// Propagates the first [`MapFault`] the mapper raises; already-pushed
+/// requests stay queued on `sys` in that case.
+pub fn replay_on<M: AddressMapper>(
+    sys: &mut DramSystem,
+    mapper: &M,
+    trace: impl IntoIterator<Item = TraceEntry>,
+    opts: TraceOptions,
+) -> Result<SimResult, MapFault> {
+    let topology = sys.spec().topology;
     for (i, e) in trace.into_iter().enumerate() {
         let addr = mapper.map(e.pa)?;
         debug_assert!(
-            addr.is_valid(&spec.topology),
+            addr.is_valid(&topology),
             "mapper produced out-of-range address {addr} for pa {:#x}",
             e.pa
         );
@@ -195,6 +213,20 @@ mod tests {
             s.bandwidth_bytes_per_sec
         );
         assert!(r.stats.hit_rate() < s.stats.hit_rate());
+    }
+
+    #[test]
+    fn replay_on_matches_run_trace_and_supports_logging() {
+        let spec = DramSpec::lpddr5_6400(16, 256 << 20);
+        let mapper = test_mapper(&spec);
+        let trace = sequential_trace(0, 64, 32, Op::Read);
+        let plain = run_trace(&spec, &mapper, trace.clone(), TraceOptions::default()).unwrap();
+        let mut sys = DramSystem::new(&spec);
+        sys.enable_logging();
+        let logged = replay_on(&mut sys, &mapper, trace, TraceOptions::default()).unwrap();
+        assert_eq!(plain, logged);
+        let commands: usize = sys.logs().iter().map(|l| l.len()).sum();
+        assert!(commands >= 64, "expected at least one command per access, got {commands}");
     }
 
     #[test]

@@ -10,6 +10,7 @@
 
 use facil_core::{MappingDecision, MatrixConfig, PimArch};
 use facil_dram::DramSpec;
+use facil_telemetry::{ArgValue, TraceSink};
 use serde::{Deserialize, Serialize};
 
 use crate::layout::PimPlacement;
@@ -99,6 +100,54 @@ impl PimEngine {
     /// Time a GEMV (`y = W x`) over a matrix placed by `decision`.
     pub fn gemv(&self, matrix: &MatrixConfig, decision: &MappingDecision) -> PimOpTiming {
         self.gemm(matrix, decision, 1)
+    }
+
+    /// [`PimEngine::gemv`] plus a kernel span on `sink` (see
+    /// [`PimEngine::gemm_traced`]).
+    pub fn gemv_traced<S: TraceSink>(
+        &self,
+        matrix: &MatrixConfig,
+        decision: &MappingDecision,
+        sink: &mut S,
+        start_ns: f64,
+    ) -> PimOpTiming {
+        self.gemm_traced(matrix, decision, 1, sink, start_ns)
+    }
+
+    /// [`PimEngine::gemm`] plus one `pim` kernel span on `sink`, starting
+    /// at simulated time `start_ns` (the engine itself has no clock; the
+    /// caller supplies where on its timeline the kernel runs). The timing
+    /// result is identical to the untraced call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    pub fn gemm_traced<S: TraceSink>(
+        &self,
+        matrix: &MatrixConfig,
+        decision: &MappingDecision,
+        m: u64,
+        sink: &mut S,
+        start_ns: f64,
+    ) -> PimOpTiming {
+        let timing = self.gemm(matrix, decision, m);
+        if sink.enabled() {
+            let track = sink.track("pim", "kernels");
+            let name = if m == 1 { "GEMV" } else { "GEMM" };
+            sink.complete(
+                track,
+                name,
+                start_ns,
+                timing.time_ns,
+                &[
+                    ("rows", ArgValue::U64(matrix.rows)),
+                    ("cols", ArgValue::U64(matrix.cols)),
+                    ("m", ArgValue::U64(m)),
+                    ("reduction_ns", ArgValue::F64(timing.reduction_ns)),
+                ],
+            );
+        }
+        timing
     }
 
     /// Cycle-level cross-validation path: build the per-rank all-bank
@@ -338,6 +387,27 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn traced_gemv_matches_untraced_and_records_kernel() {
+        use facil_telemetry::{NullSink, RingSink};
+
+        let (spec, arch) = jetson();
+        let engine = PimEngine::new(spec.clone(), arch);
+        let m = MatrixConfig::new(4096, 4096, DType::F16);
+        let d = select_mapping_2mb(&m, spec.topology, &arch).unwrap();
+        let plain = engine.gemv(&m, &d);
+        let mut null = NullSink;
+        assert_eq!(engine.gemv_traced(&m, &d, &mut null, 0.0), plain);
+        let mut sink = RingSink::new(8);
+        assert_eq!(engine.gemm_traced(&m, &d, 4, &mut sink, 100.0), engine.gemm(&m, &d, 4));
+        assert_eq!(sink.len(), 1);
+        let e = sink.events().next().unwrap();
+        assert_eq!(e.name, "GEMM");
+        assert_eq!(e.ts_ns, 100.0);
+        assert!(e.dur_ns > 0.0);
+        assert!(sink.to_chrome_json().contains(r#""name":"kernels""#));
     }
 
     #[test]

@@ -43,6 +43,7 @@ use std::collections::VecDeque;
 use facil_core::paging::LoadCostModel;
 use facil_core::{DType, FacilSystem, MatrixConfig, PagedKvCache, HUGE_PAGE_BYTES};
 use facil_sim::{InferenceSim, Strategy};
+use facil_telemetry::{ArgValue, NullSink, TraceSink, TrackId};
 use facil_workloads::Query;
 use serde::{Deserialize, Serialize};
 
@@ -138,8 +139,13 @@ struct OutageWindow {
 
 /// One simulated device: queues, KV memory, the iteration clock, and its
 /// slice of the fault schedule.
+///
+/// The sink type parameter records scheduler decisions (admission, sheds,
+/// batch formation, degraded-mode transitions, outages) as trace events on
+/// a per-device `serve` track; the default [`NullSink`] compiles the
+/// instrumentation away, and tracing never changes simulated timing.
 #[derive(Debug)]
-pub struct DeviceSim<'a> {
+pub struct DeviceSim<'a, S: TraceSink = NullSink> {
     sim: &'a InferenceSim,
     cfg: ServeConfig,
     device: usize,
@@ -179,6 +185,9 @@ pub struct DeviceSim<'a> {
     crashes: usize,
     evicted: Vec<EvictedReq>,
     evicted_total: usize,
+    // Tracing.
+    sink: S,
+    track: TrackId,
 }
 
 impl<'a> DeviceSim<'a> {
@@ -197,6 +206,26 @@ impl<'a> DeviceSim<'a> {
         cfg: ServeConfig,
         plan: &FaultPlan,
     ) -> Self {
+        DeviceSim::with_faults_traced(sim, device, cfg, plan, NullSink)
+    }
+}
+
+impl<'a, S: TraceSink> DeviceSim<'a, S> {
+    /// Build a device that records its scheduler decisions into `sink` on a
+    /// `serve`-process track named `device<N>`. Tracing is observational:
+    /// the schedule and every latency are identical to the untraced device.
+    pub fn with_faults_traced(
+        sim: &'a InferenceSim,
+        device: usize,
+        cfg: ServeConfig,
+        plan: &FaultPlan,
+        mut sink: S,
+    ) -> Self {
+        let track = if sink.enabled() {
+            sink.track("serve", &format!("device{device}"))
+        } else {
+            TrackId::default()
+        };
         let platform = sim.platform();
         let model = sim.model();
         let mut sys = FacilSystem::new(platform.dram.clone(), platform.pim_arch);
@@ -288,6 +317,8 @@ impl<'a> DeviceSim<'a> {
             crashes: 0,
             evicted: Vec::new(),
             evicted_total: 0,
+            sink,
+            track,
         }
     }
 
@@ -386,6 +417,16 @@ impl<'a> DeviceSim<'a> {
         self.kv_windows.iter().find(|&&(s, e)| s <= t && t < e).map(|&(_, e)| e)
     }
 
+    /// Trace a shed decision as an instant event on the device track.
+    fn record_shed(&mut self, t_s: f64, id: u64, reason: ShedReason) {
+        self.sink.instant(
+            self.track,
+            "shed",
+            t_s * 1e9,
+            &[("id", ArgValue::U64(id)), ("reason", ArgValue::Str(reason.as_str()))],
+        );
+    }
+
     /// Offer a request arriving at `t_s`. It is queued, or shed with a
     /// recorded reason — never silently dropped.
     pub fn enqueue(&mut self, t_s: f64, id: u64, query: Query) {
@@ -419,6 +460,7 @@ impl<'a> DeviceSim<'a> {
             }
         }
         if self.kv_bytes_needed(&query) > self.kv_budget {
+            self.record_shed(t_s, id, ShedReason::Oversized);
             self.shed.push(ShedRecord {
                 id,
                 device: self.device,
@@ -428,6 +470,7 @@ impl<'a> DeviceSim<'a> {
             return;
         }
         if self.pending.len() >= self.cfg.queue_cap {
+            self.record_shed(t_s, id, ShedReason::QueueFull);
             self.shed.push(ShedRecord {
                 id,
                 device: self.device,
@@ -454,6 +497,7 @@ impl<'a> DeviceSim<'a> {
             let Some(&front) = self.pending.front() else { return };
             if self.deadline_s > 0.0 && self.now_s > front.arrival_s + self.deadline_s {
                 self.pending.pop_front();
+                self.record_shed(self.now_s, front.id, ShedReason::DeadlineExpired);
                 self.shed.push(ShedRecord {
                     id: front.id,
                     device: self.device,
@@ -480,6 +524,16 @@ impl<'a> DeviceSim<'a> {
                     self.kv_compact_s += compact_s;
                     self.pending.pop_front();
                     self.kv_peak_bytes = self.kv_peak_bytes.max(self.kv_in_use());
+                    self.sink.instant(
+                        self.track,
+                        "admit",
+                        self.now_s * 1e9,
+                        &[
+                            ("id", ArgValue::U64(front.id)),
+                            ("prefill", ArgValue::U64(front.query.prefill)),
+                            ("decode", ArgValue::U64(front.query.decode)),
+                        ],
+                    );
                     self.prefilling.push_back(ActiveReq {
                         id: front.id,
                         arrival_s: front.arrival_s,
@@ -499,6 +553,7 @@ impl<'a> DeviceSim<'a> {
                     kv.free(&mut self.sys);
                     if self.active_count() == 0 {
                         self.pending.pop_front();
+                        self.record_shed(self.now_s, front.id, ShedReason::NoMemory);
                         self.shed.push(ShedRecord {
                             id: front.id,
                             device: self.device,
@@ -523,6 +578,21 @@ impl<'a> DeviceSim<'a> {
         let degraded = self.pim_down_at(self.now_s);
         if degraded != self.in_degraded {
             let stall = self.sim.degraded_relayout_ns(self.cfg.strategy) / 1e9;
+            self.sink.instant(
+                self.track,
+                if degraded { "degraded-enter" } else { "degraded-exit" },
+                self.now_s * 1e9,
+                &[],
+            );
+            if stall > 0.0 {
+                self.sink.complete(
+                    self.track,
+                    "relayout-stall",
+                    self.now_s * 1e9,
+                    stall * 1e9,
+                    &[],
+                );
+            }
             self.now_s += stall;
             self.busy_s += stall;
             self.relayout_stall_s += stall;
@@ -552,6 +622,17 @@ impl<'a> DeviceSim<'a> {
             }
         });
         let dt = (decode_ns + prefill_ns) / 1e9;
+        self.sink.complete(
+            self.track,
+            "batch",
+            self.now_s * 1e9,
+            dt * 1e9,
+            &[
+                ("decode", ArgValue::U64(ctxs.len() as u64)),
+                ("prefill", ArgValue::U64(chunk.map_or(0, |(_, len, _)| len))),
+                ("degraded", ArgValue::U64(u64::from(degraded))),
+            ],
+        );
         self.now_s += dt;
         self.busy_s += dt;
         if degraded {
@@ -662,7 +743,17 @@ impl<'a> DeviceSim<'a> {
             self.crashes += 1;
             let before = self.evicted.len();
             self.evict_all(self.now_s);
-            self.evicted_total += self.evicted.len() - before;
+            let lost = self.evicted.len() - before;
+            self.evicted_total += lost;
+            self.sink.instant(
+                self.track,
+                "crash",
+                self.now_s * 1e9,
+                &[
+                    ("evicted", ArgValue::U64(lost as u64)),
+                    ("permanent", ArgValue::U64(u64::from(!w.end.is_finite()))),
+                ],
+            );
             if w.end.is_finite() {
                 self.now_s = self.now_s.max(w.end);
             } else {
@@ -670,6 +761,13 @@ impl<'a> DeviceSim<'a> {
             }
         } else if self.now_s < w.end {
             // Freeze: the clock stalls (no busy time), nothing is lost.
+            self.sink.complete(
+                self.track,
+                "freeze",
+                self.now_s * 1e9,
+                (w.end - self.now_s) * 1e9,
+                &[],
+            );
             self.now_s = w.end;
         }
         true

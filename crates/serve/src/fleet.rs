@@ -19,7 +19,8 @@
 use std::cmp::{Ordering, Reverse};
 use std::collections::BinaryHeap;
 
-use facil_sim::{InferenceSim, Summary};
+use facil_sim::InferenceSim;
+use facil_telemetry::{ArgValue, MetricsRegistry, NullSink, TraceSink, TrackId};
 use facil_workloads::{ArrivalProcess, Dataset, Query};
 use serde::{Deserialize, Serialize};
 
@@ -111,8 +112,9 @@ impl Ord for Retry {
 }
 
 /// Mutable fleet-driver state shared by the arrival loop and the
-/// quiescence loop.
-struct Driver<'p> {
+/// quiescence loop. Failover, retry and fleet-level shed decisions are
+/// traced on a `serve`-process `fleet` track.
+struct Driver<'p, S: TraceSink> {
     plan: &'p FaultPlan,
     routing: Routing,
     rr: usize,
@@ -121,15 +123,23 @@ struct Driver<'p> {
     fleet_sheds: Vec<ShedRecord>,
     failovers: usize,
     retries: usize,
+    sink: S,
+    track: TrackId,
 }
 
-impl Driver<'_> {
+impl<S: TraceSink> Driver<'_, S> {
     /// Collect crash-evicted requests from every device and schedule their
     /// failover (or fail them permanently).
-    fn harvest(&mut self, devices: &mut [DeviceSim]) {
+    fn harvest(&mut self, devices: &mut [DeviceSim<'_, S>]) {
         for (d, dev) in devices.iter_mut().enumerate() {
             for ev in dev.take_evicted() {
                 self.failovers += 1;
+                self.sink.instant(
+                    self.track,
+                    "failover",
+                    ev.evicted_s * 1e9,
+                    &[("id", ArgValue::U64(ev.id)), ("from", ArgValue::U64(d as u64))],
+                );
                 self.requeue_or_fail(d, ev);
             }
         }
@@ -140,6 +150,7 @@ impl Driver<'_> {
     /// device the request last touched (recorded on the shed).
     fn requeue_or_fail(&mut self, device: usize, ev: EvictedReq) {
         if ev.attempt >= self.plan.max_retries {
+            self.record_fleet_shed(ev.evicted_s, ev.id, ShedReason::Failed);
             self.fleet_sheds.push(ShedRecord {
                 id: ev.id,
                 device,
@@ -151,6 +162,7 @@ impl Driver<'_> {
         let backoff = self.plan.retry_backoff_s * 2f64.powi(ev.attempt as i32);
         let t_s = ev.evicted_s + backoff;
         if self.plan.deadline_s > 0.0 && t_s - ev.arrival_s > self.plan.deadline_s {
+            self.record_fleet_shed(ev.evicted_s, ev.id, ShedReason::DeadlineExpired);
             self.fleet_sheds.push(ShedRecord {
                 id: ev.id,
                 device,
@@ -159,6 +171,12 @@ impl Driver<'_> {
             });
             return;
         }
+        self.sink.instant(
+            self.track,
+            "retry",
+            t_s * 1e9,
+            &[("id", ArgValue::U64(ev.id)), ("attempt", ArgValue::U64(u64::from(ev.attempt + 1)))],
+        );
         self.retryq.push(Reverse(Retry {
             t_s,
             seq: self.seq,
@@ -171,11 +189,21 @@ impl Driver<'_> {
         self.retries += 1;
     }
 
+    /// Trace a fleet-level shed decision as an instant event.
+    fn record_fleet_shed(&mut self, t_s: f64, id: u64, reason: ShedReason) {
+        self.sink.instant(
+            self.track,
+            "shed",
+            t_s * 1e9,
+            &[("id", ArgValue::U64(id)), ("reason", ArgValue::Str(reason.as_str()))],
+        );
+    }
+
     /// Route one request (fresh or retried) to an accepting device, or
     /// schedule another retry when every device is down.
     fn offer(
         &mut self,
-        devices: &mut [DeviceSim],
+        devices: &mut [DeviceSim<'_, S>],
         t_s: f64,
         id: u64,
         arrival_s: f64,
@@ -232,11 +260,33 @@ pub fn run_fleet_with_faults(
     fleet: FleetConfig,
     plan: &FaultPlan,
 ) -> facil_core::Result<ServeReport> {
+    run_fleet_with_faults_traced(sim, dataset, arrival, cfg, fleet, plan, NullSink)
+}
+
+/// [`run_fleet_with_faults`] with every scheduler decision recorded into
+/// `sink` (cloned per device; pass an `Rc<RefCell<RingSink>>` to collect
+/// the whole fleet into one trace). Tracing is observational: the report
+/// is identical to the untraced run, byte for byte.
+///
+/// # Errors
+///
+/// See [`run_fleet_with_faults`].
+pub fn run_fleet_with_faults_traced<S: TraceSink + Clone>(
+    sim: &InferenceSim,
+    dataset: &Dataset,
+    arrival: &ArrivalProcess,
+    cfg: ServeConfig,
+    fleet: FleetConfig,
+    plan: &FaultPlan,
+    mut sink: S,
+) -> facil_core::Result<ServeReport> {
     fleet.validate()?;
     plan.validate(fleet.devices)?;
     let times = arrival.sample_times(cfg.seed, dataset.queries.len());
-    let mut devices: Vec<DeviceSim> =
-        (0..fleet.devices).map(|d| DeviceSim::with_faults(sim, d, cfg, plan)).collect();
+    let track = if sink.enabled() { sink.track("serve", "fleet") } else { TrackId::default() };
+    let mut devices: Vec<DeviceSim<S>> = (0..fleet.devices)
+        .map(|d| DeviceSim::with_faults_traced(sim, d, cfg, plan, sink.clone()))
+        .collect();
     let mut drv = Driver {
         plan,
         routing: fleet.routing,
@@ -246,6 +296,8 @@ pub fn run_fleet_with_faults(
         fleet_sheds: Vec::new(),
         failovers: 0,
         retries: 0,
+        sink,
+        track,
     };
 
     for (i, (q, &t)) in dataset.queries.iter().zip(&times).enumerate() {
@@ -296,10 +348,19 @@ pub fn run_fleet_with_faults(
         .collect();
     sheds.sort_by_key(|s| s.id);
 
-    let ttft_ms = Summary::from_unsorted(requests.iter().map(|r| r.ttft_ms).collect());
-    let ttlt_ms = Summary::from_unsorted(requests.iter().map(|r| r.ttlt_ms).collect());
-    let tbt_ms =
-        Summary::from_unsorted(devices.iter().flat_map(|d| d.tbt_ms().iter().copied()).collect());
+    // Latency rollups go through the shared registry: one percentile
+    // definition for the whole workspace instead of a bespoke path here.
+    let mut reg = MetricsRegistry::new();
+    for r in &requests {
+        reg.observe("serve.ttft_ms", r.ttft_ms);
+        reg.observe("serve.ttlt_ms", r.ttlt_ms);
+    }
+    for d in &devices {
+        reg.observe_all("serve.tbt_ms", d.tbt_ms());
+    }
+    let ttft_ms = reg.summary("serve.ttft_ms");
+    let ttlt_ms = reg.summary("serve.ttlt_ms");
+    let tbt_ms = reg.summary("serve.tbt_ms");
     let by_reason = |reason: ShedReason| sheds.iter().filter(|s| s.reason == reason).count();
     let utilization = if span_s > 0.0 {
         devices.iter().map(DeviceSim::busy_s).sum::<f64>() / (span_s * devices.len() as f64)
@@ -600,6 +661,56 @@ mod tests {
         assert_eq!(r.shed_failed, 2);
         assert!(r.retries > 0, "retries were attempted before giving up");
         assert_eq!(r.availability, 0.0);
+    }
+
+    #[test]
+    fn tracing_is_observational_and_byte_identical() {
+        use facil_telemetry::RingSink;
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let d = Dataset::code_autocompletion_like(5, 48);
+        let arrival = ArrivalProcess::Poisson { qps: 8.0 };
+        let plan = FaultPlan {
+            events: vec![FaultEvent {
+                device: 0,
+                at_s: 0.5,
+                kind: FaultKind::Crash { recover_s: None },
+            }],
+            max_retries: 4,
+            retry_backoff_s: 0.05,
+            ..FaultPlan::none()
+        };
+        let fc = FleetConfig { devices: 3, routing: Routing::LeastLoaded };
+        let plain = run_fleet_with_faults(sim(), &d, &arrival, cfg(), fc, &plan).unwrap();
+        let traced = || {
+            let sink = Rc::new(RefCell::new(RingSink::new(1 << 16)));
+            let r = run_fleet_with_faults_traced(
+                sim(),
+                &d,
+                &arrival,
+                cfg(),
+                fc,
+                &plan,
+                Rc::clone(&sink),
+            )
+            .unwrap();
+            let json = sink.borrow().to_chrome_json();
+            (r, json)
+        };
+        let (a, ja) = traced();
+        let (b, jb) = traced();
+        assert_eq!(plain, a, "tracing must not change the schedule");
+        assert_eq!(plain.to_json(), a.to_json());
+        assert_eq!(a, b);
+        assert_eq!(ja, jb, "trace export must be byte-identical across repeats");
+        // The crash run exercises every scheduler track and event family.
+        for track in ["device0", "device1", "device2", "fleet"] {
+            assert!(ja.contains(&format!("\"name\":\"{track}\"")), "missing track {track}");
+        }
+        assert!(plain.failovers > 0, "the crash must evict in-flight work");
+        for event in ["admit", "batch", "crash", "failover", "retry"] {
+            assert!(ja.contains(&format!("\"name\":\"{event}\"")), "missing event {event}");
+        }
     }
 
     #[test]

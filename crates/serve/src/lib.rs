@@ -34,6 +34,18 @@
 //! with identical inputs produce byte-identical [`ServeReport::to_json`]
 //! output, and [`FaultPlan::none`] reproduces the fault-free schedule
 //! exactly.
+//!
+//! # Observability
+//!
+//! The scheduler is instrumented through [`facil_telemetry`]:
+//! [`run_fleet_with_faults_traced`] records admissions, sheds, batch
+//! formation, degraded-mode transitions, crashes/freezes, failovers and
+//! retries as trace events on per-device and fleet tracks (simulated
+//! nanoseconds, exportable as a Chrome/Perfetto trace), and
+//! [`ServeReport::register_into`] publishes the run's counters and latency
+//! histograms into a shared [`facil_telemetry::MetricsRegistry`]. Tracing
+//! is observational: a traced run's report is byte-identical to the
+//! untraced run's.
 
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
@@ -45,6 +57,9 @@ pub mod request;
 
 pub use device::{DeviceSim, EvictedReq, ServeConfig};
 pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultRates};
-pub use fleet::{run_fleet, run_fleet_with_faults, run_serving, FleetConfig, Routing};
+pub use fleet::{
+    run_fleet, run_fleet_with_faults, run_fleet_with_faults_traced, run_serving, FleetConfig,
+    Routing,
+};
 pub use metrics::{DeviceReport, QueueSample, ServeReport};
 pub use request::{RequestRecord, ShedReason, ShedRecord};

@@ -3,10 +3,15 @@
 //! per-device utilization, queue-depth and KV time series.
 //!
 //! Reports are serde-serializable (derive) and additionally carry a
-//! dependency-free [`ServeReport::to_json`] writer so the bench binaries
-//! can emit machine-readable output without a JSON crate in the workspace.
+//! dependency-free [`ServeReport::to_json`] writer (built on
+//! [`facil_telemetry::JsonWriter`]) so the bench binaries can emit
+//! machine-readable output without a JSON crate in the workspace, and a
+//! [`ServeReport::register_into`] hook that publishes the run's counters,
+//! gauges and latency histograms into a shared
+//! [`facil_telemetry::MetricsRegistry`].
 
 use facil_sim::{Strategy, Summary};
+use facil_telemetry::{JsonWriter, MetricsRegistry};
 use serde::{Deserialize, Serialize};
 
 use crate::fleet::Routing;
@@ -90,15 +95,15 @@ pub struct ServeReport {
     pub completed: usize,
     /// Requests shed (`offered == completed + shed`).
     pub shed: usize,
-    /// Sheds with reason [`ShedReason::QueueFull`].
+    /// Sheds with reason [`crate::ShedReason::QueueFull`].
     pub shed_queue_full: usize,
-    /// Sheds with reason [`ShedReason::Oversized`].
+    /// Sheds with reason [`crate::ShedReason::Oversized`].
     pub shed_oversized: usize,
-    /// Sheds with reason [`ShedReason::NoMemory`].
+    /// Sheds with reason [`crate::ShedReason::NoMemory`].
     pub shed_no_memory: usize,
-    /// Sheds with reason [`ShedReason::Failed`] (retry budget exhausted).
+    /// Sheds with reason [`crate::ShedReason::Failed`] (retry budget exhausted).
     pub shed_failed: usize,
-    /// Sheds with reason [`ShedReason::DeadlineExpired`].
+    /// Sheds with reason [`crate::ShedReason::DeadlineExpired`].
     pub shed_deadline: usize,
     /// Wall-clock span of the run, seconds.
     pub span_s: f64,
@@ -142,164 +147,142 @@ pub struct ServeReport {
     pub sheds: Vec<ShedRecord>,
 }
 
-/// Format a float as a JSON number (`null` for non-finite values, which
-/// JSON cannot represent).
-fn jnum(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v}")
-    } else {
-        "null".into()
+fn write_summary(w: &mut JsonWriter, s: &Summary) {
+    s.write_json(w);
+}
+
+fn write_device(w: &mut JsonWriter, d: &DeviceReport) {
+    w.begin_object()
+        .field_uint("device", d.device as u64)
+        .field_uint("completed", d.completed as u64)
+        .field_uint("shed", d.shed as u64)
+        .field_num("utilization", d.utilization)
+        .field_uint("queue_peak", d.queue_peak as u64)
+        .field_uint("kv_budget_bytes", d.kv_budget_bytes)
+        .field_uint("kv_peak_bytes", d.kv_peak_bytes)
+        .field_num("kv_compact_s", d.kv_compact_s)
+        .field_uint("kv_pages_direct", d.kv_pages_direct)
+        .field_uint("kv_pages_compacted", d.kv_pages_compacted)
+        .field_uint("kv_frames_moved", d.kv_frames_moved)
+        .field_uint("iterations", d.iterations)
+        .field_num("mean_batch", d.mean_batch)
+        .field_num("uptime", d.uptime)
+        .field_num("down_s", d.down_s)
+        .field_num("degraded_s", d.degraded_s)
+        .field_num("relayout_stall_s", d.relayout_stall_s)
+        .field_uint("crashes", d.crashes as u64)
+        .field_uint("evicted", d.evicted as u64)
+        .key("queue_depth")
+        .begin_array();
+    for p in &d.queue_depth {
+        w.begin_object()
+            .field_num("t_s", p.t_s)
+            .field_uint("queued", p.queued as u64)
+            .field_uint("active", p.active as u64)
+            .field_uint("kv_bytes", p.kv_bytes)
+            .end_object();
     }
+    w.end_array().end_object();
 }
 
-/// Minimal JSON string escaping (quotes, backslashes, control chars).
-fn jstr(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
+fn write_request(w: &mut JsonWriter, r: &RequestRecord) {
+    w.begin_object()
+        .field_uint("id", r.id)
+        .field_uint("device", r.device as u64)
+        .field_num("arrival_s", r.arrival_s)
+        .field_num("admitted_s", r.admitted_s)
+        .field_num("ttft_ms", r.ttft_ms)
+        .field_num("ttlt_ms", r.ttlt_ms)
+        .field_uint("prefill", r.prefill)
+        .field_uint("decode", r.decode)
+        .field_uint("retries", u64::from(r.retries))
+        .end_object();
 }
 
-fn jsummary(s: &Summary) -> String {
-    format!(
-        "{{\"count\":{},\"mean\":{},\"min\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"max\":{}}}",
-        s.count,
-        jnum(s.mean),
-        jnum(s.min),
-        jnum(s.p50),
-        jnum(s.p95),
-        jnum(s.p99),
-        jnum(s.max)
-    )
-}
-
-fn jdevice(d: &DeviceReport) -> String {
-    let series: Vec<String> = d
-        .queue_depth
-        .iter()
-        .map(|p| {
-            format!(
-                "{{\"t_s\":{},\"queued\":{},\"active\":{},\"kv_bytes\":{}}}",
-                jnum(p.t_s),
-                p.queued,
-                p.active,
-                p.kv_bytes
-            )
-        })
-        .collect();
-    format!(
-        "{{\"device\":{},\"completed\":{},\"shed\":{},\"utilization\":{},\"queue_peak\":{},\
-         \"kv_budget_bytes\":{},\"kv_peak_bytes\":{},\"kv_compact_s\":{},\
-         \"kv_pages_direct\":{},\"kv_pages_compacted\":{},\"kv_frames_moved\":{},\
-         \"iterations\":{},\"mean_batch\":{},\"uptime\":{},\"down_s\":{},\"degraded_s\":{},\
-         \"relayout_stall_s\":{},\"crashes\":{},\"evicted\":{},\"queue_depth\":[{}]}}",
-        d.device,
-        d.completed,
-        d.shed,
-        jnum(d.utilization),
-        d.queue_peak,
-        d.kv_budget_bytes,
-        d.kv_peak_bytes,
-        jnum(d.kv_compact_s),
-        d.kv_pages_direct,
-        d.kv_pages_compacted,
-        d.kv_frames_moved,
-        d.iterations,
-        jnum(d.mean_batch),
-        jnum(d.uptime),
-        jnum(d.down_s),
-        jnum(d.degraded_s),
-        jnum(d.relayout_stall_s),
-        d.crashes,
-        d.evicted,
-        series.join(",")
-    )
-}
-
-fn jrequest(r: &RequestRecord) -> String {
-    format!(
-        "{{\"id\":{},\"device\":{},\"arrival_s\":{},\"admitted_s\":{},\"ttft_ms\":{},\
-         \"ttlt_ms\":{},\"prefill\":{},\"decode\":{},\"retries\":{}}}",
-        r.id,
-        r.device,
-        jnum(r.arrival_s),
-        jnum(r.admitted_s),
-        jnum(r.ttft_ms),
-        jnum(r.ttlt_ms),
-        r.prefill,
-        r.decode,
-        r.retries
-    )
-}
-
-fn jshed(s: &ShedRecord) -> String {
-    format!(
-        "{{\"id\":{},\"device\":{},\"arrival_s\":{},\"reason\":{}}}",
-        s.id,
-        s.device,
-        jnum(s.arrival_s),
-        jstr(&s.reason.to_string())
-    )
+fn write_shed(w: &mut JsonWriter, s: &ShedRecord) {
+    w.begin_object()
+        .field_uint("id", s.id)
+        .field_uint("device", s.device as u64)
+        .field_num("arrival_s", s.arrival_s)
+        .field_str("reason", s.reason.as_str())
+        .end_object();
 }
 
 impl ServeReport {
     /// Serialize the report as a self-contained JSON object (one line).
     pub fn to_json(&self) -> String {
-        let devices: Vec<String> = self.devices.iter().map(jdevice).collect();
-        let requests: Vec<String> = self.requests.iter().map(jrequest).collect();
-        let sheds: Vec<String> = self.sheds.iter().map(jshed).collect();
-        format!(
-            "{{\"strategy\":{},\"arrival\":{},\"routing\":{},\"num_devices\":{},\
-             \"offered\":{},\"completed\":{},\"shed\":{},\"shed_queue_full\":{},\
-             \"shed_oversized\":{},\"shed_no_memory\":{},\"shed_failed\":{},\
-             \"shed_deadline\":{},\"span_s\":{},\"offered_qps\":{},\
-             \"goodput_qps\":{},\"utilization\":{},\"availability\":{},\"downtime_s\":{},\
-             \"degraded_s\":{},\"relayout_stall_s\":{},\"failovers\":{},\"retries\":{},\
-             \"deadline_violations\":{},\"deadline_violation_rate\":{},\
-             \"ttft_ms\":{},\"tbt_ms\":{},\
-             \"ttlt_ms\":{},\"devices\":[{}],\"requests\":[{}],\"sheds\":[{}]}}",
-            jstr(&self.strategy.to_string()),
-            jstr(&self.arrival),
-            jstr(&self.routing.to_string()),
-            self.num_devices,
-            self.offered,
-            self.completed,
-            self.shed,
-            self.shed_queue_full,
-            self.shed_oversized,
-            self.shed_no_memory,
-            self.shed_failed,
-            self.shed_deadline,
-            jnum(self.span_s),
-            jnum(self.offered_qps),
-            jnum(self.goodput_qps),
-            jnum(self.utilization),
-            jnum(self.availability),
-            jnum(self.downtime_s),
-            jnum(self.degraded_s),
-            jnum(self.relayout_stall_s),
-            self.failovers,
-            self.retries,
-            self.deadline_violations,
-            jnum(self.deadline_violation_rate),
-            jsummary(&self.ttft_ms),
-            jsummary(&self.tbt_ms),
-            jsummary(&self.ttlt_ms),
-            devices.join(","),
-            requests.join(","),
-            sheds.join(",")
-        )
+        let mut w = JsonWriter::with_capacity(4096);
+        w.begin_object()
+            .field_str("strategy", &self.strategy.to_string())
+            .field_str("arrival", &self.arrival)
+            .field_str("routing", &self.routing.to_string())
+            .field_uint("num_devices", self.num_devices as u64)
+            .field_uint("offered", self.offered as u64)
+            .field_uint("completed", self.completed as u64)
+            .field_uint("shed", self.shed as u64)
+            .field_uint("shed_queue_full", self.shed_queue_full as u64)
+            .field_uint("shed_oversized", self.shed_oversized as u64)
+            .field_uint("shed_no_memory", self.shed_no_memory as u64)
+            .field_uint("shed_failed", self.shed_failed as u64)
+            .field_uint("shed_deadline", self.shed_deadline as u64)
+            .field_num("span_s", self.span_s)
+            .field_num("offered_qps", self.offered_qps)
+            .field_num("goodput_qps", self.goodput_qps)
+            .field_num("utilization", self.utilization)
+            .field_num("availability", self.availability)
+            .field_num("downtime_s", self.downtime_s)
+            .field_num("degraded_s", self.degraded_s)
+            .field_num("relayout_stall_s", self.relayout_stall_s)
+            .field_uint("failovers", self.failovers as u64)
+            .field_uint("retries", self.retries as u64)
+            .field_uint("deadline_violations", self.deadline_violations as u64)
+            .field_num("deadline_violation_rate", self.deadline_violation_rate);
+        w.key("ttft_ms");
+        write_summary(&mut w, &self.ttft_ms);
+        w.key("tbt_ms");
+        write_summary(&mut w, &self.tbt_ms);
+        w.key("ttlt_ms");
+        write_summary(&mut w, &self.ttlt_ms);
+        w.key("devices").begin_array();
+        for d in &self.devices {
+            write_device(&mut w, d);
+        }
+        w.end_array().key("requests").begin_array();
+        for r in &self.requests {
+            write_request(&mut w, r);
+        }
+        w.end_array().key("sheds").begin_array();
+        for s in &self.sheds {
+            write_shed(&mut w, s);
+        }
+        w.end_array().end_object();
+        w.finish()
+    }
+
+    /// Publish the run into a shared [`MetricsRegistry`]: request counters
+    /// (offered/completed/shed, per-reason sheds, failovers, retries),
+    /// availability and utilization gauges, and per-request TTFT/TTLT
+    /// latency histograms under `serve.ttft_ms` / `serve.ttlt_ms`.
+    pub fn register_into(&self, reg: &mut MetricsRegistry) {
+        reg.inc("serve.offered", self.offered as u64);
+        reg.inc("serve.completed", self.completed as u64);
+        reg.inc("serve.shed", self.shed as u64);
+        reg.inc("serve.shed.queue_full", self.shed_queue_full as u64);
+        reg.inc("serve.shed.oversized", self.shed_oversized as u64);
+        reg.inc("serve.shed.no_memory", self.shed_no_memory as u64);
+        reg.inc("serve.shed.failed", self.shed_failed as u64);
+        reg.inc("serve.shed.deadline", self.shed_deadline as u64);
+        reg.inc("serve.failovers", self.failovers as u64);
+        reg.inc("serve.retries", self.retries as u64);
+        reg.inc("serve.deadline_violations", self.deadline_violations as u64);
+        reg.set_gauge("serve.goodput_qps", self.goodput_qps);
+        reg.set_gauge("serve.utilization", self.utilization);
+        reg.set_gauge("serve.availability", self.availability);
+        reg.set_gauge("serve.degraded_s", self.degraded_s);
+        for r in &self.requests {
+            reg.observe("serve.ttft_ms", r.ttft_ms);
+            reg.observe("serve.ttlt_ms", r.ttlt_ms);
+        }
     }
 }
 
@@ -411,15 +394,21 @@ mod tests {
     }
 
     #[test]
-    fn non_finite_floats_become_null() {
-        assert_eq!(jnum(f64::INFINITY), "null");
-        assert_eq!(jnum(f64::NAN), "null");
-        assert_eq!(jnum(1.5), "1.5");
-    }
-
-    #[test]
-    fn strings_are_escaped() {
-        assert_eq!(jstr("a\"b\\c"), "\"a\\\"b\\\\c\"");
-        assert_eq!(jstr("x\ny"), "\"x\\ny\"");
+    fn registry_mirrors_the_report() {
+        let r = sample_report();
+        let mut reg = MetricsRegistry::new();
+        r.register_into(&mut reg);
+        assert_eq!(reg.counter("serve.offered"), 2);
+        assert_eq!(reg.counter("serve.completed"), 1);
+        assert_eq!(reg.counter("serve.shed.queue_full"), 1);
+        assert_eq!(reg.counter("serve.failovers"), 1);
+        assert_eq!(reg.gauge("serve.availability"), Some(0.9));
+        let ttft = reg.summary("serve.ttft_ms");
+        assert_eq!(ttft.count, 1);
+        assert_eq!(ttft.mean, 10.0);
+        // Registering a second run accumulates instead of overwriting.
+        r.register_into(&mut reg);
+        assert_eq!(reg.counter("serve.offered"), 4);
+        assert_eq!(reg.summary("serve.ttlt_ms").count, 2);
     }
 }

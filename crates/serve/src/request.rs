@@ -26,16 +26,23 @@ pub enum ShedReason {
     DeadlineExpired,
 }
 
-impl std::fmt::Display for ShedReason {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let s = match self {
+impl ShedReason {
+    /// Stable kebab-case name of the reason (JSON reports and trace-event
+    /// arguments share this spelling).
+    pub fn as_str(&self) -> &'static str {
+        match self {
             ShedReason::QueueFull => "queue-full",
             ShedReason::Oversized => "oversized",
             ShedReason::NoMemory => "no-memory",
             ShedReason::Failed => "failed",
             ShedReason::DeadlineExpired => "deadline-expired",
-        };
-        write!(f, "{s}")
+        }
+    }
+}
+
+impl std::fmt::Display for ShedReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.as_str())
     }
 }
 

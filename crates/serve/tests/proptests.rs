@@ -2,14 +2,17 @@
 //! determinism invariants.
 
 use facil_serve::{
-    run_fleet, run_fleet_with_faults, run_serving, FaultPlan, FaultRates, FleetConfig, Routing,
-    ServeConfig,
+    run_fleet, run_fleet_with_faults, run_fleet_with_faults_traced, run_serving, FaultPlan,
+    FaultRates, FleetConfig, Routing, ServeConfig,
 };
 use facil_sim::InferenceSim;
 use facil_soc::{Platform, PlatformId};
+use facil_telemetry::RingSink;
 use facil_workloads::{ArrivalProcess, Dataset};
 use proptest::prelude::*;
+use std::cell::RefCell;
 use std::collections::BTreeSet;
+use std::rc::Rc;
 use std::sync::OnceLock;
 
 /// One shared simulator (construction runs a DRAM simulation; reuse it).
@@ -242,6 +245,47 @@ proptest! {
         let b = run_fleet_with_faults(sim(), &d, &arrival, cfg, fleet, &plan).unwrap();
         prop_assert_eq!(&a, &b);
         prop_assert_eq!(a.to_json(), b.to_json());
+    }
+
+    /// Tracing is observational: for any seed and fault plan the traced
+    /// run's report equals the untraced run's, and the exported
+    /// Chrome-trace JSON is byte-identical across repeats.
+    #[test]
+    fn tracing_never_changes_the_schedule(
+        seed in 0u64..1_000,
+        fault_seed in 0u64..1_000,
+        n in 1usize..16,
+        qps in 0.5f64..8.0,
+        devices in 1usize..4,
+    ) {
+        let d = Dataset::code_autocompletion_like(seed, n);
+        let cfg = ServeConfig { seed, fmfi: 0.0, ..ServeConfig::default() };
+        let rates = FaultRates {
+            crash_per_s: 0.2,
+            pim_per_s: 0.2,
+            kv_per_s: 0.2,
+            mean_outage_s: 0.4,
+        };
+        let mut plan = FaultPlan::random(fault_seed, devices, 10.0, rates);
+        plan.max_retries = 2;
+        plan.retry_backoff_s = 0.05;
+        let arrival = ArrivalProcess::Poisson { qps };
+        let fleet = FleetConfig { devices, routing: Routing::LeastLoaded };
+        let plain = run_fleet_with_faults(sim(), &d, &arrival, cfg, fleet, &plan).unwrap();
+        let traced = || {
+            let sink = Rc::new(RefCell::new(RingSink::new(1 << 15)));
+            let r = run_fleet_with_faults_traced(
+                sim(), &d, &arrival, cfg, fleet, &plan, Rc::clone(&sink),
+            ).unwrap();
+            let json = sink.borrow().to_chrome_json();
+            (r, json)
+        };
+        let (a, ja) = traced();
+        let (b, jb) = traced();
+        prop_assert_eq!(&plain, &a, "tracing changed the schedule");
+        prop_assert_eq!(plain.to_json(), a.to_json());
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(ja, jb, "trace export must be deterministic");
     }
 
     /// Zero-fault regression: injecting an empty fault plan reproduces the

@@ -13,6 +13,7 @@
 //!   its processing units.
 
 use facil_dram::DramSpec;
+use facil_telemetry::{ArgValue, NullSink, TraceSink, TrackId};
 use serde::{Deserialize, Serialize};
 
 use crate::rng::XorShift64Star;
@@ -86,6 +87,18 @@ struct PimRank {
 
 /// Run the slot-level co-schedule simulation for one channel of `spec`.
 pub fn run_cosched(spec: &DramSpec, cfg: CoschedConfig) -> CoschedResult {
+    run_cosched_traced(spec, cfg, &mut NullSink)
+}
+
+/// [`run_cosched`] with phase-transition tracing: each PIM weight row
+/// becomes a span on its rank's `sim` track (`cosched/rank{r}`), and each
+/// SoC row eviction an instant event on the same track. Timestamps are
+/// simulated nanoseconds; the result is identical to the untraced run.
+pub fn run_cosched_traced<S: TraceSink>(
+    spec: &DramSpec,
+    cfg: CoschedConfig,
+    sink: &mut S,
+) -> CoschedResult {
     let tm = &spec.timing;
     let columns = spec.topology.columns();
     let banks = spec.topology.banks();
@@ -103,6 +116,14 @@ pub fn run_cosched(spec: &DramSpec, cfg: CoschedConfig) -> CoschedResult {
             blocked_until: 0,
         })
         .collect();
+
+    let rank_tracks: Vec<TrackId> = if sink.enabled() {
+        (0..ranks).map(|r| sink.track("sim", &format!("cosched/rank{r}"))).collect()
+    } else {
+        vec![TrackId::default(); ranks]
+    };
+    // Cycle the current weight row started MAC-ing, per rank.
+    let mut row_start: Vec<Option<u64>> = vec![None; ranks];
 
     let mut rng = XorShift64Star::new(cfg.seed);
     let mut soc_queue: std::collections::VecDeque<(u64, usize, u64)> = Default::default();
@@ -135,7 +156,7 @@ pub fn run_cosched(spec: &DramSpec, cfg: CoschedConfig) -> CoschedResult {
 
         // Round-robin fairness between the two request classes.
         let issue_soc = soc_ready && (prefer_soc || pim_ready.is_none());
-        if let Some((arrival, rank, _bank)) = if issue_soc { soc_queue.pop_front() } else { None } {
+        if let Some((arrival, rank, bank)) = if issue_soc { soc_queue.pop_front() } else { None } {
             // Service: ACT+RD (its own bank, conservatively always a miss
             // against the PIM's working set).
             let mut service = tm.rcd + tm.cl + tm.burst_cycles;
@@ -146,6 +167,12 @@ pub fn run_cosched(spec: &DramSpec, cfg: CoschedConfig) -> CoschedResult {
                 service += tm.rp;
                 pim[rank].blocked_until = t.max(pim[rank].blocked_until) + tm.rp + tm.rcd;
                 reopens += 1;
+                sink.instant(
+                    rank_tracks[rank],
+                    "soc-evict",
+                    spec.cycles_to_ns(t),
+                    &[("bank", ArgValue::U64(bank))],
+                );
             }
             soc_latency_sum += (t - arrival) + service;
             soc_served += 1;
@@ -155,10 +182,22 @@ pub fn run_cosched(spec: &DramSpec, cfg: CoschedConfig) -> CoschedResult {
             pim[r].next_mac = t + cfg.mac_interval;
             pim[r].macs_in_row += 1;
             macs_issued += 1;
+            if row_start[r].is_none() {
+                row_start[r] = Some(t);
+            }
             if pim[r].macs_in_row >= columns {
                 // End of DRAM row: PRE + ACT of the next weight row.
                 pim[r].macs_in_row = 0;
                 pim[r].blocked_until = t + row_turnaround;
+                if let Some(start) = row_start[r].take() {
+                    sink.complete(
+                        rank_tracks[r],
+                        "weight-row",
+                        spec.cycles_to_ns(start),
+                        spec.cycles_to_ns(t + row_turnaround - start),
+                        &[("macs", ArgValue::U64(columns))],
+                    );
+                }
             }
             slot_free_at = t + 1;
             prefer_soc = true;
@@ -255,6 +294,25 @@ mod tests {
         assert_eq!(a, b);
         let c = run_cosched(&s, CoschedConfig { seed: 99, ..Default::default() });
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn tracing_does_not_change_the_result() {
+        use facil_telemetry::RingSink;
+
+        let s = spec();
+        // Light enough that weight rows still complete, heavy enough that
+        // evictions occur.
+        let cfg = CoschedConfig { soc_rate: 0.05, ..Default::default() };
+        let plain = run_cosched(&s, cfg);
+        let mut sink = RingSink::new(1 << 16);
+        let traced = run_cosched_traced(&s, cfg, &mut sink);
+        assert_eq!(plain, traced);
+        assert!(sink.events().any(|e| e.name == "weight-row"));
+        assert!(sink.events().any(|e| e.name == "soc-evict"));
+        let json = sink.to_chrome_json();
+        assert!(json.contains(r#""name":"cosched/rank0""#));
+        assert!(json.contains(r#""name":"cosched/rank1""#));
     }
 
     #[test]

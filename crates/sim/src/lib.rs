@@ -34,9 +34,12 @@ pub mod metrics;
 pub mod relayout;
 pub mod rng;
 pub mod serving;
-pub mod stats;
+/// Latency statistics — moved to [`facil_telemetry::stats`] so the whole
+/// workspace shares one percentile definition; re-exported here for the
+/// existing `facil_sim::stats` paths.
+pub use facil_telemetry::stats;
 
-pub use cosched::{run_cosched, CoschedConfig, CoschedPolicy, CoschedResult};
+pub use cosched::{run_cosched, run_cosched_traced, CoschedConfig, CoschedPolicy, CoschedResult};
 pub use energy::{decode_energy_per_token, TokenEnergy};
 pub use engine::{InferenceSim, QueryResult, Strategy};
 pub use metrics::{geomean_speedup, run_dataset, DatasetRun};

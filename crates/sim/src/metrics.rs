@@ -1,6 +1,7 @@
 //! Dataset-level evaluation helpers: per-query speedups and geometric means
 //! (the aggregation the paper uses for Figs. 13-16).
 
+use facil_telemetry::MetricsRegistry;
 use facil_workloads::{geomean, Dataset};
 use serde::{Deserialize, Serialize};
 
@@ -24,6 +25,18 @@ impl DatasetRun {
     /// Geometric-mean TTLT over the dataset, ns.
     pub fn geomean_ttlt_ns(&self) -> f64 {
         geomean(self.results.iter().map(|r| r.ttlt_ns))
+    }
+
+    /// Register the run into `reg`: per-query TTFT/TTLT histograms under
+    /// `sim.ttft_ns` / `sim.ttlt_ns`, a query counter, and the
+    /// PIM-prefill-fraction gauge.
+    pub fn register_into(&self, reg: &mut MetricsRegistry) {
+        reg.inc("sim.queries", self.results.len() as u64);
+        for r in &self.results {
+            reg.observe("sim.ttft_ns", r.ttft_ns);
+            reg.observe("sim.ttlt_ns", r.ttlt_ns);
+        }
+        reg.set_gauge("sim.pim_prefill_fraction", self.pim_prefill_fraction());
     }
 
     /// Fraction of queries whose prefill was offloaded to the PIM.
@@ -98,5 +111,20 @@ mod tests {
         assert!(run.geomean_ttft_ns() > 0.0);
         assert!(run.geomean_ttlt_ns() > run.geomean_ttft_ns());
         assert!((0.0..=1.0).contains(&run.pim_prefill_fraction()));
+    }
+
+    #[test]
+    fn registry_carries_latency_histograms() {
+        let sim = InferenceSim::new(Platform::get(PlatformId::Iphone)).unwrap();
+        let data = Dataset::code_autocompletion_like(1, 10);
+        let run = run_dataset(&sim, Strategy::FacilDynamic, &data);
+        let mut reg = MetricsRegistry::new();
+        run.register_into(&mut reg);
+        assert_eq!(reg.counter("sim.queries"), 10);
+        let ttft = reg.summary("sim.ttft_ns");
+        assert_eq!(ttft.count, 10);
+        assert!(ttft.min > 0.0);
+        assert!(reg.summary("sim.ttlt_ns").mean > ttft.mean);
+        assert_eq!(reg.gauge("sim.pim_prefill_fraction"), Some(run.pim_prefill_fraction()));
     }
 }

@@ -1,0 +1,48 @@
+//! # facil-telemetry
+//!
+//! Unified observability substrate for the FACIL (HPCA 2025) reproduction.
+//! Every other crate in the workspace reports through this one:
+//!
+//! * [`trace`] — structured spans and instant events carrying **simulated**
+//!   nanoseconds (never wall-clock), recorded into a preallocated ring
+//!   buffer behind the [`TraceSink`] trait. The no-op [`NullSink`]
+//!   monomorphizes to nothing, so instrumented hot paths cost zero when
+//!   tracing is off, and [`RingSink::to_chrome_json`] exports a
+//!   Chrome/Perfetto `trace_event` file openable in `ui.perfetto.dev`;
+//! * [`metrics`] — a [`MetricsRegistry`] of counters, gauges and
+//!   histograms (histograms summarize through [`stats::Summary`]) that the
+//!   DRAM, sim and serve layers register their counters into;
+//! * [`json`] — the workspace's single hand-rolled streaming
+//!   [`JsonWriter`] (no JSON crate in the dependency tree), shared by the
+//!   trace exporter, the metrics registry, `facil_serve` reports and the
+//!   bench binaries;
+//! * [`manifest`] — a [`RunManifest`] emitter so every bench binary writes
+//!   one schema-versioned JSONL record (config, seed, results);
+//! * [`stats`] — nearest-rank percentiles and [`stats::Summary`]
+//!   aggregates (moved here from `facil_sim::stats`, which re-exports
+//!   them).
+//!
+//! ```
+//! use facil_telemetry::{ArgValue, RingSink, TraceSink};
+//!
+//! let mut sink = RingSink::new(1024);
+//! let track = sink.track("dram", "ch0/r0/b0");
+//! sink.complete(track, "ACT", 0.0, 18.0, &[("row", ArgValue::U64(7))]);
+//! let json = sink.to_chrome_json();
+//! assert!(json.contains("\"traceEvents\""));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod json;
+pub mod manifest;
+pub mod metrics;
+pub mod stats;
+pub mod trace;
+
+pub use json::JsonWriter;
+pub use manifest::{RunManifest, MANIFEST_SCHEMA_VERSION};
+pub use metrics::MetricsRegistry;
+pub use stats::{percentile, Summary};
+pub use trace::{Arg, ArgValue, EventKind, NullSink, RingSink, TraceEvent, TraceSink, TrackId};

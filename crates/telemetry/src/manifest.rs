@@ -1,0 +1,187 @@
+//! Run manifests: one schema-versioned JSONL record per bench run.
+//!
+//! Every bench binary emits a [`RunManifest`] describing what ran (binary
+//! name, seed, config knobs) and what came out (headline results), so a
+//! directory of runs can be joined/diffed without re-parsing fifteen
+//! bespoke output formats. Records serialize through the shared
+//! [`JsonWriter`] and are deterministic: fields keep insertion order and
+//! the same inputs yield byte-identical lines.
+
+use crate::json::{escaped, number, JsonWriter};
+
+/// Version stamped into every manifest line; bump when the record shape
+/// changes incompatibly.
+pub const MANIFEST_SCHEMA_VERSION: u64 = 1;
+
+/// Ordered key → pre-serialized JSON fragment map with upsert semantics.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct Fields(Vec<(String, String)>);
+
+impl Fields {
+    fn upsert(&mut self, key: &str, fragment: String) {
+        match self.0.iter_mut().find(|(k, _)| k == key) {
+            Some((_, v)) => *v = fragment,
+            None => self.0.push((key.to_string(), fragment)),
+        }
+    }
+
+    fn write_into(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        for (k, fragment) in &self.0 {
+            w.field_raw(k, fragment);
+        }
+        w.end_object();
+    }
+}
+
+/// Builder for one run record: `{"schema_version":..,"bench":..,"seed":..,
+/// "config":{..},"results":{..}}`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunManifest {
+    bench: String,
+    seed: u64,
+    config: Fields,
+    results: Fields,
+}
+
+impl RunManifest {
+    /// Manifest for the bench binary `bench` run with `seed`.
+    pub fn new(bench: &str, seed: u64) -> RunManifest {
+        RunManifest {
+            bench: bench.to_string(),
+            seed,
+            config: Fields::default(),
+            results: Fields::default(),
+        }
+    }
+
+    /// Record a string config knob (replaces an existing key).
+    pub fn config_str(&mut self, key: &str, value: &str) -> &mut Self {
+        self.config.upsert(key, escaped(value));
+        self
+    }
+
+    /// Record an unsigned-integer config knob.
+    pub fn config_uint(&mut self, key: &str, value: u64) -> &mut Self {
+        self.config.upsert(key, value.to_string());
+        self
+    }
+
+    /// Record a float config knob (`null` when non-finite).
+    pub fn config_num(&mut self, key: &str, value: f64) -> &mut Self {
+        self.config.upsert(key, number(value));
+        self
+    }
+
+    /// Record a boolean config knob.
+    pub fn config_bool(&mut self, key: &str, value: bool) -> &mut Self {
+        self.config.upsert(key, if value { "true" } else { "false" }.to_string());
+        self
+    }
+
+    /// Record a pre-serialized JSON fragment config knob (e.g. a swept
+    /// parameter list).
+    pub fn config_raw(&mut self, key: &str, fragment: &str) -> &mut Self {
+        self.config.upsert(key, fragment.to_string());
+        self
+    }
+
+    /// Record a string result (replaces an existing key).
+    pub fn result_str(&mut self, key: &str, value: &str) -> &mut Self {
+        self.results.upsert(key, escaped(value));
+        self
+    }
+
+    /// Record an unsigned-integer result.
+    pub fn result_uint(&mut self, key: &str, value: u64) -> &mut Self {
+        self.results.upsert(key, value.to_string());
+        self
+    }
+
+    /// Record a float result (`null` when non-finite).
+    pub fn result_num(&mut self, key: &str, value: f64) -> &mut Self {
+        self.results.upsert(key, number(value));
+        self
+    }
+
+    /// Record a pre-serialized JSON fragment result (e.g. a summary
+    /// object written by [`crate::stats::Summary::write_json`]).
+    pub fn result_raw(&mut self, key: &str, fragment: &str) -> &mut Self {
+        self.results.upsert(key, fragment.to_string());
+        self
+    }
+
+    /// Serialize as one JSONL line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut w = JsonWriter::with_capacity(256);
+        w.begin_object()
+            .field_uint("schema_version", MANIFEST_SCHEMA_VERSION)
+            .field_str("bench", &self.bench)
+            .field_uint("seed", self.seed)
+            .key("config");
+        self.config.write_into(&mut w);
+        w.key("results");
+        self.results.write_into(&mut w);
+        w.end_object();
+        let line = w.finish();
+        debug_assert!(!line.contains('\n'), "manifest line must be newline-free");
+        line
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_carries_schema_version_and_sections() {
+        let mut m = RunManifest::new("serving_v2", 7);
+        m.config_str("experiment", "fleet").config_uint("devices", 4).config_bool("smoke", true);
+        m.result_num("goodput_qps", 12.5).result_uint("completed", 96);
+        assert_eq!(
+            m.to_json_line(),
+            r#"{"schema_version":1,"bench":"serving_v2","seed":7,"config":{"experiment":"fleet","devices":4,"smoke":true},"results":{"goodput_qps":12.5,"completed":96}}"#
+        );
+    }
+
+    #[test]
+    fn upsert_replaces_in_place_keeping_order() {
+        let mut m = RunManifest::new("chaos", 9);
+        m.config_uint("n", 16).config_str("mode", "smoke");
+        m.config_uint("n", 48);
+        let line = m.to_json_line();
+        assert!(line.contains(r#""config":{"n":48,"mode":"smoke"}"#));
+        assert_eq!(line.matches("\"n\":").count(), 1);
+    }
+
+    #[test]
+    fn values_are_escaped_and_non_finite_nulled() {
+        let mut m = RunManifest::new("fig\"x", 0);
+        m.config_str("path", "a\\b\nc").result_num("rate", f64::NAN);
+        let line = m.to_json_line();
+        assert!(line.contains(r#""bench":"fig\"x""#));
+        assert!(line.contains(r#""path":"a\\b\nc""#));
+        assert!(line.contains(r#""rate":null"#));
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn raw_results_splice_unchanged() {
+        let mut m = RunManifest::new("bench", 1);
+        m.config_raw("prefills", "[8,16,32]");
+        m.result_raw("ttft_ms", r#"{"count":2,"mean":1.5}"#);
+        let line = m.to_json_line();
+        assert!(line.contains(r#""prefills":[8,16,32]"#));
+        assert!(line.contains(r#""ttft_ms":{"count":2,"mean":1.5}"#));
+    }
+
+    #[test]
+    fn same_inputs_are_byte_identical() {
+        let build = || {
+            let mut m = RunManifest::new("table1", 42);
+            m.config_str("platform", "lp5x").result_num("speedup", 2.5);
+            m.to_json_line()
+        };
+        assert_eq!(build(), build());
+    }
+}

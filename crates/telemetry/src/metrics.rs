@@ -1,0 +1,182 @@
+//! Metrics registry: named counters, gauges, and histograms.
+//!
+//! The DRAM, sim and serve layers register their counters here instead of
+//! each carrying a bespoke aggregate-and-merge path. Names are dotted
+//! (`dram.row_hits`, `serve.ttft_ms`); storage is `BTreeMap` so every
+//! serialization and merge is deterministic. Histograms keep raw samples
+//! and summarize through [`Summary`], matching the nearest-rank
+//! percentiles reported everywhere else in the workspace.
+
+use std::collections::BTreeMap;
+
+use crate::json::JsonWriter;
+use crate::stats::Summary;
+
+/// Registry of named counters, gauges, and histograms.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Vec<f64>>,
+}
+
+impl MetricsRegistry {
+    /// Empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Add `by` to the counter `name` (created at zero).
+    pub fn inc(&mut self, name: &str, by: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += by;
+    }
+
+    /// Set the gauge `name` to `value` (last write wins).
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Append one sample to the histogram `name`.
+    pub fn observe(&mut self, name: &str, sample: f64) {
+        self.histograms.entry(name.to_string()).or_default().push(sample);
+    }
+
+    /// Append many samples to the histogram `name`.
+    pub fn observe_all(&mut self, name: &str, samples: &[f64]) {
+        self.histograms.entry(name.to_string()).or_default().extend_from_slice(samples);
+    }
+
+    /// Current value of a counter (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current value of a gauge (`None` when never set).
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Number of samples in a histogram (0 when absent).
+    pub fn samples(&self, name: &str) -> usize {
+        self.histograms.get(name).map_or(0, Vec::len)
+    }
+
+    /// Percentile summary of a histogram (the all-zero [`Summary`] when
+    /// absent or empty).
+    pub fn summary(&self, name: &str) -> Summary {
+        match self.histograms.get(name) {
+            Some(samples) => Summary::from_unsorted(samples.clone()),
+            None => Summary::empty(),
+        }
+    }
+
+    /// Fold `other` into `self`: counters add, gauges take `other`'s value,
+    /// histograms concatenate. This is the one merge path shared by
+    /// per-device / per-channel stats that previously each hand-rolled it.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (name, v) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, v) in &other.gauges {
+            self.gauges.insert(name.clone(), *v);
+        }
+        for (name, samples) in &other.histograms {
+            self.histograms.entry(name.clone()).or_default().extend_from_slice(samples);
+        }
+    }
+
+    /// Write the registry as a JSON object value on `w`: counters and
+    /// gauges verbatim, histograms as their summaries.
+    pub fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_object().key("counters").begin_object();
+        for (name, v) in &self.counters {
+            w.field_uint(name, *v);
+        }
+        w.end_object().key("gauges").begin_object();
+        for (name, v) in &self.gauges {
+            w.field_num(name, *v);
+        }
+        w.end_object().key("histograms").begin_object();
+        for name in self.histograms.keys() {
+            w.key(name);
+            self.summary(name).write_json(w);
+        }
+        w.end_object().end_object();
+    }
+
+    /// The registry as a standalone JSON document.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        self.write_json(&mut w);
+        w.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_default_to_zero() {
+        let mut r = MetricsRegistry::new();
+        assert_eq!(r.counter("dram.reads"), 0);
+        r.inc("dram.reads", 3);
+        r.inc("dram.reads", 4);
+        assert_eq!(r.counter("dram.reads"), 7);
+    }
+
+    #[test]
+    fn gauges_last_write_wins() {
+        let mut r = MetricsRegistry::new();
+        assert_eq!(r.gauge("serve.utilization"), None);
+        r.set_gauge("serve.utilization", 0.25);
+        r.set_gauge("serve.utilization", 0.75);
+        assert_eq!(r.gauge("serve.utilization"), Some(0.75));
+    }
+
+    #[test]
+    fn histograms_summarize_through_summary() {
+        let mut r = MetricsRegistry::new();
+        assert_eq!(r.summary("serve.ttft_ms"), Summary::empty());
+        r.observe("serve.ttft_ms", 3.0);
+        r.observe_all("serve.ttft_ms", &[1.0, 2.0, 4.0]);
+        let s = r.summary("serve.ttft_ms");
+        assert_eq!(s.count, 4);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.p50, 2.0);
+    }
+
+    #[test]
+    fn merge_adds_counters_and_concatenates_histograms() {
+        let mut a = MetricsRegistry::new();
+        a.inc("reads", 2);
+        a.observe("lat", 1.0);
+        a.set_gauge("util", 0.1);
+        let mut b = MetricsRegistry::new();
+        b.inc("reads", 5);
+        b.inc("writes", 1);
+        b.observe("lat", 3.0);
+        b.set_gauge("util", 0.9);
+        a.merge(&b);
+        assert_eq!(a.counter("reads"), 7);
+        assert_eq!(a.counter("writes"), 1);
+        assert_eq!(a.samples("lat"), 2);
+        assert_eq!(a.summary("lat").max, 3.0);
+        assert_eq!(a.gauge("util"), Some(0.9));
+    }
+
+    #[test]
+    fn json_is_deterministic_and_sorted_by_name() {
+        let mut r = MetricsRegistry::new();
+        r.inc("z.last", 1);
+        r.inc("a.first", 2);
+        r.set_gauge("m.mid", 0.5);
+        r.observe("h.lat", 2.0);
+        let j = r.to_json();
+        assert_eq!(j, r.to_json());
+        assert!(j.starts_with(r#"{"counters":{"a.first":2,"z.last":1}"#));
+        assert!(j.contains(r#""gauges":{"m.mid":0.5}"#));
+        assert!(j.contains(r#""histograms":{"h.lat":{"count":1,"#));
+    }
+}

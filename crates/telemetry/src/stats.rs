@@ -1,14 +1,17 @@
 //! Shared latency statistics: nearest-rank percentiles and summary
-//! aggregates used by the serving paths (`serving`, `facil-serve`,
-//! `facil-bench`).
+//! aggregates used by the serving paths (`facil_sim::serving`,
+//! `facil-serve`, `facil-bench`) and by [`crate::metrics`] histograms.
 //!
-//! The previous per-module helper computed `((n - 1) * p).round()`, which
-//! over-/under-shoots the nearest-rank definition for small samples (for
-//! ten samples it returns the 6th value as the median instead of the 5th).
-//! This module implements the standard nearest-rank estimator
-//! `idx = ceil(p * n) - 1` and is unit-tested against known fixtures.
+//! Moved here from `facil_sim::stats` (which re-exports this module) so
+//! the lower layers can depend on it without a cycle. The estimator is the
+//! standard nearest-rank definition `idx = ceil(p * n) - 1`; the previous
+//! per-module helper computed `((n - 1) * p).round()`, which over-/
+//! under-shoots for small samples (for ten samples it returns the 6th
+//! value as the median instead of the 5th).
 
 use serde::{Deserialize, Serialize};
+
+use crate::json::JsonWriter;
 
 /// Nearest-rank percentile of an ascending-sorted slice: the smallest value
 /// such that at least `p * 100`% of the samples are `<=` it
@@ -43,6 +46,11 @@ pub struct Summary {
 }
 
 impl Summary {
+    /// The all-zero summary of an empty sample.
+    pub fn empty() -> Summary {
+        Summary::from_sorted(&[])
+    }
+
     /// Summarize a sample (need not be sorted; NaNs are not allowed).
     ///
     /// # Panics
@@ -75,6 +83,19 @@ impl Summary {
             p99: percentile(sorted, 0.99),
             max: sorted[sorted.len() - 1],
         }
+    }
+
+    /// Write the summary as a JSON object value on `w`.
+    pub fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_object()
+            .field_uint("count", self.count as u64)
+            .field_num("mean", self.mean)
+            .field_num("min", self.min)
+            .field_num("p50", self.p50)
+            .field_num("p95", self.p95)
+            .field_num("p99", self.p99)
+            .field_num("max", self.max);
+        w.end_object();
     }
 }
 
@@ -121,6 +142,7 @@ mod tests {
         assert_eq!(s.count, 0);
         assert_eq!(s.p95, 0.0);
         assert_eq!(s.mean, 0.0);
+        assert_eq!(s, Summary::empty());
     }
 
     #[test]
@@ -134,5 +156,14 @@ mod tests {
         assert!((s.mean - 2.5).abs() < 1e-12);
         // Percentiles are monotone in p.
         assert!(s.p50 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max);
+    }
+
+    #[test]
+    fn summary_serializes_all_fields() {
+        let s = Summary::from_unsorted(vec![1.0, 2.0]);
+        let mut w = JsonWriter::new();
+        s.write_json(&mut w);
+        let j = w.finish();
+        assert_eq!(j, r#"{"count":2,"mean":1.5,"min":1,"p50":1,"p95":2,"p99":2,"max":2}"#);
     }
 }

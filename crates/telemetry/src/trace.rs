@@ -1,0 +1,454 @@
+//! Structured trace events in **simulated** time.
+//!
+//! Instrumented code records spans ([`EventKind::Complete`]) and point
+//! events ([`EventKind::Instant`]) against named tracks through the
+//! [`TraceSink`] trait. Timestamps are simulated nanoseconds taken from the
+//! model clocks — wall-clock time never appears in a trace, so output is
+//! reproducible byte-for-byte per seed.
+//!
+//! Two sinks ship with the crate:
+//!
+//! * [`NullSink`] — zero-sized, `enabled()` is `false`, every call is a
+//!   no-op the optimizer deletes. Generic instrumentation over
+//!   `S: TraceSink` monomorphizes to the untraced code when `S = NullSink`.
+//! * [`RingSink`] — preallocated ring buffer of [`TraceEvent`]s (events
+//!   are `Copy`; recording never allocates once the buffer is warm, and
+//!   the oldest events are overwritten when the ring fills). Export with
+//!   [`RingSink::to_chrome_json`] and open the file in `ui.perfetto.dev`.
+//!
+//! Event names are `&'static str` so the hot path stays allocation-free;
+//! dynamic values (row ids, request ids, queue depths) travel in the
+//! fixed four-slot argument array instead.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use crate::json::JsonWriter;
+
+/// Opaque handle to a named track (one Perfetto timeline row).
+///
+/// The default id points at an anonymous track; [`NullSink::track`] returns
+/// it so disabled call sites need no track bookkeeping.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TrackId(pub u32);
+
+/// Value of one event argument.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArgValue {
+    /// Unsigned integer (row/column ids, request ids, counts).
+    U64(u64),
+    /// Float (rates, fractions, simulated seconds).
+    F64(f64),
+    /// Static string (enum-like labels such as a shed reason).
+    Str(&'static str),
+}
+
+/// One key/value argument attached to an event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Arg {
+    /// Argument name (shown in the Perfetto detail pane).
+    pub key: &'static str,
+    /// Argument value.
+    pub value: ArgValue,
+}
+
+/// The two event shapes the exporter understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A span with a duration (Chrome `ph:"X"`).
+    Complete,
+    /// A point-in-time marker (Chrome `ph:"i"`).
+    Instant,
+}
+
+/// Maximum arguments carried inline by one event.
+pub const MAX_ARGS: usize = 4;
+
+/// One recorded event. `Copy` and fixed-size so the ring buffer stores it
+/// without indirection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// Track the event belongs to.
+    pub track: TrackId,
+    /// Event name (span or marker label).
+    pub name: &'static str,
+    /// Span or instant.
+    pub kind: EventKind,
+    /// Start time in simulated nanoseconds.
+    pub ts_ns: f64,
+    /// Duration in simulated nanoseconds (0 for instants).
+    pub dur_ns: f64,
+    /// Inline arguments; unused slots are `None`.
+    pub args: [Option<Arg>; MAX_ARGS],
+}
+
+impl TraceEvent {
+    /// Build an event from an argument slice (at most [`MAX_ARGS`] entries;
+    /// extra arguments are dropped).
+    pub fn new(
+        track: TrackId,
+        name: &'static str,
+        kind: EventKind,
+        ts_ns: f64,
+        dur_ns: f64,
+        args: &[(&'static str, ArgValue)],
+    ) -> TraceEvent {
+        debug_assert!(args.len() <= MAX_ARGS, "event {name} carries more than {MAX_ARGS} args");
+        let mut packed = [None; MAX_ARGS];
+        for (slot, &(key, value)) in packed.iter_mut().zip(args.iter()) {
+            *slot = Some(Arg { key, value });
+        }
+        TraceEvent { track, name, kind, ts_ns, dur_ns, args: packed }
+    }
+}
+
+/// Destination for trace events.
+///
+/// Instrumented code is generic over `S: TraceSink` and calls the provided
+/// [`TraceSink::complete`] / [`TraceSink::instant`] helpers, which check
+/// [`TraceSink::enabled`] first. With [`NullSink`] the check is a constant
+/// `false`, so the whole call — including argument construction — folds
+/// away; callers must guard any *additional* work (e.g. `format!` for
+/// track names) behind `enabled()` themselves.
+pub trait TraceSink {
+    /// Whether events are being kept. Constant per sink type in practice.
+    fn enabled(&self) -> bool;
+
+    /// Register (or look up) the track named `name` under the process
+    /// group `process`. Same `(process, name)` pair returns the same id.
+    fn track(&mut self, process: &str, name: &str) -> TrackId;
+
+    /// Store one event. Called by the provided helpers only when
+    /// [`TraceSink::enabled`] is true.
+    fn record(&mut self, event: TraceEvent);
+
+    /// Record a span of `dur_ns` starting at `ts_ns` (simulated ns).
+    fn complete(
+        &mut self,
+        track: TrackId,
+        name: &'static str,
+        ts_ns: f64,
+        dur_ns: f64,
+        args: &[(&'static str, ArgValue)],
+    ) {
+        if self.enabled() {
+            self.record(TraceEvent::new(track, name, EventKind::Complete, ts_ns, dur_ns, args));
+        }
+    }
+
+    /// Record a point event at `ts_ns` (simulated ns).
+    fn instant(
+        &mut self,
+        track: TrackId,
+        name: &'static str,
+        ts_ns: f64,
+        args: &[(&'static str, ArgValue)],
+    ) {
+        if self.enabled() {
+            self.record(TraceEvent::new(track, name, EventKind::Instant, ts_ns, 0.0, args));
+        }
+    }
+}
+
+/// The disabled sink: zero-sized, every operation a no-op.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    #[inline(always)]
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    #[inline(always)]
+    fn track(&mut self, _process: &str, _name: &str) -> TrackId {
+        TrackId::default()
+    }
+
+    #[inline(always)]
+    fn record(&mut self, _event: TraceEvent) {}
+}
+
+/// Shared single-threaded sink: lets several components (e.g. every device
+/// in a fleet) record into one buffer.
+impl<S: TraceSink> TraceSink for Rc<RefCell<S>> {
+    fn enabled(&self) -> bool {
+        self.borrow().enabled()
+    }
+
+    fn track(&mut self, process: &str, name: &str) -> TrackId {
+        self.borrow_mut().track(process, name)
+    }
+
+    fn record(&mut self, event: TraceEvent) {
+        self.borrow_mut().record(event);
+    }
+}
+
+/// One registered track: its process group and display name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Track {
+    process: String,
+    name: String,
+}
+
+/// Recording sink: a bounded ring of events plus the track table.
+///
+/// When more than `capacity` events are recorded the oldest are
+/// overwritten; [`RingSink::dropped`] says how many were lost so exports
+/// can be distinguished from complete captures.
+#[derive(Debug)]
+pub struct RingSink {
+    capacity: usize,
+    buf: Vec<TraceEvent>,
+    head: usize,
+    recorded: u64,
+    tracks: Vec<Track>,
+    index: BTreeMap<(String, String), TrackId>,
+}
+
+impl RingSink {
+    /// Sink keeping at most `capacity` events (at least 1).
+    pub fn new(capacity: usize) -> RingSink {
+        let capacity = capacity.max(1);
+        RingSink {
+            capacity,
+            buf: Vec::with_capacity(capacity),
+            head: 0,
+            recorded: 0,
+            tracks: Vec::new(),
+            index: BTreeMap::new(),
+        }
+    }
+
+    /// Events currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no events are held.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total events ever recorded, including overwritten ones.
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Events lost to ring overwrite.
+    pub fn dropped(&self) -> u64 {
+        self.recorded - self.buf.len() as u64
+    }
+
+    /// Held events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.buf[self.head..].iter().chain(self.buf[..self.head].iter())
+    }
+
+    /// Serialize to Chrome/Perfetto `trace_event` JSON.
+    ///
+    /// Each distinct process group becomes a Perfetto process (pid by
+    /// first-registration order) and each track a named thread within it,
+    /// so the UI shows e.g. a `dram` lane with one row per bank. Events
+    /// are emitted in stable timestamp order; output is deterministic for
+    /// a deterministic recording.
+    pub fn to_chrome_json(&self) -> String {
+        let mut process_ids: BTreeMap<&str, u64> = BTreeMap::new();
+        let mut process_order: Vec<&str> = Vec::new();
+        // tid within each process, in track-registration order.
+        let mut thread_ids: Vec<(u64, u64)> = Vec::with_capacity(self.tracks.len());
+        let mut next_tid: BTreeMap<u64, u64> = BTreeMap::new();
+        for t in &self.tracks {
+            let pid = *process_ids.entry(t.process.as_str()).or_insert_with(|| {
+                process_order.push(t.process.as_str());
+                process_order.len() as u64
+            });
+            let tid = next_tid.entry(pid).or_insert(0);
+            *tid += 1;
+            thread_ids.push((pid, *tid));
+        }
+
+        let mut sorted: Vec<&TraceEvent> = self.events().collect();
+        sorted.sort_by(|a, b| a.ts_ns.total_cmp(&b.ts_ns));
+
+        let mut w = JsonWriter::with_capacity(128 + 96 * sorted.len());
+        w.begin_object().field_str("displayTimeUnit", "ms").key("traceEvents").begin_array();
+        for (i, process) in process_order.iter().enumerate() {
+            w.begin_object()
+                .field_str("ph", "M")
+                .field_uint("pid", i as u64 + 1)
+                .field_uint("tid", 0)
+                .field_str("name", "process_name")
+                .key("args")
+                .begin_object()
+                .field_str("name", process);
+            w.end_object().end_object();
+        }
+        for (track, &(pid, tid)) in self.tracks.iter().zip(thread_ids.iter()) {
+            w.begin_object()
+                .field_str("ph", "M")
+                .field_uint("pid", pid)
+                .field_uint("tid", tid)
+                .field_str("name", "thread_name")
+                .key("args")
+                .begin_object()
+                .field_str("name", &track.name);
+            w.end_object().end_object();
+        }
+        for e in sorted {
+            let (pid, tid) =
+                thread_ids.get(e.track.0 as usize).copied().unwrap_or((0, e.track.0 as u64 + 1));
+            w.begin_object();
+            match e.kind {
+                EventKind::Complete => {
+                    w.field_str("ph", "X");
+                }
+                EventKind::Instant => {
+                    // Thread-scoped instant: renders on its own track row.
+                    w.field_str("ph", "i").field_str("s", "t");
+                }
+            }
+            w.field_str("name", e.name)
+                .field_uint("pid", pid)
+                .field_uint("tid", tid)
+                .field_num("ts", e.ts_ns / 1_000.0);
+            if e.kind == EventKind::Complete {
+                w.field_num("dur", e.dur_ns / 1_000.0);
+            }
+            w.key("args").begin_object();
+            for arg in e.args.iter().flatten() {
+                match arg.value {
+                    ArgValue::U64(v) => w.field_uint(arg.key, v),
+                    ArgValue::F64(v) => w.field_num(arg.key, v),
+                    ArgValue::Str(v) => w.field_str(arg.key, v),
+                };
+            }
+            w.end_object().end_object();
+        }
+        w.end_array().end_object();
+        w.finish()
+    }
+}
+
+impl TraceSink for RingSink {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn track(&mut self, process: &str, name: &str) -> TrackId {
+        let key = (process.to_string(), name.to_string());
+        if let Some(&id) = self.index.get(&key) {
+            return id;
+        }
+        let id = TrackId(self.tracks.len() as u32);
+        self.tracks.push(Track { process: key.0.clone(), name: key.1.clone() });
+        self.index.insert(key, id);
+        id
+    }
+
+    fn record(&mut self, event: TraceEvent) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(event);
+        } else {
+            self.buf[self.head] = event;
+            self.head = (self.head + 1) % self.capacity;
+        }
+        self.recorded += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_sink_is_zero_sized_and_disabled() {
+        assert_eq!(std::mem::size_of::<NullSink>(), 0);
+        let mut sink = NullSink;
+        assert!(!sink.enabled());
+        let t = sink.track("dram", "ch0/r0/b0");
+        assert_eq!(t, TrackId::default());
+        // The provided helpers must be safe to call and do nothing.
+        sink.complete(t, "ACT", 0.0, 18.0, &[("row", ArgValue::U64(1))]);
+        sink.instant(t, "mark", 5.0, &[]);
+    }
+
+    #[test]
+    fn tracks_dedupe_on_process_and_name() {
+        let mut sink = RingSink::new(8);
+        let a = sink.track("dram", "ch0/r0/b0");
+        let b = sink.track("dram", "ch0/r0/b1");
+        let a2 = sink.track("dram", "ch0/r0/b0");
+        let c = sink.track("pim", "ch0/r0/b0");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts_drops() {
+        let mut sink = RingSink::new(3);
+        let t = sink.track("sim", "phase");
+        for i in 0..5 {
+            sink.instant(t, "tick", i as f64, &[("i", ArgValue::U64(i))]);
+        }
+        assert_eq!(sink.len(), 3);
+        assert_eq!(sink.recorded(), 5);
+        assert_eq!(sink.dropped(), 2);
+        let ts: Vec<f64> = sink.events().map(|e| e.ts_ns).collect();
+        assert_eq!(ts, vec![2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn chrome_export_names_processes_and_threads() {
+        let mut sink = RingSink::new(16);
+        let bank = sink.track("dram", "ch0/r0/b0");
+        let kern = sink.track("pim", "kernels");
+        sink.complete(bank, "ACT", 0.0, 18_000.0, &[("row", ArgValue::U64(7))]);
+        sink.complete(kern, "gemv", 100.0, 2_000.0, &[("rows", ArgValue::U64(4096))]);
+        sink.instant(bank, "refresh", 50.0, &[]);
+        let json = sink.to_chrome_json();
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        // Process + thread metadata for both groups.
+        assert!(json.contains(r#""name":"process_name","args":{"name":"dram"}"#));
+        assert!(json.contains(r#""name":"process_name","args":{"name":"pim"}"#));
+        assert!(json.contains(r#""name":"thread_name","args":{"name":"ch0/r0/b0"}"#));
+        assert!(json.contains(r#""name":"thread_name","args":{"name":"kernels"}"#));
+        // Span with µs-converted timestamps and args.
+        assert!(json
+            .contains(r#""ph":"X","name":"ACT","pid":1,"tid":1,"ts":0,"dur":18,"args":{"row":7}"#));
+        // Thread-scoped instant.
+        assert!(json.contains(r#""ph":"i","s":"t","name":"refresh""#));
+    }
+
+    #[test]
+    fn chrome_export_orders_by_timestamp_and_is_deterministic() {
+        let build = || {
+            let mut sink = RingSink::new(8);
+            let t = sink.track("serve", "scheduler");
+            sink.instant(t, "late", 9.0, &[]);
+            sink.instant(t, "early", 1.0, &[]);
+            sink.to_chrome_json()
+        };
+        let json = build();
+        let late = json.find("\"late\"").unwrap();
+        let early = json.find("\"early\"").unwrap();
+        assert!(early < late, "events must be sorted by simulated time");
+        assert_eq!(json, build());
+    }
+
+    #[test]
+    fn shared_sink_records_through_refcell() {
+        let shared = Rc::new(RefCell::new(RingSink::new(8)));
+        let mut a = Rc::clone(&shared);
+        let mut b = Rc::clone(&shared);
+        let t = a.track("serve", "dev0");
+        assert!(b.enabled());
+        b.instant(t, "admit", 1.0, &[("req", ArgValue::U64(3))]);
+        a.instant(t, "shed", 2.0, &[("reason", ArgValue::Str("queue-full"))]);
+        assert_eq!(shared.borrow().len(), 2);
+    }
+}

@@ -15,18 +15,43 @@ cargo fmt --all --check
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== docs =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+
 echo "== chaos smoke =="
-# Fault-injection showcase must run clean and emit valid JSONL.
+# Fault-injection showcase must run clean and emit valid JSONL: tagged
+# experiment lines plus one schema-versioned run manifest.
 cargo run --release -q -p facil-bench --bin chaos -- --smoke --json \
   | python3 -c 'import json,sys
 lines = [json.loads(l) for l in sys.stdin if l.strip()]
 assert lines, "chaos --json produced no output"
-for o in lines:
+manifests = [o for o in lines if "schema_version" in o]
+runs = [o for o in lines if "schema_version" not in o]
+assert len(manifests) == 1, f"expected exactly one run manifest, got {len(manifests)}"
+assert manifests[0]["bench"] == "chaos" and "seed" in manifests[0], manifests[0]
+for o in runs:
     assert "experiment" in o and "report" in o, o.keys()
-degraded = [o for o in lines if o["experiment"] == "degraded_mode"]
+degraded = [o for o in runs if o["experiment"] == "degraded_mode"]
 assert any(o["report"]["goodput_qps"] > 0 for o in degraded), "no goodput under PIM fault"
-crash = [o for o in lines if o["experiment"] == "crash_failover"]
+crash = [o for o in runs if o["experiment"] == "crash_failover"]
 assert all(o["report"]["completed"] + o["report"]["shed"] == o["report"]["offered"] for o in crash)
-print(f"chaos smoke OK ({len(lines)} runs)")'
+print(f"chaos smoke OK ({len(runs)} runs + manifest)")'
+
+echo "== trace export smoke =="
+# serving_v2 --trace must write a valid Chrome trace_event file carrying
+# DRAM-command, PIM-kernel and serve-scheduler tracks.
+trace_out="$(mktemp /tmp/facil-trace.XXXXXX.json)"
+cargo run --release -q -p facil-bench --bin serving_v2 -- --smoke --json --trace "$trace_out" \
+  > /dev/null
+python3 -c "import json,sys
+t = json.load(open('$trace_out'))
+evs = t['traceEvents']
+procs = {e['args']['name'] for e in evs if e.get('ph') == 'M' and e.get('name') == 'process_name'}
+assert {'dram', 'pim', 'serve'} <= procs, f'missing process groups: {procs}'
+names = {e['name'] for e in evs if e.get('ph') in ('X', 'i')}
+for expected in ('ACT', 'GEMV', 'batch', 'admit'):
+    assert expected in names, f'missing {expected} events: {sorted(names)}'
+print(f'trace export OK ({len(evs)} events, processes {sorted(procs)})')"
+rm -f "$trace_out"
 
 echo "CI OK"

@@ -16,7 +16,10 @@
 //! * [`sim`] — end-to-end SoC-PIM inference strategies and TTFT/TTLT
 //!   metrics,
 //! * [`serve`] — discrete-event serving simulator: continuous batching,
-//!   admission control, SLO metrics, multi-device fleets.
+//!   admission control, SLO metrics, multi-device fleets,
+//! * [`telemetry`] — unified observability: trace spans on simulated time
+//!   with a Chrome/Perfetto exporter, a metrics registry, run manifests,
+//!   and the workspace's shared JSON writer.
 //!
 //! See the `examples/` directory for runnable end-to-end scenarios and
 //! `crates/bench` for the per-figure experiment regenerators.
@@ -28,4 +31,5 @@ pub use facil_pim as pim;
 pub use facil_serve as serve;
 pub use facil_sim as sim;
 pub use facil_soc as soc;
+pub use facil_telemetry as telemetry;
 pub use facil_workloads as workloads;
