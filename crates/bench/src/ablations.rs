@@ -70,18 +70,16 @@ pub fn ablation_mapping_flexibility(id: PlatformId) -> Vec<FlexRow> {
 }
 
 /// Re-layout policy (paper footnote 2): TTLT of on-demand vs all-at-once,
-/// per platform, for one P/D point.
+/// per platform, for one P/D point. Platforms run concurrently on the
+/// [`facil_sim::pool`] workers with serial-identical results.
 pub fn ablation_relayout_policy(q: Query) -> Vec<(PlatformId, f64, f64)> {
-    PlatformId::all()
-        .into_iter()
-        .map(|id| {
-            let sim = InferenceSim::new(Platform::get(id))
-                .expect("default model fits every stock platform");
-            let on_demand = sim.run_query(Strategy::HybridStatic, q).ttlt_ns / 1e6;
-            let all_at_once = sim.run_query_all_at_once(q).ttlt_ns / 1e6;
-            (id, on_demand, all_at_once)
-        })
-        .collect()
+    facil_sim::pool::par_map(&PlatformId::all(), |&id| {
+        let sim =
+            InferenceSim::new(Platform::get(id)).expect("default model fits every stock platform");
+        let on_demand = sim.run_query(Strategy::HybridStatic, q).ttlt_ns / 1e6;
+        let all_at_once = sim.run_query_all_at_once(q).ttlt_ns / 1e6;
+        (id, on_demand, all_at_once)
+    })
 }
 
 /// Co-scheduling policy sweep: (policy, soc_rate, pim_throughput,
@@ -127,17 +125,15 @@ pub fn ablation_pim_microarch() -> Vec<(bool, u64, f64)> {
 }
 
 /// DRAM-side decode energy per token: (platform, soc_uj, pim_uj, ratio).
+/// Platforms run concurrently on the [`facil_sim::pool`] workers.
 pub fn ablation_energy(ctx: u64) -> Vec<(PlatformId, f64, f64, f64)> {
     let e = EnergyModel::default();
-    PlatformId::all()
-        .into_iter()
-        .map(|id| {
-            let p = Platform::get(id);
-            let m = ModelConfig::by_name(p.model_name);
-            let t = decode_energy_per_token(&p, &m, ctx, &e);
-            (id, t.soc_uj, t.pim_uj, t.ratio)
-        })
-        .collect()
+    facil_sim::pool::par_map(&PlatformId::all(), |&id| {
+        let p = Platform::get(id);
+        let m = ModelConfig::by_name(p.model_name);
+        let t = decode_energy_per_token(&p, &m, ctx, &e);
+        (id, t.soc_uj, t.pim_uj, t.ratio)
+    })
 }
 
 /// AiM-style vs HBM-PIM-style mapping of the same matrix on a

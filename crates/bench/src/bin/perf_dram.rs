@@ -1,0 +1,178 @@
+//! Wall-clock performance harness for the FR-FCFS DRAM backend.
+//!
+//! Replays the same pseudo-random request stream through
+//! [`DramSystem::run_with_threads`] serially (1 worker) and in parallel
+//! (the [`facil_sim::pool`] worker count, `FACIL_THREADS`), sweeping the
+//! channel count, and reports requests/second for both. The two runs must
+//! produce identical [`facil_dram::SimResult`]s — the harness asserts it —
+//! so the speedup is measured on provably equivalent work.
+//!
+//! Usage: `cargo run --release -p facil-bench --bin perf_dram`
+//!
+//! * `--json` — one tagged JSONL line per sweep point plus the run
+//!   manifest (the `BENCH_dram.json` record), no tables;
+//! * `--smoke` — shrink the stream for CI smoke runs;
+//! * `--seed <n>` — stream RNG seed (default 42);
+//! * `--enforce-speedup` — exit non-zero unless the widest sweep point
+//!   reaches >= 2x parallel speedup (CI passes this only on >= 4 cores;
+//!   stats equality is asserted regardless).
+
+use std::time::Instant;
+
+use facil_bench::{emit_run, print_table, BenchCli};
+use facil_dram::{DramAddress, DramSpec, DramSystem, Request, SimResult};
+use facil_sim::{pool, XorShift64Star};
+use facil_telemetry::{json, JsonWriter, RunManifest};
+
+/// One measured sweep point.
+struct Point {
+    channels: u64,
+    requests: usize,
+    serial_s: f64,
+    parallel_s: f64,
+    result: SimResult,
+}
+
+impl Point {
+    fn speedup(&self) -> f64 {
+        if self.parallel_s > 0.0 {
+            self.serial_s / self.parallel_s
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Generate `n` requests over every channel of `spec`: row-local bursts
+/// (a few columns per row before moving on) across random ranks/banks, with
+/// arrivals advancing slowly so both the backlogged and the idle-jump
+/// scheduler paths run. Arrival cycles are globally non-decreasing, so the
+/// per-channel sub-streams satisfy [`DramSystem::push`]'s ordering.
+fn stream(spec: &DramSpec, n: usize, seed: u64) -> Vec<Request> {
+    let t = spec.topology;
+    let mut rng = XorShift64Star::new(seed);
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let addr = DramAddress {
+            channel: rng.next_u64() % t.channels,
+            rank: rng.next_u64() % t.ranks,
+            bank: rng.next_u64() % t.banks(),
+            row: (rng.next_u64() % 64) * 7 % t.rows,
+            column: rng.next_u64() % t.columns(),
+        };
+        let req = if rng.next_u64().is_multiple_of(4) {
+            Request::write(addr)
+        } else {
+            Request::read(addr)
+        };
+        out.push(req.at(i as u64 / 4));
+    }
+    out
+}
+
+/// Run one (channel count, stream) point serially and in parallel,
+/// asserting identical results.
+fn measure(channels: u64, per_channel: usize, seed: u64, threads: usize) -> Point {
+    // 16 data bits per LPDDR5 channel; 2 GiB per channel keeps the
+    // row count realistic across the sweep.
+    let spec = DramSpec::lpddr5_6400(16 * channels, channels * (2 << 30));
+    let requests = per_channel * channels as usize;
+    let reqs = stream(&spec, requests, seed);
+
+    let mut serial_sys = DramSystem::new(&spec);
+    let mut parallel_sys = DramSystem::new(&spec);
+    for r in &reqs {
+        serial_sys.push(*r);
+        parallel_sys.push(*r);
+    }
+
+    let t0 = Instant::now();
+    let serial = serial_sys.run_with_threads(1);
+    let serial_s = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let parallel = parallel_sys.run_with_threads(threads);
+    let parallel_s = t1.elapsed().as_secs_f64();
+
+    assert_eq!(
+        serial, parallel,
+        "parallel DramSystem::run diverged from serial at {channels} channels"
+    );
+    Point { channels, requests, serial_s, parallel_s, result: serial }
+}
+
+fn main() {
+    let (cli, rest) = BenchCli::parse();
+    let enforce = rest.iter().any(|a| a == "--enforce-speedup");
+    let seed = cli.seed_or(42);
+    let threads = pool::parallelism();
+    let per_channel = if cli.smoke { 4_000 } else { 60_000 };
+
+    let points: Vec<Point> =
+        [1u64, 2, 4, 8].iter().map(|&c| measure(c, per_channel, seed, threads)).collect();
+
+    for p in &points {
+        let mut w = JsonWriter::with_capacity(256);
+        w.begin_object()
+            .field_uint("channels", p.channels)
+            .field_uint("requests", p.requests as u64)
+            .field_uint("threads", threads as u64)
+            .field_num("serial_s", p.serial_s)
+            .field_num("parallel_s", p.parallel_s)
+            .field_num("serial_rps", p.requests as f64 / p.serial_s.max(1e-12))
+            .field_num("parallel_rps", p.requests as f64 / p.parallel_s.max(1e-12))
+            .field_num("speedup", p.speedup())
+            .field_bool("stats_match", true)
+            .field_uint("reads", p.result.stats.reads)
+            .field_uint("writes", p.result.stats.writes)
+            .field_num("hit_rate", p.result.stats.hit_rate())
+            .field_uint("finish_cycle", p.result.stats.finish_cycle)
+            .end_object();
+        emit_run(&cli, "perf_dram", &[("channels", &json::number(p.channels as f64))], &w.finish());
+    }
+
+    if !cli.json {
+        let rows: Vec<Vec<String>> = points
+            .iter()
+            .map(|p| {
+                vec![
+                    p.channels.to_string(),
+                    p.requests.to_string(),
+                    format!("{:.0}", p.requests as f64 / p.serial_s.max(1e-12)),
+                    format!("{:.0}", p.requests as f64 / p.parallel_s.max(1e-12)),
+                    format!("{:.2}x", p.speedup()),
+                    "yes".into(),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!("perf_dram — serial vs {threads}-thread scheduling"),
+            &["channels", "requests", "serial req/s", "parallel req/s", "speedup", "stats=="],
+            &rows,
+        );
+    }
+
+    let widest = points.last().expect("sweep is non-empty");
+    let mut manifest = RunManifest::new("perf_dram", seed);
+    manifest
+        .config_uint("threads", threads as u64)
+        .config_uint("per_channel_requests", per_channel as u64)
+        .config_bool("smoke", cli.smoke);
+    for p in &points {
+        manifest.result_num(&format!("speedup_ch{}", p.channels), p.speedup());
+        manifest.result_num(
+            &format!("parallel_rps_ch{}", p.channels),
+            p.requests as f64 / p.parallel_s.max(1e-12),
+        );
+    }
+    manifest.result_num("speedup_widest", widest.speedup());
+    cli.emit_manifest(&manifest);
+
+    if enforce && threads >= 4 && widest.speedup() < 2.0 {
+        eprintln!(
+            "perf_dram: widest sweep point reached only {:.2}x on {threads} threads (need >= 2x)",
+            widest.speedup()
+        );
+        std::process::exit(1);
+    }
+}

@@ -31,7 +31,7 @@ pub use cli::{emit_run, BenchCli};
 use facil_core::paging::{LoadCostModel, PhysicalMemory};
 use facil_core::{DType, MatrixConfig};
 use facil_llm::ModelConfig;
-use facil_sim::{geomean_speedup, run_dataset, InferenceSim, Strategy};
+use facil_sim::{geomean_speedup, pool, run_dataset, InferenceSim, Strategy};
 use facil_soc::{gemm_layout_slowdown, Platform, PlatformId};
 use facil_workloads::{geomean, Dataset};
 
@@ -328,24 +328,24 @@ pub struct Fig13Series {
 }
 
 /// Regenerate Fig. 13: FACIL TTFT speedup over the hybrid-static baseline.
+/// Platforms sweep concurrently on the [`pool`] workers; the series order
+/// (and every number) is identical to a serial sweep.
 pub fn fig13_ttft(prefills: &[u64]) -> Vec<Fig13Series> {
-    PlatformId::all()
-        .into_iter()
-        .map(|id| {
-            let sim = InferenceSim::new(Platform::get(id))
-                .expect("default model fits every stock platform");
-            let points: Vec<(u64, f64)> = prefills
-                .iter()
-                .map(|&p| {
-                    let base = sim.prefill_ns(Strategy::HybridStatic, p).0;
-                    let facil = sim.prefill_ns(Strategy::FacilStatic, p).0;
-                    (p, base / facil)
-                })
-                .collect();
-            let geomean = geomean(points.iter().map(|(_, s)| *s));
-            Fig13Series { platform: id, points, geomean }
-        })
-        .collect()
+    let ids = PlatformId::all();
+    pool::par_map(&ids, |&id| {
+        let sim =
+            InferenceSim::new(Platform::get(id)).expect("default model fits every stock platform");
+        let points: Vec<(u64, f64)> = prefills
+            .iter()
+            .map(|&p| {
+                let base = sim.prefill_ns(Strategy::HybridStatic, p).0;
+                let facil = sim.prefill_ns(Strategy::FacilStatic, p).0;
+                (p, base / facil)
+            })
+            .collect();
+        let geomean = geomean(points.iter().map(|(_, s)| *s));
+        Fig13Series { platform: id, points, geomean }
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -362,25 +362,24 @@ pub struct Fig14Series {
 }
 
 /// Regenerate Fig. 14: FACIL TTLT speedup over hybrid-static across
-/// prefill/decode combinations.
+/// prefill/decode combinations. Platforms sweep concurrently on the
+/// [`pool`] workers with serial-identical results.
 pub fn fig14_ttlt(combos: &[(u64, u64)]) -> Vec<Fig14Series> {
-    PlatformId::all()
-        .into_iter()
-        .map(|id| {
-            let sim = InferenceSim::new(Platform::get(id))
-                .expect("default model fits every stock platform");
-            let points = combos
-                .iter()
-                .map(|&(p, d)| {
-                    let q = facil_workloads::Query { prefill: p, decode: d };
-                    let base = sim.run_query(Strategy::HybridStatic, q).ttlt_ns;
-                    let facil = sim.run_query(Strategy::FacilStatic, q).ttlt_ns;
-                    ((p, d), base / facil)
-                })
-                .collect();
-            Fig14Series { platform: id, points }
-        })
-        .collect()
+    let ids = PlatformId::all();
+    pool::par_map(&ids, |&id| {
+        let sim =
+            InferenceSim::new(Platform::get(id)).expect("default model fits every stock platform");
+        let points = combos
+            .iter()
+            .map(|&(p, d)| {
+                let q = facil_workloads::Query { prefill: p, decode: d };
+                let base = sim.run_query(Strategy::HybridStatic, q).ttlt_ns;
+                let facil = sim.run_query(Strategy::FacilStatic, q).ttlt_ns;
+                ((p, d), base / facil)
+            })
+            .collect();
+        Fig14Series { platform: id, points }
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -403,29 +402,31 @@ pub struct DatasetFigRow {
     pub facil: f64,
 }
 
-/// Shared implementation of Figs. 15 (TTFT) and 16 (TTLT).
+/// Shared implementation of Figs. 15 (TTFT) and 16 (TTLT). Platform x
+/// dataset cells sweep concurrently on the [`pool`] workers; the row order
+/// matches the serial nesting (platforms outer, datasets inner).
 fn dataset_fig(ttft: bool, seed: u64, queries: usize) -> Vec<DatasetFigRow> {
-    let mut rows = Vec::new();
-    for id in PlatformId::all() {
+    let per_platform = pool::par_map(&PlatformId::all(), |&id| {
         let sim =
             InferenceSim::new(Platform::get(id)).expect("default model fits every stock platform");
-        for dataset in
-            [Dataset::alpaca_like(seed, queries), Dataset::code_autocompletion_like(seed, queries)]
-        {
-            let base = run_dataset(&sim, Strategy::HybridStatic, &dataset);
-            let soc = run_dataset(&sim, Strategy::SocOnly, &dataset);
-            let dynamic = run_dataset(&sim, Strategy::HybridDynamic, &dataset);
-            let facil = run_dataset(&sim, Strategy::FacilDynamic, &dataset);
-            rows.push(DatasetFigRow {
-                platform: id,
-                dataset: dataset.name.clone(),
-                soc_only: geomean_speedup(&base, &soc, ttft),
-                hybrid_dynamic: geomean_speedup(&base, &dynamic, ttft),
-                facil: geomean_speedup(&base, &facil, ttft),
-            });
-        }
-    }
-    rows
+        [Dataset::alpaca_like(seed, queries), Dataset::code_autocompletion_like(seed, queries)]
+            .into_iter()
+            .map(|dataset| {
+                let base = run_dataset(&sim, Strategy::HybridStatic, &dataset);
+                let soc = run_dataset(&sim, Strategy::SocOnly, &dataset);
+                let dynamic = run_dataset(&sim, Strategy::HybridDynamic, &dataset);
+                let facil = run_dataset(&sim, Strategy::FacilDynamic, &dataset);
+                DatasetFigRow {
+                    platform: id,
+                    dataset: dataset.name.clone(),
+                    soc_only: geomean_speedup(&base, &soc, ttft),
+                    hybrid_dynamic: geomean_speedup(&base, &dynamic, ttft),
+                    facil: geomean_speedup(&base, &facil, ttft),
+                }
+            })
+            .collect::<Vec<_>>()
+    });
+    per_platform.into_iter().flatten().collect()
 }
 
 /// Regenerate Fig. 15 (TTFT on the two datasets).

@@ -2,9 +2,16 @@
 //!
 //! Channels in an LPDDR5 system are fully independent (separate command and
 //! data pins), so the multi-channel controller simulates each channel's
-//! request stream in isolation and merges the statistics.
+//! request stream in isolation and merges the statistics — serially or on
+//! the [`facil_telemetry::pool`] workers, with identical results.
+//!
+//! The scheduler loop is allocation-free in steady state: the request
+//! queue is a flat buffer with tombstones (out-of-order FR-FCFS completions
+//! mark entries dead instead of shifting the queue), the per-step candidate
+//! set and lookahead window live in reused scratch buffers, and bank-level
+//! ACT/PRE dedup uses a stamp array instead of a per-step hash set.
 
-use std::collections::VecDeque;
+use std::sync::Arc;
 
 use crate::bank::{BankState, RankState};
 use crate::command::{CommandKind, Op, Request};
@@ -45,10 +52,13 @@ enum Touch {
     Conflict,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 struct Pending {
     req: Request,
     touch: Option<Touch>,
+    /// Tombstone: the request completed but its slot has not been
+    /// reclaimed yet (reclaim happens when the queue head passes it).
+    dead: bool,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,53 +71,85 @@ enum Action {
 /// Single-channel FR-FCFS, open-page DRAM scheduler.
 #[derive(Debug)]
 pub struct ChannelSim {
-    spec: DramSpec,
+    spec: Arc<DramSpec>,
     banks: Vec<Vec<BankState>>,
     ranks: Vec<RankState>,
     bus_busy_until: u64,
     last_data_end: u64,
     last_was_write: bool,
     now: u64,
-    queue: VecDeque<Pending>,
+    /// Flat request queue with tombstones: requests arrive at the tail,
+    /// `head` skips reclaimed slots, and FR-FCFS completions in the middle
+    /// of the window are marked [`Pending::dead`] instead of being shifted
+    /// out (the old `VecDeque::remove` hot spot).
+    buf: Vec<Pending>,
+    /// First slot that may still be live; everything before it is dead.
+    head: usize,
+    /// Number of live (not yet completed) requests in `buf`.
+    live: usize,
     stats: DramStats,
     log: Option<Vec<LoggedCommand>>,
     cfg: SchedConfig,
+    /// Scratch: buffer indices of the current lookahead window.
+    win: Vec<usize>,
+    /// Scratch: per-step candidate set (buffer index, action, ready).
+    cand: Vec<(usize, Action, u64)>,
+    /// Scratch: per-(rank, bank) claim stamps replacing a per-step hash
+    /// set — a bank is claimed this step iff its stamp equals `stamp`.
+    bank_stamp: Vec<u64>,
+    /// Current claim stamp (incremented every step; never reset).
+    stamp: u64,
 }
 
 impl ChannelSim {
     /// Create a scheduler for one channel of `spec` with custom parameters.
     pub fn with_config(spec: &DramSpec, cfg: SchedConfig) -> Self {
-        let mut ch = Self::new(spec);
-        ch.cfg = cfg;
-        ch
+        Self::from_shared(Arc::new(spec.clone()), cfg)
     }
 
     /// Create a scheduler for one channel of `spec`.
     pub fn new(spec: &DramSpec) -> Self {
+        Self::from_shared(Arc::new(spec.clone()), SchedConfig::default())
+    }
+
+    /// Create a scheduler sharing an already-wrapped spec — the
+    /// multi-channel [`crate::controller::DramSystem`] hands every channel
+    /// the same [`Arc`] instead of deep-cloning the spec per channel.
+    pub fn from_shared(spec: Arc<DramSpec>, cfg: SchedConfig) -> Self {
         let topo = spec.topology;
-        let banks = (0..topo.ranks)
+        let banks: Vec<Vec<BankState>> = (0..topo.ranks)
             .map(|_| (0..topo.banks()).map(|_| BankState::new()).collect())
             .collect();
         let ranks = (0..topo.ranks)
             .map(|_| RankState::new(topo.bank_groups as usize, spec.timing.refi))
             .collect();
+        let total_banks = (topo.ranks * topo.banks()) as usize;
+        let window = cfg.window;
         ChannelSim {
-            spec: spec.clone(),
+            spec,
             banks,
             ranks,
             bus_busy_until: 0,
             last_data_end: 0,
             last_was_write: false,
             now: 0,
-            queue: VecDeque::new(),
+            buf: Vec::new(),
+            head: 0,
+            live: 0,
             stats: DramStats::default(),
             log: None,
-            cfg: SchedConfig::default(),
+            cfg,
+            win: Vec::with_capacity(window),
+            cand: Vec::with_capacity(window),
+            bank_stamp: vec![0; total_banks],
+            stamp: 0,
         }
     }
 
     /// Record every issued device command for later inspection and
     /// independent legality verification (see [`crate::verifylog`]).
+    /// The log is preallocated for the already-queued requests when
+    /// [`ChannelSim::run`] starts.
     pub fn enable_logging(&mut self) {
         self.log = Some(Vec::new());
     }
@@ -137,21 +179,27 @@ impl ChannelSim {
         debug_assert!(req.addr.row < self.spec.topology.rows);
         debug_assert!(req.addr.column < self.spec.topology.columns());
         debug_assert!(
-            self.queue.back().map(|p| p.req.arrival <= req.arrival).unwrap_or(true),
+            self.buf.last().map(|p| p.req.arrival <= req.arrival).unwrap_or(true),
             "requests must arrive in order"
         );
-        self.queue.push_back(Pending { req, touch: None });
+        self.buf.push(Pending { req, touch: None, dead: false });
+        self.live += 1;
     }
 
     /// Number of requests still queued.
     pub fn pending(&self) -> usize {
-        self.queue.len()
+        self.live
     }
 
     /// Drain the queue, scheduling every request to completion, and return
     /// the statistics for this channel.
     pub fn run(&mut self) -> DramStats {
-        while !self.queue.is_empty() {
+        if let Some(log) = &mut self.log {
+            // ~1 ACT per miss/conflict + 1 column per request is the common
+            // shape; reserving twice the queue depth avoids log regrowth.
+            log.reserve(2 * self.live + 8);
+        }
+        while self.live > 0 {
             self.step();
         }
         self.stats
@@ -213,12 +261,62 @@ impl ChannelSim {
         }
     }
 
+    /// Reclaim the dead prefix: advance `head` past tombstones and compact
+    /// the buffer once the reclaimed prefix dominates, keeping memory
+    /// proportional to the live queue (amortized O(1) per completion).
+    fn reclaim(&mut self) {
+        while self.head < self.buf.len() && self.buf[self.head].dead {
+            self.head += 1;
+        }
+        if self.head > 64 && self.head * 2 > self.buf.len() {
+            self.buf.drain(..self.head);
+            self.head = 0;
+        }
+    }
+
+    /// Claim `(rank, bank)` for a bank-level command this step; the first
+    /// (oldest) claimant wins. Stamp comparison makes clearing free.
+    fn claim_bank(&mut self, rank: usize, bank: usize) -> bool {
+        let idx = rank * self.spec.topology.banks() as usize + bank;
+        if self.bank_stamp[idx] == self.stamp {
+            false
+        } else {
+            self.bank_stamp[idx] = self.stamp;
+            true
+        }
+    }
+
+    /// True if any of the first `window` live queue entries (regardless of
+    /// arrival time when `arrived_only` is false) targets `row` of
+    /// `(rank, bank)`.
+    fn window_wants_row(&self, rank: usize, bank: usize, row: u64, arrived_only: bool) -> bool {
+        let mut seen = 0;
+        let mut idx = self.head;
+        while seen < self.cfg.window && idx < self.buf.len() {
+            let p = &self.buf[idx];
+            idx += 1;
+            if p.dead {
+                continue;
+            }
+            seen += 1;
+            if (!arrived_only || p.req.arrival <= self.now)
+                && p.req.addr.rank as usize == rank
+                && p.req.addr.bank as usize == bank
+                && p.req.addr.row == row
+            {
+                return true;
+            }
+        }
+        false
+    }
+
     /// One scheduling decision: issue the best legal command, or advance time
     /// to the earliest cycle at which one becomes legal.
     fn step(&mut self) {
-        debug_assert!(!self.queue.is_empty());
+        debug_assert!(self.live > 0);
+        self.reclaim();
         // Advance to the first arrival if the channel is idle ahead of it.
-        let first_arrival = self.queue.front().map(|p| p.req.arrival).unwrap_or(0);
+        let first_arrival = self.buf[self.head].req.arrival;
         if self.now < first_arrival {
             self.now = first_arrival;
         }
@@ -227,63 +325,66 @@ impl ChannelSim {
         let tm = self.spec.timing;
         let bpg = self.spec.topology.banks_per_group as usize;
 
-        // Build the candidate set: (queue index, action, ready cycle).
-        let mut candidates: Vec<(usize, Action, u64)> = Vec::new();
-        let mut next_arrival_beyond: Option<u64> = None;
-        for (i, p) in self.queue.iter().enumerate() {
-            if i >= self.cfg.window {
-                break;
+        // Collect the lookahead window: buffer indices of the first
+        // `window` live requests, in arrival order.
+        let mut win = std::mem::take(&mut self.win);
+        win.clear();
+        {
+            let mut idx = self.head;
+            while win.len() < self.cfg.window && idx < self.buf.len() {
+                if !self.buf[idx].dead {
+                    win.push(idx);
+                }
+                idx += 1;
             }
+        }
+
+        // Build the candidate set: (buffer index, action, ready cycle).
+        // Bank-level actions are deduplicated as they are generated: only
+        // the oldest request per bank may drive an ACT/PRE (younger ones
+        // would duplicate the same command).
+        let mut cand = std::mem::take(&mut self.cand);
+        cand.clear();
+        self.stamp += 1;
+        let mut next_arrival_beyond: Option<u64> = None;
+        for &i in &win {
+            let p = self.buf[i];
             if p.req.arrival > self.now {
                 next_arrival_beyond = Some(p.req.arrival);
                 break;
             }
             let rank = p.req.addr.rank as usize;
             let bank = p.req.addr.bank as usize;
-            let b = &self.banks[rank][bank];
-            match b.open_row {
+            match self.banks[rank][bank].open_row {
                 Some(row) if row == p.req.addr.row => {
-                    candidates.push((i, Action::Column, self.column_ready(rank, bank, p.req.op)));
+                    cand.push((i, Action::Column, self.column_ready(rank, bank, p.req.op)));
                 }
-                Some(_) => {
+                Some(open) => {
                     // Only precharge if no earlier/other window request still
                     // hits the open row of this bank (FR-FCFS serves hits
                     // before closing).
-                    let open = b.open_row.unwrap();
-                    let hit_waiting = self.queue.iter().take(self.cfg.window).any(|q| {
-                        q.req.arrival <= self.now
-                            && q.req.addr.rank as usize == rank
-                            && q.req.addr.bank as usize == bank
-                            && q.req.addr.row == open
-                    });
-                    if !hit_waiting {
-                        candidates.push((i, Action::Precharge, b.next_pre));
+                    let hit_waiting = self.window_wants_row(rank, bank, open, true);
+                    if !hit_waiting && self.claim_bank(rank, bank) {
+                        cand.push((i, Action::Precharge, self.banks[rank][bank].next_pre));
                     }
                 }
                 None => {
-                    let ready = b.next_act.max(self.ranks[rank].act_ready(bank / bpg, &tm));
-                    candidates.push((i, Action::Activate, ready));
+                    let ready = self.banks[rank][bank]
+                        .next_act
+                        .max(self.ranks[rank].act_ready(bank / bpg, &tm));
+                    if self.claim_bank(rank, bank) {
+                        cand.push((i, Action::Activate, ready));
+                    }
                 }
             }
         }
 
-        // Deduplicate bank-level actions: only the oldest request per bank may
-        // drive an ACT/PRE (younger ones would duplicate the same command).
-        let mut bank_claimed = std::collections::HashSet::new();
-        candidates.retain(|(i, action, _)| {
-            let addr = self.queue[*i].req.addr;
-            match action {
-                Action::Column => true,
-                _ => bank_claimed.insert((addr.rank, addr.bank)),
-            }
-        });
-
         // Pick the best issuable candidate: column (row hit) first, then
         // activates, then precharges; oldest wins ties.
+        let now = self.now;
         let issuable = |a: Action| {
-            candidates
-                .iter()
-                .filter(|(_, act, ready)| *act == a && *ready <= self.now)
+            cand.iter()
+                .filter(|(_, act, ready)| *act == a && *ready <= now)
                 .min_by_key(|(i, _, _)| *i)
                 .copied()
         };
@@ -293,7 +394,7 @@ impl ChannelSim {
 
         match chosen {
             Some((i, Action::Column, _)) => {
-                let p = self.queue[i].clone();
+                let p = self.buf[i];
                 let rank = p.req.addr.rank as usize;
                 let bank = p.req.addr.bank as usize;
                 let (lat, op) = match p.req.op {
@@ -324,7 +425,8 @@ impl ChannelSim {
                     Some(Touch::Conflict) => self.stats.row_conflicts += 1,
                 }
                 self.stats.finish_cycle = self.stats.finish_cycle.max(data_end);
-                self.queue.remove(i);
+                self.buf[i].dead = true;
+                self.live -= 1;
                 self.now += 1;
                 // Closed-page policy: close the row immediately if nothing
                 // in the window still wants it (issued as an implicit
@@ -332,12 +434,7 @@ impl ChannelSim {
                 if self.cfg.page_policy == PagePolicy::Closed {
                     let row = self.banks[rank][bank].open_row;
                     if let Some(row) = row {
-                        let still_wanted = self.queue.iter().take(self.cfg.window).any(|q| {
-                            q.req.addr.rank as usize == rank
-                                && q.req.addr.bank as usize == bank
-                                && q.req.addr.row == row
-                        });
-                        if !still_wanted {
+                        if !self.window_wants_row(rank, bank, row, false) {
                             let b = &mut self.banks[rank][bank];
                             let when = b.next_pre.max(self.now);
                             b.open_row = None;
@@ -351,32 +448,32 @@ impl ChannelSim {
                 }
             }
             Some((i, Action::Activate, _)) => {
-                let addr = self.queue[i].req.addr;
+                let addr = self.buf[i].req.addr;
                 let rank = addr.rank as usize;
                 let bank = addr.bank as usize;
                 self.banks[rank][bank].activate(self.now, addr.row, &tm);
                 self.ranks[rank].record_act(self.now, bank / bpg);
                 self.stats.activates += 1;
                 self.record(CommandKind::Act, addr.rank, addr.bank, addr.row);
-                if self.queue[i].touch.is_none() {
-                    self.queue[i].touch = Some(Touch::Miss);
+                if self.buf[i].touch.is_none() {
+                    self.buf[i].touch = Some(Touch::Miss);
                 }
                 self.now += 1;
             }
             Some((i, Action::Precharge, _)) => {
-                let addr = self.queue[i].req.addr;
+                let addr = self.buf[i].req.addr;
                 let rank = addr.rank as usize;
                 let bank = addr.bank as usize;
                 self.banks[rank][bank].precharge(self.now, &tm);
                 self.stats.precharges += 1;
                 self.record(CommandKind::Pre, addr.rank, addr.bank, 0);
-                self.queue[i].touch = Some(Touch::Conflict);
+                self.buf[i].touch = Some(Touch::Conflict);
                 self.now += 1;
             }
             None => {
                 // Nothing issuable: jump to the earliest ready time (or next
                 // arrival if the window is empty).
-                let min_ready = candidates.iter().map(|(_, _, r)| *r).min();
+                let min_ready = cand.iter().map(|(_, _, r)| *r).min();
                 let target = match (min_ready, next_arrival_beyond) {
                     (Some(r), Some(a)) => r.min(a),
                     (Some(r), None) => r,
@@ -387,6 +484,10 @@ impl ChannelSim {
                 self.now = target;
             }
         }
+
+        // Hand the scratch buffers back for the next step.
+        self.win = win;
+        self.cand = cand;
     }
 
     /// Statistics accumulated so far.

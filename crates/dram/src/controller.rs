@@ -2,10 +2,11 @@
 //! FR-FCFS schedulers and aggregates statistics.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
-use facil_telemetry::{ArgValue, TraceSink, TrackId};
+use facil_telemetry::{pool, ArgValue, TraceSink, TrackId};
 
-use crate::channel::ChannelSim;
+use crate::channel::{ChannelSim, SchedConfig};
 use crate::command::{CommandKind, Request};
 use crate::spec::DramSpec;
 use crate::stats::{DramStats, SimResult};
@@ -14,18 +15,24 @@ use crate::stats::{DramStats, SimResult};
 ///
 /// Channels are independent in LPDDR5; each channel's request sub-stream is
 /// scheduled in isolation and the elapsed time of the whole stream is the
-/// maximum over channels.
+/// maximum over channels. [`DramSystem::run`] schedules the channels on the
+/// [`pool`] worker threads (`FACIL_THREADS`), merging per-channel stats in
+/// channel index order so the result is bit-identical to a serial run.
 #[derive(Debug)]
 pub struct DramSystem {
-    spec: DramSpec,
+    spec: Arc<DramSpec>,
     channels: Vec<ChannelSim>,
 }
 
 impl DramSystem {
-    /// Create a backend for `spec`.
+    /// Create a backend for `spec`. The spec is stored once behind an
+    /// [`Arc`] and shared by every channel scheduler.
     pub fn new(spec: &DramSpec) -> Self {
-        let channels = (0..spec.topology.channels).map(|_| ChannelSim::new(spec)).collect();
-        DramSystem { spec: spec.clone(), channels }
+        let spec = Arc::new(spec.clone());
+        let channels = (0..spec.topology.channels)
+            .map(|_| ChannelSim::from_shared(Arc::clone(&spec), SchedConfig::default()))
+            .collect();
+        DramSystem { spec, channels }
     }
 
     /// Specification this system was built from.
@@ -114,12 +121,22 @@ impl DramSystem {
         }
     }
 
-    /// Schedule every queued request to completion.
+    /// Schedule every queued request to completion, running channels on the
+    /// configured [`pool::parallelism`] worker count.
     pub fn run(&mut self) -> SimResult {
+        self.run_with_threads(pool::parallelism())
+    }
+
+    /// [`DramSystem::run`] with an explicit worker count (`1` = serial).
+    ///
+    /// Channels are independent, so any worker count produces the same
+    /// [`SimResult`]: per-channel stats are merged in channel index order
+    /// after all channels finish.
+    pub fn run_with_threads(&mut self, workers: usize) -> SimResult {
+        let per_channel = pool::par_map_mut_with(workers, &mut self.channels, ChannelSim::run);
         let mut stats = DramStats::default();
-        for ch in &mut self.channels {
-            let s = ch.run();
-            stats.merge(&s);
+        for s in &per_channel {
+            stats.merge(s);
         }
         let elapsed_ns = self.spec.cycles_to_ns(stats.finish_cycle);
         let bytes = stats.bytes(self.spec.topology.transfer_bytes);

@@ -1,12 +1,38 @@
 //! Property-based tests for the DRAM scheduler and functional memory.
 
 use facil_dram::{
-    ChannelSim, DramAddress, DramSpec, FnMapper, FunctionalMemory, Op, Request, Topology,
+    ChannelSim, DramAddress, DramSpec, DramSystem, FnMapper, FunctionalMemory, Op, Request,
+    Topology,
 };
 use proptest::prelude::*;
 
 fn small_spec() -> DramSpec {
     DramSpec::lpddr5_6400(16, 256 << 20) // 1 channel
+}
+
+fn multi_spec() -> DramSpec {
+    DramSpec::lpddr5_6400(64, 1 << 30) // 4 channels
+}
+
+/// Strategy for a random request to any channel of `multi_spec`, plus an
+/// inter-arrival gap (accumulated by the caller so arrivals are globally
+/// non-decreasing, as `DramSystem::push` requires).
+fn arb_multi_request(spec: &DramSpec) -> impl Strategy<Value = (Request, u64)> {
+    let t = spec.topology;
+    (
+        0..t.channels,
+        0..t.ranks,
+        0..t.banks(),
+        0..t.rows.min(64),
+        0..t.columns(),
+        prop::bool::ANY,
+        0u64..6,
+    )
+        .prop_map(move |(channel, rank, bank, row, column, is_read, gap)| {
+            let addr = DramAddress { channel, rank, bank, row, column };
+            let req = if is_read { Request::read(addr) } else { Request::write(addr) };
+            (req, gap)
+        })
 }
 
 /// Strategy for a random request to channel 0 of `small_spec`.
@@ -99,6 +125,36 @@ proptest! {
             model[pa..pa + data.len()].copy_from_slice(data);
         }
         prop_assert_eq!(mem.read_bytes(&mapper, 0, cap).unwrap(), model);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Parallel multi-channel scheduling is invisible in the results: for
+    /// any request stream, `run_with_threads(8)` produces exactly the
+    /// `SimResult` (and the same per-channel command logs) as a serial
+    /// `run_with_threads(1)`.
+    #[test]
+    fn parallel_run_is_bit_identical_to_serial(
+        entries in prop::collection::vec(arb_multi_request(&multi_spec()), 1..200)
+    ) {
+        let spec = multi_spec();
+        let mut serial = DramSystem::new(&spec);
+        let mut parallel = DramSystem::new(&spec);
+        serial.enable_logging();
+        parallel.enable_logging();
+        let mut arrival = 0u64;
+        for (req, gap) in entries {
+            arrival += gap;
+            let req = req.at(arrival);
+            serial.push(req);
+            parallel.push(req);
+        }
+        let a = serial.run_with_threads(1);
+        let b = parallel.run_with_threads(8);
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(format!("{:?}", serial.logs()), format!("{:?}", parallel.logs()));
     }
 }
 

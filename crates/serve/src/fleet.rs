@@ -20,7 +20,7 @@ use std::cmp::{Ordering, Reverse};
 use std::collections::BinaryHeap;
 
 use facil_sim::InferenceSim;
-use facil_telemetry::{ArgValue, MetricsRegistry, NullSink, TraceSink, TrackId};
+use facil_telemetry::{pool, ArgValue, MetricsRegistry, NullSink, TraceSink, TrackId};
 use facil_workloads::{ArrivalProcess, Dataset, Query};
 use serde::{Deserialize, Serialize};
 
@@ -234,6 +234,53 @@ impl<S: TraceSink> Driver<'_, S> {
     }
 }
 
+/// How the independent per-device phases of the fleet loop execute.
+///
+/// The fleet driver alternates *global* decisions (routing, failover,
+/// retries — inherently serial) with *per-device* phases (advancing every
+/// device clock, draining every device) that touch disjoint state. The
+/// per-device phases are the hot part of a large-fleet run, so the
+/// untraced path farms them out to the [`pool`] workers; the result is
+/// identical either way because no device reads another's state.
+trait FleetExec<S: TraceSink> {
+    /// Advance every device clock to `t_s`.
+    fn advance_all(devices: &mut [DeviceSim<'_, S>], t_s: f64);
+    /// Drain every device's outstanding work.
+    fn drain_all(devices: &mut [DeviceSim<'_, S>]);
+}
+
+/// Serial device phases: required for traced runs, whose devices share a
+/// single-threaded sink handle (e.g. `Rc<RefCell<RingSink>>`).
+enum SerialExec {}
+
+impl<S: TraceSink> FleetExec<S> for SerialExec {
+    fn advance_all(devices: &mut [DeviceSim<'_, S>], t_s: f64) {
+        for d in devices.iter_mut() {
+            d.advance_until(t_s);
+        }
+    }
+    fn drain_all(devices: &mut [DeviceSim<'_, S>]) {
+        for d in devices.iter_mut() {
+            d.drain();
+        }
+    }
+}
+
+/// Parallel device phases on the [`pool`] workers (`FACIL_THREADS`).
+/// Implemented only for the untraced [`NullSink`] path, where devices are
+/// `Send`; [`pool::par_map_mut`] falls back to the serial loop for
+/// single-device fleets or one configured worker.
+enum ParallelExec {}
+
+impl FleetExec<NullSink> for ParallelExec {
+    fn advance_all(devices: &mut [DeviceSim<'_, NullSink>], t_s: f64) {
+        pool::par_map_mut(devices, |d| d.advance_until(t_s));
+    }
+    fn drain_all(devices: &mut [DeviceSim<'_, NullSink>]) {
+        pool::par_map_mut(devices, DeviceSim::drain);
+    }
+}
+
 /// Serve `dataset` with arrivals from `arrival` on a fleet of
 /// `fleet.devices` identical devices (each a [`DeviceSim`] over `sim`),
 /// injecting the failures scheduled in `plan`.
@@ -241,8 +288,9 @@ impl<S: TraceSink> Driver<'_, S> {
 /// Deterministic for a fixed `cfg.seed` and plan: the arrival sample,
 /// fault schedule, routing and retry decisions and every device schedule
 /// depend only on the inputs — repeated runs serialize to byte-identical
-/// JSON. With [`FaultPlan::none`] the result is exactly the fault-free
-/// [`run_fleet`] schedule.
+/// JSON regardless of the [`pool::parallelism`] worker count. With
+/// [`FaultPlan::none`] the result is exactly the fault-free [`run_fleet`]
+/// schedule.
 ///
 /// Fleet-level sheds ([`ShedReason::Failed`], and
 /// [`ShedReason::DeadlineExpired`] raised at re-queue time) record the
@@ -260,18 +308,32 @@ pub fn run_fleet_with_faults(
     fleet: FleetConfig,
     plan: &FaultPlan,
 ) -> facil_core::Result<ServeReport> {
-    run_fleet_with_faults_traced(sim, dataset, arrival, cfg, fleet, plan, NullSink)
+    drive::<NullSink, ParallelExec>(sim, dataset, arrival, cfg, fleet, plan, NullSink)
 }
 
 /// [`run_fleet_with_faults`] with every scheduler decision recorded into
 /// `sink` (cloned per device; pass an `Rc<RefCell<RingSink>>` to collect
 /// the whole fleet into one trace). Tracing is observational: the report
-/// is identical to the untraced run, byte for byte.
+/// is identical to the untraced run, byte for byte. Traced devices run
+/// their phases serially so the sink handle never crosses a thread.
 ///
 /// # Errors
 ///
 /// See [`run_fleet_with_faults`].
 pub fn run_fleet_with_faults_traced<S: TraceSink + Clone>(
+    sim: &InferenceSim,
+    dataset: &Dataset,
+    arrival: &ArrivalProcess,
+    cfg: ServeConfig,
+    fleet: FleetConfig,
+    plan: &FaultPlan,
+    sink: S,
+) -> facil_core::Result<ServeReport> {
+    drive::<S, SerialExec>(sim, dataset, arrival, cfg, fleet, plan, sink)
+}
+
+/// The fleet driver, generic over the per-device execution strategy `E`.
+fn drive<S: TraceSink + Clone, E: FleetExec<S>>(
     sim: &InferenceSim,
     dataset: &Dataset,
     arrival: &ArrivalProcess,
@@ -307,31 +369,23 @@ pub fn run_fleet_with_faults_traced<S: TraceSink + Clone>(
                 break;
             }
             drv.retryq.pop();
-            for d in devices.iter_mut() {
-                d.advance_until(r.t_s);
-            }
+            E::advance_all(&mut devices, r.t_s);
             drv.harvest(&mut devices);
             drv.offer(&mut devices, r.t_s, r.id, r.arrival_s, r.query, r.attempt);
         }
         // Advance every device to the arrival instant so routing reads
         // up-to-date backlogs (and idle devices' clocks move forward).
-        for d in devices.iter_mut() {
-            d.advance_until(t);
-        }
+        E::advance_all(&mut devices, t);
         drv.harvest(&mut devices);
         drv.offer(&mut devices, t, i as u64, t, *q, 0);
     }
     // Quiesce: drain all devices, fail over anything lost on the way, and
     // keep going until no retry is outstanding anywhere.
     loop {
-        for d in devices.iter_mut() {
-            d.drain();
-        }
+        E::drain_all(&mut devices);
         drv.harvest(&mut devices);
         let Some(Reverse(r)) = drv.retryq.pop() else { break };
-        for d in devices.iter_mut() {
-            d.advance_until(r.t_s);
-        }
+        E::advance_all(&mut devices, r.t_s);
         drv.harvest(&mut devices);
         drv.offer(&mut devices, r.t_s, r.id, r.arrival_s, r.query, r.attempt);
     }

@@ -288,6 +288,45 @@ proptest! {
         prop_assert_eq!(ja, jb, "trace export must be deterministic");
     }
 
+    /// Worker count is invisible in the results: a fleet run on one pool
+    /// worker serializes to exactly the JSON of the same run on eight
+    /// (the `FACIL_THREADS=1` vs `FACIL_THREADS=8` guarantee), with and
+    /// without fault injection.
+    #[test]
+    fn worker_count_never_changes_the_report(
+        seed in 0u64..1_000,
+        fault_seed in 0u64..1_000,
+        n in 1usize..16,
+        qps in 0.5f64..8.0,
+        devices in 2usize..5,
+        faulty in any::<bool>(),
+    ) {
+        let d = Dataset::alpaca_like(seed, n);
+        let cfg = ServeConfig { seed, fmfi: 0.0, ..ServeConfig::default() };
+        let arrival = ArrivalProcess::Bursty { qps, burst: 3 };
+        let fleet = FleetConfig { devices, routing: Routing::LeastLoaded };
+        let mut plan = if faulty {
+            FaultPlan::random(
+                fault_seed,
+                devices,
+                15.0,
+                FaultRates { crash_per_s: 0.3, pim_per_s: 0.3, kv_per_s: 0.3, mean_outage_s: 0.5 },
+            )
+        } else {
+            FaultPlan::none()
+        };
+        plan.max_retries = 3;
+        plan.retry_backoff_s = 0.05;
+        let run = || run_fleet_with_faults(sim(), &d, &arrival, cfg, fleet, &plan).unwrap();
+        facil_sim::pool::set_parallelism(1);
+        let serial = run();
+        facil_sim::pool::set_parallelism(8);
+        let parallel = run();
+        facil_sim::pool::set_parallelism(0); // back to the default
+        prop_assert_eq!(&serial, &parallel);
+        prop_assert_eq!(serial.to_json(), parallel.to_json());
+    }
+
     /// Zero-fault regression: injecting an empty fault plan reproduces the
     /// fault-free scheduler exactly — same report, same JSON bytes.
     #[test]

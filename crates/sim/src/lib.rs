@@ -34,6 +34,11 @@ pub mod metrics;
 pub mod relayout;
 pub mod rng;
 pub mod serving;
+/// Deterministic fork-join parallelism ([`pool::par_map`], the
+/// `FACIL_THREADS` knob) — lives in [`facil_telemetry`] so the DRAM layer
+/// below this crate can use the same pool; re-exported here as the
+/// documented `facil_sim::pool` entry point.
+pub use facil_telemetry::pool;
 /// Latency statistics — moved to [`facil_telemetry::stats`] so the whole
 /// workspace shares one percentile definition; re-exported here for the
 /// existing `facil_sim::stats` paths.

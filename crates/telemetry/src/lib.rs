@@ -18,6 +18,11 @@
 //!   bench binaries;
 //! * [`manifest`] — a [`RunManifest`] emitter so every bench binary writes
 //!   one schema-versioned JSONL record (config, seed, results);
+//! * [`pool`] — deterministic scoped-thread fork-join helpers
+//!   ([`pool::par_map`], [`pool::par_map_mut`], [`pool::join`]) with the
+//!   `FACIL_THREADS` worker-count knob, used to run independent DRAM
+//!   channels, fleet devices and bench sweep points concurrently while
+//!   keeping results bit-identical to serial execution;
 //! * [`stats`] — nearest-rank percentiles and [`stats::Summary`]
 //!   aggregates (moved here from `facil_sim::stats`, which re-exports
 //!   them).
@@ -38,6 +43,7 @@
 pub mod json;
 pub mod manifest;
 pub mod metrics;
+pub mod pool;
 pub mod stats;
 pub mod trace;
 

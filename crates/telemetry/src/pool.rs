@@ -1,0 +1,255 @@
+//! Deterministic fork-join parallelism for the simulation crates.
+//!
+//! The FACIL workspace simulates many *independent* units — LPDDR5 channels
+//! in [`ChannelSim`]-land, devices in a serving fleet, sweep points in the
+//! bench harness — whose results are merged in a fixed index order. This
+//! module provides the one scoped-thread helper they all share:
+//!
+//! * [`par_map`] / [`par_map_mut`] — map a closure over a slice on a small
+//!   self-scheduling worker pool, returning results **in input order**, so
+//!   the output is bit-identical to a serial loop no matter how the items
+//!   were interleaved across workers;
+//! * [`join`] — run two closures concurrently (fork-join of exactly two
+//!   tasks, e.g. two whole figure sweeps);
+//! * [`parallelism`] / [`set_parallelism`] — the worker-count knob:
+//!   process-wide override, then the `FACIL_THREADS` environment variable,
+//!   then [`std::thread::available_parallelism`].
+//!
+//! Everything is `std`-only (scoped threads, no work-stealing runtime) and
+//! degrades to a plain inline loop when one worker is requested or the
+//! input has fewer than two items — so `FACIL_THREADS=1` runs exactly the
+//! serial code path.
+//!
+//! [`ChannelSim`]: https://docs.rs/facil-dram
+//!
+//! ```
+//! use facil_telemetry::pool;
+//!
+//! let mut xs = [1u64, 2, 3, 4];
+//! let doubled = pool::par_map_mut(&mut xs, |x| {
+//!     *x *= 2;
+//!     *x
+//! });
+//! assert_eq!(doubled, vec![2, 4, 6, 8]); // input order, any schedule
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
+
+/// Process-wide worker-count override; 0 means "not set".
+static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// The default worker count: `FACIL_THREADS` if set to a positive integer,
+/// otherwise the machine's available parallelism. Read once and cached —
+/// use [`set_parallelism`] for in-process changes.
+fn default_parallelism() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::env::var("FACIL_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+    })
+}
+
+/// Worker count used by [`par_map`]/[`par_map_mut`]/[`join`] when no
+/// explicit count is given: the [`set_parallelism`] override if set, else
+/// the `FACIL_THREADS` environment variable, else the available cores.
+pub fn parallelism() -> usize {
+    match OVERRIDE.load(Ordering::Relaxed) {
+        0 => default_parallelism(),
+        n => n,
+    }
+}
+
+/// Set the process-wide worker count (`1` forces serial execution).
+/// Passing `0` clears the override, returning to the `FACIL_THREADS` /
+/// available-cores default. Simulation results never depend on this knob —
+/// only wall-clock time does.
+pub fn set_parallelism(workers: usize) {
+    OVERRIDE.store(workers, Ordering::Relaxed);
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    // A worker can only poison the queue by panicking inside `Iterator::
+    // next` on a slice iterator, which cannot happen; recover regardless.
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Reassemble per-worker `(index, result)` batches into input order.
+fn into_input_order<R>(n: usize, parts: Vec<Vec<(usize, R)>>) -> Vec<R> {
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    for (i, r) in parts.into_iter().flatten() {
+        slots[i] = Some(r);
+    }
+    slots.into_iter().map(|r| r.expect("pool workers covered every index")).collect()
+}
+
+/// Run `f` over `queue` items on `workers` scoped threads, collecting
+/// `(index, result)` pairs per worker. The queue is self-scheduling: a free
+/// worker takes the next item, so uneven per-item cost balances naturally.
+fn run_pool<I, R, F>(workers: usize, n: usize, queue: Mutex<I>, f: F) -> Vec<R>
+where
+    I: Iterator + Send,
+    I::Item: Send,
+    R: Send,
+    F: Fn(I::Item) -> (usize, R) + Sync,
+{
+    let parts = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut out: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let Some(item) = lock(&queue).next() else { break };
+                        out.push(f(item));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("pool worker panicked")).collect::<Vec<_>>()
+    });
+    into_input_order(n, parts)
+}
+
+/// Map `f` over `items` in parallel, returning results in input order.
+///
+/// Equivalent to `items.iter().map(f).collect()` — including bit-identical
+/// results — but runs on [`parallelism`] workers. Falls back to the inline
+/// serial loop when one worker is configured or there are fewer than two
+/// items.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_with(parallelism(), items, f)
+}
+
+/// [`par_map`] with an explicit worker count.
+pub fn par_map_with<T, R, F>(workers: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = workers.max(1).min(n);
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    run_pool(workers, n, Mutex::new(items.iter().enumerate()), |(i, item)| (i, f(item)))
+}
+
+/// Map `f` over mutable `items` in parallel, returning results in input
+/// order. The mutable-slice twin of [`par_map`]: each item is visited by
+/// exactly one worker, so no synchronization beyond the work queue is
+/// needed and results match the serial loop bit for bit.
+pub fn par_map_mut<T, R, F>(items: &mut [T], f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(&mut T) -> R + Sync,
+{
+    par_map_mut_with(parallelism(), items, f)
+}
+
+/// [`par_map_mut`] with an explicit worker count.
+pub fn par_map_mut_with<T, R, F>(workers: usize, items: &mut [T], f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(&mut T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = workers.max(1).min(n);
+    if workers <= 1 {
+        return items.iter_mut().map(f).collect();
+    }
+    run_pool(workers, n, Mutex::new(items.iter_mut().enumerate()), |(i, item)| (i, f(item)))
+}
+
+/// Run two closures concurrently and return both results. Falls back to
+/// sequential calls under [`parallelism`]` == 1`.
+pub fn join<A, B, FA, FB>(fa: FA, fb: FB) -> (A, B)
+where
+    A: Send,
+    B: Send,
+    FA: FnOnce() -> A + Send,
+    FB: FnOnce() -> B + Send,
+{
+    if parallelism() <= 1 {
+        return (fa(), fb());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(fb);
+        let a = fa();
+        let b = hb.join().expect("join task panicked");
+        (a, b)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_input_order_with_uneven_work() {
+        let items: Vec<u64> = (0..257).collect();
+        let out = par_map_with(7, &items, |&x| {
+            // Skew the work so late items finish before early ones.
+            if x % 3 == 0 {
+                std::thread::yield_now();
+            }
+            x * 2
+        });
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_mut_visits_every_item_once() {
+        let mut items = vec![0u32; 100];
+        let idx = par_map_mut_with(4, &mut items, |slot| {
+            *slot += 1;
+            *slot
+        });
+        assert!(items.iter().all(|&v| v == 1));
+        assert_eq!(idx, vec![1; 100]);
+    }
+
+    #[test]
+    fn worker_counts_agree_bit_for_bit() {
+        let items: Vec<u64> = (0..64u64).map(|i| i.wrapping_mul(0x9E37_79B9)).collect();
+        let serial = par_map_with(1, &items, |&x| x.rotate_left(13) ^ 0xABCD);
+        for workers in [2, 3, 8, 64, 1000] {
+            assert_eq!(par_map_with(workers, &items, |&x| x.rotate_left(13) ^ 0xABCD), serial);
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs_stay_inline() {
+        let empty: [u8; 0] = [];
+        assert!(par_map_with(8, &empty, |&x| x).is_empty());
+        assert_eq!(par_map_with(8, &[7u8], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 1 + 1, || "two");
+        assert_eq!((a, b), (2, "two"));
+    }
+
+    #[test]
+    fn parallelism_override_roundtrips() {
+        let before = parallelism();
+        assert!(before >= 1);
+        set_parallelism(3);
+        assert_eq!(parallelism(), 3);
+        set_parallelism(0); // back to the default
+        assert_eq!(parallelism(), before);
+    }
+}

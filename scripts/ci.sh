@@ -37,6 +37,45 @@ crash = [o for o in runs if o["experiment"] == "crash_failover"]
 assert all(o["report"]["completed"] + o["report"]["shed"] == o["report"]["offered"] for o in crash)
 print(f"chaos smoke OK ({len(runs)} runs + manifest)")'
 
+echo "== perf_dram smoke =="
+# DRAM scheduling perf harness: parallel stats must equal serial (the
+# binary asserts it per sweep point), the JSONL must be well-formed, and
+# the wall-clock numbers are kept as a CI artifact. The >= 2x speedup gate
+# is enforced only on machines with >= 4 cores (--enforce-speedup is a
+# no-op below that).
+mkdir -p target
+perf_artifact="target/BENCH_dram.json"
+: > "$perf_artifact"
+cargo run --release -q -p facil-bench --bin perf_dram -- --smoke --json --enforce-speedup \
+  | tee "$perf_artifact" \
+  | python3 -c 'import json,sys
+lines = [json.loads(l) for l in sys.stdin if l.strip()]
+manifests = [o for o in lines if "schema_version" in o]
+runs = [o for o in lines if "schema_version" not in o]
+assert len(manifests) == 1, f"expected one manifest, got {len(manifests)}"
+assert manifests[0]["bench"] == "perf_dram", manifests[0]
+assert len(runs) == 4, f"expected a 4-point channel sweep, got {len(runs)}"
+for o in runs:
+    r = o["report"]
+    assert r["stats_match"] is True, r
+    assert r["serial_s"] > 0 and r["parallel_s"] > 0, r
+channels = [o["report"]["channels"] for o in runs]
+assert channels == [1, 2, 4, 8], channels
+widest = runs[-1]["report"]
+rps, speedup, threads = widest["parallel_rps"], widest["speedup"], widest["threads"]
+print(f"perf_dram smoke OK (8ch: {rps:.0f} req/s, {speedup:.2f}x on {threads} threads)")'
+echo "perf artifact: $perf_artifact"
+
+echo "== FACIL_THREADS determinism smoke =="
+# The worker-count knob must be invisible in results: serving_v2 --json
+# output is byte-identical between 1 and 8 workers.
+t1="$(mktemp /tmp/facil-threads1.XXXXXX.jsonl)"
+t8="$(mktemp /tmp/facil-threads8.XXXXXX.jsonl)"
+FACIL_THREADS=1 cargo run --release -q -p facil-bench --bin serving_v2 -- --smoke --json > "$t1"
+FACIL_THREADS=8 cargo run --release -q -p facil-bench --bin serving_v2 -- --smoke --json > "$t8"
+diff "$t1" "$t8" && echo "FACIL_THREADS=1 vs 8: byte-identical"
+rm -f "$t1" "$t8"
+
 echo "== trace export smoke =="
 # serving_v2 --trace must write a valid Chrome trace_event file carrying
 # DRAM-command, PIM-kernel and serve-scheduler tracks.
