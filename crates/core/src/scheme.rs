@@ -297,6 +297,56 @@ impl MappingScheme {
         DramAddress { channel, rank, bank, row, column }
     }
 
+    /// Multi-line annotated bit-field layout, MSB to LSB — the debug dump
+    /// used in search reports and mapping error messages. One line per
+    /// segment showing which PA bit run feeds which DA field bits:
+    ///
+    /// ```text
+    /// AiM MapID=2 (4ch x 2rk x 16ba, 16384 rows x 2048 B, bank hash off)
+    ///   pa[33:21] -> row[13:3]
+    ///   pa[20]    -> row[2]
+    ///   pa[19:18] -> ch[1:0]
+    ///   ...
+    /// ```
+    ///
+    /// The one-line [`Display`](std::fmt::Display) form is the compact
+    /// companion for log lines.
+    pub fn dump(&self) -> String {
+        use std::fmt::Write as _;
+        let t = &self.topo;
+        let mut out = format!(
+            "{} ({}ch x {}rk x {}ba, {} rows x {} B, bank hash {})\n",
+            self.label,
+            t.channels,
+            t.ranks,
+            t.banks(),
+            t.rows,
+            t.row_bytes,
+            if self.bank_xor_row { "on" } else { "off" },
+        );
+        let span = |name: &str, lo: u32, width: u32| {
+            if width == 1 {
+                format!("{name}[{lo}]")
+            } else {
+                format!("{name}[{}:{lo}]", lo + width - 1)
+            }
+        };
+        let mut pa_lo = 0u32;
+        let mut taken = std::collections::HashMap::new();
+        let mut lines = Vec::with_capacity(self.segments.len());
+        for s in &self.segments {
+            let f_lo = *taken.get(&(s.field as u8)).unwrap_or(&0);
+            taken.insert(s.field as u8, f_lo + s.width);
+            lines.push((span("pa", pa_lo, s.width), span(&s.field.to_string(), f_lo, s.width)));
+            pa_lo += s.width;
+        }
+        let pa_width = lines.iter().map(|(p, _)| p.len()).max().unwrap_or(0);
+        for (pa, da) in lines.iter().rev() {
+            let _ = writeln!(out, "  {pa:<pa_width$} -> {da}");
+        }
+        out
+    }
+
     /// Inverse translation: device address back to the (transfer-aligned)
     /// physical address.
     pub fn unmap(&self, addr: DramAddress) -> u64 {
@@ -537,6 +587,61 @@ mod tests {
         let arch = PimArch::aim(&t);
         let p = MappingScheme::pim_optimized(t, &arch, 1, HUGE_PAGE_BITS).unwrap();
         assert!(p.to_string().contains("MapID=1"));
+    }
+
+    #[test]
+    fn dump_annotates_every_pa_bit_msb_first() {
+        let t = iphone_topo();
+        let arch = PimArch::aim(&t);
+        let s = MappingScheme::pim_optimized(t, &arch, 2, HUGE_PAGE_BITS).unwrap();
+        let d = s.dump();
+        let lines: Vec<&str> = d.lines().collect();
+        // Header + one line per (non-zero-width) segment.
+        assert_eq!(lines.len(), 1 + s.segments().len());
+        assert!(lines[0].contains("AiM MapID=2"));
+        assert!(lines[0].contains("4ch x 2rk x 16ba"));
+        assert!(lines[0].contains("bank hash off"));
+        // MSB first: the top row bits above the page offset...
+        assert!(lines[1].contains("pa[31:21] -> row[13:3]"), "{d}");
+        // ...and the LSB line is the transfer offset.
+        assert!(lines.last().unwrap().contains("pa[4:0]"), "{d}");
+        assert!(lines.last().unwrap().contains("tx[4:0]"), "{d}");
+        // The MapID=2 row bits sit directly above the chunk-column bits.
+        assert!(d.contains("pa[12:11] -> row[1:0]"), "{d}");
+        // Single-bit segments collapse the range notation.
+        assert!(d.contains("pa[17]"), "{d}");
+        assert!(d.contains("rk[0]"), "{d}");
+        // Hash state is reflected.
+        assert!(s.with_bank_hash().dump().contains("bank hash on"));
+    }
+
+    #[test]
+    fn dump_covers_pa_bits_contiguously() {
+        let t = jetson_topo();
+        for scheme in [
+            MappingScheme::conventional(t),
+            MappingScheme::pim_optimized(t, &PimArch::aim(&t), 1, HUGE_PAGE_BITS).unwrap(),
+        ] {
+            let d = scheme.dump();
+            // Parse the pa spans back out and check they tile [0, pa_bits).
+            let mut bits = vec![false; t.pa_bits() as usize];
+            for line in d.lines().skip(1) {
+                let span = line.trim().split(" -> ").next().unwrap();
+                let inner = span.trim_start_matches("pa[").trim_end().trim_end_matches(']');
+                let (hi, lo) = match inner.split_once(':') {
+                    Some((h, l)) => (h.parse::<usize>().unwrap(), l.parse::<usize>().unwrap()),
+                    None => {
+                        let b = inner.parse::<usize>().unwrap();
+                        (b, b)
+                    }
+                };
+                for (b, seen) in bits.iter_mut().enumerate().take(hi + 1).skip(lo) {
+                    assert!(!*seen, "pa bit {b} listed twice:\n{d}");
+                    *seen = true;
+                }
+            }
+            assert!(bits.iter().all(|&b| b), "pa bits missing from dump:\n{d}");
+        }
     }
 
     #[test]

@@ -32,9 +32,23 @@ impl DramStats {
         (self.reads + self.writes) * transfer_bytes
     }
 
+    /// Total column accesses classified by row-buffer outcome
+    /// (hits + misses + conflicts). Zero means the stats carry no
+    /// row-locality signal at all — callers deriving rates should treat
+    /// that case as "no data", not as a measured 0% (see
+    /// `facil_mapsearch::WorkloadProfile::measured_hit_rate`).
+    pub fn column_accesses(&self) -> u64 {
+        self.row_hits + self.row_misses + self.row_conflicts
+    }
+
     /// Row-buffer hit rate over all column accesses.
+    ///
+    /// Returns `0.0` — never NaN — when [`Self::column_accesses`] is zero,
+    /// so the value is always safe to plot or aggregate. Use
+    /// `column_accesses() == 0` to distinguish "no accesses recorded" from
+    /// a genuinely hit-free (all-miss) run.
     pub fn hit_rate(&self) -> f64 {
-        let total = self.row_hits + self.row_misses + self.row_conflicts;
+        let total = self.column_accesses();
         if total == 0 {
             0.0
         } else {
@@ -168,9 +182,26 @@ mod tests {
     #[test]
     fn empty_hit_rate_is_zero() {
         assert_eq!(DramStats::default().hit_rate(), 0.0);
+        assert!(DramStats::default().hit_rate().is_finite(), "never NaN");
         // A single miss still yields a well-defined (zero) hit rate.
         let s = DramStats { row_misses: 1, ..Default::default() };
         assert_eq!(s.hit_rate(), 0.0);
+        // column_accesses() is the disambiguator: 0 = no data, >0 = real 0%.
+        assert_eq!(DramStats::default().column_accesses(), 0);
+        assert_eq!(s.column_accesses(), 1);
+    }
+
+    #[test]
+    fn column_accesses_sums_all_outcomes() {
+        let s = DramStats {
+            row_hits: 3,
+            row_misses: 2,
+            row_conflicts: 4,
+            reads: 100, // reads/writes are issue counters, not outcome counters
+            ..Default::default()
+        };
+        assert_eq!(s.column_accesses(), 9);
+        assert!((s.hit_rate() - 3.0 / 9.0).abs() < 1e-12);
     }
 
     #[test]

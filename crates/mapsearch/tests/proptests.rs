@@ -1,0 +1,114 @@
+//! Property-based tests for the mapping search: the searched pick is
+//! never worse than the paper's under the search's own cost model, and a
+//! fixed seed yields byte-identical reports regardless of worker count.
+
+use facil_core::{DType, MatrixConfig, PimArch};
+use facil_dram::DramSpec;
+use facil_mapsearch::{
+    search_matrix, search_workload, SearchConfig, SearchReport, SearchStrategy, TensorSpec,
+    WorkloadProfile,
+};
+use proptest::prelude::*;
+
+fn spec() -> DramSpec {
+    DramSpec::lpddr5_6400(64, 8 << 30) // 4 channels, iPhone-class
+}
+
+/// Random placeable matrix: power-of-two-ish shapes spanning skinny
+/// slices through square blocks to tall classifier heads. Constrained by
+/// row *bytes* (>= one 2 KiB chunk row) so every shape places under both
+/// dtypes.
+fn arb_matrix() -> impl Strategy<Value = MatrixConfig> {
+    (4u32..=12, 11u32..=15, 0u64..3, prop::bool::ANY).prop_map(
+        |(row_exp, row_bytes_exp, row_fudge, f16)| {
+            let rows = (1u64 << row_exp) + row_fudge * (1 << row_exp.saturating_sub(2));
+            let (dtype, elem_log2) = if f16 { (DType::F16, 1) } else { (DType::I8, 0) };
+            let cols = 1u64 << (row_bytes_exp - elem_log2);
+            MatrixConfig::new(rows, cols, dtype)
+        },
+    )
+}
+
+/// Random GEMV/GEMM mix (both weights positive so neither term vanishes).
+fn arb_mix() -> impl Strategy<Value = (f64, f64)> {
+    (0.05f64..1.0, 0.05f64..1.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The epsilon incumbent rule guarantees the searched pick is never
+    /// worse than the paper's under the search's own measured cost model:
+    /// displacement requires a measured win, retention keeps the paper's
+    /// candidate (and therefore its exact score).
+    #[test]
+    fn searched_never_worse_than_paper((matrix, (gemv, gemm)) in (arb_matrix(), arb_mix())) {
+        let spec = spec();
+        let arch = PimArch::aim(&spec.topology);
+        let tensor = TensorSpec::new("t", matrix);
+        let profile = WorkloadProfile::decode_only("prop", vec![tensor.clone()])
+            .with_mix(gemv, gemm);
+        let config = SearchConfig::default();
+        let r = search_matrix(&spec, &arch, &tensor, &profile, &config).unwrap();
+
+        prop_assert!(
+            r.best_measured.score <= r.paper_measured.score,
+            "searched {} must not lose to paper {}",
+            r.best_measured.score,
+            r.paper_measured.score
+        );
+        if r.displaced {
+            prop_assert!(r.improvement > config.improvement_threshold);
+            prop_assert!(r.best != r.paper);
+        } else {
+            prop_assert!(r.best == r.paper, "retention must keep the paper's candidate");
+            prop_assert!(r.improvement == 0.0);
+        }
+        // The analytic phase also never ranks the paper's pick strictly
+        // below every alternative it examined: the minimum analytic score
+        // over all outcomes bounds the paper candidate's analytic score.
+        let paper_analytic = r
+            .outcomes
+            .iter()
+            .find(|o| o.candidate == r.paper)
+            .map(|o| o.analytic.score)
+            .unwrap();
+        let min_analytic = r
+            .outcomes
+            .iter()
+            .map(|o| o.analytic.score)
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!(min_analytic <= paper_analytic);
+    }
+
+    /// A fixed seed produces byte-identical reports — including under the
+    /// hill-climb strategy (the only seed consumer) and regardless of the
+    /// worker count (the `FACIL_THREADS` analogue inside the search).
+    #[test]
+    fn fixed_seed_is_byte_identical_across_workers(
+        (matrix, seed) in (arb_matrix(), 0u64..1_000_000)
+    ) {
+        let spec = spec();
+        let arch = PimArch::aim(&spec.topology);
+        let profile = WorkloadProfile::decode_only(
+            "prop",
+            vec![TensorSpec::new("t", matrix)],
+        );
+        let base = SearchConfig {
+            seed,
+            strategy: SearchStrategy::HillClimb,
+            ..SearchConfig::default()
+        };
+        let serial = SearchConfig { workers: Some(1), ..base };
+        let wide = SearchConfig { workers: Some(8), ..base };
+
+        let report = |config: &SearchConfig| -> SearchReport {
+            let results = search_workload(&spec, &arch, &profile, config).unwrap();
+            SearchReport::new("prop", &profile.name, config, spec.topology, arch, results)
+                .unwrap()
+        };
+        let a = report(&serial);
+        let b = report(&wide);
+        prop_assert_eq!(a.to_json(), b.to_json());
+    }
+}

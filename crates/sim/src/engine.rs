@@ -128,13 +128,34 @@ impl InferenceSim {
         model: ModelConfig,
         dtype: DType,
     ) -> facil_core::Result<Self> {
+        let topo = platform.dram.topology;
+        let arch = platform.pim_arch;
+        Self::with_selector(platform, model, dtype, |matrix| {
+            select_mapping_2mb(matrix, topo, &arch)
+        })
+    }
+
+    /// Build the simulator with a pluggable mapping selector: every weight
+    /// matrix's [`MappingDecision`] comes from `select` instead of the
+    /// paper's closed-form rule. This is how a
+    /// `facil_mapsearch::SearchReport` plugs its searched picks into the
+    /// end-to-end simulation (`sim.with_selector(report.selector())`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates selector errors (unplaceable weight matrices).
+    pub fn with_selector(
+        platform: Platform,
+        model: ModelConfig,
+        dtype: DType,
+        select: impl Fn(&MatrixConfig) -> facil_core::Result<MappingDecision>,
+    ) -> facil_core::Result<Self> {
         let pim = PimEngine::new(platform.dram.clone(), platform.pim_arch);
         let relayout = RelayoutModel::new(platform.dram.clone(), platform.pim_arch);
-        let topo = platform.dram.topology;
         let mut weights = Vec::new();
         for (op, instances) in model.all_linears() {
             let matrix = MatrixConfig::new(op.out_features, op.in_features, dtype);
-            let decision = select_mapping_2mb(&matrix, topo, &platform.pim_arch)?;
+            let decision = select(&matrix)?;
             let pim_gemv_ns = pim.gemv(&matrix, &decision).time_ns;
             weights.push(Weight { matrix, decision, instances, pim_gemv_ns });
         }

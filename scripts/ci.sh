@@ -66,6 +66,47 @@ rps, speedup, threads = widest["parallel_rps"], widest["speedup"], widest["threa
 print(f"perf_dram smoke OK (8ch: {rps:.0f} req/s, {speedup:.2f}x on {threads} threads)")'
 echo "perf artifact: $perf_artifact"
 
+echo "== mapsearch smoke =="
+# Mapping-search ablation: the JSONL must be well-formed (one SearchReport
+# run per platform + one manifest), every Fig. 13 baseline tensor must
+# retain the paper's closed-form pick, and at least one searched mapping
+# must beat the paper's by more than the incumbent threshold. The full
+# report is kept as a CI artifact.
+mkdir -p target
+mapsearch_artifact="target/BENCH_mapsearch.json"
+: > "$mapsearch_artifact"
+cargo run --release -q -p facil-bench --bin mapsearch -- --smoke --json \
+  | tee "$mapsearch_artifact" \
+  | python3 -c 'import json,sys
+lines = [json.loads(l) for l in sys.stdin if l.strip()]
+manifests = [o for o in lines if "schema_version" in o]
+runs = [o for o in lines if "schema_version" not in o]
+assert len(manifests) == 1, f"expected one manifest, got {len(manifests)}"
+m = manifests[0]
+assert m["bench"] == "mapsearch" and "seed" in m, m
+assert m["results"]["baselines_reproduced"] == 1, m
+assert len(runs) == 2, f"expected a 2-platform smoke sweep, got {len(runs)}"
+threshold = m["config"]["improvement_threshold"]
+extras = {"moe-expert", "longctx-ffn"}
+wins = 0
+for o in runs:
+    assert o["experiment"] == "mapsearch", o
+    rep = o["report"]
+    assert rep["results"], rep["platform"]
+    for r in rep["results"]:
+        name = rep["platform"] + "/" + r["tensor"]
+        if r["tensor"] in extras:
+            wins += r["displaced"]
+        else:
+            assert not r["displaced"], "baseline displaced: " + name
+            assert r["best"] == r["paper"], name
+        if r["displaced"]:
+            assert r["improvement"] > threshold, name
+            assert r["best_score"] < r["paper_score"], name
+assert wins >= 1, "no searched mapping beat the paper pick"
+print(f"mapsearch smoke OK ({len(runs)} platforms, {wins} searched wins)")'
+echo "mapsearch artifact: $mapsearch_artifact"
+
 echo "== FACIL_THREADS determinism smoke =="
 # The worker-count knob must be invisible in results: serving_v2 --json
 # output is byte-identical between 1 and 8 workers.

@@ -17,6 +17,9 @@
 //!   metrics,
 //! * [`serve`] — discrete-event serving simulator: continuous batching,
 //!   admission control, SLO metrics, multi-device fleets,
+//! * [`mapsearch`] — workload-profile-driven mapping search over the
+//!   MapID / PU-order / bank-hash candidate space, with an analytic cost
+//!   model cross-checked by cycle-accurate replays,
 //! * [`telemetry`] — unified observability: trace spans on simulated time
 //!   with a Chrome/Perfetto exporter, a metrics registry, run manifests,
 //!   and the workspace's shared JSON writer.
@@ -27,6 +30,7 @@
 pub use facil_core as core;
 pub use facil_dram as dram;
 pub use facil_llm as llm;
+pub use facil_mapsearch as mapsearch;
 pub use facil_pim as pim;
 pub use facil_serve as serve;
 pub use facil_sim as sim;
