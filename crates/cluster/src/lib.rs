@@ -1,0 +1,49 @@
+//! # facil-cluster — fault-tolerant cluster serving for FACIL fleets
+//!
+//! Scales the [`facil_serve`] continuous-batching fleet simulator to
+//! *cluster* shape: thousands of devices organized into hierarchical
+//! **cells** (failure domains), driven by a two-tier router under a
+//! cluster-scale chaos schedule — the serving regime a million-user
+//! on-device LLM deployment actually runs in.
+//!
+//! The crate is built from four layers:
+//!
+//! - [`ClusterConfig`] — topology (cells × devices, autoscaling headroom),
+//!   per-tenant QoS classes ([`Tenant`]: priority, KV quota, traffic
+//!   share), hedging threshold, and the SLO-burn [`AutoscalePolicy`].
+//! - [`ChaosPlan`] — the cluster-scale fault model layered on
+//!   [`facil_serve::FaultPlan`]: correlated **cell outages**, network
+//!   **partitions** (a cell keeps serving but admits nothing new),
+//!   **link-delay spikes** (dispatches defer or hedge to a clean cell),
+//!   slow-node **gray failures** ([`facil_serve::FaultKind::Slow`]), and
+//!   device-scope fault passthrough. [`ChaosPlan::seeded`] derives a whole
+//!   schedule deterministically from a seed.
+//! - [`run_cluster`] / [`run_cluster_traced`] — the two-tier driver:
+//!   cell-level admission control (partition-aware, least mean backlog)
+//!   then device-level dispatch ([`facil_serve::Routing`]), with bounded
+//!   cross-cell failover, a QoS-ordered park queue with explicit
+//!   overflow shedding, per-tenant KV quota enforcement, and p99-TTFT
+//!   SLO-burn autoscaling.
+//! - [`ClusterReport`] — SLO attainment, goodput, availability, the full
+//!   shed taxonomy ([`ClusterShedReason`] + per-cell
+//!   [`facil_serve::ShedReason`]), per-tenant and per-cell rollups, and
+//!   the conservation invariant [`ClusterReport::conserved`]
+//!   (`offered == completed + shed`, property-tested under seeded chaos).
+//!
+//! Everything is deterministic for a fixed seed and plan: repeated runs —
+//! at any `FACIL_THREADS` worker count — serialize to byte-identical
+//! [`ClusterReport::to_json`] output, and [`ChaosPlan::none`] reproduces
+//! the chaos-free schedule exactly.
+
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+#![warn(missing_docs)]
+
+pub mod chaos;
+pub mod report;
+pub mod router;
+pub mod topology;
+
+pub use chaos::{ChaosEvent, ChaosPlan, ChaosRates, CompiledChaos};
+pub use report::{CellReport, ClusterReport, ClusterShedReason, ClusterShedRecord, TenantReport};
+pub use router::{run_cluster, run_cluster_traced};
+pub use topology::{AutoscalePolicy, ClusterConfig, Tenant};

@@ -80,6 +80,8 @@ impl Frontend {
                 MappingScheme::pim_optimized(self.topo, &self.arch, map_id.0, self.page_bits)?;
             self.slots[idx] = Some(scheme);
         }
+        // The branch above guarantees the slot is occupied.
+        #[allow(clippy::expect_used)]
         Ok(self.slots[idx].as_ref().expect("just installed"))
     }
 

@@ -140,6 +140,9 @@ impl PhysicalMemory {
         }
         // Prefer a partial block so fully-free blocks stay huge-page ready
         // (mirrors the kernel's anti-fragmentation placement).
+        // `free_frames > 0` was checked above, and `block_free` is kept in
+        // lockstep with the frame bitmap, so both lookups must succeed.
+        #[allow(clippy::expect_used)]
         let block = self
             .block_free
             .iter()
@@ -147,6 +150,7 @@ impl PhysicalMemory {
             .or_else(|| self.block_free.iter().position(|&f| f > 0))
             .expect("free frames exist");
         let start = block as u64 * FRAMES_PER_HUGE;
+        #[allow(clippy::expect_used)]
         let frame = (start..start + FRAMES_PER_HUGE)
             .find(|&f| !self.is_used(f))
             .expect("block_free count says a frame is free");
@@ -182,6 +186,8 @@ impl PhysicalMemory {
             return Ok(HugeAlloc { pa: start << BASE_PAGE_BITS, frames_moved: 0 });
         }
         // Compaction path: victim = partial block with most free frames.
+        // The capacity check at the top guarantees at least one such block.
+        #[allow(clippy::expect_used)]
         let victim = self
             .block_free
             .iter()

@@ -80,8 +80,10 @@ impl RadixPageTable {
             } else {
                 assert_eq!(slot, 0, "remapping over an existing leaf at level {level}");
                 let id = self.alloc_frame();
-                self.frames.get_mut(&frame).expect("frame exists")[idx] =
-                    (id << BASE_PAGE_BITS) | 1;
+                // `frame` came from the walk above, so its table exists.
+                #[allow(clippy::expect_used)]
+                let table = self.frames.get_mut(&frame).expect("frame exists");
+                table[idx] = (id << BASE_PAGE_BITS) | 1;
                 id
             };
             frame = next;
@@ -101,7 +103,10 @@ impl RadixPageTable {
         let frame = self.descend_mut(va, 1);
         let idx = level_index(va, 1);
         let entry = Pte::base_page(pa).bits() | LEAF;
-        self.frames.get_mut(&frame).expect("frame exists")[idx] = entry;
+        // `descend_mut` just returned this frame id, so its table exists.
+        #[allow(clippy::expect_used)]
+        let table = self.frames.get_mut(&frame).expect("frame exists");
+        table[idx] = entry;
     }
 
     /// Install a 2 MB huge-page leaf at the PD level, optionally carrying a
@@ -118,7 +123,10 @@ impl RadixPageTable {
             Some(id) => Pte::pim_huge_page(pa, id),
             None => Pte::huge_page(pa),
         };
-        self.frames.get_mut(&frame).expect("frame exists")[idx] = pte.bits() | LEAF;
+        // `descend_mut` just returned this frame id, so its table exists.
+        #[allow(clippy::expect_used)]
+        let table = self.frames.get_mut(&frame).expect("frame exists");
+        table[idx] = pte.bits() | LEAF;
     }
 
     /// Remove the mapping covering `va` (leaf only; interior frames are
@@ -135,7 +143,10 @@ impl RadixPageTable {
                 continue;
             }
             if slot & LEAF != 0 {
-                self.frames.get_mut(&frame).expect("frame exists")[idx] = 0;
+                // The walk reached this frame through a live entry.
+                #[allow(clippy::expect_used)]
+                let table = self.frames.get_mut(&frame).expect("frame exists");
+                table[idx] = 0;
             }
             return;
         }

@@ -109,7 +109,8 @@ impl Tlb {
         let tick = self.tick;
         let set = &mut self.sets[idx];
         if set.len() >= self.ways {
-            // Evict LRU.
+            // Evict LRU. `ways >= 1`, so a full set is nonempty.
+            #[allow(clippy::expect_used)]
             let victim = set
                 .iter()
                 .enumerate()

@@ -158,6 +158,9 @@ impl MappingScheme {
             Segment { field: Field::Rank, width: topo.rank_bits() },
             Segment { field: Field::Row, width: topo.row_bits() },
         ];
+        // The segment list covers exactly the topology's address bits, so
+        // validation cannot fail for any topology this type accepts.
+        #[allow(clippy::expect_used)]
         Self::from_segments(topo, segments, "conventional")
             .expect("conventional scheme is always valid")
     }

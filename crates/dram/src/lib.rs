@@ -26,6 +26,7 @@
 //! assert_eq!(result.stats.reads, 1);
 //! ```
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

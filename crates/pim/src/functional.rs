@@ -102,6 +102,9 @@ pub fn pim_gemv(
             // VA -> PA through the page table (the PTE supplies the MapID,
             // but here we use the allocation's scheme directly, as the
             // frontend mux would).
+            // The allocator mapped every VA of this placement before handing
+            // it out, so translation cannot miss.
+            #[allow(clippy::expect_used)]
             let pa = page_table.translate(va).expect("allocation is mapped").pa;
             let first = scheme.map_pa(pa);
             // Gather the chunk transfer by transfer via device addresses,

@@ -177,11 +177,13 @@ pub struct DeviceSim<'a, S: TraceSink = NullSink> {
     outages: Vec<OutageWindow>,
     pim_windows: Vec<(f64, f64)>,
     kv_windows: Vec<(f64, f64)>,
+    slow_windows: Vec<(f64, f64, f64)>,
     next_outage: usize,
     dead: bool,
     in_degraded: bool,
     degraded_s: f64,
     relayout_stall_s: f64,
+    slow_s: f64,
     crashes: usize,
     evicted: Vec<EvictedReq>,
     evicted_total: usize,
@@ -255,6 +257,7 @@ impl<'a, S: TraceSink> DeviceSim<'a, S> {
         let mut outages = Vec::new();
         let mut pim_windows = Vec::new();
         let mut kv_windows = Vec::new();
+        let mut slow_windows = Vec::new();
         for e in plan.events.iter().filter(|e| e.device == device) {
             match e.kind {
                 FaultKind::Crash { recover_s } => outages.push(OutageWindow {
@@ -271,6 +274,9 @@ impl<'a, S: TraceSink> DeviceSim<'a, S> {
                     pim_windows.push((e.at_s, e.at_s + duration_s))
                 }
                 FaultKind::KvFault { duration_s } => kv_windows.push((e.at_s, e.at_s + duration_s)),
+                FaultKind::Slow { duration_s, factor } => {
+                    slow_windows.push((e.at_s, e.at_s + duration_s, factor))
+                }
             }
         }
         // Stable sorts keep the plan's order for coincident faults, so the
@@ -278,6 +284,7 @@ impl<'a, S: TraceSink> DeviceSim<'a, S> {
         outages.sort_by(|a, b| a.start.total_cmp(&b.start));
         pim_windows.sort_by(|a, b| a.0.total_cmp(&b.0));
         kv_windows.sort_by(|a, b| a.0.total_cmp(&b.0));
+        slow_windows.sort_by(|a, b| a.0.total_cmp(&b.0));
         DeviceSim {
             sim,
             cfg,
@@ -309,11 +316,13 @@ impl<'a, S: TraceSink> DeviceSim<'a, S> {
             outages,
             pim_windows,
             kv_windows,
+            slow_windows,
             next_outage: 0,
             dead: false,
             in_degraded: false,
             degraded_s: 0.0,
             relayout_stall_s: 0.0,
+            slow_s: 0.0,
             crashes: 0,
             evicted: Vec::new(),
             evicted_total: 0,
@@ -378,6 +387,11 @@ impl<'a, S: TraceSink> DeviceSim<'a, S> {
         self.degraded_s
     }
 
+    /// Seconds served inside gray-failure (slow-node) windows so far.
+    pub fn slow_s(&self) -> f64 {
+        self.slow_s
+    }
+
     /// Worst-case KV footprint of `q` in bytes: whole slab sets covering
     /// `prefill + decode` tokens across every layer's K and V halves.
     pub fn kv_bytes_needed(&self, q: &Query) -> u64 {
@@ -415,6 +429,12 @@ impl<'a, S: TraceSink> DeviceSim<'a, S> {
     /// End of the KV-fault window containing `t`, if admission is blocked.
     fn kv_block_end(&self, t: f64) -> Option<f64> {
         self.kv_windows.iter().find(|&&(s, e)| s <= t && t < e).map(|&(_, e)| e)
+    }
+
+    /// Iteration-time multiplier at `t` (1.0 when healthy). Overlapping
+    /// gray-failure windows compound multiplicatively.
+    fn slow_factor_at(&self, t: f64) -> f64 {
+        self.slow_windows.iter().filter(|&&(s, e, _)| s <= t && t < e).map(|&(_, _, f)| f).product()
     }
 
     /// Trace a shed decision as an instant event on the device track.
@@ -621,7 +641,10 @@ impl<'a, S: TraceSink> DeviceSim<'a, S> {
                 self.sim.prefill_chunk_ns(self.cfg.strategy, start, len, total)
             }
         });
-        let dt = (decode_ns + prefill_ns) / 1e9;
+        // Gray failure: a slow node keeps serving, but every iteration takes
+        // `factor`× its healthy time while the window is open.
+        let slow = self.slow_factor_at(self.now_s);
+        let dt = (decode_ns + prefill_ns) / 1e9 * slow;
         self.sink.complete(
             self.track,
             "batch",
@@ -631,12 +654,16 @@ impl<'a, S: TraceSink> DeviceSim<'a, S> {
                 ("decode", ArgValue::U64(ctxs.len() as u64)),
                 ("prefill", ArgValue::U64(chunk.map_or(0, |(_, len, _)| len))),
                 ("degraded", ArgValue::U64(u64::from(degraded))),
+                ("slow", ArgValue::U64(u64::from(slow > 1.0))),
             ],
         );
         self.now_s += dt;
         self.busy_s += dt;
         if degraded {
             self.degraded_s += dt;
+        }
+        if slow > 1.0 {
+            self.slow_s += dt;
         }
         self.iterations += 1;
         self.decode_tokens += ctxs.len() as u64;
@@ -858,7 +885,9 @@ impl<'a, S: TraceSink> DeviceSim<'a, S> {
             .map(|w| (w.end.min(span_s) - w.start.min(span_s)).max(0.0))
             .sum::<f64>()
             .max(0.0);
-        let uptime = if span_s > 0.0 { (1.0 - down_s / span_s).clamp(0.0, 1.0) } else { 1.0 };
+        // Zero-span runs have no observed device-time: report 0.0 rather
+        // than a vacuous 1.0 (same discipline as `DramStats::hit_rate`).
+        let uptime = if span_s > 0.0 { (1.0 - down_s / span_s).clamp(0.0, 1.0) } else { 0.0 };
         DeviceReport {
             device: self.device,
             completed: self.completed.len(),
@@ -881,6 +910,7 @@ impl<'a, S: TraceSink> DeviceSim<'a, S> {
             down_s,
             degraded_s: self.degraded_s,
             relayout_stall_s: self.relayout_stall_s,
+            slow_s: self.slow_s,
             crashes: self.crashes,
             evicted: self.evicted_total,
             queue_depth,
@@ -1157,6 +1187,39 @@ mod tests {
             hybrid.ttft_ms,
             facil.ttft_ms
         );
+    }
+
+    #[test]
+    fn slow_node_keeps_serving_but_stretches_latency() {
+        let factor = 8.0;
+        let plan = plan_with(vec![FaultEvent {
+            device: 0,
+            at_s: 0.0,
+            kind: FaultKind::Slow { duration_s: 1e9, factor },
+        }]);
+        let q = Query { prefill: 64, decode: 32 };
+        let mut slow = DeviceSim::with_faults(sim(), 0, unfragmented(), &plan);
+        slow.enqueue(0.0, 0, q);
+        slow.drain();
+        let mut clean = DeviceSim::new(sim(), 0, unfragmented());
+        clean.enqueue(0.0, 0, q);
+        clean.drain();
+        // Gray failure: nothing is lost or shed — the request completes,
+        // just `factor`× slower (modulo the unscaled KV-compaction charge).
+        assert_eq!(slow.completed().len(), 1);
+        assert!(slow.take_evicted().is_empty());
+        assert_eq!(slow.shed().len(), 0);
+        let ratio = slow.completed()[0].ttlt_ms / clean.completed()[0].ttlt_ms;
+        assert!(
+            (ratio - factor).abs() < 0.05 * factor,
+            "slow TTLT must be ~{factor}x the healthy one, got {ratio:.2}x"
+        );
+        assert!(slow.slow_s() > 0.0);
+        assert_eq!(clean.slow_s(), 0.0);
+        let rep = slow.report(slow.now_s());
+        assert_eq!(rep.slow_s, slow.slow_s());
+        // The node still passes "health checks": it accepts arrivals.
+        assert!(slow.accepts(0.5));
     }
 
     #[test]

@@ -55,6 +55,15 @@ pub enum FaultKind {
         /// Length of the admission-blocked window, seconds.
         duration_s: f64,
     },
+    /// Gray failure: the device keeps serving but every iteration takes
+    /// `factor`× its healthy time for `duration_s` seconds — the slow node
+    /// that passes health checks while dragging down tail latency.
+    Slow {
+        /// Length of the slow window, seconds.
+        duration_s: f64,
+        /// Iteration-time multiplier (must be finite and >= 1.0).
+        factor: f64,
+    },
 }
 
 /// One scheduled failure on one device.
@@ -104,12 +113,42 @@ pub struct FaultRates {
     pub mean_outage_s: f64,
 }
 
+/// Largest exponent fed to the exponential backoff: `2^60` seconds is
+/// ~36,000× the age of the universe, so capping here changes no plausible
+/// schedule while keeping the arithmetic finite.
+const BACKOFF_EXP_CAP: u32 = 60;
+
+/// Exponential backoff before retry attempt `attempt` (0-based count of
+/// failovers already consumed): `base * 2^attempt`, **saturating** — the
+/// exponent is capped at 2^60 and a non-finite product clamps to
+/// [`f64::MAX`], so high attempt counts return a huge *finite* wait
+/// instead of overflowing to infinity (which would poison every
+/// downstream time comparison with NaN).
+pub fn saturating_backoff(base_s: f64, attempt: u32) -> f64 {
+    if base_s <= 0.0 {
+        return 0.0;
+    }
+    let b = base_s * 2f64.powi(attempt.min(BACKOFF_EXP_CAP) as i32);
+    if b.is_finite() {
+        b
+    } else {
+        f64::MAX
+    }
+}
+
 impl FaultPlan {
     /// The empty plan: no faults, no deadlines, no retries. Serving with
     /// this plan is bit-for-bit identical to serving without fault
     /// injection at all.
     pub fn none() -> Self {
         FaultPlan { events: Vec::new(), deadline_s: 0.0, max_retries: 0, retry_backoff_s: 0.0 }
+    }
+
+    /// Backoff charged to the serving clock before retry attempt
+    /// `attempt`, per [`saturating_backoff`] over this plan's
+    /// [`retry_backoff_s`](FaultPlan::retry_backoff_s).
+    pub fn backoff_s(&self, attempt: u32) -> f64 {
+        saturating_backoff(self.retry_backoff_s, attempt)
     }
 
     /// Generate a seeded random plan over `span_s` seconds on a fleet of
@@ -169,12 +208,20 @@ impl FaultPlan {
                 FaultKind::Crash { recover_s } => recover_s.unwrap_or(1.0),
                 FaultKind::Freeze { duration_s }
                 | FaultKind::PimFault { duration_s }
-                | FaultKind::KvFault { duration_s } => duration_s,
+                | FaultKind::KvFault { duration_s }
+                | FaultKind::Slow { duration_s, .. } => duration_s,
             };
             if !duration.is_finite() || duration <= 0.0 {
                 return Err(FacilError::InvalidRequest(format!(
                     "fault duration {duration} must be finite and positive"
                 )));
+            }
+            if let FaultKind::Slow { factor, .. } = e.kind {
+                if !factor.is_finite() || factor < 1.0 {
+                    return Err(FacilError::InvalidRequest(format!(
+                        "slowdown factor {factor} must be finite and >= 1.0"
+                    )));
+                }
             }
         }
         if !self.deadline_s.is_finite() || self.deadline_s < 0.0 {
@@ -260,6 +307,50 @@ mod tests {
         a.validate(4).unwrap();
         let c = FaultPlan::random(8, 4, 100.0, rates);
         assert_ne!(a, c, "different seeds give different plans");
+    }
+
+    #[test]
+    fn slow_faults_are_validated() {
+        let mk = |duration_s: f64, factor: f64| FaultPlan {
+            events: vec![FaultEvent {
+                device: 0,
+                at_s: 0.0,
+                kind: FaultKind::Slow { duration_s, factor },
+            }],
+            ..FaultPlan::none()
+        };
+        assert!(mk(1.0, 4.0).validate(1).is_ok());
+        assert!(mk(0.0, 4.0).validate(1).is_err(), "zero duration");
+        assert!(mk(1.0, 0.5).validate(1).is_err(), "speed-up is not a fault");
+        assert!(mk(1.0, f64::NAN).validate(1).is_err());
+        assert!(mk(1.0, f64::INFINITY).validate(1).is_err());
+    }
+
+    #[test]
+    fn backoff_saturates_instead_of_overflowing() {
+        let plan = FaultPlan { retry_backoff_s: 0.05, ..FaultPlan::none() };
+        // Low attempts: the textbook doubling schedule.
+        assert_eq!(plan.backoff_s(0), 0.05);
+        assert_eq!(plan.backoff_s(1), 0.1);
+        assert_eq!(plan.backoff_s(4), 0.8);
+        // High attempts: finite, capped, monotone non-decreasing — never
+        // infinity (2^1100 would overflow f64) and never a wrapped
+        // negative exponent (u32::MAX as i32 is -1).
+        let huge = [60, 61, 1_000, 1_100, u32::MAX - 1, u32::MAX];
+        let mut prev = 0.0;
+        for a in huge {
+            let b = plan.backoff_s(a);
+            assert!(b.is_finite(), "attempt {a} overflowed to {b}");
+            assert!(b >= prev, "attempt {a}: backoff {b} fell below {prev}");
+            prev = b;
+        }
+        assert_eq!(plan.backoff_s(u32::MAX), plan.backoff_s(60), "saturated plateau");
+        assert!(plan.backoff_s(u32::MAX) > plan.backoff_s(59));
+        // A base large enough to overflow even at the capped exponent
+        // clamps to f64::MAX instead of going infinite.
+        assert_eq!(saturating_backoff(1e300, u32::MAX), f64::MAX);
+        // Disabled backoff stays free at any attempt count.
+        assert_eq!(FaultPlan::none().backoff_s(u32::MAX), 0.0);
     }
 
     #[test]

@@ -19,7 +19,7 @@
 use std::cmp::{Ordering, Reverse};
 use std::collections::BinaryHeap;
 
-use facil_sim::InferenceSim;
+use facil_sim::{InferenceSim, Strategy};
 use facil_telemetry::{pool, ArgValue, MetricsRegistry, NullSink, TraceSink, TrackId};
 use facil_workloads::{ArrivalProcess, Dataset, Query};
 use serde::{Deserialize, Serialize};
@@ -159,8 +159,7 @@ impl<S: TraceSink> Driver<'_, S> {
             });
             return;
         }
-        let backoff = self.plan.retry_backoff_s * 2f64.powi(ev.attempt as i32);
-        let t_s = ev.evicted_s + backoff;
+        let t_s = ev.evicted_s + self.plan.backoff_s(ev.attempt);
         if self.plan.deadline_s > 0.0 && t_s - ev.arrival_s > self.plan.deadline_s {
             self.record_fleet_shed(ev.evicted_s, ev.id, ShedReason::DeadlineExpired);
             self.fleet_sheds.push(ShedRecord {
@@ -392,13 +391,62 @@ fn drive<S: TraceSink + Clone, E: FleetExec<S>>(
 
     let span_s =
         devices.iter().map(DeviceSim::now_s).fold(times.last().copied().unwrap_or(0.0), f64::max);
+    let meta = ReportMeta {
+        strategy: cfg.strategy,
+        arrival: arrival.to_string(),
+        routing: fleet.routing,
+        offered: dataset.queries.len(),
+        span_s,
+        failovers: drv.failovers,
+        retries: drv.retries,
+        deadline_s: plan.deadline_s,
+    };
+    Ok(assemble_report(&devices, &drv.fleet_sheds, &meta))
+}
+
+/// Run identity and driver-level counters the report assembler cannot read
+/// off the devices themselves.
+#[derive(Debug, Clone)]
+pub struct ReportMeta {
+    /// Execution strategy of the timing oracle.
+    pub strategy: Strategy,
+    /// Arrival process description.
+    pub arrival: String,
+    /// Routing policy used across devices.
+    pub routing: Routing,
+    /// Requests offered to the fleet.
+    pub offered: usize,
+    /// Wall-clock span utilization and availability are normalized
+    /// against, seconds.
+    pub span_s: f64,
+    /// Crash evictions the driver harvested for failover.
+    pub failovers: usize,
+    /// Retry attempts the driver scheduled.
+    pub retries: usize,
+    /// Per-request deadline (0 disables deadline accounting), seconds.
+    pub deadline_s: f64,
+}
+
+/// Assemble a [`ServeReport`] from final device state plus the driver's
+/// fleet-level sheds — the roll-up `drive` uses, exposed so higher-level
+/// drivers (e.g. a cluster of fleets) can produce per-fleet reports with
+/// identical metric definitions. Rate metrics (availability, utilization,
+/// uptime, rates per second, deadline-violation rate) are 0.0 — never
+/// `NaN` — for zero-span or zero-offered runs, matching
+/// `DramStats::hit_rate`.
+pub fn assemble_report<S: TraceSink>(
+    devices: &[DeviceSim<'_, S>],
+    fleet_sheds: &[ShedRecord],
+    meta: &ReportMeta,
+) -> ServeReport {
+    let span_s = meta.span_s;
     let mut requests: Vec<RequestRecord> =
         devices.iter().flat_map(|d| d.completed().iter().copied()).collect();
     requests.sort_by_key(|r| r.id);
     let mut sheds: Vec<ShedRecord> = devices
         .iter()
         .flat_map(|d| d.shed().iter().copied())
-        .chain(drv.fleet_sheds.iter().copied())
+        .chain(fleet_sheds.iter().copied())
         .collect();
     sheds.sort_by_key(|s| s.id);
 
@@ -409,7 +457,7 @@ fn drive<S: TraceSink + Clone, E: FleetExec<S>>(
         reg.observe("serve.ttft_ms", r.ttft_ms);
         reg.observe("serve.ttlt_ms", r.ttlt_ms);
     }
-    for d in &devices {
+    for d in devices {
         reg.observe_all("serve.tbt_ms", d.tbt_ms());
     }
     let ttft_ms = reg.summary("serve.ttft_ms");
@@ -417,7 +465,7 @@ fn drive<S: TraceSink + Clone, E: FleetExec<S>>(
     let tbt_ms = reg.summary("serve.tbt_ms");
     let by_reason = |reason: ShedReason| sheds.iter().filter(|s| s.reason == reason).count();
     let utilization = if span_s > 0.0 {
-        devices.iter().map(DeviceSim::busy_s).sum::<f64>() / (span_s * devices.len() as f64)
+        devices.iter().map(|d| d.busy_s()).sum::<f64>() / (span_s * devices.len() as f64)
     } else {
         0.0
     };
@@ -426,27 +474,28 @@ fn drive<S: TraceSink + Clone, E: FleetExec<S>>(
     let downtime_s: f64 = device_reports.iter().map(|d| d.down_s).sum();
     let degraded_s: f64 = device_reports.iter().map(|d| d.degraded_s).sum();
     let relayout_stall_s: f64 = device_reports.iter().map(|d| d.relayout_stall_s).sum();
-    let availability = if span_s > 0.0 {
+    let slow_s: f64 = device_reports.iter().map(|d| d.slow_s).sum();
+    let availability = if span_s > 0.0 && !devices.is_empty() {
         (1.0 - downtime_s / (span_s * devices.len() as f64)).clamp(0.0, 1.0)
     } else {
-        1.0
+        0.0
     };
     let shed_deadline = by_reason(ShedReason::DeadlineExpired);
-    let deadline_violations = if plan.deadline_s > 0.0 {
-        let deadline_ms = plan.deadline_s * 1e3;
+    let deadline_violations = if meta.deadline_s > 0.0 {
+        let deadline_ms = meta.deadline_s * 1e3;
         shed_deadline + requests.iter().filter(|r| r.ttlt_ms > deadline_ms).count()
     } else {
         0
     };
-    let offered = dataset.queries.len();
+    let offered = meta.offered;
     let deadline_violation_rate =
         if offered > 0 { deadline_violations as f64 / offered as f64 } else { 0.0 };
 
-    Ok(ServeReport {
-        strategy: cfg.strategy,
-        arrival: arrival.to_string(),
-        routing: fleet.routing,
-        num_devices: fleet.devices,
+    ServeReport {
+        strategy: meta.strategy,
+        arrival: meta.arrival.clone(),
+        routing: meta.routing,
+        num_devices: devices.len(),
         offered,
         completed: requests.len(),
         shed: sheds.len(),
@@ -463,8 +512,9 @@ fn drive<S: TraceSink + Clone, E: FleetExec<S>>(
         downtime_s,
         degraded_s,
         relayout_stall_s,
-        failovers: drv.failovers,
-        retries: drv.retries,
+        slow_s,
+        failovers: meta.failovers,
+        retries: meta.retries,
         deadline_violations,
         deadline_violation_rate,
         ttft_ms,
@@ -473,7 +523,7 @@ fn drive<S: TraceSink + Clone, E: FleetExec<S>>(
         devices: device_reports,
         requests,
         sheds,
-    })
+    }
 }
 
 /// Serve `dataset` with arrivals from `arrival` on a fault-free fleet
@@ -662,6 +712,20 @@ mod tests {
         assert_eq!(r.shed, 0);
         assert_eq!(r.ttft_ms.count, 0);
         assert_eq!(r.span_s, 0.0);
+        // Zero-span / zero-offered rate metrics are 0.0, never NaN
+        // (DramStats::hit_rate discipline).
+        for (name, v) in [
+            ("offered_qps", r.offered_qps),
+            ("goodput_qps", r.goodput_qps),
+            ("utilization", r.utilization),
+            ("availability", r.availability),
+            ("deadline_violation_rate", r.deadline_violation_rate),
+            ("uptime", r.devices[0].uptime),
+            ("device utilization", r.devices[0].utilization),
+        ] {
+            assert!(!v.is_nan(), "{name} must not be NaN");
+            assert_eq!(v, 0.0, "{name} of an empty run");
+        }
     }
 
     #[test]

@@ -56,10 +56,10 @@ pub mod metrics;
 pub mod request;
 
 pub use device::{DeviceSim, EvictedReq, ServeConfig};
-pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultRates};
+pub use faults::{saturating_backoff, FaultEvent, FaultKind, FaultPlan, FaultRates};
 pub use fleet::{
-    run_fleet, run_fleet_with_faults, run_fleet_with_faults_traced, run_serving, FleetConfig,
-    Routing,
+    assemble_report, run_fleet, run_fleet_with_faults, run_fleet_with_faults_traced, run_serving,
+    FleetConfig, ReportMeta, Routing,
 };
 pub use metrics::{DeviceReport, QueueSample, ServeReport};
 pub use request::{RequestRecord, ShedReason, ShedRecord};

@@ -61,7 +61,8 @@ pub struct DeviceReport {
     /// Mean work items (decode tokens + prefill chunks) per iteration.
     pub mean_batch: f64,
     /// Fraction of the span the device was up (outside crash/freeze
-    /// windows).
+    /// windows). 0.0 for a zero-duration span (never `NaN`), matching
+    /// `DramStats::hit_rate`.
     pub uptime: f64,
     /// Seconds of the span spent down.
     pub down_s: f64,
@@ -70,6 +71,8 @@ pub struct DeviceReport {
     /// Seconds stalled re-laying-out weights on degraded-mode transitions
     /// (zero for FACIL strategies).
     pub relayout_stall_s: f64,
+    /// Seconds served inside gray-failure (slow-node) windows.
+    pub slow_s: f64,
     /// Crash events this device lived through.
     pub crashes: usize,
     /// Requests this device lost to crashes (harvested for failover).
@@ -115,7 +118,8 @@ pub struct ServeReport {
     /// Mean device utilization over the span.
     pub utilization: f64,
     /// Mean fraction of device-seconds the fleet was up
-    /// (`1 - downtime / (span * devices)`).
+    /// (`1 - downtime / (span * devices)`). 0.0 for a zero-duration or
+    /// zero-device run (never `NaN`), matching `DramStats::hit_rate`.
     pub availability: f64,
     /// Total device-seconds lost to crash/freeze windows.
     pub downtime_s: f64,
@@ -123,6 +127,9 @@ pub struct ServeReport {
     pub degraded_s: f64,
     /// Total seconds stalled on degraded-mode weight re-layouts.
     pub relayout_stall_s: f64,
+    /// Total device-seconds served inside gray-failure (slow-node)
+    /// windows.
+    pub slow_s: f64,
     /// Requests evicted by crashes and handed back to the fleet driver.
     pub failovers: usize,
     /// Retry attempts scheduled (each charged exponential backoff on the
@@ -131,7 +138,9 @@ pub struct ServeReport {
     /// Requests that missed their deadline (expired before service, or
     /// completed past it). 0 when deadlines are disabled.
     pub deadline_violations: usize,
-    /// `deadline_violations / offered` (0 when deadlines are disabled).
+    /// `deadline_violations / offered`. 0.0 when deadlines are disabled
+    /// or nothing was offered (never `NaN`), matching
+    /// `DramStats::hit_rate`.
     pub deadline_violation_rate: f64,
     /// Time-to-first-token summary over completed requests, ms.
     pub ttft_ms: Summary,
@@ -170,6 +179,7 @@ fn write_device(w: &mut JsonWriter, d: &DeviceReport) {
         .field_num("down_s", d.down_s)
         .field_num("degraded_s", d.degraded_s)
         .field_num("relayout_stall_s", d.relayout_stall_s)
+        .field_num("slow_s", d.slow_s)
         .field_uint("crashes", d.crashes as u64)
         .field_uint("evicted", d.evicted as u64)
         .key("queue_depth")
@@ -233,6 +243,7 @@ impl ServeReport {
             .field_num("downtime_s", self.downtime_s)
             .field_num("degraded_s", self.degraded_s)
             .field_num("relayout_stall_s", self.relayout_stall_s)
+            .field_num("slow_s", self.slow_s)
             .field_uint("failovers", self.failovers as u64)
             .field_uint("retries", self.retries as u64)
             .field_uint("deadline_violations", self.deadline_violations as u64)
@@ -279,6 +290,7 @@ impl ServeReport {
         reg.set_gauge("serve.utilization", self.utilization);
         reg.set_gauge("serve.availability", self.availability);
         reg.set_gauge("serve.degraded_s", self.degraded_s);
+        reg.set_gauge("serve.slow_s", self.slow_s);
         for r in &self.requests {
             reg.observe("serve.ttft_ms", r.ttft_ms);
             reg.observe("serve.ttlt_ms", r.ttlt_ms);
@@ -313,6 +325,7 @@ mod tests {
             downtime_s: 0.25,
             degraded_s: 0.1,
             relayout_stall_s: 0.0,
+            slow_s: 0.05,
             failovers: 1,
             retries: 1,
             deadline_violations: 0,
@@ -338,6 +351,7 @@ mod tests {
                 down_s: 0.25,
                 degraded_s: 0.1,
                 relayout_stall_s: 0.0,
+                slow_s: 0.05,
                 crashes: 1,
                 evicted: 1,
                 queue_depth: vec![QueueSample { t_s: 0.1, queued: 1, active: 1, kv_bytes: 42 }],
@@ -382,6 +396,7 @@ mod tests {
             "\"failovers\"",
             "\"deadline_violation_rate\"",
             "\"uptime\"",
+            "\"slow_s\"",
             "\"retries\":1",
         ] {
             assert!(j.contains(key), "missing {key} in {j}");

@@ -37,6 +37,7 @@
 //! assert!(json.contains("\"traceEvents\""));
 //! ```
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

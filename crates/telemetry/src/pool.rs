@@ -78,6 +78,9 @@ fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 }
 
 /// Reassemble per-worker `(index, result)` batches into input order.
+// Every index in 0..n is produced by exactly one worker, so every slot is
+// filled; a hole is a pool bug worth a loud panic.
+#[allow(clippy::expect_used)]
 fn into_input_order<R>(n: usize, parts: Vec<Vec<(usize, R)>>) -> Vec<R> {
     let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
     slots.resize_with(n, || None);
@@ -97,6 +100,9 @@ where
     R: Send,
     F: Fn(I::Item) -> (usize, R) + Sync,
 {
+    // Worker panics are propagated, not swallowed: join().expect re-raises
+    // them on the caller's thread.
+    #[allow(clippy::expect_used)]
     let parts = std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
@@ -188,6 +194,8 @@ where
     std::thread::scope(|s| {
         let hb = s.spawn(fb);
         let a = fa();
+        // Same panic-propagation contract as `run_pool`.
+        #[allow(clippy::expect_used)]
         let b = hb.join().expect("join task panicked");
         (a, b)
     })

@@ -130,6 +130,39 @@ impl ArrivalProcess {
         }
     }
 
+    /// Compose a multi-day (multi-segment) arrival schedule into one
+    /// replayable [`ArrivalProcess::Trace`]: segment `i`'s process is
+    /// sampled for its query count under a per-segment seed derived from
+    /// `seed`, shifted by `i * segment_s`, and the union is sorted into a
+    /// single ascending trace.
+    ///
+    /// Composition preserves the total offered load exactly: the returned
+    /// trace holds `sum(count_i)` arrival times, no more, no less. A
+    /// segment whose sampled span overruns `segment_s` (a low-rate day)
+    /// simply spills into the next day's range — the sort keeps the trace
+    /// valid. Deterministic for a fixed `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty segment list, a non-positive `segment_s`, a
+    /// zero-count segment, or any per-segment sampling panic (see
+    /// [`ArrivalProcess::sample_times`]).
+    pub fn compose(segments: &[(ArrivalProcess, usize)], segment_s: f64, seed: u64) -> Self {
+        assert!(!segments.is_empty(), "compose needs at least one segment");
+        assert!(segment_s > 0.0, "segment span must be positive");
+        let mut times_s = Vec::with_capacity(segments.iter().map(|(_, n)| n).sum());
+        for (i, (proc, n)) in segments.iter().enumerate() {
+            assert!(*n > 0, "segment {i} offers no queries");
+            let shift = i as f64 * segment_s;
+            // Golden-ratio stride decorrelates per-segment streams while
+            // keeping the whole composition a pure function of `seed`.
+            let day_seed = seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            times_s.extend(proc.sample_times(day_seed, *n).into_iter().map(|t| t + shift));
+        }
+        times_s.sort_by(f64::total_cmp);
+        ArrivalProcess::Trace { times_s }
+    }
+
     /// Long-run mean arrival rate (queries per second); for traces, the
     /// empirical rate over the trace span.
     pub fn mean_qps(&self) -> f64 {
@@ -249,6 +282,64 @@ mod tests {
         assert!(t[3] > t[2]);
         // Seed does not matter for replay.
         assert_eq!(proc.sample_times(0, 7), proc.sample_times(99, 7));
+    }
+
+    #[test]
+    fn diurnal_and_trace_are_deterministic_per_seed() {
+        let diurnal = ArrivalProcess::Diurnal { base_qps: 0.5, peak_qps: 6.0, period_s: 86_400.0 };
+        assert_eq!(diurnal.sample_times(11, 1000), diurnal.sample_times(11, 1000));
+        assert_ne!(diurnal.sample_times(11, 1000), diurnal.sample_times(12, 1000));
+        // Trace replay ignores the seed entirely: same times every run.
+        let trace = ArrivalProcess::Trace { times_s: vec![0.5, 1.5, 4.0] };
+        assert_eq!(trace.sample_times(11, 9), trace.sample_times(12, 9));
+    }
+
+    #[test]
+    fn composition_preserves_total_offered_load() {
+        let day = 86_400.0;
+        let days = [
+            (ArrivalProcess::Diurnal { base_qps: 0.5, peak_qps: 4.0, period_s: day }, 300),
+            (ArrivalProcess::Bursty { qps: 2.0, burst: 8 }, 200),
+            (ArrivalProcess::Diurnal { base_qps: 0.25, peak_qps: 6.0, period_s: day }, 500),
+        ];
+        let composed = ArrivalProcess::compose(&days, day, 7);
+        let ArrivalProcess::Trace { times_s } = &composed else {
+            panic!("compose must yield a trace")
+        };
+        // Total offered load is exactly the sum of per-day counts, sorted
+        // ascending, and later days land in later ranges.
+        assert_eq!(times_s.len(), 1000);
+        assert!(times_s.windows(2).all(|w| w[0] <= w[1]));
+        assert!(times_s[0] >= 0.0);
+        assert!(times_s[times_s.len() - 1] >= 2.0 * day, "day 3 must populate its own range");
+        // Sampling the composed trace for its full length replays it.
+        assert_eq!(composed.sample_times(99, 1000), *times_s);
+    }
+
+    #[test]
+    fn composition_is_deterministic_per_seed() {
+        let day = 3600.0;
+        let days = [
+            (ArrivalProcess::Diurnal { base_qps: 1.0, peak_qps: 5.0, period_s: day }, 150),
+            (ArrivalProcess::Poisson { qps: 2.0 }, 100),
+        ];
+        assert_eq!(ArrivalProcess::compose(&days, day, 3), ArrivalProcess::compose(&days, day, 3));
+        assert_ne!(ArrivalProcess::compose(&days, day, 3), ArrivalProcess::compose(&days, day, 4));
+        // Per-segment streams are decorrelated: two identical days do not
+        // replay the same offsets.
+        let twin = [days[1].clone(), days[1].clone()];
+        let ArrivalProcess::Trace { times_s } = ArrivalProcess::compose(&twin, day, 3) else {
+            panic!("compose must yield a trace")
+        };
+        let (a, b) = times_s.split_at(100);
+        let shifted: Vec<f64> = b.iter().map(|t| t - day).collect();
+        assert_ne!(a, &shifted[..], "identical days must sample distinct streams");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one segment")]
+    fn empty_composition_panics() {
+        ArrivalProcess::compose(&[], 60.0, 0);
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! distributions (documented in DESIGN.md). Sampling is deterministic under
 //! a seed.
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 #![warn(missing_docs)]
 
 pub mod arrival;

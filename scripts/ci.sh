@@ -107,15 +107,55 @@ assert wins >= 1, "no searched mapping beat the paper pick"
 print(f"mapsearch smoke OK ({len(runs)} platforms, {wins} searched wins)")'
 echo "mapsearch artifact: $mapsearch_artifact"
 
+echo "== cluster smoke =="
+# Cluster resilience showcase: the JSONL must be well-formed (chaos
+# matrix + tenant QoS + autoscale runs and one manifest), every run must
+# satisfy the conservation invariant (offered == completed + shed), the
+# chaos matrix must degrade availability monotonically, and the
+# autoscaler must both grow and shrink the fleet. Kept as a CI artifact.
+mkdir -p target
+cluster_artifact="target/BENCH_cluster.json"
+: > "$cluster_artifact"
+cargo run --release -q -p facil-bench --bin cluster -- --smoke --json \
+  | tee "$cluster_artifact" \
+  | python3 -c 'import json,sys
+lines = [json.loads(l) for l in sys.stdin if l.strip()]
+manifests = [o for o in lines if "schema_version" in o]
+runs = [o for o in lines if "schema_version" not in o]
+assert len(manifests) == 1, f"expected one manifest, got {len(manifests)}"
+m = manifests[0]
+assert m["bench"] == "cluster" and "seed" in m, m
+for o in runs:
+    assert "experiment" in o and "report" in o, o.keys()
+    r = o["report"]
+    assert r["completed"] + r["shed"] == r["offered"], ("conservation", o["experiment"], r["offered"], r["completed"], r["shed"])
+matrix = [o["report"] for o in runs if o["experiment"] == "chaos_matrix"]
+assert len(matrix) == 3, f"expected a 3-point chaos matrix, got {len(matrix)}"
+assert matrix[0]["availability"] == 1.0, matrix[0]["availability"]
+assert matrix[0]["availability"] >= matrix[1]["availability"] >= matrix[2]["availability"], \
+    [r["availability"] for r in matrix]
+qos = [o["report"] for o in runs if o["experiment"] == "tenant_qos"]
+assert len(qos) == 1 and qos[0]["shed_quota"] > 0, "tenant quota never bound"
+scale = [o["report"] for o in runs if o["experiment"] == "autoscale"]
+assert len(scale) == 1, runs
+assert scale[0]["scale_outs"] >= 1 and scale[0]["scale_ins"] >= 1, \
+    (scale[0]["scale_outs"], scale[0]["scale_ins"])
+storm = matrix[-1]["availability"]
+outs = scale[0]["scale_outs"]
+print(f"cluster smoke OK ({len(runs)} runs, storm availability {storm:.2f}, {outs} scale-outs)")'
+echo "cluster artifact: $cluster_artifact"
+
 echo "== FACIL_THREADS determinism smoke =="
-# The worker-count knob must be invisible in results: serving_v2 --json
-# output is byte-identical between 1 and 8 workers.
-t1="$(mktemp /tmp/facil-threads1.XXXXXX.jsonl)"
-t8="$(mktemp /tmp/facil-threads8.XXXXXX.jsonl)"
-FACIL_THREADS=1 cargo run --release -q -p facil-bench --bin serving_v2 -- --smoke --json > "$t1"
-FACIL_THREADS=8 cargo run --release -q -p facil-bench --bin serving_v2 -- --smoke --json > "$t8"
-diff "$t1" "$t8" && echo "FACIL_THREADS=1 vs 8: byte-identical"
-rm -f "$t1" "$t8"
+# The worker-count knob must be invisible in results: serving_v2 and
+# cluster --json output is byte-identical between 1 and 8 workers.
+for bin in serving_v2 cluster; do
+  t1="$(mktemp /tmp/facil-threads1.XXXXXX.jsonl)"
+  t8="$(mktemp /tmp/facil-threads8.XXXXXX.jsonl)"
+  FACIL_THREADS=1 cargo run --release -q -p facil-bench --bin "$bin" -- --smoke --json > "$t1"
+  FACIL_THREADS=8 cargo run --release -q -p facil-bench --bin "$bin" -- --smoke --json > "$t8"
+  diff "$t1" "$t8" && echo "$bin FACIL_THREADS=1 vs 8: byte-identical"
+  rm -f "$t1" "$t8"
+done
 
 echo "== trace export smoke =="
 # serving_v2 --trace must write a valid Chrome trace_event file carrying

@@ -17,6 +17,9 @@
 //!   metrics,
 //! * [`serve`] — discrete-event serving simulator: continuous batching,
 //!   admission control, SLO metrics, multi-device fleets,
+//! * [`cluster`] — fault-tolerant cluster serving: hierarchical cells,
+//!   two-tier routing, tenant QoS, cluster-scale chaos testing, and
+//!   SLO-burn autoscaling,
 //! * [`mapsearch`] — workload-profile-driven mapping search over the
 //!   MapID / PU-order / bank-hash candidate space, with an analytic cost
 //!   model cross-checked by cycle-accurate replays,
@@ -27,6 +30,7 @@
 //! See the `examples/` directory for runnable end-to-end scenarios and
 //! `crates/bench` for the per-figure experiment regenerators.
 
+pub use facil_cluster as cluster;
 pub use facil_core as core;
 pub use facil_dram as dram;
 pub use facil_llm as llm;
