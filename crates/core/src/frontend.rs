@@ -85,6 +85,48 @@ impl Frontend {
         Ok(self.slots[idx].as_ref().expect("just installed"))
     }
 
+    /// Install a *caller-supplied* scheme into the slot for `map_id` (e.g. a
+    /// mapsearch candidate with a non-default PU order or bank hash, rather
+    /// than the paper-default scheme [`Frontend::ensure_slot`] would build).
+    ///
+    /// Installing an identical scheme into an occupied slot is a no-op;
+    /// installing a *different* scheme into an occupied slot is rejected —
+    /// live allocations translate through that slot, so hardware would never
+    /// allow hot-swapping it.
+    ///
+    /// # Errors
+    ///
+    /// * [`FacilError::MapIdOutOfRange`] if `map_id` exceeds the 4-bit PTE
+    ///   field;
+    /// * [`FacilError::InvalidMapping`] if the scheme's topology differs
+    ///   from the frontend's or the slot holds a different scheme;
+    /// * [`FacilError::FrontendFull`] if a new slot is needed but all
+    ///   `max_slots` are taken.
+    pub fn install_scheme(&mut self, map_id: MapId, scheme: &MappingScheme) -> Result<()> {
+        let idx = map_id.0 as usize;
+        if idx >= self.slots.len() {
+            return Err(FacilError::MapIdOutOfRange { requested: map_id.0, max: 15 });
+        }
+        if scheme.topology() != &self.topo {
+            return Err(FacilError::InvalidMapping(format!(
+                "scheme topology does not match frontend topology for MapID {map_id}"
+            )));
+        }
+        match &self.slots[idx] {
+            Some(existing) if existing == scheme => Ok(()),
+            Some(_) => Err(FacilError::InvalidMapping(format!(
+                "MapID {map_id} slot already holds a different scheme"
+            ))),
+            None => {
+                if self.installed() >= self.max_slots {
+                    return Err(FacilError::FrontendFull { slots: self.max_slots });
+                }
+                self.slots[idx] = Some(scheme.clone());
+                Ok(())
+            }
+        }
+    }
+
     /// Look up an installed scheme.
     pub fn scheme(&self, map_id: MapId) -> Option<&MappingScheme> {
         self.slots.get(map_id.0 as usize).and_then(|s| s.as_ref())
@@ -183,6 +225,48 @@ mod tests {
         f.ensure_slot(MapId(1)).unwrap();
         let err = f.ensure_slot(MapId(2)).unwrap_err();
         assert_eq!(err, FacilError::FrontendFull { slots: 2 });
+    }
+
+    #[test]
+    fn install_scheme_accepts_custom_and_rejects_conflicts() {
+        let t = topo();
+        let mut f = frontend(3);
+        // A custom scheme (bank hash on) in a fresh slot.
+        let custom = MappingScheme::pim_optimized(t, &PimArch::aim(&t), 1, HUGE_PAGE_BITS)
+            .unwrap()
+            .with_bank_hash();
+        f.install_scheme(MapId(1), &custom).unwrap();
+        assert_eq!(f.scheme(MapId(1)), Some(&custom));
+        // Re-installing the identical scheme is a no-op.
+        f.install_scheme(MapId(1), &custom).unwrap();
+        assert_eq!(f.installed(), 1);
+        // A different scheme under the same MapID is a conflict.
+        let default_1 =
+            MappingScheme::pim_optimized(t, &PimArch::aim(&t), 1, HUGE_PAGE_BITS).unwrap();
+        assert!(matches!(
+            f.install_scheme(MapId(1), &default_1),
+            Err(FacilError::InvalidMapping(_))
+        ));
+        // A scheme built for another topology is rejected.
+        let other_topo = Topology::new(2, 1, 2, 2, 1024, 2048, 32);
+        let foreign =
+            MappingScheme::pim_optimized(other_topo, &PimArch::aim(&other_topo), 0, HUGE_PAGE_BITS)
+                .unwrap();
+        assert!(matches!(f.install_scheme(MapId(0), &foreign), Err(FacilError::InvalidMapping(_))));
+        // Slot capacity still applies.
+        let mut small = frontend(1);
+        small.install_scheme(MapId(1), &custom).unwrap();
+        let default_0 =
+            MappingScheme::pim_optimized(t, &PimArch::aim(&t), 0, HUGE_PAGE_BITS).unwrap();
+        assert_eq!(
+            small.install_scheme(MapId(0), &default_0),
+            Err(FacilError::FrontendFull { slots: 1 })
+        );
+        // Out-of-range MapID.
+        assert!(matches!(
+            f.install_scheme(MapId(16), &custom),
+            Err(FacilError::MapIdOutOfRange { .. })
+        ));
     }
 
     #[test]

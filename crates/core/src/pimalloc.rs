@@ -159,7 +159,34 @@ impl FacilSystem {
         let decision = select_mapping(&matrix, self.spec.topology, &self.arch, HUGE_PAGE_BITS)?;
         // Step 3: install the scheme in a frontend slot (no-op if present).
         self.frontend.ensure_slot(decision.map_id)?;
-        // Step 4: allocate huge pages and record (PFN, MapID) in the PTEs.
+        self.map_allocation(matrix, decision)
+    }
+
+    /// Allocate and map a weight matrix under a *caller-supplied*
+    /// [`MappingDecision`] (e.g. a mapsearch candidate), bypassing the
+    /// paper-default selector. The decision's scheme is installed in the
+    /// frontend slot for its MapID via [`Frontend::install_scheme`], so two
+    /// different schemes cannot share a slot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Frontend::install_scheme`] errors and
+    /// [`FacilError::OutOfMemory`] from the physical allocator.
+    pub fn pimalloc_with(
+        &mut self,
+        matrix: MatrixConfig,
+        decision: MappingDecision,
+    ) -> Result<PimAllocation> {
+        self.frontend.install_scheme(decision.map_id, &decision.scheme)?;
+        self.map_allocation(matrix, decision)
+    }
+
+    /// Steps 4-5 of `pimalloc`: huge pages + (PFN, MapID) PTEs.
+    fn map_allocation(
+        &mut self,
+        matrix: MatrixConfig,
+        decision: MappingDecision,
+    ) -> Result<PimAllocation> {
         let bytes = matrix.padded_bytes();
         let n_pages = bytes.div_ceil(1 << HUGE_PAGE_BITS);
         let va = self.take_va(bytes);
@@ -293,6 +320,29 @@ mod tests {
         assert_eq!(sys.frontend().installed(), 1, "identical MapIDs share one mux slot");
         sys.pimalloc(MatrixConfig::new(256, 4096, DType::F16)).unwrap();
         assert_eq!(sys.frontend().installed(), 2);
+    }
+
+    #[test]
+    fn pimalloc_with_installs_custom_decision() {
+        use crate::select::decision_with_map_id;
+        let mut sys = system();
+        let m = MatrixConfig::new(64, 2048, DType::F16);
+        // A non-default MapID with the bank hash enabled: the selector would
+        // never produce this, so it must come in through pimalloc_with.
+        let mut decision =
+            decision_with_map_id(&m, sys.spec().topology, sys.arch(), 2, HUGE_PAGE_BITS).unwrap();
+        decision.scheme = decision.scheme.clone().with_bank_hash();
+        let a = sys.pimalloc_with(m, decision.clone()).unwrap();
+        assert_eq!(a.decision, decision);
+        assert_eq!(sys.frontend().scheme(a.map_id()), Some(&decision.scheme));
+        // Every VA translates through the installed custom scheme.
+        let want = decision.scheme.map_pa(sys.page_table().translate(a.va).unwrap().pa);
+        assert_eq!(sys.translate_va(a.va).unwrap(), want);
+        // The same slot now rejects the selector's default scheme for this
+        // MapID (different scheme, same slot).
+        let plain =
+            decision_with_map_id(&m, sys.spec().topology, sys.arch(), 2, HUGE_PAGE_BITS).unwrap();
+        assert!(matches!(sys.pimalloc_with(m, plain), Err(FacilError::InvalidMapping(_))));
     }
 
     #[test]

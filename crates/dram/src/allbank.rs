@@ -42,6 +42,33 @@ pub struct AllBankResult {
     pub bus_utilization: f64,
 }
 
+/// Kind of an all-bank PIM command as it appears on the channel bus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AllBankCommandKind {
+    /// Global-buffer load (broadcast of one input-vector transfer).
+    GbLoad,
+    /// ACT-AB: activate the same row in every bank of the rank.
+    ActAb,
+    /// MAC-AB: multiply-accumulate one column transfer in every bank.
+    MacAb,
+    /// PRE-AB: precharge all banks of the rank.
+    PreAb,
+}
+
+/// One logged all-bank command. [`run_allbank_logged`] emits these so that
+/// functional replay (`facil-fidelity`) and JEDEC-style legality checking
+/// ([`crate::verify_allbank_log`]) run off the very same stream the timing
+/// model executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AllBankCommand {
+    /// Issue cycle.
+    pub cycle: u64,
+    /// Rank the command targets.
+    pub rank: u64,
+    /// Command kind.
+    pub kind: AllBankCommandKind,
+}
+
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum Phase {
     /// Loading the global buffer for the upcoming row.
@@ -76,6 +103,29 @@ struct RankState {
 ///
 /// Panics if two streams share a rank or a rank index is out of range.
 pub fn run_allbank(spec: &DramSpec, streams: &[PimStream]) -> AllBankResult {
+    run_allbank_impl(spec, streams, None)
+}
+
+/// Like [`run_allbank`], but also returns the full command log in issue
+/// order, one entry per bus command.
+///
+/// # Panics
+///
+/// Panics if two streams share a rank or a rank index is out of range.
+pub fn run_allbank_logged(
+    spec: &DramSpec,
+    streams: &[PimStream],
+) -> (AllBankResult, Vec<AllBankCommand>) {
+    let mut log = Vec::new();
+    let result = run_allbank_impl(spec, streams, Some(&mut log));
+    (result, log)
+}
+
+fn run_allbank_impl(
+    spec: &DramSpec,
+    streams: &[PimStream],
+    mut log: Option<&mut Vec<AllBankCommand>>,
+) -> AllBankResult {
     let tm = &spec.timing;
     let mut seen = std::collections::HashSet::new();
     for s in streams {
@@ -112,6 +162,7 @@ pub fn run_allbank(spec: &DramSpec, streams: &[PimStream]) -> AllBankResult {
             let i = (rr + k) % n;
             let r = &mut ranks[i];
             let s = r.stream;
+            let mut issued_kind: Option<AllBankCommandKind> = None;
             match r.phase {
                 Phase::Done => {}
                 Phase::GbLoad { remaining } if r.ready_at <= now => {
@@ -125,6 +176,7 @@ pub fn run_allbank(spec: &DramSpec, streams: &[PimStream]) -> AllBankResult {
                     };
                     commands += 1;
                     issued = true;
+                    issued_kind = Some(AllBankCommandKind::GbLoad);
                 }
                 Phase::NeedAct if r.ready_at <= now && now >= r.last_act.saturating_add(0) => {
                     // tRC from the previous ACT of this rank.
@@ -138,6 +190,7 @@ pub fn run_allbank(spec: &DramSpec, streams: &[PimStream]) -> AllBankResult {
                             Phase::Mac { remaining: s.macs_per_row, prefetch_remaining: prefetch };
                         commands += 1;
                         issued = true;
+                        issued_kind = Some(AllBankCommandKind::ActAb);
                     }
                 }
                 Phase::Mac { remaining, prefetch_remaining }
@@ -157,6 +210,7 @@ pub fn run_allbank(spec: &DramSpec, streams: &[PimStream]) -> AllBankResult {
                         r.phase = Phase::Mac { remaining: left, prefetch_remaining };
                     }
                     issued = true;
+                    issued_kind = Some(AllBankCommandKind::MacAb);
                 }
                 Phase::Mac { remaining, prefetch_remaining }
                     if prefetch_remaining > 0 && r.next_mac > now =>
@@ -166,6 +220,7 @@ pub fn run_allbank(spec: &DramSpec, streams: &[PimStream]) -> AllBankResult {
                     r.phase = Phase::Mac { remaining, prefetch_remaining: prefetch_remaining - 1 };
                     commands += 1;
                     issued = true;
+                    issued_kind = Some(AllBankCommandKind::GbLoad);
                 }
                 Phase::NeedPre if r.ready_at <= now && now >= r.last_act + tm.ras => {
                     commands += 1;
@@ -186,10 +241,14 @@ pub fn run_allbank(spec: &DramSpec, streams: &[PimStream]) -> AllBankResult {
                         };
                     }
                     issued = true;
+                    issued_kind = Some(AllBankCommandKind::PreAb);
                 }
                 _ => {}
             }
             if issued {
+                if let (Some(l), Some(kind)) = (log.as_deref_mut(), issued_kind) {
+                    l.push(AllBankCommand { cycle: now, rank: s.rank, kind });
+                }
                 last_cmd_cycle = now;
                 rr = (i + 1) % n;
                 break;
@@ -274,5 +333,36 @@ mod tests {
     #[should_panic(expected = "one stream per rank")]
     fn duplicate_rank_rejected() {
         run_allbank(&spec(), &[stream(0, 1), stream(0, 1)]);
+    }
+
+    #[test]
+    fn logged_run_matches_unlogged() {
+        let s = spec();
+        let streams = [stream(0, 8), stream(1, 6)];
+        let plain = run_allbank(&s, &streams);
+        let (logged, log) = run_allbank_logged(&s, &streams);
+        assert_eq!(plain, logged, "logging must not perturb the simulation");
+        assert_eq!(log.len() as u64, logged.commands, "one log entry per bus command");
+        assert_eq!(
+            log.iter().filter(|c| c.kind == AllBankCommandKind::MacAb).count() as u64,
+            logged.macs
+        );
+        assert!(log.windows(2).all(|w| w[0].cycle < w[1].cycle), "one command per cycle");
+    }
+
+    #[test]
+    fn log_counts_per_rank_match_streams() {
+        let s = spec();
+        let streams = [stream(0, 4), stream(1, 3)];
+        let (_, log) = run_allbank_logged(&s, &streams);
+        for st in &streams {
+            let count = |k: AllBankCommandKind| {
+                log.iter().filter(|c| c.rank == st.rank && c.kind == k).count() as u64
+            };
+            assert_eq!(count(AllBankCommandKind::ActAb), st.rows);
+            assert_eq!(count(AllBankCommandKind::PreAb), st.rows);
+            assert_eq!(count(AllBankCommandKind::MacAb), st.rows * st.macs_per_row);
+            assert_eq!(count(AllBankCommandKind::GbLoad), st.rows * st.gb_cmds_per_row);
+        }
     }
 }

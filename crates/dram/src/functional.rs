@@ -11,6 +11,90 @@ use std::collections::HashMap;
 use crate::addr::{DramAddress, Topology};
 use crate::mapper::{AddressMapper, MapFault};
 
+/// A transfer-granular backing store of DRAM cell contents.
+///
+/// This is the pluggable data layer of the functional simulation (the
+/// Ramulator 2.1 composability lesson: the data path is a layer *under* the
+/// timing model, not a fork of it). Anything that can read and write whole
+/// transfers by device address — the sparse [`FunctionalMemory`], a
+/// bank-sliced store, a mmap'd image — gets byte-level PA access through the
+/// provided `write_bytes`/`read_bytes`, and the PIM functional paths
+/// (`facil-pim`, `facil-fidelity`) execute over it unchanged.
+pub trait CellStore {
+    /// Geometry of the store.
+    fn topology(&self) -> &Topology;
+
+    /// Read one whole transfer at a device address. Cells never written
+    /// read as zero.
+    fn load_transfer(&self, addr: DramAddress) -> Vec<u8>;
+
+    /// Write one whole transfer at a device address.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `data` is not exactly one transfer long.
+    fn store_transfer(&mut self, addr: DramAddress, data: &[u8]);
+
+    /// Write `data` starting at physical byte address `pa`, translating
+    /// each transfer through `mapper`. Partial transfers read-modify-write
+    /// the stored cell.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`MapFault`] the mapper raises; bytes before
+    /// the faulting transfer are already written.
+    fn write_bytes<M: AddressMapper>(
+        &mut self,
+        mapper: &M,
+        pa: u64,
+        data: &[u8],
+    ) -> Result<(), MapFault> {
+        let tx = self.topology().transfer_bytes;
+        let mut cur = pa;
+        let mut remaining = data;
+        while !remaining.is_empty() {
+            let offset = (cur % tx) as usize;
+            let chunk = ((tx as usize) - offset).min(remaining.len());
+            let addr = mapper.map(cur)?;
+            if chunk == tx as usize {
+                self.store_transfer(addr, &remaining[..chunk]);
+            } else {
+                let mut block = self.load_transfer(addr);
+                block[offset..offset + chunk].copy_from_slice(&remaining[..chunk]);
+                self.store_transfer(addr, &block);
+            }
+            remaining = &remaining[chunk..];
+            cur += chunk as u64;
+        }
+        Ok(())
+    }
+
+    /// Read `len` bytes starting at physical byte address `pa` through
+    /// `mapper`. Unwritten cells read as zero.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`MapFault`] the mapper raises.
+    fn read_bytes<M: AddressMapper>(
+        &self,
+        mapper: &M,
+        pa: u64,
+        len: usize,
+    ) -> Result<Vec<u8>, MapFault> {
+        let tx = self.topology().transfer_bytes;
+        let mut out = Vec::with_capacity(len);
+        let mut cur = pa;
+        while out.len() < len {
+            let offset = (cur % tx) as usize;
+            let chunk = ((tx as usize) - offset).min(len - out.len());
+            let block = self.load_transfer(mapper.map(cur)?);
+            out.extend_from_slice(&block[offset..offset + chunk]);
+            cur += chunk as u64;
+        }
+        Ok(out)
+    }
+}
+
 /// Byte-accurate DRAM contents, sparse (unwritten cells read as zero).
 #[derive(Debug, Clone)]
 pub struct FunctionalMemory {
@@ -121,6 +205,20 @@ impl FunctionalMemory {
     }
 }
 
+impl CellStore for FunctionalMemory {
+    fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    fn load_transfer(&self, addr: DramAddress) -> Vec<u8> {
+        self.read_transfer(addr)
+    }
+
+    fn store_transfer(&mut self, addr: DramAddress, data: &[u8]) {
+        self.write_transfer(addr, data);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -202,6 +300,24 @@ mod tests {
         assert_eq!(sorted_a, sorted_b, "same multiset of bytes through any bijective mapping");
         // And reading back through the original mapping is intact.
         assert_eq!(mem.read_bytes(&a, 0, cap).unwrap(), data);
+    }
+
+    #[test]
+    fn cell_store_trait_agrees_with_inherent_paths() {
+        // The provided trait defaults (used by any CellStore implementor)
+        // must behave exactly like FunctionalMemory's own byte paths.
+        let t = topo();
+        let m = identity_mapper(t);
+        let mut inherent = FunctionalMemory::new(t);
+        let mut via_trait = FunctionalMemory::new(t);
+        let data: Vec<u8> = (0..300).map(|i| (i % 253) as u8).collect();
+        inherent.write_bytes(&m, 37, &data).unwrap();
+        CellStore::write_bytes(&mut via_trait, &m, 37, &data).unwrap();
+        assert_eq!(
+            inherent.read_bytes(&m, 0, 512).unwrap(),
+            CellStore::read_bytes(&via_trait, &m, 0, 512).unwrap()
+        );
+        assert_eq!(inherent.touched_transfers(), via_trait.touched_transfers());
     }
 
     #[test]

@@ -45,16 +45,18 @@ pub mod trace;
 pub mod verifylog;
 
 pub use addr::{DramAddress, Topology};
-pub use allbank::{run_allbank, AllBankResult, PimStream};
+pub use allbank::{
+    run_allbank, run_allbank_logged, AllBankCommand, AllBankCommandKind, AllBankResult, PimStream,
+};
 pub use channel::{ChannelSim, PagePolicy, SchedConfig};
 pub use command::{CommandKind, Op, Request};
 pub use controller::DramSystem;
 pub use energy::{EnergyBreakdown, EnergyModel};
-pub use functional::FunctionalMemory;
+pub use functional::{CellStore, FunctionalMemory};
 pub use mapper::{AddressMapper, FnMapper, MapFault};
 pub use spec::{DramKind, DramSpec, Timing};
 pub use stats::{DramStats, SimResult};
 pub use trace::{
     parse_trace, parse_trace_line, replay_on, run_trace, sequential_trace, TraceEntry, TraceOptions,
 };
-pub use verifylog::{verify_log, LoggedCommand, Violation};
+pub use verifylog::{verify_allbank_log, verify_log, LoggedCommand, Violation};

@@ -9,6 +9,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::allbank::{AllBankCommand, AllBankCommandKind, PimStream};
 use crate::command::CommandKind;
 use crate::spec::Timing;
 
@@ -190,6 +191,202 @@ pub fn verify_log(
     violations
 }
 
+#[derive(Debug, Clone, Default)]
+struct AllBankTrace {
+    open: bool,
+    acts: u64,
+    pres: u64,
+    macs: u64,
+    macs_in_row: u64,
+    gb_seen: u64,
+    last_act: Option<u64>,
+    last_pre: Option<u64>,
+    last_mac: Option<u64>,
+}
+
+/// Re-check an all-bank PIM command log (as produced by
+/// [`crate::run_allbank_logged`]) against `timing` and the stream geometry
+/// it was generated from. Returns all violations (empty = legal).
+///
+/// This is the PIM-side counterpart of [`verify_log`]: one independent
+/// checker now covers both SoC traffic (per-bank ACT/RD/WR/PRE) and PIM
+/// traffic (lock-step ACT-AB/MAC-AB/PRE-AB with global-buffer broadcast).
+/// Checked rules, per rank:
+///
+/// * every global-buffer load for a row completes before that row's ACT-AB
+///   (the broadcast input must be staged before any bank MACs against it);
+/// * without double buffering, no GB load may issue while a row is open;
+/// * MAC-AB only against an open row, first one no earlier than tRCD, then
+///   spaced at least `mac_interval` apart, never more than `macs_per_row`;
+/// * PRE-AB only after all of the row's MACs, respecting tRTP and tRAS;
+/// * ACT-AB only to a closed rank, respecting tRP and tRC;
+/// * command totals match the stream geometry (whole-log violations are
+///   reported at index `log.len()`);
+/// * at most one command per cycle on the shared channel bus.
+pub fn verify_allbank_log(
+    log: &[AllBankCommand],
+    timing: &Timing,
+    streams: &[PimStream],
+) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let check = |cond: bool, index: usize, rule: String, out: &mut Vec<Violation>| {
+        if !cond {
+            out.push(Violation { index, rule });
+        }
+    };
+
+    let by_rank: std::collections::HashMap<u64, &PimStream> =
+        streams.iter().map(|s| (s.rank, s)).collect();
+    let mut traces: std::collections::HashMap<u64, AllBankTrace> = std::collections::HashMap::new();
+    let mut last_cycle: Option<u64> = None;
+
+    for (i, c) in log.iter().enumerate() {
+        if let Some(prev) = last_cycle {
+            check(c.cycle > prev, i, "one command per cycle per channel".into(), &mut violations);
+        }
+        last_cycle = Some(c.cycle);
+        let Some(s) = by_rank.get(&c.rank) else {
+            violations.push(Violation {
+                index: i,
+                rule: format!("command for rank {} with no stream", c.rank),
+            });
+            continue;
+        };
+        let t = traces.entry(c.rank).or_default();
+        match c.kind {
+            AllBankCommandKind::GbLoad => {
+                if !s.double_buffer {
+                    check(
+                        !t.open,
+                        i,
+                        "GB load while row open without double buffering".into(),
+                        &mut violations,
+                    );
+                }
+                t.gb_seen += 1;
+            }
+            AllBankCommandKind::ActAb => {
+                check(!t.open, i, "ACT-AB while a row is open".into(), &mut violations);
+                check(
+                    t.gb_seen >= (t.acts + 1) * s.gb_cmds_per_row,
+                    i,
+                    "ACT-AB before the row's global buffer is staged".into(),
+                    &mut violations,
+                );
+                if let Some(prev) = t.last_act {
+                    check(
+                        c.cycle >= prev + timing.rc,
+                        i,
+                        "tRC violation (all-bank)".into(),
+                        &mut violations,
+                    );
+                }
+                if let Some(prev) = t.last_pre {
+                    check(
+                        c.cycle >= prev + timing.rp,
+                        i,
+                        "tRP violation (all-bank)".into(),
+                        &mut violations,
+                    );
+                }
+                t.open = true;
+                t.acts += 1;
+                t.macs_in_row = 0;
+                t.last_act = Some(c.cycle);
+                t.last_mac = None;
+            }
+            AllBankCommandKind::MacAb => {
+                check(t.open, i, "MAC-AB to closed banks".into(), &mut violations);
+                check(
+                    t.macs_in_row < s.macs_per_row,
+                    i,
+                    "more MAC-AB than column transfers in the row".into(),
+                    &mut violations,
+                );
+                match t.last_mac {
+                    None => {
+                        if let Some(act) = t.last_act {
+                            check(
+                                c.cycle >= act + timing.rcd,
+                                i,
+                                "tRCD violation (all-bank)".into(),
+                                &mut violations,
+                            );
+                        }
+                    }
+                    Some(prev) => check(
+                        c.cycle >= prev + s.mac_interval,
+                        i,
+                        "MAC interval violation".into(),
+                        &mut violations,
+                    ),
+                }
+                t.last_mac = Some(c.cycle);
+                t.macs_in_row += 1;
+                t.macs += 1;
+            }
+            AllBankCommandKind::PreAb => {
+                check(t.open, i, "PRE-AB to closed banks".into(), &mut violations);
+                check(
+                    t.macs_in_row == s.macs_per_row,
+                    i,
+                    "PRE-AB before the row's MACs completed".into(),
+                    &mut violations,
+                );
+                if let Some(mac) = t.last_mac {
+                    check(
+                        c.cycle >= mac + timing.rtp,
+                        i,
+                        "tRTP violation (all-bank)".into(),
+                        &mut violations,
+                    );
+                }
+                if let Some(act) = t.last_act {
+                    check(
+                        c.cycle >= act + timing.ras,
+                        i,
+                        "tRAS violation (all-bank)".into(),
+                        &mut violations,
+                    );
+                }
+                t.open = false;
+                t.pres += 1;
+                t.last_pre = Some(c.cycle);
+            }
+        }
+    }
+
+    // Whole-log totals must match the stream geometry.
+    for s in streams {
+        let t = traces.get(&s.rank).cloned().unwrap_or_default();
+        check(
+            t.acts == s.rows,
+            log.len(),
+            format!("rank {}: {} ACT-AB for {} rows", s.rank, t.acts, s.rows),
+            &mut violations,
+        );
+        check(
+            t.pres == s.rows,
+            log.len(),
+            format!("rank {}: {} PRE-AB for {} rows", s.rank, t.pres, s.rows),
+            &mut violations,
+        );
+        check(
+            t.macs == s.rows * s.macs_per_row,
+            log.len(),
+            format!("rank {}: MAC-AB count {} != rows*macs_per_row", s.rank, t.macs),
+            &mut violations,
+        );
+        check(
+            t.gb_seen == s.rows * s.gb_cmds_per_row,
+            log.len(),
+            format!("rank {}: GB load count {} != rows*gb_cmds_per_row", s.rank, t.gb_seen),
+            &mut violations,
+        );
+    }
+    violations
+}
+
 /// Recent (cycle, bank-group) pairs of ACT commands before index `i`.
 fn recent_groups(log: &[LoggedCommand], i: usize, banks_per_group: u64) -> Vec<(u64, u64)> {
     log[..i]
@@ -288,5 +485,93 @@ mod tests {
         ];
         let v = verify_log(&log, &tm, 2, 16, 4);
         assert!(v.iter().any(|v| v.rule.contains("bus")), "{v:?}");
+    }
+
+    mod allbank {
+        use super::*;
+        use crate::allbank::{run_allbank_logged, AllBankCommand, AllBankCommandKind, PimStream};
+
+        fn streams() -> Vec<PimStream> {
+            vec![
+                PimStream {
+                    rank: 0,
+                    rows: 6,
+                    gb_cmds_per_row: 64,
+                    macs_per_row: 64,
+                    mac_interval: 2,
+                    double_buffer: true,
+                },
+                PimStream {
+                    rank: 1,
+                    rows: 4,
+                    gb_cmds_per_row: 64,
+                    macs_per_row: 64,
+                    mac_interval: 2,
+                    double_buffer: false,
+                },
+            ]
+        }
+
+        #[test]
+        fn simulated_stream_is_legal() {
+            let spec = DramSpec::lpddr5_6400(16, 256 << 20);
+            let st = streams();
+            let (_, log) = run_allbank_logged(&spec, &st);
+            let v = verify_allbank_log(&log, &spec.timing, &st);
+            assert!(v.is_empty(), "{v:?}");
+        }
+
+        #[test]
+        fn early_mac_is_caught() {
+            let spec = DramSpec::lpddr5_6400(16, 256 << 20);
+            let st = streams();
+            let (_, mut log) = run_allbank_logged(&spec, &st);
+            // Pull the first MAC right on top of its ACT (violates tRCD).
+            let act_at = log
+                .iter()
+                .position(|c| c.kind == AllBankCommandKind::ActAb)
+                .map(|i| log[i].cycle)
+                .unwrap();
+            let first_mac = log.iter().position(|c| c.kind == AllBankCommandKind::MacAb).unwrap();
+            log[first_mac].cycle = act_at; // also collides on the bus
+            log.sort_by_key(|c| c.cycle);
+            let v = verify_allbank_log(&log, &spec.timing, &st);
+            assert!(
+                v.iter().any(|v| v.rule.contains("tRCD") || v.rule.contains("per cycle")),
+                "{v:?}"
+            );
+        }
+
+        #[test]
+        fn missing_gb_load_is_caught() {
+            let spec = DramSpec::lpddr5_6400(16, 256 << 20);
+            let st = streams();
+            let (_, mut log) = run_allbank_logged(&spec, &st);
+            let first_gb = log.iter().position(|c| c.kind == AllBankCommandKind::GbLoad).unwrap();
+            log.remove(first_gb);
+            let v = verify_allbank_log(&log, &spec.timing, &st);
+            assert!(v.iter().any(|v| v.rule.contains("global buffer")), "{v:?}");
+        }
+
+        #[test]
+        fn early_precharge_is_caught_allbank() {
+            let spec = DramSpec::lpddr5_6400(16, 256 << 20);
+            let st = streams();
+            let (_, mut log) = run_allbank_logged(&spec, &st);
+            // Drop one MAC: its row's PRE-AB now fires before completion.
+            let a_mac = log.iter().position(|c| c.kind == AllBankCommandKind::MacAb).unwrap();
+            log.remove(a_mac);
+            let v = verify_allbank_log(&log, &spec.timing, &st);
+            assert!(v.iter().any(|v| v.rule.contains("MACs completed")), "{v:?}");
+        }
+
+        #[test]
+        fn unknown_rank_is_caught() {
+            let spec = DramSpec::lpddr5_6400(16, 256 << 20);
+            let st = streams();
+            let log = vec![AllBankCommand { cycle: 0, rank: 7, kind: AllBankCommandKind::GbLoad }];
+            let v = verify_allbank_log(&log, &spec.timing, &st);
+            assert!(v.iter().any(|v| v.rule.contains("no stream")), "{v:?}");
+        }
     }
 }

@@ -1,0 +1,81 @@
+//! `store_matrix` / `load_matrix` round-trips — and bit-exact replays —
+//! under *every* mapping scheme the `CandidateSpace` enumerates.
+
+use facil_core::{DType, FacilSystem, MatrixConfig, PimArch, HUGE_PAGE_BITS};
+use facil_dram::DramSpec;
+use facil_fidelity::{cross_check, BankedMemory};
+use facil_mapsearch::CandidateSpace;
+use facil_pim::{load_matrix, store_matrix};
+
+fn grid(i: u64) -> f32 {
+    ((i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 40) % 15) as f32 * 0.0625 - 0.4375
+}
+
+/// Every enumerated candidate must round-trip a matrix byte-perfectly: the
+/// SoC writes row-major fp16 through the mapped page table, reads it back
+/// through the same path, and gets exactly the values it wrote.
+#[test]
+fn every_candidate_scheme_roundtrips_store_load() {
+    let spec = DramSpec::lpddr5_6400(64, 8 << 30); // iPhone 15 Pro
+    let topo = spec.topology;
+    let arch = PimArch::aim(&topo);
+    let space = CandidateSpace::enumerate(topo, &arch, HUGE_PAGE_BITS, true).unwrap();
+    assert!(space.len() > 20, "candidate space unexpectedly small: {}", space.len());
+
+    let m = MatrixConfig::new(16, 2048, DType::F16);
+    let w: Vec<f32> = (0..m.rows * m.cols).map(grid).collect();
+    for cand in space.candidates() {
+        let d = cand.decision(&m, topo, &arch, HUGE_PAGE_BITS).unwrap();
+        let mut sys = FacilSystem::new(spec.clone(), arch);
+        let alloc = sys.pimalloc_with(m, d).unwrap();
+        let mut mem = BankedMemory::new(topo);
+        store_matrix(&mut mem, &sys, &alloc, &w).unwrap();
+        let back = load_matrix(&mem, &sys, &alloc).unwrap();
+        assert_eq!(back, w, "round-trip mismatch under {cand:?}");
+    }
+}
+
+/// Every *bank-stable* candidate must also replay bit-exactly; the unstable
+/// ones (hash with MapID > 0 on multi-chunk rows) must be rejected at trace
+/// time rather than silently mis-accumulate.
+#[test]
+fn every_candidate_scheme_replays_or_rejects() {
+    let spec = DramSpec::lpddr5_6400(64, 8 << 30);
+    let topo = spec.topology;
+    let arch = PimArch::aim(&topo);
+    let space = CandidateSpace::enumerate(topo, &arch, HUGE_PAGE_BITS, true).unwrap();
+
+    let m = MatrixConfig::new(8, 2048, DType::F16);
+    let w: Vec<f32> = (0..m.rows * m.cols).map(grid).collect();
+    let x: Vec<f32> = (0..m.cols).map(|i| grid(i ^ 0x5EED)).collect();
+    let (mut replayed, mut rejected) = (0u32, 0u32);
+    for cand in space.candidates() {
+        let d = cand.decision(&m, topo, &arch, HUGE_PAGE_BITS).unwrap();
+        let mut sys = FacilSystem::new(spec.clone(), arch);
+        let alloc = sys.pimalloc_with(m, d).unwrap();
+        let mut mem = BankedMemory::new(topo);
+        store_matrix(&mut mem, &sys, &alloc, &w).unwrap();
+        // The 8 x 2048 matrix has two chunks per row, so MapIDs above 1 are
+        // over-wide for it (matrix-row bits would leak into the segment
+        // field) and the hash is only bank-stable at MapID 0.
+        let chunks = m.cols * 2 / arch.chunk_row_bytes;
+        let overwide = (1u64 << cand.map_id) > chunks;
+        let unstable = cand.bank_hash && cand.map_id > 0;
+        match cross_check(&mem, &sys, &alloc, &x) {
+            Ok(report) => {
+                assert!(!overwide && !unstable, "illegal candidate {cand:?} traced");
+                assert!(report.bit_exact(), "{cand:?}: {report:?}");
+                replayed += 1;
+            }
+            Err(e) => {
+                assert!(overwide || unstable, "legal candidate {cand:?} rejected: {e}");
+                if unstable && !overwide {
+                    assert!(e.to_string().contains("bank-stable"), "{e}");
+                }
+                rejected += 1;
+            }
+        }
+    }
+    assert!(replayed > 10, "too few replayed candidates: {replayed}");
+    assert!(rejected > 0, "expected some hash-unstable rejections");
+}

@@ -137,6 +137,25 @@ impl ModelConfig {
         }
     }
 
+    /// Scaled-down test model for byte-accurate functional-fidelity runs
+    /// (`facil-fidelity`): phi-style block structure at the smallest
+    /// dimensions the AiM chunk width allows (a 1024-element hidden state is
+    /// exactly one 2 KB fp16 chunk row). Not a paper model, and deliberately
+    /// excluded from [`Self::all`] so the timing sweeps never pick it up.
+    pub fn tiny_fidelity() -> Self {
+        ModelConfig {
+            name: "tiny-fidelity",
+            hidden: 1024,
+            intermediate: 2048,
+            layers: 2,
+            heads: 4,
+            kv_heads: 4,
+            vocab: 256,
+            gated_ffn: false,
+            elem_bytes: 2,
+        }
+    }
+
     /// Every built-in model.
     pub fn all() -> Vec<ModelConfig> {
         vec![
@@ -162,6 +181,7 @@ impl ModelConfig {
             "tinyllama-1.1b" => Self::tinyllama_1_1b(),
             "qwen2-1.5b" => Self::qwen2_1_5b(),
             "gemma-2b" => Self::gemma_2b(),
+            "tiny-fidelity" => Self::tiny_fidelity(),
             other => panic!("unknown model {other:?}"),
         }
     }
@@ -335,6 +355,18 @@ mod tests {
         assert_eq!(m.kv_read_bytes(128), 2 * m.kv_read_bytes(64));
         assert!(m.kv_write_bytes_per_token() > 0);
         assert!(m.elementwise_bytes_per_token() > 0);
+    }
+
+    #[test]
+    fn tiny_fidelity_is_chunk_aligned_and_hidden_from_sweeps() {
+        let m = ModelConfig::tiny_fidelity();
+        assert_eq!(ModelConfig::by_name("tiny-fidelity"), m);
+        // Every linear must be at least one AiM chunk row wide (1024 fp16
+        // elements) so the functional replay can place it.
+        for (op, _) in m.all_linears() {
+            assert!(op.in_features >= 1024, "{} is narrower than a chunk row", op.name);
+        }
+        assert!(!ModelConfig::all().contains(&m), "test model must not join the paper sweeps");
     }
 
     #[test]

@@ -1,0 +1,587 @@
+//! Replayable all-bank command sequence of one PIM GEMV.
+//!
+//! [`gemv::PimEngine`](crate::gemv::PimEngine) *times* the all-bank stream;
+//! this module makes the same stream *replayable*: [`CommandSequence::trace`]
+//! walks a placed matrix chunk by chunk through the page table and mapping
+//! scheme, validates every placement invariant the all-bank hardware relies
+//! on, and records the per-wave structure — which bank MACs which matrix row
+//! against which global-buffer slice in which DRAM row. A functional
+//! interpreter (`facil-fidelity`) executes the sequence over a byte-accurate
+//! [`facil_dram::CellStore`]; [`CommandSequence::to_streams`] lowers it to
+//! the exact [`facil_dram::PimStream`]s the timing model simulates, so one
+//! JEDEC-legality checker ([`facil_dram::verify_allbank_log`]) covers both.
+//!
+//! One *wave* is one all-bank pass: `GB-load* → ACT-AB → MAC-AB* → PRE-AB`
+//! on every rank that owns weights for it, all banks in lock-step on one
+//! broadcast row address. Waves are ordered tile-major, segment-ascending —
+//! the same order [`functional::pim_gemv`](crate::functional::pim_gemv)
+//! accumulates in, which is what makes the replay bit-exact.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use facil_core::{FacilError, FacilSystem, MatrixConfig, PimAllocation};
+use facil_dram::{PimStream, Topology};
+use serde::{Deserialize, Serialize};
+
+use crate::layout::PimPlacement;
+
+/// One global-buffer slice staged for a wave: the input-vector span the PUs
+/// of partition `partition` consume during that wave.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GbSlice {
+    /// Partition index (0 when the row is unpartitioned).
+    pub partition: u64,
+    /// First input-vector element of the slice.
+    pub input_elem0: u64,
+    /// Live elements in the slice (< chunk elements only for a ragged tail).
+    pub elems: u64,
+}
+
+/// One chunk row a bank MACs during a wave.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChunkRowTask {
+    /// Matrix row this chunk row belongs to.
+    pub matrix_row: u64,
+    /// Partition index of the chunk (which partial sum it feeds).
+    pub partition: u64,
+    /// First matrix column the chunk covers.
+    pub col0: u64,
+    /// Live elements (< chunk elements only for a ragged tail).
+    pub elems: u64,
+    /// Chunk-row slot within the DRAM row (always 0 for AiM; 0..8 for
+    /// HBM-PIM, selecting the PU output register).
+    pub slot: u64,
+    /// First DRAM column of the chunk row.
+    pub column0: u64,
+}
+
+/// All chunk rows one bank processes during a wave.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BankTask {
+    /// Channel of the bank.
+    pub channel: u64,
+    /// Rank of the bank.
+    pub rank: u64,
+    /// Bank index within the rank.
+    pub bank: u64,
+    /// Chunk rows, slot-ascending.
+    pub rows: Vec<ChunkRowTask>,
+}
+
+/// One all-bank pass: every listed bank processes one DRAM row against the
+/// staged global-buffer slices.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Wave {
+    /// Tile index (PU output registers accumulate across the waves of one
+    /// tile and drain between tiles).
+    pub tile: u64,
+    /// Input segment index within the tile.
+    pub segment: u64,
+    /// The DRAM row every bank activates (all-bank ACT broadcasts one row
+    /// address).
+    pub dram_row: u64,
+    /// Global-buffer slices staged for this wave, partition-ascending.
+    pub gb: Vec<GbSlice>,
+    /// Per-bank work, (channel, rank, bank)-ascending.
+    pub tasks: Vec<BankTask>,
+}
+
+/// One command of the functional replay stream. The kinds mirror
+/// [`facil_dram::AllBankCommandKind`]; here they carry the operands a
+/// functional interpreter needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PimCommand {
+    /// Load one transfer of the input vector into a rank's global buffer.
+    GbLoad {
+        /// Target channel.
+        channel: u64,
+        /// Target rank.
+        rank: u64,
+        /// Partition whose slice this transfer fills.
+        partition: u64,
+        /// First input-vector element of the transfer.
+        input_elem0: u64,
+        /// Live elements in the transfer (0 for the zero-padded tail).
+        elems: u64,
+    },
+    /// Activate one DRAM row in every bank of the rank.
+    ActAb {
+        /// Target channel.
+        channel: u64,
+        /// Target rank.
+        rank: u64,
+        /// Broadcast row address.
+        dram_row: u64,
+    },
+    /// One MAC beat: every bank multiplies the transfer at `column` of its
+    /// open row against the matching global-buffer elements.
+    MacAb {
+        /// Target channel.
+        channel: u64,
+        /// Target rank.
+        rank: u64,
+        /// DRAM column of the beat.
+        column: u64,
+    },
+    /// Precharge the open row in every bank of the rank.
+    PreAb {
+        /// Target channel.
+        channel: u64,
+        /// Target rank.
+        rank: u64,
+    },
+}
+
+/// The fully validated, replayable all-bank command sequence of one GEMV.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CommandSequence {
+    topo: Topology,
+    matrix: MatrixConfig,
+    placement: PimPlacement,
+    /// Transfers per chunk row.
+    chunk_tx: u64,
+    /// fp16 elements per chunk row.
+    chunk_elems: u64,
+    map_id: u8,
+    waves: Vec<Wave>,
+}
+
+struct WaveBuild {
+    dram_row: Option<u64>,
+    /// (channel, rank, bank) -> slot-keyed chunk rows.
+    tasks: BTreeMap<(u64, u64, u64), BTreeMap<u64, ChunkRowTask>>,
+    /// Partitions present -> live elements of their slice.
+    slices: BTreeMap<u64, u64>,
+}
+
+impl CommandSequence {
+    /// Walk `alloc`'s matrix chunk by chunk through the page table and the
+    /// allocation's mapping scheme, validating the all-bank invariants, and
+    /// build the wave-ordered command sequence.
+    ///
+    /// # Errors
+    ///
+    /// * [`FacilError::InvalidMapping`] if the placement violates an
+    ///   all-bank invariant: a chunk straddling banks or DRAM rows or
+    ///   misaligned within a row, a wave needing more than one broadcast row
+    ///   address, a chunk outside the partition range, or a PU output
+    ///   register that would have to migrate between banks mid-tile (the
+    ///   bank-hash + MapID > 0 case — accumulation would be lost);
+    /// * [`FacilError::NotMapped`] if the allocation's VA range is no longer
+    ///   mapped.
+    pub fn trace(sys: &FacilSystem, alloc: &PimAllocation) -> facil_core::Result<Self> {
+        let topo = sys.spec().topology;
+        let arch = *sys.arch();
+        let m = alloc.matrix;
+        let d = &alloc.decision;
+        if m.dtype.bytes() != 2 {
+            return Err(FacilError::InvalidMapping(
+                "functional replay models 16-bit weights".into(),
+            ));
+        }
+        if arch.chunk_rows > 1 && d.partitions > 1 {
+            return Err(FacilError::InvalidMapping(
+                "multi-row chunks cannot be column-partitioned".into(),
+            ));
+        }
+        let placement = PimPlacement::new(&m, d, &topo, &arch);
+        let chunk_elems = arch.chunk_row_bytes / 2;
+        let chunk_tx = arch.chunk_row_bytes / topo.transfer_bytes;
+        let tx = topo.transfer_bytes;
+        let map_id = d.map_id.0;
+        let seg_mask = (1u64 << map_id) - 1;
+        let page_table = sys.page_table();
+        let scheme = &d.scheme;
+
+        let mut waves: BTreeMap<(u64, u64), WaveBuild> = BTreeMap::new();
+        // The register binding must be a *bijection* within a tile: each PU
+        // output register (tile, flat bank, slot) accumulates exactly one
+        // (matrix row, partition), and each (matrix row, partition)
+        // accumulates in exactly one register. Both directions are checked.
+        let mut registers: BTreeMap<(u64, u64, u64), (u64, u64)> = BTreeMap::new();
+        let mut reg_of: BTreeMap<(u64, u64, u64), (u64, u64)> = BTreeMap::new();
+
+        for r in 0..m.rows {
+            let tile = r / placement.rows_per_tile;
+            for j in 0..m.cols.div_ceil(chunk_elems) {
+                let col0 = j * chunk_elems;
+                let elems = chunk_elems.min(m.cols - col0);
+                let segment = j & seg_mask;
+                let partition = j >> map_id;
+                if partition >= d.partitions {
+                    return Err(FacilError::InvalidMapping(format!(
+                        "chunk {j} of row {r} falls outside the {} partitions",
+                        d.partitions
+                    )));
+                }
+                let pa = page_table.translate(alloc.element_va(r, col0))?.pa;
+                let first = scheme.map_pa(pa);
+                if !first.column.is_multiple_of(chunk_tx) {
+                    return Err(FacilError::InvalidMapping(format!(
+                        "chunk {j} of row {r} is not chunk-row aligned (column {})",
+                        first.column
+                    )));
+                }
+                for t in 1..(elems * 2).div_ceil(tx) {
+                    let da = scheme.map_pa(pa + t * tx);
+                    if (da.channel, da.rank, da.bank, da.row)
+                        != (first.channel, first.rank, first.bank, first.row)
+                        || da.column != first.column + t
+                    {
+                        return Err(FacilError::InvalidMapping(format!(
+                            "chunk {j} of row {r} is not contiguous in one DRAM row of one bank"
+                        )));
+                    }
+                }
+                let slot = first.column >> arch.chunk_col_bits(&topo);
+                let flat = (first.channel * topo.ranks + first.rank) * topo.banks() + first.bank;
+                match registers.insert((tile, flat, slot), (r, partition)) {
+                    Some(prev) if prev != (r, partition) => {
+                        return Err(FacilError::InvalidMapping(format!(
+                            "PU register (bank {flat}, slot {slot}) of tile {tile} is not \
+                             bank-stable: rows {}/{r} both accumulate there (a bank hash with \
+                             MapID > 0 moves chunks between banks mid-tile)",
+                            prev.0
+                        )));
+                    }
+                    _ => {}
+                }
+                match reg_of.insert((tile, r, partition), (flat, slot)) {
+                    Some(prev) if prev != (flat, slot) => {
+                        return Err(FacilError::InvalidMapping(format!(
+                            "row {r} partition {partition} of tile {tile} is not bank-stable: \
+                             its chunks land in registers (bank {}, slot {}) and (bank {flat}, \
+                             slot {slot}) — the PU accumulator cannot migrate between banks \
+                             mid-tile",
+                            prev.0, prev.1
+                        )));
+                    }
+                    _ => {}
+                }
+                let wave = waves.entry((tile, segment)).or_insert_with(|| WaveBuild {
+                    dram_row: None,
+                    tasks: BTreeMap::new(),
+                    slices: BTreeMap::new(),
+                });
+                match wave.dram_row {
+                    None => wave.dram_row = Some(first.row),
+                    Some(row) if row != first.row => {
+                        return Err(FacilError::InvalidMapping(format!(
+                            "wave (tile {tile}, segment {segment}) needs rows {row} and {} — \
+                             all-bank ACT broadcasts one row address",
+                            first.row
+                        )));
+                    }
+                    Some(_) => {}
+                }
+                wave.slices.entry(partition).or_insert(elems);
+                let task = ChunkRowTask {
+                    matrix_row: r,
+                    partition,
+                    col0,
+                    elems,
+                    slot,
+                    column0: first.column,
+                };
+                wave.tasks
+                    .entry((first.channel, first.rank, first.bank))
+                    .or_default()
+                    .insert(slot, task);
+            }
+        }
+
+        let waves = waves
+            .into_iter()
+            .map(|((tile, segment), b)| Wave {
+                tile,
+                segment,
+                // Every wave got at least one chunk before landing here.
+                dram_row: b.dram_row.unwrap_or(0),
+                gb: b
+                    .slices
+                    .into_iter()
+                    .map(|(partition, elems)| GbSlice {
+                        partition,
+                        input_elem0: ((partition << map_id) | segment) * chunk_elems,
+                        elems,
+                    })
+                    .collect(),
+                tasks: b
+                    .tasks
+                    .into_iter()
+                    .map(|((channel, rank, bank), rows)| BankTask {
+                        channel,
+                        rank,
+                        bank,
+                        rows: rows.into_values().collect(),
+                    })
+                    .collect(),
+            })
+            .collect();
+        Ok(CommandSequence { topo, matrix: m, placement, chunk_tx, chunk_elems, map_id, waves })
+    }
+
+    /// The DRAM topology the sequence was traced against.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The matrix the sequence computes over.
+    pub fn matrix(&self) -> &MatrixConfig {
+        &self.matrix
+    }
+
+    /// The placement geometry.
+    pub fn placement(&self) -> &PimPlacement {
+        &self.placement
+    }
+
+    /// fp16 elements per chunk row.
+    pub fn chunk_elems(&self) -> u64 {
+        self.chunk_elems
+    }
+
+    /// The waves, tile-major and segment-ascending — replay order.
+    pub fn waves(&self) -> &[Wave] {
+        &self.waves
+    }
+
+    /// The commands of one wave, grouped per (channel, rank):
+    /// `GB-load* → ACT-AB → MAC-AB* → PRE-AB`.
+    pub fn wave_commands(&self, wave: &Wave) -> Vec<PimCommand> {
+        let mut out = Vec::new();
+        let elems_per_tx = self.topo.transfer_bytes / 2;
+        let mut rank_parts: BTreeMap<(u64, u64), BTreeSet<u64>> = BTreeMap::new();
+        for t in &wave.tasks {
+            let parts = rank_parts.entry((t.channel, t.rank)).or_default();
+            for row in &t.rows {
+                parts.insert(row.partition);
+            }
+        }
+        for ((channel, rank), parts) in rank_parts {
+            for partition in parts {
+                // Trace construction put a slice there for every partition a
+                // task references.
+                let Some(slice) = wave.gb.iter().find(|s| s.partition == partition) else {
+                    continue;
+                };
+                for t in 0..self.chunk_tx {
+                    let off = t * elems_per_tx;
+                    out.push(PimCommand::GbLoad {
+                        channel,
+                        rank,
+                        partition,
+                        input_elem0: slice.input_elem0 + off,
+                        elems: elems_per_tx.min(slice.elems.saturating_sub(off)),
+                    });
+                }
+            }
+            out.push(PimCommand::ActAb { channel, rank, dram_row: wave.dram_row });
+            for column in 0..self.topo.columns() {
+                out.push(PimCommand::MacAb { channel, rank, column });
+            }
+            out.push(PimCommand::PreAb { channel, rank });
+        }
+        out
+    }
+
+    /// The full replayable command stream, wave by wave.
+    pub fn commands(&self) -> impl Iterator<Item = PimCommand> + '_ {
+        self.waves.iter().flat_map(move |w| self.wave_commands(w))
+    }
+
+    /// Lower the sequence to the per-rank [`PimStream`]s of one channel —
+    /// the same shape [`crate::PimEngine::gemv_simulated_cycles`] feeds to
+    /// [`facil_dram::run_allbank`], so the timing simulation and the
+    /// JEDEC-legality checker run off this one traced stream.
+    ///
+    /// Ranks with no work on `channel` are omitted.
+    pub fn to_streams(
+        &self,
+        channel: u64,
+        mac_interval: u64,
+        double_buffer: bool,
+    ) -> Vec<PimStream> {
+        let mut per_rank: BTreeMap<u64, (u64, u64)> = BTreeMap::new();
+        for w in &self.waves {
+            let mut parts: BTreeMap<u64, BTreeSet<u64>> = BTreeMap::new();
+            for t in w.tasks.iter().filter(|t| t.channel == channel) {
+                let set = parts.entry(t.rank).or_default();
+                for row in &t.rows {
+                    set.insert(row.partition);
+                }
+            }
+            for (rank, set) in parts {
+                let e = per_rank.entry(rank).or_insert((0, 0));
+                e.0 += 1;
+                e.1 = e.1.max(set.len() as u64 * self.chunk_tx);
+            }
+        }
+        per_rank
+            .into_iter()
+            .map(|(rank, (rows, gb_cmds_per_row))| PimStream {
+                rank,
+                rows,
+                gb_cmds_per_row,
+                macs_per_row: self.topo.columns(),
+                mac_interval,
+                double_buffer,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use facil_core::{
+        decision_with_map_id, DType, MappingDecision, MatrixConfig, PimArch, HUGE_PAGE_BITS,
+    };
+    use facil_dram::DramSpec;
+
+    fn iphone() -> FacilSystem {
+        let spec = DramSpec::lpddr5_6400(64, 8 << 30);
+        let arch = PimArch::aim(&spec.topology);
+        FacilSystem::new(spec, arch)
+    }
+
+    #[test]
+    fn trace_matches_placement_geometry() {
+        let mut sys = iphone();
+        let topo = sys.spec().topology;
+        let m = MatrixConfig::new(2 * topo.total_banks(), 2048, DType::F16);
+        let alloc = sys.pimalloc(m).unwrap();
+        let seq = CommandSequence::trace(&sys, &alloc).unwrap();
+        let p = seq.placement();
+        assert_eq!(p.partitions, 1);
+        assert_eq!(seq.waves().len() as u64, p.tiles * p.segments);
+        for w in seq.waves() {
+            // Unpartitioned AiM: every bank MACs exactly one chunk row.
+            assert_eq!(w.tasks.len() as u64, topo.total_banks());
+            assert_eq!(w.gb.len(), 1);
+            assert_eq!(w.gb[0].elems, seq.chunk_elems());
+            for t in &w.tasks {
+                assert_eq!(t.rows.len(), 1);
+                assert_eq!(t.rows[0].slot, 0);
+                assert_eq!(t.rows[0].col0, w.gb[0].input_elem0);
+            }
+        }
+        // Register bindings never repeat: rows * partitions distinct tasks.
+        let tasks: u64 =
+            seq.waves().iter().flat_map(|w| &w.tasks).map(|t| t.rows.len() as u64).sum();
+        assert_eq!(tasks, m.rows * m.cols.div_ceil(seq.chunk_elems()));
+    }
+
+    #[test]
+    fn streams_match_timing_model_shape() {
+        // Full tiles, unpartitioned: the lowered streams must be exactly
+        // what gemv_simulated_cycles constructs from the placement.
+        let spec = DramSpec::lpddr5_6400(16, 1 << 30); // one channel
+        let arch = PimArch::aim(&spec.topology);
+        let topo = spec.topology;
+        let mut sys = FacilSystem::new(spec.clone(), arch);
+        let m = MatrixConfig::new(2 * topo.total_banks(), 2048, DType::F16);
+        let alloc = sys.pimalloc(m).unwrap();
+        let seq = CommandSequence::trace(&sys, &alloc).unwrap();
+        let placement = PimPlacement::new(&m, &alloc.decision, &topo, &arch);
+        let want: Vec<PimStream> = (0..topo.ranks)
+            .map(|rank| PimStream {
+                rank,
+                rows: placement.dram_rows_per_bank,
+                gb_cmds_per_row: arch.chunk_row_bytes / topo.transfer_bytes,
+                macs_per_row: topo.columns(),
+                mac_interval: 2,
+                double_buffer: true,
+            })
+            .collect();
+        assert_eq!(seq.to_streams(0, 2, true), want);
+        // And the traced streams are JEDEC-legal under the shared checker.
+        let streams = seq.to_streams(0, 2, true);
+        let (_, log) = facil_dram::run_allbank_logged(&spec, &streams);
+        let violations = facil_dram::verify_allbank_log(&log, &spec.timing, &streams);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn command_counts_match_stream_shape() {
+        let mut sys = iphone();
+        let topo = sys.spec().topology;
+        let m = MatrixConfig::new(topo.total_banks(), 2048, DType::F16);
+        let alloc = sys.pimalloc(m).unwrap();
+        let seq = CommandSequence::trace(&sys, &alloc).unwrap();
+        let ranks_per_wave = topo.channels * topo.ranks;
+        let waves = seq.waves().len() as u64;
+        let gb = seq.commands().filter(|c| matches!(c, PimCommand::GbLoad { .. })).count() as u64;
+        let macs = seq.commands().filter(|c| matches!(c, PimCommand::MacAb { .. })).count() as u64;
+        let acts = seq.commands().filter(|c| matches!(c, PimCommand::ActAb { .. })).count() as u64;
+        assert_eq!(gb, waves * ranks_per_wave * (sys.arch().chunk_row_bytes / topo.transfer_bytes));
+        assert_eq!(macs, waves * ranks_per_wave * topo.columns());
+        assert_eq!(acts, waves * ranks_per_wave);
+    }
+
+    #[test]
+    fn hbm_pim_fills_slots() {
+        let spec = DramSpec::lpddr5_6400(16, 2 << 30);
+        let arch = PimArch::hbm_pim(&spec.topology);
+        let mut sys = FacilSystem::new(spec, arch);
+        let alloc = sys.pimalloc(MatrixConfig::new(64, 1024, DType::F16)).unwrap();
+        let seq = CommandSequence::trace(&sys, &alloc).unwrap();
+        for w in seq.waves() {
+            for t in &w.tasks {
+                // 8 matrix rows share the DRAM row at distinct slots.
+                let slots: Vec<u64> = t.rows.iter().map(|r| r.slot).collect();
+                assert_eq!(slots, (0..8).collect::<Vec<_>>());
+            }
+        }
+    }
+
+    #[test]
+    fn bank_hash_with_mapid_zero_traces() {
+        let mut sys = iphone();
+        let topo = sys.spec().topology;
+        let arch = *sys.arch();
+        // 1024 cols = one chunk per row: MapID 0, hash-safe.
+        let m = MatrixConfig::new(16, 1024, DType::F16);
+        let d = decision_with_map_id(&m, topo, &arch, 0, HUGE_PAGE_BITS).unwrap();
+        let hashed = MappingDecision { scheme: d.scheme.clone().with_bank_hash(), ..d };
+        let alloc = sys.pimalloc_with(m, hashed).unwrap();
+        assert!(CommandSequence::trace(&sys, &alloc).is_ok());
+    }
+
+    #[test]
+    fn bank_hash_with_mapid_above_zero_is_rejected() {
+        let mut sys = iphone();
+        let topo = sys.spec().topology;
+        let arch = *sys.arch();
+        // 2048 cols = two chunks per row at MapID 1: the hash XORs the bank
+        // with row bits that differ between the two segments, so the PU
+        // accumulator would migrate between banks mid-tile.
+        let m = MatrixConfig::new(16, 2048, DType::F16);
+        let d = decision_with_map_id(&m, topo, &arch, 1, HUGE_PAGE_BITS).unwrap();
+        assert_eq!(d.partitions, 1);
+        let hashed = MappingDecision { scheme: d.scheme.clone().with_bank_hash(), ..d };
+        let alloc = sys.pimalloc_with(m, hashed).unwrap();
+        let err = CommandSequence::trace(&sys, &alloc).unwrap_err();
+        assert!(matches!(err, FacilError::InvalidMapping(_)), "{err}");
+        assert!(err.to_string().contains("bank-stable"), "{err}");
+    }
+
+    #[test]
+    fn partitioned_rows_stage_multiple_slices() {
+        // Wide system: 4096-col rows partition by 2.
+        let spec = DramSpec::lpddr5_6400(256, 64 << 30);
+        let arch = PimArch::aim(&spec.topology);
+        let mut sys = FacilSystem::new(spec, arch);
+        let alloc = sys.pimalloc(MatrixConfig::new(8, 4096, DType::F16)).unwrap();
+        assert_eq!(alloc.decision.partitions, 2);
+        let seq = CommandSequence::trace(&sys, &alloc).unwrap();
+        for w in seq.waves() {
+            let parts: BTreeSet<u64> =
+                w.tasks.iter().flat_map(|t| t.rows.iter().map(|r| r.partition)).collect();
+            for p in &parts {
+                let slice = w.gb.iter().find(|s| s.partition == *p).unwrap();
+                assert_eq!(slice.elems, seq.chunk_elems());
+            }
+        }
+    }
+}

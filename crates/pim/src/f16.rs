@@ -12,9 +12,13 @@ pub fn f32_to_f16_bits(x: f32) -> u16 {
     let mant = bits & 0x007F_FFFF;
 
     if exp == 0xFF {
-        // Inf / NaN.
-        let m = if mant != 0 { 0x0200 } else { 0 };
-        return sign | 0x7C00 | m;
+        if mant == 0 {
+            return sign | 0x7C00; // infinity
+        }
+        // NaN: keep the top 10 payload bits and force the quiet bit, the
+        // standard narrow-on-NaN behavior (signaling NaNs come out quieted,
+        // payloads that fit are preserved).
+        return sign | 0x7C00 | 0x0200 | (mant >> 13) as u16;
     }
     // Re-bias: f32 exp-127 + 15.
     let new_exp = exp - 127 + 15;
@@ -64,8 +68,11 @@ pub fn f16_bits_to_f32(h: u16) -> f32 {
             if mant == 0 {
                 sign
             } else {
-                // Subnormal: normalize.
-                let mut e = -1i32;
+                // Subnormal (value = mant * 2^-24): normalize. `e` counts the
+                // shifts needed to bring the leading 1 into the implicit-bit
+                // position; the largest subnormal (mant 0x3FF) needs one
+                // shift and lands at exponent 2^-15 - ulp territory.
+                let mut e = 0i32;
                 let mut m = mant;
                 while m & 0x0400 == 0 {
                     m <<= 1;
@@ -138,6 +145,119 @@ mod tests {
         let tiny = 5.96e-8f32; // smallest fp16 subnormal ~ 5.96e-8
         let back = f16_bits_to_f32(f32_to_f16_bits(tiny));
         assert!(back > 0.0 && back < 1e-7);
+    }
+
+    /// Arithmetic reference for decoding an fp16 bit pattern, computed in
+    /// f64 (exact for every binary16 value) and narrowed at the end.
+    fn reference_decode(h: u16) -> f32 {
+        let sign = if h & 0x8000 != 0 { -1.0f64 } else { 1.0 };
+        let exp = (h >> 10) & 0x1F;
+        let mant = f64::from(h & 0x03FF);
+        match exp {
+            0 => (sign * mant * (-24f64).exp2()) as f32,
+            0x1F => {
+                if mant == 0.0 {
+                    (sign * f64::INFINITY) as f32
+                } else {
+                    f32::NAN
+                }
+            }
+            e => (sign * (1.0 + mant / 1024.0) * f64::from(i32::from(e) - 15).exp2()) as f32,
+        }
+    }
+
+    #[test]
+    fn decode_matches_arithmetic_reference_exhaustively() {
+        // Every one of the 65536 bit patterns, including all subnormals:
+        // a wrong normalization start (the bug this pins down halved every
+        // subnormal) fails here immediately.
+        for h in 0..=u16::MAX {
+            let got = f16_bits_to_f32(h);
+            let want = reference_decode(h);
+            if want.is_nan() {
+                assert!(got.is_nan(), "h={h:#06x}: got {got}, want NaN");
+            } else {
+                assert_eq!(got.to_bits(), want.to_bits(), "h={h:#06x}: got {got}, want {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_identity_for_every_pattern() {
+        // f16 -> f32 is exact, so encoding back must reproduce the pattern:
+        // exactly for every non-NaN, and up to the quiet bit for NaNs
+        // (signaling payloads come back quieted, nothing else moves).
+        for h in 0..=u16::MAX {
+            let back = f32_to_f16_bits(f16_bits_to_f32(h));
+            let exp = (h >> 10) & 0x1F;
+            let is_nan = exp == 0x1F && h & 0x03FF != 0;
+            if is_nan {
+                assert_eq!(back, h | 0x0200, "NaN payload must survive up to quieting, h={h:#06x}");
+            } else {
+                assert_eq!(back, h, "h={h:#06x}");
+            }
+        }
+    }
+
+    #[test]
+    fn negative_zero_is_preserved() {
+        assert_eq!(f32_to_f16_bits(-0.0), 0x8000);
+        assert_eq!(f16_bits_to_f32(0x8000).to_bits(), (-0.0f32).to_bits());
+        assert_eq!(f32_to_f16_bits(0.0), 0x0000);
+    }
+
+    #[test]
+    fn nan_payload_top_bits_survive() {
+        // An f32 quiet NaN whose payload sits in the top 10 mantissa bits.
+        let payload = 0x2A5u32; // includes the quiet bit (0x200)
+        let nan = f32::from_bits(0x7F80_0000 | (payload << 13));
+        assert_eq!(f32_to_f16_bits(nan), 0x7C00 | payload as u16);
+        // A signaling-style f32 NaN with an all-low payload still narrows to
+        // *a* NaN (quiet bit forced), never to infinity.
+        let low_payload_nan = f32::from_bits(0x7F80_0001);
+        assert_eq!(f32_to_f16_bits(low_payload_nan), 0x7E00);
+        let neg_nan = f32::from_bits(0xFF80_0001);
+        assert_eq!(f32_to_f16_bits(neg_nan), 0xFE00);
+    }
+
+    #[test]
+    fn round_to_nearest_even_ties() {
+        // 1 + 2^-11 is exactly halfway between 1.0 (0x3C00) and 1.0 + 2^-10
+        // (0x3C01): the tie must go to the even mantissa (0x3C00).
+        assert_eq!(f32_to_f16_bits(1.0 + 2f32.powi(-11)), 0x3C00);
+        // 1 + 3*2^-11 is halfway between 0x3C01 and 0x3C02: even is 0x3C02.
+        assert_eq!(f32_to_f16_bits(1.0 + 3.0 * 2f32.powi(-11)), 0x3C02);
+        // Just above/below the midpoints round to nearest, not to even.
+        assert_eq!(f32_to_f16_bits(1.0 + 2f32.powi(-11) + 2f32.powi(-20)), 0x3C01);
+        assert_eq!(f32_to_f16_bits(1.0 + 2f32.powi(-11) - 2f32.powi(-20)), 0x3C00);
+    }
+
+    #[test]
+    fn round_to_nearest_even_ties_subnormal() {
+        // 2^-25 is halfway between 0 and the smallest subnormal 2^-24:
+        // ties-to-even goes to 0 (even).
+        assert_eq!(f32_to_f16_bits(2f32.powi(-25)), 0x0000);
+        // 3 * 2^-25 is halfway between 1 and 2 ulps: even is 2 (0x0002).
+        assert_eq!(f32_to_f16_bits(3.0 * 2f32.powi(-25)), 0x0002);
+        // Just above the dead zone rounds up to the smallest subnormal.
+        assert_eq!(f32_to_f16_bits(2f32.powi(-25) * 1.0001), 0x0001);
+        // Negative side mirrors with the sign bit.
+        assert_eq!(f32_to_f16_bits(-3.0 * 2f32.powi(-25)), 0x8002);
+        // Largest subnormal and the subnormal->normal boundary.
+        assert_eq!(f32_to_f16_bits(1023.0 * 2f32.powi(-24)), 0x03FF);
+        assert_eq!(f32_to_f16_bits(2f32.powi(-14)), 0x0400);
+        // A subnormal tie that carries into the normal range: 2^-14 - 2^-25
+        // is halfway between 0x03FF and 0x0400; even is 0x0400.
+        assert_eq!(f32_to_f16_bits(2f32.powi(-14) - 2f32.powi(-25)), 0x0400);
+    }
+
+    #[test]
+    fn rounding_overflow_to_infinity() {
+        // Largest finite f16 is 65504; the f32 midpoint to the next step
+        // (65520) rounds to even => 0x400 mantissa carry => infinity.
+        assert_eq!(f32_to_f16_bits(65504.0), 0x7BFF);
+        assert_eq!(f32_to_f16_bits(65520.0), 0x7C00);
+        assert_eq!(f32_to_f16_bits(65519.99), 0x7BFF);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! between.
 
 use facil_core::{FacilSystem, PimAllocation};
-use facil_dram::FunctionalMemory;
+use facil_dram::CellStore;
 
 use crate::f16::{decode_f16_le, encode_f16_le};
 
@@ -23,8 +23,8 @@ use crate::f16::{decode_f16_le, encode_f16_le};
 ///
 /// [`facil_core::FacilError::NotMapped`] if the allocation's VA range is no
 /// longer mapped (e.g. it was freed).
-pub fn store_matrix(
-    mem: &mut FunctionalMemory,
+pub fn store_matrix<S: CellStore>(
+    mem: &mut S,
     sys: &FacilSystem,
     alloc: &PimAllocation,
     values: &[f32],
@@ -47,8 +47,8 @@ pub fn store_matrix(
 ///
 /// [`facil_core::FacilError::NotMapped`] if the allocation's VA range is no
 /// longer mapped.
-pub fn load_matrix(
-    mem: &FunctionalMemory,
+pub fn load_matrix<S: CellStore>(
+    mem: &S,
     sys: &FacilSystem,
     alloc: &PimAllocation,
 ) -> facil_core::Result<Vec<f32>> {
@@ -74,8 +74,8 @@ pub fn load_matrix(
 ///
 /// Panics if `x.len() != cols`, or if the placement violates the PIM
 /// invariants (which would mean the mapping is broken).
-pub fn pim_gemv(
-    mem: &FunctionalMemory,
+pub fn pim_gemv<S: CellStore>(
+    mem: &S,
     sys: &FacilSystem,
     alloc: &PimAllocation,
     x: &[f32],
@@ -118,7 +118,7 @@ pub fn pim_gemv(
                     "chunk must stay in one DRAM row of one bank"
                 );
                 assert_eq!(da.column, first.column + t, "chunk must be at contiguous columns");
-                bytes.extend(mem.read_transfer(da));
+                bytes.extend(mem.load_transfer(da));
             }
             let w = decode_f16_le(&bytes[..n * 2]);
             let pu = (first.channel, first.rank, first.bank);
@@ -150,7 +150,7 @@ pub fn pim_gemv(
 mod tests {
     use super::*;
     use facil_core::{DType, MatrixConfig, PimArch};
-    use facil_dram::DramSpec;
+    use facil_dram::{DramSpec, FunctionalMemory};
 
     fn make_system() -> FacilSystem {
         let spec = DramSpec::lpddr5_6400(64, 8 << 30);

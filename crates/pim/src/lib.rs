@@ -12,6 +12,10 @@
 //! * [`functional`] — data-value PIM execution over the byte-accurate DRAM
 //!   model, proving that SoC-written row-major weights compute correctly
 //!   without re-layout;
+//! * [`commands::CommandSequence`] — the same all-bank stream as a validated,
+//!   *replayable* structure (waves, bank tasks, global-buffer slices) that
+//!   `facil-fidelity` executes functionally and the verifylog checker
+//!   validates for JEDEC legality;
 //! * [`mod@f16`] — minimal fp16 codec used by the functional path.
 //!
 //! ```
@@ -35,11 +39,13 @@
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 #![warn(missing_docs)]
 
+pub mod commands;
 pub mod f16;
 pub mod functional;
 pub mod gemv;
 pub mod layout;
 
+pub use commands::{BankTask, ChunkRowTask, CommandSequence, GbSlice, PimCommand, Wave};
 pub use functional::{load_matrix, pim_gemv, store_matrix};
 pub use gemv::{PimEngine, PimOpTiming, PimTimingConfig};
 pub use layout::PimPlacement;

@@ -107,6 +107,47 @@ assert wins >= 1, "no searched mapping beat the paper pick"
 print(f"mapsearch smoke OK ({len(runs)} platforms, {wins} searched wins)")'
 echo "mapsearch artifact: $mapsearch_artifact"
 
+echo "== fidelity smoke =="
+# Functional-fidelity gate: the PIM command replay must match the pim_gemv
+# reference bit for bit (zero f32/f16 mismatches on every shape x MapID),
+# and the FACIL-vs-conventional token streams must be identical. The binary
+# itself exits non-zero on any violation; the validator re-checks the JSON
+# so a silent schema drift cannot pass. Kept as a CI artifact.
+mkdir -p target
+fidelity_artifact="target/BENCH_fidelity.json"
+: > "$fidelity_artifact"
+cargo run --release -q -p facil-bench --bin fidelity -- --smoke --json \
+  | tee "$fidelity_artifact" \
+  | python3 -c 'import json,sys
+lines = [json.loads(l) for l in sys.stdin if l.strip()]
+manifests = [o for o in lines if "schema_version" in o]
+runs = [o for o in lines if "schema_version" not in o]
+assert len(manifests) == 1, f"expected one manifest, got {len(manifests)}"
+m = manifests[0]
+assert m["bench"] == "fidelity" and "seed" in m, m
+assert m["results"]["mismatches"] == 0, m
+assert m["results"]["token_equivalent"] == 1, m
+plats = [o for o in runs if o["experiment"] == "fidelity"]
+assert plats, "no platform replay runs"
+replays = 0
+for o in plats:
+    rep = o["report"]
+    assert rep["mismatches"] == 0, rep["platform"]
+    assert rep["shapes"], rep["platform"]
+    for s in rep["shapes"]:
+        assert s["f32_mismatches"] == 0 and s["f16_mismatches"] == 0, s
+        assert s["commands"] > 0 and s["waves"] > 0, s
+        replays += 1
+assert replays == m["results"]["replays"], (replays, m["results"])
+tok = [o for o in runs if o["experiment"] == "fidelity_tokens"]
+assert len(tok) == 1, "expected one token-equivalence run"
+t = tok[0]["report"]
+assert t["equivalent"] is True and t["logit_mismatches"] == 0, t
+assert t["facil_tokens"] == t["conventional_tokens"] and len(t["facil_tokens"]) == t["steps"], t
+ntok = len(t["facil_tokens"])
+print(f"fidelity smoke OK ({replays} bit-exact replays, {ntok} equivalent tokens)")'
+echo "fidelity artifact: $fidelity_artifact"
+
 echo "== cluster smoke =="
 # Cluster resilience showcase: the JSONL must be well-formed (chaos
 # matrix + tenant QoS + autoscale runs and one manifest), every run must

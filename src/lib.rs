@@ -23,6 +23,9 @@
 //! * [`mapsearch`] — workload-profile-driven mapping search over the
 //!   MapID / PU-order / bank-hash candidate space, with an analytic cost
 //!   model cross-checked by cycle-accurate replays,
+//! * [`fidelity`] — HW/SW-integrated functional PIM simulation: bit-exact
+//!   replay of the all-bank command stream over a bank-sliced DRAM content
+//!   model, plus end-to-end FACIL-vs-conventional token equivalence,
 //! * [`telemetry`] — unified observability: trace spans on simulated time
 //!   with a Chrome/Perfetto exporter, a metrics registry, run manifests,
 //!   and the workspace's shared JSON writer.
@@ -33,6 +36,7 @@
 pub use facil_cluster as cluster;
 pub use facil_core as core;
 pub use facil_dram as dram;
+pub use facil_fidelity as fidelity;
 pub use facil_llm as llm;
 pub use facil_mapsearch as mapsearch;
 pub use facil_pim as pim;
