@@ -52,7 +52,11 @@ pub fn ablation_mapping_flexibility(id: PlatformId) -> Vec<FlexRow> {
     let mut rows = Vec::new();
     for (op, _) in model.all_linears() {
         let m = MatrixConfig::new(op.out_features, op.in_features, DType::F16);
+        // Stock-platform weights are mappable by construction; a failure
+        // here is a bug in the platform tables, so the regenerator panics.
+        #[allow(clippy::expect_used)]
         let flexible = select_mapping_2mb(&m, topo, &platform.pim_arch).expect("mappable");
+        #[allow(clippy::expect_used)]
         let fixed = decision_with_map_id(&m, topo, &platform.pim_arch, 0, HUGE_PAGE_BITS)
             .expect("mappable");
         let tf = engine.gemv(&m, &flexible).time_ns;
@@ -74,6 +78,8 @@ pub fn ablation_mapping_flexibility(id: PlatformId) -> Vec<FlexRow> {
 /// [`facil_sim::pool`] workers with serial-identical results.
 pub fn ablation_relayout_policy(q: Query) -> Vec<(PlatformId, f64, f64)> {
     facil_sim::pool::par_map(&PlatformId::all(), |&id| {
+        // Stock platforms are sized for the default model by construction.
+        #[allow(clippy::expect_used)]
         let sim =
             InferenceSim::new(Platform::get(id)).expect("default model fits every stock platform");
         let on_demand = sim.run_query(Strategy::HybridStatic, q).ttlt_ns / 1e6;
@@ -105,6 +111,8 @@ pub fn ablation_cosched(id: PlatformId) -> Vec<(CoschedPolicy, f64, f64, f64, u6
 pub fn ablation_pim_microarch() -> Vec<(bool, u64, f64)> {
     let platform = Platform::get(PlatformId::Jetson);
     let m = MatrixConfig::new(14336, 4096, DType::F16);
+    // A fixed paper shape on a stock platform is mappable by construction.
+    #[allow(clippy::expect_used)]
     let d = select_mapping_2mb(&m, platform.dram.topology, &platform.pim_arch).expect("mappable");
     let mut out = Vec::new();
     for double_buffer in [true, false] {
@@ -146,6 +154,8 @@ pub fn ablation_pim_style() -> Vec<(String, u8, String, f64)> {
     [PimArch::aim(&topo), PimArch::hbm_pim(&topo)]
         .into_iter()
         .map(|arch| {
+            // A fixed square shape maps under every built-in PIM style.
+            #[allow(clippy::expect_used)]
             let d = select_mapping_2mb(&m, topo, &arch).expect("mappable");
             let engine = PimEngine::new(spec.clone(), arch);
             let t = engine.gemv(&m, &d).time_ns / 1e3;
@@ -163,6 +173,8 @@ pub fn ablation_quantized_e2e(id: PlatformId) -> Vec<(DType, f64, f64, f64, f64)
     [DType::F16, DType::I8]
         .into_iter()
         .map(|dtype| {
+            // Both dtype variants of the stock model fit the platform DRAM.
+            #[allow(clippy::expect_used)]
             let sim = InferenceSim::with_model_and_dtype(platform.clone(), model.clone(), dtype)
                 .expect("ablation models fit the platform DRAM");
             let base = sim.prefill_ns(Strategy::HybridStatic, 32).0;
@@ -188,6 +200,8 @@ pub fn ablation_dtype(id: PlatformId) -> Vec<(DType, u8, u64, f64)> {
         .into_iter()
         .map(|dtype| {
             let m = MatrixConfig::new(model.hidden, model.hidden, dtype);
+            // Stock-model shapes are mappable on their own platform.
+            #[allow(clippy::expect_used)]
             let d = select_mapping_2mb(&m, platform.dram.topology, &platform.pim_arch)
                 .expect("mappable");
             let t = engine.gemv(&m, &d).time_ns / 1e3;

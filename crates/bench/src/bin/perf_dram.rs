@@ -7,6 +7,12 @@
 //! produce identical [`facil_dram::SimResult`]s — the harness asserts it —
 //! so the speedup is measured on provably equivalent work.
 //!
+//! A final low-utilization point replays a decode-phase serving trace
+//! (short per-token read bursts separated by long idle gaps) under the
+//! cycle-stepped and next-event engines — again asserting identical
+//! results — to measure the engine speedup where it matters: traces that
+//! are mostly idle time.
+//!
 //! Usage: `cargo run --release -p facil-bench --bin perf_dram`
 //!
 //! * `--json` — one tagged JSONL line per sweep point plus the run
@@ -14,13 +20,14 @@
 //! * `--smoke` — shrink the stream for CI smoke runs;
 //! * `--seed <n>` — stream RNG seed (default 42);
 //! * `--enforce-speedup` — exit non-zero unless the widest sweep point
-//!   reaches >= 2x parallel speedup (CI passes this only on >= 4 cores;
-//!   stats equality is asserted regardless).
+//!   reaches >= 2x parallel speedup (CI passes this only on >= 4 cores)
+//!   AND the next-event engine reaches >= 5x the cycle-stepped req/s on
+//!   the low-utilization trace (stats equality is asserted regardless).
 
 use std::time::Instant;
 
 use facil_bench::{emit_run, print_table, BenchCli};
-use facil_dram::{DramAddress, DramSpec, DramSystem, Request, SimResult};
+use facil_dram::{DramAddress, DramSpec, DramSystem, EngineKind, Request, SchedConfig, SimResult};
 use facil_sim::{pool, XorShift64Star};
 use facil_telemetry::{json, JsonWriter, RunManifest};
 
@@ -101,6 +108,79 @@ fn measure(channels: u64, per_channel: usize, seed: u64, threads: usize) -> Poin
     Point { channels, requests, serial_s, parallel_s, result: serial }
 }
 
+/// One engine-vs-engine point on the low-utilization serving trace.
+struct EnginePoint {
+    channels: u64,
+    requests: usize,
+    stepped_s: f64,
+    event_s: f64,
+    result: SimResult,
+}
+
+impl EnginePoint {
+    fn speedup(&self) -> f64 {
+        if self.event_s > 0.0 {
+            self.stepped_s / self.event_s
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Decode-phase serving trace: each "token" reads a short burst of rows
+/// spread over the channels, then the bus sits idle for `gap` cycles until
+/// the next token — the on-device inference shape where a cycle-stepped
+/// simulator burns its time walking empty cycles.
+fn serving_stream(
+    spec: &DramSpec,
+    tokens: usize,
+    burst: usize,
+    gap: u64,
+    seed: u64,
+) -> Vec<Request> {
+    let t = spec.topology;
+    let mut rng = XorShift64Star::new(seed);
+    let mut out = Vec::with_capacity(tokens * burst);
+    let mut at = 0u64;
+    for _ in 0..tokens {
+        for _ in 0..burst {
+            let addr = DramAddress {
+                channel: rng.next_u64() % t.channels,
+                rank: rng.next_u64() % t.ranks,
+                bank: rng.next_u64() % t.banks(),
+                row: rng.next_u64() % 64 % t.rows,
+                column: rng.next_u64() % t.columns(),
+            };
+            out.push(Request::read(addr).at(at));
+        }
+        at += gap;
+    }
+    out
+}
+
+/// Replay the low-utilization trace under both engines (single worker, so
+/// the comparison is pure engine physics), asserting identical results.
+fn measure_engines(tokens: usize, burst: usize, gap: u64, seed: u64) -> EnginePoint {
+    let channels = 4u64;
+    let spec = DramSpec::lpddr5_6400(16 * channels, channels * (2 << 30));
+    let reqs = serving_stream(&spec, tokens, burst, gap, seed);
+
+    let run = |engine: EngineKind| {
+        let cfg = SchedConfig { engine, ..SchedConfig::default() };
+        let mut sys = DramSystem::with_config(&spec, cfg);
+        for r in &reqs {
+            sys.push(*r);
+        }
+        let t0 = Instant::now();
+        let result = sys.run_with_threads(1);
+        (result, t0.elapsed().as_secs_f64())
+    };
+    let (stepped, stepped_s) = run(EngineKind::Stepped);
+    let (event, event_s) = run(EngineKind::Event);
+    assert_eq!(stepped, event, "next-event engine diverged from cycle-stepped");
+    EnginePoint { channels, requests: reqs.len(), stepped_s, event_s, result: event }
+}
+
 fn main() {
     let (cli, rest) = BenchCli::parse();
     let enforce = rest.iter().any(|a| a == "--enforce-speedup");
@@ -110,6 +190,11 @@ fn main() {
 
     let points: Vec<Point> =
         [1u64, 2, 4, 8].iter().map(|&c| measure(c, per_channel, seed, threads)).collect();
+
+    // Low-utilization serving trace: ~2% bus utilization, the regime the
+    // next-event engine exists for.
+    let (tokens, burst, gap) = if cli.smoke { (150, 64, 30_000) } else { (600, 64, 60_000) };
+    let lowutil = measure_engines(tokens, burst, gap, seed);
 
     for p in &points {
         let mut w = JsonWriter::with_capacity(256);
@@ -131,6 +216,25 @@ fn main() {
         emit_run(&cli, "perf_dram", &[("channels", &json::number(p.channels as f64))], &w.finish());
     }
 
+    {
+        let p = &lowutil;
+        let mut w = JsonWriter::with_capacity(256);
+        w.begin_object()
+            .field_str("mode", "lowutil")
+            .field_uint("channels", p.channels)
+            .field_uint("requests", p.requests as u64)
+            .field_num("stepped_s", p.stepped_s)
+            .field_num("event_s", p.event_s)
+            .field_num("stepped_rps", p.requests as f64 / p.stepped_s.max(1e-12))
+            .field_num("event_rps", p.requests as f64 / p.event_s.max(1e-12))
+            .field_num("event_speedup", p.speedup())
+            .field_bool("stats_match", true)
+            .field_num("bus_utilization", p.result.stats.bus_utilization())
+            .field_uint("finish_cycle", p.result.stats.finish_cycle)
+            .end_object();
+        emit_run(&cli, "perf_dram", &[("mode", &json::escaped("lowutil"))], &w.finish());
+    }
+
     if !cli.json {
         let rows: Vec<Vec<String>> = points
             .iter()
@@ -150,6 +254,18 @@ fn main() {
             &["channels", "requests", "serial req/s", "parallel req/s", "speedup", "stats=="],
             &rows,
         );
+        print_table(
+            "perf_dram — cycle-stepped vs next-event engine (low-utilization trace)",
+            &["channels", "requests", "stepped req/s", "event req/s", "speedup", "stats=="],
+            &[vec![
+                lowutil.channels.to_string(),
+                lowutil.requests.to_string(),
+                format!("{:.0}", lowutil.requests as f64 / lowutil.stepped_s.max(1e-12)),
+                format!("{:.0}", lowutil.requests as f64 / lowutil.event_s.max(1e-12)),
+                format!("{:.2}x", lowutil.speedup()),
+                "yes".into(),
+            ]],
+        );
     }
 
     let widest = points.last().expect("sweep is non-empty");
@@ -166,12 +282,22 @@ fn main() {
         );
     }
     manifest.result_num("speedup_widest", widest.speedup());
+    manifest.result_num("event_speedup_lowutil", lowutil.speedup());
+    manifest.result_num("event_rps_lowutil", lowutil.requests as f64 / lowutil.event_s.max(1e-12));
     cli.emit_manifest(&manifest);
 
     if enforce && threads >= 4 && widest.speedup() < 2.0 {
         eprintln!(
             "perf_dram: widest sweep point reached only {:.2}x on {threads} threads (need >= 2x)",
             widest.speedup()
+        );
+        std::process::exit(1);
+    }
+    if enforce && lowutil.speedup() < 5.0 {
+        eprintln!(
+            "perf_dram: next-event engine reached only {:.2}x the cycle-stepped req/s on the \
+             low-utilization trace (need >= 5x)",
+            lowutil.speedup()
         );
         std::process::exit(1);
     }

@@ -1,11 +1,21 @@
-//! Event-driven FR-FCFS scheduler for a single DRAM channel.
+//! FR-FCFS scheduler for a single DRAM channel.
 //!
 //! Channels in an LPDDR5 system are fully independent (separate command and
 //! data pins), so the multi-channel controller simulates each channel's
 //! request stream in isolation and merges the statistics — serially or on
 //! the [`facil_telemetry::pool`] workers, with identical results.
 //!
-//! The scheduler loop is allocation-free in steady state: the request
+//! Since PR 9 the *scheduling decision* and the *advance of simulated
+//! time* are separated: [`ChannelCore`] owns the bank/rank state machines,
+//! the request queue and the one-step decision procedure
+//! ([`ChannelCore::decide`]), while a [`crate::engine::DramEngine`] decides
+//! which cycles to visit. The cycle-stepped reference engine visits every
+//! DRAM clock; the default event engine jumps straight to the next
+//! actionable cycle (see [`crate::engine`]). Both produce bit-identical
+//! command streams and [`DramStats`] — property-tested in
+//! `tests/proptests.rs` (`event_engine_is_bit_identical_to_stepped`).
+//!
+//! The decision procedure is allocation-free in steady state: the request
 //! queue is a flat buffer with tombstones (out-of-order FR-FCFS completions
 //! mark entries dead instead of shifting the queue), the per-step candidate
 //! set and lookahead window live in reused scratch buffers, and bank-level
@@ -15,6 +25,7 @@ use std::sync::Arc;
 
 use crate::bank::{BankState, RankState};
 use crate::command::{CommandKind, Op, Request};
+use crate::engine::EngineKind;
 use crate::spec::DramSpec;
 use crate::stats::DramStats;
 use crate::verifylog::LoggedCommand;
@@ -38,11 +49,20 @@ pub struct SchedConfig {
     pub window: usize,
     /// Row-buffer policy.
     pub page_policy: PagePolicy,
+    /// Simulation engine driving the scheduler (cycle-stepped reference or
+    /// next-event). The default honors the `FACIL_DRAM_ENGINE` environment
+    /// variable (see [`EngineKind::default_kind`]); results are
+    /// bit-identical either way, only wall-clock differs.
+    pub engine: EngineKind,
 }
 
 impl Default for SchedConfig {
     fn default() -> Self {
-        SchedConfig { window: 32, page_policy: PagePolicy::Open }
+        SchedConfig {
+            window: 32,
+            page_policy: PagePolicy::Open,
+            engine: EngineKind::default_kind(),
+        }
     }
 }
 
@@ -68,9 +88,44 @@ enum Action {
     Precharge,
 }
 
-/// Single-channel FR-FCFS, open-page DRAM scheduler.
+/// Outcome of one scheduling decision at the current cycle (see
+/// [`ChannelCore::decide`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// A command was issued; the clock has advanced one cycle past the
+    /// issue slot (commands occupy the command bus for a cycle).
+    Issued,
+    /// No command is legal at the current cycle. The fields bound when the
+    /// decision could change; until the earliest of them (or the next
+    /// refresh deadline, [`ChannelCore::next_refresh_deadline`]) the
+    /// decision at every intervening cycle is provably this same
+    /// `Blocked` — which is what lets the event engine skip those cycles.
+    Blocked {
+        /// Earliest ready cycle among the current command candidates.
+        next_ready: Option<u64>,
+        /// Arrival cycle of the first not-yet-arrived request in the
+        /// lookahead window (arrivals are globally non-decreasing, so no
+        /// earlier request can appear).
+        next_arrival: Option<u64>,
+    },
+}
+
+/// Scheduling state of one DRAM channel: bank/rank timing state machines,
+/// the tombstone request queue, statistics and the command log.
+///
+/// A [`crate::engine::DramEngine`] drives the core to completion through
+/// this contract, upheld by both built-in engines and required of any
+/// external implementation:
+///
+/// 1. per visited cycle, call [`ChannelCore::reclaim`], then
+///    [`ChannelCore::service_refresh`], then [`ChannelCore::decide`];
+/// 2. advance the clock only forward ([`ChannelCore::advance_to`] /
+///    [`ChannelCore::tick`]), and never skip a cycle at which the decision
+///    could differ: the next refresh deadline and the bounds returned by
+///    [`Decision::Blocked`] must all cap the jump;
+/// 3. stop once [`ChannelCore::pending`] reaches zero.
 #[derive(Debug)]
-pub struct ChannelSim {
+pub struct ChannelCore {
     spec: Arc<DramSpec>,
     banks: Vec<Vec<BankState>>,
     ranks: Vec<RankState>,
@@ -101,21 +156,8 @@ pub struct ChannelSim {
     stamp: u64,
 }
 
-impl ChannelSim {
-    /// Create a scheduler for one channel of `spec` with custom parameters.
-    pub fn with_config(spec: &DramSpec, cfg: SchedConfig) -> Self {
-        Self::from_shared(Arc::new(spec.clone()), cfg)
-    }
-
-    /// Create a scheduler for one channel of `spec`.
-    pub fn new(spec: &DramSpec) -> Self {
-        Self::from_shared(Arc::new(spec.clone()), SchedConfig::default())
-    }
-
-    /// Create a scheduler sharing an already-wrapped spec — the
-    /// multi-channel [`crate::controller::DramSystem`] hands every channel
-    /// the same [`Arc`] instead of deep-cloning the spec per channel.
-    pub fn from_shared(spec: Arc<DramSpec>, cfg: SchedConfig) -> Self {
+impl ChannelCore {
+    fn new(spec: Arc<DramSpec>, cfg: SchedConfig) -> Self {
         let topo = spec.topology;
         let banks: Vec<Vec<BankState>> = (0..topo.ranks)
             .map(|_| (0..topo.banks()).map(|_| BankState::new()).collect())
@@ -125,7 +167,7 @@ impl ChannelSim {
             .collect();
         let total_banks = (topo.ranks * topo.banks()) as usize;
         let window = cfg.window;
-        ChannelSim {
+        ChannelCore {
             spec,
             banks,
             ranks,
@@ -146,34 +188,13 @@ impl ChannelSim {
         }
     }
 
-    /// Record every issued device command for later inspection and
-    /// independent legality verification (see [`crate::verifylog`]).
-    /// The log is preallocated for the already-queued requests when
-    /// [`ChannelSim::run`] starts.
-    pub fn enable_logging(&mut self) {
-        self.log = Some(Vec::new());
-    }
-
-    /// The command log, if logging was enabled.
-    pub fn log(&self) -> Option<&[LoggedCommand]> {
-        self.log.as_deref()
-    }
-
     fn record(&mut self, kind: CommandKind, rank: u64, bank: u64, arg: u64) {
         if let Some(log) = &mut self.log {
             log.push(LoggedCommand { cycle: self.now, kind, rank, bank, arg });
         }
     }
 
-    /// Enqueue a request. Requests must be pushed in non-decreasing arrival
-    /// order.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the request targets a different channel than previous ones
-    /// implied by its address fields being out of range, or if arrival order
-    /// is violated (debug builds only).
-    pub fn push(&mut self, req: Request) {
+    fn push(&mut self, req: Request) {
         debug_assert!(req.addr.rank < self.spec.topology.ranks);
         debug_assert!(req.addr.bank < self.spec.topology.banks());
         debug_assert!(req.addr.row < self.spec.topology.rows);
@@ -186,23 +207,59 @@ impl ChannelSim {
         self.live += 1;
     }
 
-    /// Number of requests still queued.
+    /// Number of requests still queued. An engine's drive loop runs until
+    /// this reaches zero.
     pub fn pending(&self) -> usize {
         self.live
     }
 
-    /// Drain the queue, scheduling every request to completion, and return
-    /// the statistics for this channel.
-    pub fn run(&mut self) -> DramStats {
-        if let Some(log) = &mut self.log {
-            // ~1 ACT per miss/conflict + 1 column per request is the common
-            // shape; reserving twice the queue depth avoids log regrowth.
-            log.reserve(2 * self.live + 8);
-        }
-        while self.live > 0 {
-            self.step();
-        }
-        self.stats
+    /// Current simulated cycle.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Arrival cycle of the oldest live request.
+    ///
+    /// While `now` is before this cycle the channel holds no arrived work
+    /// at all, so no command can issue and refresh deadlines passed in the
+    /// gap may be caught up lazily (their effect is deadline-derived, see
+    /// [`ChannelCore::service_refresh`]) — the event engine uses this to
+    /// jump over idle spans in one assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is empty (debug builds only); callers check
+    /// [`ChannelCore::pending`] first.
+    pub fn first_live_arrival(&self) -> u64 {
+        debug_assert!(self.live > 0);
+        self.buf[self.head].req.arrival
+    }
+
+    /// Advance the clock by one cycle.
+    pub fn tick(&mut self) {
+        self.now += 1;
+    }
+
+    /// Jump the clock forward to `target`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `target` is in the past — engines must
+    /// always make forward progress.
+    pub fn advance_to(&mut self, target: u64) {
+        debug_assert!(target >= self.now, "clock must advance monotonically");
+        self.now = target;
+    }
+
+    /// Earliest tREFI deadline over all ranks, if refresh is enabled.
+    ///
+    /// An engine may never jump past this cycle: an all-bank refresh
+    /// closes open rows, which can turn a far-future row-hit candidate
+    /// into a much earlier activate (so skipping the deadline would skip
+    /// an actionable cycle).
+    pub fn next_refresh_deadline(&self) -> Option<u64> {
+        let min = self.ranks.iter().map(|r| r.next_ref).min().unwrap_or(u64::MAX);
+        (min != u64::MAX).then_some(min)
     }
 
     /// Earliest cycle a column command for `op` may issue to `(rank, bank)`,
@@ -226,45 +283,67 @@ impl ChannelSim {
         cmd_ready.max(data_ok.saturating_sub(lat))
     }
 
-    /// Process pending refreshes for every rank whose tREFI deadline passed.
-    fn service_refresh(&mut self) {
+    /// Service every rank whose tREFI deadline has passed.
+    ///
+    /// The refresh schedule is *deadline-exact*: the implicit all-bank
+    /// precharge starts at `max(deadline, open banks' next_pre)` — derived
+    /// from the tREFI deadline and the bank state machines, never from the
+    /// cycle at which the engine happened to call this. A cycle-stepping
+    /// engine (which observes the deadline on the cycle it falls) and an
+    /// event engine (which may observe it late, after a jump) therefore
+    /// produce the same `RefAb` log cycle and the same post-refresh bank
+    /// state. No command can have issued between the deadline and the
+    /// observation: engines service refresh before every decision, so the
+    /// bank state still is the state at the deadline.
+    pub fn service_refresh(&mut self) {
         let tm = self.spec.timing;
-        for r in 0..self.ranks.len() {
-            while self.now >= self.ranks[r].next_ref {
-                // Close all open banks (implicit PREab once legal), then hold
-                // the rank for tRFCab.
-                let mut close_at = self.now;
-                for b in &self.banks[r] {
-                    if b.open_row.is_some() {
-                        close_at = close_at.max(b.next_pre);
-                    }
+        // Service overdue deadlines in global (deadline, rank) order — NOT
+        // rank-by-rank. A cycle-stepped driver visits every cycle and so
+        // naturally interleaves ranks by deadline; an event driver may
+        // observe several elapsed tREFI periods at once, and a per-rank
+        // catch-up loop would then log all of rank 0's refreshes before
+        // rank 1's, breaking log equality between the engines.
+        loop {
+            let mut best: Option<(u64, usize)> = None;
+            for (r, rank) in self.ranks.iter().enumerate() {
+                if rank.next_ref <= self.now && best.is_none_or(|(due, _)| rank.next_ref < due) {
+                    best = Some((rank.next_ref, r));
                 }
-                let ref_done = close_at + tm.rp + tm.rfc_ab;
-                for b in &mut self.banks[r] {
-                    if b.open_row.is_some() {
-                        b.open_row = None;
-                    }
-                    b.next_act = b.next_act.max(ref_done);
-                }
-                self.stats.refreshes += 1;
-                if let Some(log) = &mut self.log {
-                    log.push(LoggedCommand {
-                        cycle: close_at + tm.rp,
-                        kind: CommandKind::RefAb,
-                        rank: r as u64,
-                        bank: 0,
-                        arg: 0,
-                    });
-                }
-                self.ranks[r].next_ref += tm.refi;
             }
+            let Some((due, r)) = best else { break };
+            // Close all open banks (implicit PREab once legal), then hold
+            // the rank for tRFCab.
+            let mut close_at = due;
+            for b in &self.banks[r] {
+                if b.open_row.is_some() {
+                    close_at = close_at.max(b.next_pre);
+                }
+            }
+            let ref_done = close_at + tm.rp + tm.rfc_ab;
+            for b in &mut self.banks[r] {
+                if b.open_row.is_some() {
+                    b.open_row = None;
+                }
+                b.next_act = b.next_act.max(ref_done);
+            }
+            self.stats.refreshes += 1;
+            if let Some(log) = &mut self.log {
+                log.push(LoggedCommand {
+                    cycle: close_at + tm.rp,
+                    kind: CommandKind::RefAb,
+                    rank: r as u64,
+                    bank: 0,
+                    arg: 0,
+                });
+            }
+            self.ranks[r].next_ref += tm.refi;
         }
     }
 
     /// Reclaim the dead prefix: advance `head` past tombstones and compact
     /// the buffer once the reclaimed prefix dominates, keeping memory
     /// proportional to the live queue (amortized O(1) per completion).
-    fn reclaim(&mut self) {
+    pub fn reclaim(&mut self) {
         while self.head < self.buf.len() && self.buf[self.head].dead {
             self.head += 1;
         }
@@ -310,18 +389,15 @@ impl ChannelSim {
         false
     }
 
-    /// One scheduling decision: issue the best legal command, or advance time
-    /// to the earliest cycle at which one becomes legal.
-    fn step(&mut self) {
+    /// One scheduling decision at the current cycle: issue the best legal
+    /// command (FR-FCFS: row-hit columns, then activates, then precharges;
+    /// oldest wins ties) or report why nothing can issue.
+    ///
+    /// Pure in simulated time: the only clock movement is the one-cycle
+    /// command-bus slot consumed by an issued command. How the clock moves
+    /// between decisions is entirely the engine's business.
+    pub fn decide(&mut self) -> Decision {
         debug_assert!(self.live > 0);
-        self.reclaim();
-        // Advance to the first arrival if the channel is idle ahead of it.
-        let first_arrival = self.buf[self.head].req.arrival;
-        if self.now < first_arrival {
-            self.now = first_arrival;
-        }
-        self.service_refresh();
-
         let tm = self.spec.timing;
         let bpg = self.spec.topology.banks_per_group as usize;
 
@@ -392,7 +468,7 @@ impl ChannelSim {
             .or_else(|| issuable(Action::Activate))
             .or_else(|| issuable(Action::Precharge));
 
-        match chosen {
+        let decision = match chosen {
             Some((i, Action::Column, _)) => {
                 let p = self.buf[i];
                 let rank = p.req.addr.rank as usize;
@@ -424,6 +500,11 @@ impl ChannelSim {
                     Some(Touch::Miss) => self.stats.row_misses += 1,
                     Some(Touch::Conflict) => self.stats.row_conflicts += 1,
                 }
+                // Busy time is derived from the command's own data phase —
+                // bursts never overlap (`bus_busy_until` forbids it), so
+                // the sum over commands is exact whether the engine stepped
+                // through the burst or jumped over it.
+                self.stats.busy_cycles += tm.burst_cycles;
                 self.stats.finish_cycle = self.stats.finish_cycle.max(data_end);
                 self.buf[i].dead = true;
                 self.live -= 1;
@@ -446,6 +527,7 @@ impl ChannelSim {
                         }
                     }
                 }
+                Decision::Issued
             }
             Some((i, Action::Activate, _)) => {
                 let addr = self.buf[i].req.addr;
@@ -459,6 +541,7 @@ impl ChannelSim {
                     self.buf[i].touch = Some(Touch::Miss);
                 }
                 self.now += 1;
+                Decision::Issued
             }
             Some((i, Action::Precharge, _)) => {
                 let addr = self.buf[i].req.addr;
@@ -469,30 +552,106 @@ impl ChannelSim {
                 self.record(CommandKind::Pre, addr.rank, addr.bank, 0);
                 self.buf[i].touch = Some(Touch::Conflict);
                 self.now += 1;
+                Decision::Issued
             }
-            None => {
-                // Nothing issuable: jump to the earliest ready time (or next
-                // arrival if the window is empty).
-                let min_ready = cand.iter().map(|(_, _, r)| *r).min();
-                let target = match (min_ready, next_arrival_beyond) {
-                    (Some(r), Some(a)) => r.min(a),
-                    (Some(r), None) => r,
-                    (None, Some(a)) => a,
-                    (None, None) => unreachable!("queue nonempty but no candidate and no arrival"),
-                };
-                debug_assert!(target > self.now, "scheduler failed to make progress");
-                self.now = target;
-            }
-        }
+            None => Decision::Blocked {
+                next_ready: cand.iter().map(|(_, _, r)| *r).min(),
+                next_arrival: next_arrival_beyond,
+            },
+        };
 
-        // Hand the scratch buffers back for the next step.
+        // Hand the scratch buffers back for the next decision.
         self.win = win;
         self.cand = cand;
+        decision
+    }
+
+    /// Derive the idle-cycle counter once a drive loop finishes: everything
+    /// up to the finish cycle that was not data-bus occupancy. Computed
+    /// from command timestamps only, so it is identical whether the engine
+    /// stepped through or jumped over the idle spans.
+    fn finalize_stats(&mut self) {
+        self.stats.idle_cycles = self.stats.finish_cycle.saturating_sub(self.stats.busy_cycles);
+    }
+}
+
+/// Single-channel FR-FCFS, open-page DRAM scheduler: a [`ChannelCore`]
+/// driven by the configured [`crate::engine::DramEngine`].
+#[derive(Debug)]
+pub struct ChannelSim {
+    core: ChannelCore,
+    engine: EngineKind,
+}
+
+impl ChannelSim {
+    /// Create a scheduler for one channel of `spec` with custom parameters.
+    pub fn with_config(spec: &DramSpec, cfg: SchedConfig) -> Self {
+        Self::from_shared(Arc::new(spec.clone()), cfg)
+    }
+
+    /// Create a scheduler for one channel of `spec`.
+    pub fn new(spec: &DramSpec) -> Self {
+        Self::from_shared(Arc::new(spec.clone()), SchedConfig::default())
+    }
+
+    /// Create a scheduler sharing an already-wrapped spec — the
+    /// multi-channel [`crate::controller::DramSystem`] hands every channel
+    /// the same [`Arc`] instead of deep-cloning the spec per channel.
+    pub fn from_shared(spec: Arc<DramSpec>, cfg: SchedConfig) -> Self {
+        ChannelSim { core: ChannelCore::new(spec, cfg), engine: cfg.engine }
+    }
+
+    /// The engine this scheduler runs on.
+    pub fn engine(&self) -> EngineKind {
+        self.engine
+    }
+
+    /// Record every issued device command for later inspection and
+    /// independent legality verification (see [`crate::verifylog`]).
+    /// The log is preallocated for the already-queued requests when
+    /// [`ChannelSim::run`] starts.
+    pub fn enable_logging(&mut self) {
+        self.core.log = Some(Vec::new());
+    }
+
+    /// The command log, if logging was enabled.
+    pub fn log(&self) -> Option<&[LoggedCommand]> {
+        self.core.log.as_deref()
+    }
+
+    /// Enqueue a request. Requests must be pushed in non-decreasing arrival
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request targets a different channel than previous ones
+    /// implied by its address fields being out of range, or if arrival order
+    /// is violated (debug builds only).
+    pub fn push(&mut self, req: Request) {
+        self.core.push(req);
+    }
+
+    /// Number of requests still queued.
+    pub fn pending(&self) -> usize {
+        self.core.pending()
+    }
+
+    /// Drain the queue, scheduling every request to completion on the
+    /// configured engine, and return the statistics for this channel.
+    pub fn run(&mut self) -> DramStats {
+        if let Some(log) = &mut self.core.log {
+            // ~1 ACT per miss/conflict + 1 column per request is the common
+            // shape; reserving twice the queue depth avoids log regrowth.
+            log.reserve(2 * self.core.live + 8);
+        }
+        self.engine.engine().drive(&mut self.core);
+        self.core.finalize_stats();
+        self.core.stats
     }
 
     /// Statistics accumulated so far.
     pub fn stats(&self) -> &DramStats {
-        &self.stats
+        &self.core.stats
     }
 }
 
@@ -732,5 +891,18 @@ mod tests {
         ch.push(Request::read(addr(0, 0, 0, 0)).at(10_000));
         let stats = ch.run();
         assert!(stats.finish_cycle >= 10_000);
+    }
+
+    #[test]
+    fn idle_accounting_partitions_the_finish_cycle() {
+        let spec = small_spec();
+        let mut ch = ChannelSim::new(&spec);
+        // Two requests separated by a long idle gap.
+        ch.push(Request::read(addr(0, 0, 0, 0)));
+        ch.push(Request::read(addr(0, 0, 0, 1)).at(50_000));
+        let stats = ch.run();
+        assert_eq!(stats.busy_cycles, 2 * spec.timing.burst_cycles);
+        assert_eq!(stats.idle_cycles + stats.busy_cycles, stats.finish_cycle);
+        assert!(stats.idle_cycles > 40_000, "gap must be counted as idle");
     }
 }

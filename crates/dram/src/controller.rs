@@ -22,22 +22,38 @@ use crate::stats::{DramStats, SimResult};
 pub struct DramSystem {
     spec: Arc<DramSpec>,
     channels: Vec<ChannelSim>,
+    cfg: SchedConfig,
 }
 
 impl DramSystem {
-    /// Create a backend for `spec`. The spec is stored once behind an
-    /// [`Arc`] and shared by every channel scheduler.
+    /// Create a backend for `spec` with default scheduler parameters (the
+    /// engine honors `FACIL_DRAM_ENGINE`, see
+    /// [`crate::engine::EngineKind::default_kind`]). The spec is stored
+    /// once behind an [`Arc`] and shared by every channel scheduler.
     pub fn new(spec: &DramSpec) -> Self {
+        Self::with_config(spec, SchedConfig::default())
+    }
+
+    /// Create a backend for `spec` with explicit scheduler parameters —
+    /// in particular an explicit [`crate::engine::EngineKind`], which is
+    /// how the perf harness pits the engines against each other on
+    /// identical streams.
+    pub fn with_config(spec: &DramSpec, cfg: SchedConfig) -> Self {
         let spec = Arc::new(spec.clone());
         let channels = (0..spec.topology.channels)
-            .map(|_| ChannelSim::from_shared(Arc::clone(&spec), SchedConfig::default()))
+            .map(|_| ChannelSim::from_shared(Arc::clone(&spec), cfg))
             .collect();
-        DramSystem { spec, channels }
+        DramSystem { spec, channels, cfg }
     }
 
     /// Specification this system was built from.
     pub fn spec(&self) -> &DramSpec {
         &self.spec
+    }
+
+    /// Scheduler parameters every channel runs with.
+    pub fn config(&self) -> SchedConfig {
+        self.cfg
     }
 
     /// Enable command logging on every channel (see
@@ -264,6 +280,57 @@ mod tests {
         sys.export_trace(&mut sink); // logging never enabled
         assert!(sink.is_empty());
         sys.export_trace(&mut NullSink); // disabled sink: no-op either way
+    }
+
+    // The telemetry contract of the engine split: per-bank and refresh
+    // trace tracks are byte-identical whether the engine stepped through or
+    // jumped over a long arrival gap (the gap spans several tREFI periods,
+    // so refresh spans must land on their deadlines, not on visit times).
+    #[test]
+    fn trace_tracks_survive_time_jumps() {
+        use crate::channel::SchedConfig;
+        use crate::engine::EngineKind;
+        use facil_telemetry::RingSink;
+
+        let spec = DramSpec::lpddr5_6400(16, 256 << 20); // 1 channel
+        let gap = 4 * spec.timing.refi + 17;
+        let json = |engine: EngineKind| {
+            let cfg = SchedConfig { engine, ..SchedConfig::default() };
+            let mut sys = DramSystem::with_config(&spec, cfg);
+            sys.enable_logging();
+            for (i, at) in [0, 0, gap, gap + 3].into_iter().enumerate() {
+                sys.push(
+                    Request::read(DramAddress {
+                        channel: 0,
+                        rank: 0,
+                        bank: i as u64 % 2,
+                        row: i as u64,
+                        column: 0,
+                    })
+                    .at(at),
+                );
+            }
+            sys.run_with_threads(1);
+            let mut sink = RingSink::new(256);
+            sys.export_trace(&mut sink);
+            sink.to_chrome_json()
+        };
+        let stepped = json(EngineKind::Stepped);
+        let event = json(EngineKind::Event);
+        assert!(stepped.contains(r#""name":"REFab""#), "gap must cross refresh deadlines");
+        assert_eq!(stepped, event);
+    }
+
+    #[test]
+    fn with_config_selects_engine_and_reports_it() {
+        use crate::channel::SchedConfig;
+        use crate::engine::EngineKind;
+
+        let spec = DramSpec::lpddr5_6400(16, 256 << 20);
+        let cfg = SchedConfig { engine: EngineKind::Stepped, ..SchedConfig::default() };
+        let sys = DramSystem::with_config(&spec, cfg);
+        assert_eq!(sys.config().engine, EngineKind::Stepped);
+        assert_eq!(DramSystem::new(&spec).config().window, SchedConfig::default().window);
     }
 
     #[test]

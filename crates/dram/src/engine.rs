@@ -1,0 +1,341 @@
+//! Simulation engines: *how* the channel clock advances between
+//! scheduling decisions.
+//!
+//! [`crate::channel::ChannelCore`] defines *what* happens at a visited
+//! cycle (the FR-FCFS decision procedure, refresh bookkeeping, stats); a
+//! [`DramEngine`] decides *which* cycles get visited:
+//!
+//! * [`SteppedEngine`] — the cycle-stepped reference: visit every DRAM
+//!   clock, attempt a decision, advance by one. Trivially correct, and
+//!   exactly the semantics the scheduler had before the engine split —
+//!   the old `ChannelSim::step()` loop extracted behind the trait. Cost is
+//!   proportional to *elapsed DRAM time*, which is the scale ceiling on
+//!   low-utilization serving traces (~10⁶ requests/day are mostly idle
+//!   cycles).
+//! * [`EventEngine`] — next-event simulation: keep the per-request
+//!   next-actionable times reported by the decision procedure plus the
+//!   per-rank tREFI deadlines in a binary-heap [`EventQueue`], and jump
+//!   the clock directly to the earliest cycle at which the decision could
+//!   possibly change. Cost is proportional to the *number of commands*,
+//!   independent of idle time (the Ramulator 2.x design point).
+//!
+//! The two engines are bit-identical — same command log, same
+//! [`crate::DramStats`] — because a jump from `t` to `target` only skips
+//! cycles where the decision is provably the same `Blocked` it was at `t`:
+//!
+//! * candidate ready times (bank timing, tFAW expiry, bus occupancy and
+//!   turnaround) only change when a command issues, and none can issue
+//!   while blocked;
+//! * no queued request arrives before `target` (arrivals are sorted, and
+//!   the first not-yet-arrived window entry caps the jump);
+//! * no tREFI deadline falls before `target` (refresh closes rows, which
+//!   can create an *earlier* actionable activate, so deadlines cap the
+//!   jump too — and refresh effects are deadline-derived, never
+//!   visit-time-derived, see [`crate::channel::ChannelCore::service_refresh`]).
+//!
+//! Selection: [`crate::SchedConfig::engine`], defaulting to the
+//! `FACIL_DRAM_ENGINE` environment variable (`stepped` or `event`), else
+//! [`EngineKind::Event`]. The property test
+//! `event_engine_is_bit_identical_to_stepped` holds the two together under
+//! random traffic, both page policies, multi-channel parallel runs and
+//! refresh-heavy timing.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::channel::{ChannelCore, Decision};
+
+/// A strategy for driving a [`ChannelCore`] to completion.
+///
+/// Implementations must uphold the visiting contract documented on
+/// [`ChannelCore`]: reclaim + service refresh before every decision, never
+/// move the clock backwards, and never jump past a cycle at which the
+/// decision could change (candidate ready, next window arrival, or tREFI
+/// deadline).
+pub trait DramEngine {
+    /// Engine name for reports and diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// Schedule every queued request of `core` to completion.
+    fn drive(&self, core: &mut ChannelCore);
+}
+
+/// Which [`DramEngine`] a scheduler runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// Cycle-stepped reference engine ([`SteppedEngine`]).
+    Stepped,
+    /// Next-event engine ([`EventEngine`], the default).
+    Event,
+}
+
+impl EngineKind {
+    /// Parse an engine name (`stepped`/`step`/`cycle` or `event`/`next-event`),
+    /// case-insensitively.
+    pub fn parse(s: &str) -> Option<EngineKind> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "stepped" | "step" | "cycle" | "cycle-stepped" => Some(EngineKind::Stepped),
+            "event" | "next-event" | "next_event" => Some(EngineKind::Event),
+            _ => None,
+        }
+    }
+
+    /// The engine named by the `FACIL_DRAM_ENGINE` environment variable,
+    /// if set to a recognized value.
+    pub fn from_env() -> Option<EngineKind> {
+        std::env::var("FACIL_DRAM_ENGINE").ok().as_deref().and_then(EngineKind::parse)
+    }
+
+    /// Default engine: `FACIL_DRAM_ENGINE` if set and recognized, else
+    /// [`EngineKind::Event`]. Unrecognized values fall back to the event
+    /// engine (results are identical either way; only wall-clock differs).
+    pub fn default_kind() -> EngineKind {
+        EngineKind::from_env().unwrap_or(EngineKind::Event)
+    }
+
+    /// The shared engine instance for this kind.
+    pub fn engine(self) -> &'static dyn DramEngine {
+        static STEPPED: SteppedEngine = SteppedEngine;
+        static EVENT: EventEngine = EventEngine;
+        match self {
+            EngineKind::Stepped => &STEPPED,
+            EngineKind::Event => &EVENT,
+        }
+    }
+
+    /// Engine name (`"stepped"` or `"event"`).
+    pub fn name(self) -> &'static str {
+        self.engine().name()
+    }
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The cycle-stepped reference engine: visit every DRAM clock cycle.
+///
+/// This is the pre-engine-split scheduler semantics, kept as the obviously
+/// correct oracle the event engine is property-tested against (the same
+/// discipline as `parallel_run_is_bit_identical_to_serial`: a simple
+/// serial reference holds an optimized implementation honest).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SteppedEngine;
+
+impl DramEngine for SteppedEngine {
+    fn name(&self) -> &'static str {
+        "stepped"
+    }
+
+    fn drive(&self, core: &mut ChannelCore) {
+        while core.pending() > 0 {
+            core.reclaim();
+            core.service_refresh();
+            if let Decision::Blocked { .. } = core.decide() {
+                core.tick();
+            }
+        }
+    }
+}
+
+/// What a queued [`EventQueue`] entry is waiting for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EventKind {
+    /// A blocked command candidate becomes ready (bank timing, tFAW window
+    /// expiry, data-bus drain or turnaround).
+    CandidateReady = 0,
+    /// The next queued request arrives at the channel.
+    Arrival = 1,
+    /// A rank reaches its tREFI deadline and must refresh.
+    RefreshDue = 2,
+}
+
+impl EventKind {
+    fn from_tag(tag: u8) -> EventKind {
+        match tag {
+            0 => EventKind::CandidateReady,
+            1 => EventKind::Arrival,
+            _ => EventKind::RefreshDue,
+        }
+    }
+}
+
+/// Min-heap of future wake-up cycles for the [`EventEngine`].
+///
+/// Entries are *hints*, not obligations: waking earlier than necessary is
+/// harmless (the decision procedure simply reports `Blocked` again), so
+/// stale entries — a candidate-ready time superseded by an issued command,
+/// a refresh deadline already serviced — are discarded lazily when popped.
+/// What matters for correctness is the converse invariant, upheld by the
+/// drive loop: every cycle at which the pending decision could change has
+/// an entry at or before it.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<(u64, u8)>>,
+    /// Last refresh deadline pushed, so the per-decision re-arm of the
+    /// persistent refresh event does not flood the heap with duplicates.
+    armed_refresh: Option<u64>,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Number of queued (possibly stale) events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are queued.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Queue a wake-up at `cycle`.
+    pub fn push(&mut self, cycle: u64, kind: EventKind) {
+        self.heap.push(Reverse((cycle, kind as u8)));
+    }
+
+    /// Arm (or re-arm) the refresh deadline event. Idempotent per
+    /// deadline: re-arming the same cycle is a no-op.
+    pub fn arm_refresh(&mut self, deadline: u64) {
+        if self.armed_refresh != Some(deadline) {
+            self.push(deadline, EventKind::RefreshDue);
+            self.armed_refresh = Some(deadline);
+        }
+    }
+
+    /// Pop the earliest event strictly after `now`, discarding stale
+    /// entries at or before `now`.
+    pub fn pop_after(&mut self, now: u64) -> Option<(u64, EventKind)> {
+        while let Some(Reverse((cycle, tag))) = self.heap.pop() {
+            if cycle > now {
+                return Some((cycle, EventKind::from_tag(tag)));
+            }
+        }
+        None
+    }
+}
+
+/// The next-event engine: jump the clock straight to the next cycle at
+/// which the scheduling decision can change.
+///
+/// Per decision the loop (a) jumps over fully idle spans to the first
+/// queued arrival (refresh deadlines inside a dead span cannot enable any
+/// command, and their effects are deadline-derived, so catching them up at
+/// the arrival is exact), (b) services due refreshes, (c) asks the core
+/// for a decision, and (d) on `Blocked` pushes the reported
+/// next-actionable times plus the tREFI deadline into the [`EventQueue`]
+/// and advances to the earliest queued event.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EventEngine;
+
+impl DramEngine for EventEngine {
+    fn name(&self) -> &'static str {
+        "event"
+    }
+
+    fn drive(&self, core: &mut ChannelCore) {
+        let mut queue = EventQueue::new();
+        while core.pending() > 0 {
+            core.reclaim();
+            // Dead span: nothing queued has arrived yet, so no command can
+            // issue before the first arrival — jump it in one assignment.
+            let first = core.first_live_arrival();
+            if core.now() < first {
+                core.advance_to(first);
+            }
+            core.service_refresh();
+            match core.decide() {
+                Decision::Issued => {}
+                Decision::Blocked { next_ready, next_arrival } => {
+                    if let Some(t) = next_ready {
+                        queue.push(t, EventKind::CandidateReady);
+                    }
+                    if let Some(t) = next_arrival {
+                        queue.push(t, EventKind::Arrival);
+                    }
+                    if let Some(due) = core.next_refresh_deadline() {
+                        queue.arm_refresh(due);
+                    }
+                    match queue.pop_after(core.now()) {
+                        Some((cycle, _)) => core.advance_to(cycle),
+                        // Blocked guarantees at least one bound: a nonempty
+                        // candidate set reports `next_ready`, and an empty
+                        // one implies the window head has not arrived,
+                        // which reports `next_arrival`.
+                        None => unreachable!("blocked with no future event"),
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::DramAddress;
+    use crate::command::Request;
+    use crate::spec::DramSpec;
+    use crate::{ChannelSim, SchedConfig};
+
+    #[test]
+    fn parse_recognizes_both_engines() {
+        assert_eq!(EngineKind::parse("stepped"), Some(EngineKind::Stepped));
+        assert_eq!(EngineKind::parse("CYCLE"), Some(EngineKind::Stepped));
+        assert_eq!(EngineKind::parse(" event "), Some(EngineKind::Event));
+        assert_eq!(EngineKind::parse("next-event"), Some(EngineKind::Event));
+        assert_eq!(EngineKind::parse("warp-speed"), None);
+        assert_eq!(EngineKind::Stepped.name(), "stepped");
+        assert_eq!(EngineKind::Event.to_string(), "event");
+    }
+
+    #[test]
+    fn event_queue_orders_and_discards_stale() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(50, EventKind::Arrival);
+        q.push(10, EventKind::CandidateReady);
+        q.arm_refresh(30);
+        q.arm_refresh(30); // duplicate arm is a no-op
+        assert_eq!(q.len(), 3);
+        // Everything at or before `now` is stale and skipped.
+        assert_eq!(q.pop_after(10), Some((30, EventKind::RefreshDue)));
+        assert_eq!(q.pop_after(30), Some((50, EventKind::Arrival)));
+        assert_eq!(q.pop_after(50), None);
+    }
+
+    fn run_engine(spec: &DramSpec, engine: EngineKind) -> (crate::DramStats, String) {
+        let mut ch = ChannelSim::with_config(spec, SchedConfig { engine, ..Default::default() });
+        ch.enable_logging();
+        for i in 0..64u64 {
+            let addr = DramAddress {
+                channel: 0,
+                rank: i % 2,
+                bank: (i * 7) % 16,
+                row: (i * 3) % 32,
+                column: i % 64,
+            };
+            let req = if i % 4 == 0 { Request::write(addr) } else { Request::read(addr) };
+            ch.push(req.at(i * 37)); // sparse arrivals: exercises jumps
+        }
+        let stats = ch.run();
+        (stats, format!("{:?}", ch.log()))
+    }
+
+    /// The engines must agree command-for-command on a simple stream; the
+    /// exhaustive comparison lives in `tests/proptests.rs`.
+    #[test]
+    fn engines_agree_on_a_mixed_stream() {
+        let spec = DramSpec::lpddr5_6400(16, 256 << 20);
+        let (stepped_stats, stepped_log) = run_engine(&spec, EngineKind::Stepped);
+        let (event_stats, event_log) = run_engine(&spec, EngineKind::Event);
+        assert_eq!(stepped_stats, event_stats);
+        assert_eq!(stepped_log, event_log);
+    }
+}

@@ -11,6 +11,10 @@
 //! * [`channel::ChannelSim`] — per-channel FR-FCFS, open-page scheduler with
 //!   bank/rank state machines (tRCD/tRP/tRAS/tCCD/tRRD/tFAW/tWR/tRTP/tWTR,
 //!   refresh),
+//! * [`engine`] — the simulation engines driving the scheduler: a
+//!   cycle-stepped reference and the default next-event engine that jumps
+//!   idle cycles (bit-identical results; select with
+//!   [`SchedConfig::engine`] or `FACIL_DRAM_ENGINE`),
 //! * [`controller::DramSystem`] — the multi-channel backend,
 //! * [`trace`] — PA-trace replay through an arbitrary [`mapper::AddressMapper`],
 //! * [`functional::FunctionalMemory`] — a data-value model keyed by *device*
@@ -37,6 +41,7 @@ pub mod channel;
 pub mod command;
 pub mod controller;
 pub mod energy;
+pub mod engine;
 pub mod functional;
 pub mod mapper;
 pub mod spec;
@@ -48,10 +53,11 @@ pub use addr::{DramAddress, Topology};
 pub use allbank::{
     run_allbank, run_allbank_logged, AllBankCommand, AllBankCommandKind, AllBankResult, PimStream,
 };
-pub use channel::{ChannelSim, PagePolicy, SchedConfig};
+pub use channel::{ChannelCore, ChannelSim, Decision, PagePolicy, SchedConfig};
 pub use command::{CommandKind, Op, Request};
 pub use controller::DramSystem;
 pub use energy::{EnergyBreakdown, EnergyModel};
+pub use engine::{DramEngine, EngineKind, EventEngine, EventQueue, SteppedEngine};
 pub use functional::{CellStore, FunctionalMemory};
 pub use mapper::{AddressMapper, FnMapper, MapFault};
 pub use spec::{DramKind, DramSpec, Timing};

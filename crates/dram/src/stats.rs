@@ -22,6 +22,17 @@ pub struct DramStats {
     pub row_misses: u64,
     /// Column accesses that required closing a different open row first.
     pub row_conflicts: u64,
+    /// Data-bus occupancy in cycles, derived from command timestamps (one
+    /// burst per column access; bursts never overlap). Identical whether
+    /// the engine stepped through or jumped over idle spans, and summed
+    /// across channels on [`DramStats::merge`].
+    pub busy_cycles: u64,
+    /// Cycles up to [`DramStats::finish_cycle`] with no data on the bus —
+    /// `finish_cycle - busy_cycles` per channel, derived at the end of a
+    /// run rather than counted in the scheduling loop (a per-cycle counter
+    /// would diverge between the stepped and event engines). Summed across
+    /// channels on [`DramStats::merge`].
+    pub idle_cycles: u64,
     /// Cycle at which the last data beat left the bus.
     pub finish_cycle: u64,
 }
@@ -56,6 +67,17 @@ impl DramStats {
         }
     }
 
+    /// Fraction of the elapsed cycles (per-channel busy + idle) with data
+    /// on the bus. Returns `0.0` — never NaN — for an empty run.
+    pub fn bus_utilization(&self) -> f64 {
+        let total = self.busy_cycles + self.idle_cycles;
+        if total == 0 {
+            0.0
+        } else {
+            self.busy_cycles as f64 / total as f64
+        }
+    }
+
     /// Register every counter into `reg` under `dram.*` names, plus the
     /// derived `dram.hit_rate` gauge. Accumulates on repeated calls, which
     /// is exactly the [`DramStats::merge`] behavior for the counters.
@@ -68,8 +90,11 @@ impl DramStats {
         reg.inc("dram.row_hits", self.row_hits);
         reg.inc("dram.row_misses", self.row_misses);
         reg.inc("dram.row_conflicts", self.row_conflicts);
+        reg.inc("dram.busy_cycles", self.busy_cycles);
+        reg.inc("dram.idle_cycles", self.idle_cycles);
         reg.set_gauge("dram.finish_cycle", self.finish_cycle as f64);
         reg.set_gauge("dram.hit_rate", self.hit_rate());
+        reg.set_gauge("dram.bus_utilization", self.bus_utilization());
     }
 
     /// Merge counters from another channel, taking the max finish cycle
@@ -83,6 +108,8 @@ impl DramStats {
         self.row_hits += other.row_hits;
         self.row_misses += other.row_misses;
         self.row_conflicts += other.row_conflicts;
+        self.busy_cycles += other.busy_cycles;
+        self.idle_cycles += other.idle_cycles;
         self.finish_cycle = self.finish_cycle.max(other.finish_cycle);
     }
 }
@@ -133,6 +160,8 @@ mod tests {
             row_hits: 6,
             row_misses: 7,
             row_conflicts: 8,
+            busy_cycles: 2,
+            idle_cycles: 7,
             finish_cycle: 9,
         };
         let b = DramStats {
@@ -144,6 +173,8 @@ mod tests {
             row_hits: 60,
             row_misses: 70,
             row_conflicts: 80,
+            busy_cycles: 1,
+            idle_cycles: 4,
             finish_cycle: 5,
         };
         a.merge(&b);
@@ -156,6 +187,8 @@ mod tests {
             row_hits: 66,
             row_misses: 77,
             row_conflicts: 88,
+            busy_cycles: 3,  // per-channel cycles sum
+            idle_cycles: 11, // per-channel cycles sum
             finish_cycle: 9, // max, not sum: channels run concurrently
         };
         assert_eq!(a, expected);
@@ -172,6 +205,8 @@ mod tests {
             row_hits: 6,
             row_misses: 7,
             row_conflicts: 8,
+            busy_cycles: 2,
+            idle_cycles: 7,
             finish_cycle: 9,
         };
         let mut a = DramStats::default();
@@ -228,6 +263,8 @@ mod tests {
             row_hits: 6,
             row_misses: 2,
             row_conflicts: 0,
+            busy_cycles: 30,
+            idle_cycles: 60,
             finish_cycle: 90,
         };
         let mut reg = MetricsRegistry::new();
@@ -240,11 +277,22 @@ mod tests {
         assert_eq!(reg.counter("dram.row_hits"), 6);
         assert_eq!(reg.counter("dram.row_misses"), 2);
         assert_eq!(reg.counter("dram.row_conflicts"), 0);
+        assert_eq!(reg.counter("dram.busy_cycles"), 30);
+        assert_eq!(reg.counter("dram.idle_cycles"), 60);
         assert_eq!(reg.gauge("dram.finish_cycle"), Some(90.0));
         assert_eq!(reg.gauge("dram.hit_rate"), Some(0.75));
+        assert_eq!(reg.gauge("dram.bus_utilization"), Some(30.0 / 90.0));
         // Re-registering accumulates like merge().
         s.register_into(&mut reg);
         assert_eq!(reg.counter("dram.reads"), 2);
+    }
+
+    #[test]
+    fn bus_utilization_is_busy_over_elapsed() {
+        assert_eq!(DramStats::default().bus_utilization(), 0.0);
+        assert!(DramStats::default().bus_utilization().is_finite(), "never NaN");
+        let s = DramStats { busy_cycles: 25, idle_cycles: 75, ..Default::default() };
+        assert!((s.bus_utilization() - 0.25).abs() < 1e-12);
     }
 
     #[test]

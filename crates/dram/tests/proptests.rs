@@ -1,8 +1,8 @@
 //! Property-based tests for the DRAM scheduler and functional memory.
 
 use facil_dram::{
-    ChannelSim, DramAddress, DramSpec, DramSystem, FnMapper, FunctionalMemory, Op, Request,
-    Topology,
+    ChannelSim, DramAddress, DramSpec, DramSystem, EngineKind, FnMapper, FunctionalMemory, Op,
+    PagePolicy, Request, SchedConfig, Topology,
 };
 use proptest::prelude::*;
 
@@ -155,6 +155,83 @@ proptest! {
         let b = parallel.run_with_threads(8);
         prop_assert_eq!(a, b);
         prop_assert_eq!(format!("{:?}", serial.logs()), format!("{:?}", parallel.logs()));
+    }
+}
+
+/// Run `entries` through two [`DramSystem`]s that differ only in engine and
+/// assert the [`facil_dram::SimResult`]s and per-channel command logs are
+/// bit-identical. `workers` exercises the engine × thread-pool interaction.
+fn assert_engines_identical(
+    spec: &DramSpec,
+    policy: PagePolicy,
+    entries: &[(Request, u64)],
+    workers: usize,
+) -> Result<(), TestCaseError> {
+    let mk = |engine| {
+        let cfg = SchedConfig { page_policy: policy, engine, ..SchedConfig::default() };
+        let mut sys = DramSystem::with_config(spec, cfg);
+        sys.enable_logging();
+        let mut arrival = 0u64;
+        for (req, gap) in entries {
+            arrival += gap;
+            let mut req = req.at(arrival);
+            req.addr.channel %= spec.topology.channels;
+            sys.push(req);
+        }
+        sys
+    };
+    let mut stepped = mk(EngineKind::Stepped);
+    let mut event = mk(EngineKind::Event);
+    let a = stepped.run_with_threads(workers);
+    let b = event.run_with_threads(workers);
+    prop_assert_eq!(a, b);
+    prop_assert_eq!(format!("{:?}", stepped.logs()), format!("{:?}", event.logs()));
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The engine-split invariant: for any request stream, page policy,
+    /// channel count, and `FACIL_THREADS`-style worker count, the next-event
+    /// engine produces exactly the `SimResult` and per-channel command logs
+    /// of the cycle-stepped reference.
+    #[test]
+    fn event_engine_is_bit_identical_to_stepped(
+        entries in prop::collection::vec(arb_multi_request(&multi_spec()), 1..200),
+        open_page in prop::bool::ANY,
+        bus_idx in 0usize..3,
+        eight_workers in prop::bool::ANY,
+    ) {
+        // 16/32/64-bit bus = 1/2/4 channels; requests are generated against
+        // the 4-channel topology and folded onto the smaller ones.
+        let spec = DramSpec::lpddr5_6400([16u64, 32, 64][bus_idx], 1 << 30);
+        let workers = if eight_workers { 8 } else { 1 };
+        let policy = if open_page { PagePolicy::Open } else { PagePolicy::Closed };
+        assert_engines_identical(&spec, policy, &entries, workers)?;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Same invariant under refresh pressure: tREFI shrunk to a few row
+    /// cycles so streams cross many refresh deadlines (including deadlines
+    /// inside long arrival gaps, the case a jumping engine is most likely
+    /// to get wrong).
+    #[test]
+    fn refresh_heavy_streams_are_engine_invariant(
+        entries in prop::collection::vec(arb_multi_request(&multi_spec()), 1..120),
+        open_page in prop::bool::ANY,
+        gap_idx in 0usize..3,
+    ) {
+        let gap_scale = [1u64, 64, 512][gap_idx];
+        let mut spec = DramSpec::lpddr5_6400(32, 512 << 20); // 2 channels
+        spec.timing.refi = 200; // ~30x the normal refresh pressure
+        let policy = if open_page { PagePolicy::Open } else { PagePolicy::Closed };
+        let entries: Vec<_> =
+            entries.iter().map(|&(req, gap)| (req, gap * gap_scale)).collect();
+        assert_engines_identical(&spec, policy, &entries, 1)?;
     }
 }
 

@@ -8,6 +8,7 @@
 //!   lists, including KV-cache and element-wise traffic.
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod model;
 pub mod phase;

@@ -13,6 +13,7 @@
 //!   layouts.
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod exec;
 pub mod platform;

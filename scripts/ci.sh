@@ -38,11 +38,12 @@ assert all(o["report"]["completed"] + o["report"]["shed"] == o["report"]["offere
 print(f"chaos smoke OK ({len(runs)} runs + manifest)")'
 
 echo "== perf_dram smoke =="
-# DRAM scheduling perf harness: parallel stats must equal serial (the
-# binary asserts it per sweep point), the JSONL must be well-formed, and
-# the wall-clock numbers are kept as a CI artifact. The >= 2x speedup gate
-# is enforced only on machines with >= 4 cores (--enforce-speedup is a
-# no-op below that).
+# DRAM scheduling perf harness: parallel stats must equal serial and the
+# next-event engine must equal the cycle-stepped reference (the binary
+# asserts both per point), the JSONL must be well-formed, and the
+# wall-clock numbers are kept as a CI artifact. The >= 2x parallel gate is
+# enforced only on machines with >= 4 cores; the >= 5x next-event-engine
+# gate on the low-utilization serving trace is enforced everywhere.
 mkdir -p target
 perf_artifact="target/BENCH_dram.json"
 : > "$perf_artifact"
@@ -54,17 +55,37 @@ manifests = [o for o in lines if "schema_version" in o]
 runs = [o for o in lines if "schema_version" not in o]
 assert len(manifests) == 1, f"expected one manifest, got {len(manifests)}"
 assert manifests[0]["bench"] == "perf_dram", manifests[0]
-assert len(runs) == 4, f"expected a 4-point channel sweep, got {len(runs)}"
-for o in runs:
+sweep = [o for o in runs if "mode" not in o["report"]]
+low = [o for o in runs if o["report"].get("mode") == "lowutil"]
+assert len(sweep) == 4, f"expected a 4-point channel sweep, got {len(sweep)}"
+assert len(low) == 1, f"expected one low-utilization point, got {len(low)}"
+for o in sweep:
     r = o["report"]
     assert r["stats_match"] is True, r
     assert r["serial_s"] > 0 and r["parallel_s"] > 0, r
-channels = [o["report"]["channels"] for o in runs]
+channels = [o["report"]["channels"] for o in sweep]
 assert channels == [1, 2, 4, 8], channels
-widest = runs[-1]["report"]
+widest = sweep[-1]["report"]
+l = low[0]["report"]
+assert l["stats_match"] is True, l
+assert l["stepped_s"] > 0 and l["event_s"] > 0, l
+ev_speedup = l["event_speedup"]
+assert ev_speedup >= 5.0, f"event engine only {ev_speedup:.2f}x stepped"
 rps, speedup, threads = widest["parallel_rps"], widest["speedup"], widest["threads"]
-print(f"perf_dram smoke OK (8ch: {rps:.0f} req/s, {speedup:.2f}x on {threads} threads)")'
+print(f"perf_dram smoke OK (8ch: {rps:.0f} req/s, {speedup:.2f}x on {threads} threads; "
+      f"event engine {ev_speedup:.1f}x stepped on the low-util trace)")'
 echo "perf artifact: $perf_artifact"
+
+echo "== DRAM engine equivalence smoke =="
+# The simulation engine must be invisible in results: serving_v2 --json
+# output is byte-identical whether the DRAM backend runs the cycle-stepped
+# reference or the next-event engine (FACIL_DRAM_ENGINE selects it).
+e1="$(mktemp /tmp/facil-engine-stepped.XXXXXX.jsonl)"
+e2="$(mktemp /tmp/facil-engine-event.XXXXXX.jsonl)"
+FACIL_DRAM_ENGINE=stepped cargo run --release -q -p facil-bench --bin serving_v2 -- --smoke --json > "$e1"
+FACIL_DRAM_ENGINE=event cargo run --release -q -p facil-bench --bin serving_v2 -- --smoke --json > "$e2"
+diff "$e1" "$e2" && echo "serving_v2 stepped vs event engine: byte-identical"
+rm -f "$e1" "$e2"
 
 echo "== mapsearch smoke =="
 # Mapping-search ablation: the JSONL must be well-formed (one SearchReport
