@@ -19,10 +19,16 @@
 //!   manifest (the `BENCH_dram.json` record), no tables;
 //! * `--smoke` — shrink the stream for CI smoke runs;
 //! * `--seed <n>` — stream RNG seed (default 42);
+//! * `--threads <n>` — worker count for the parallel leg. Defaults to
+//!   `max(pool::parallelism(), 4)` so the sweep exercises multi-worker
+//!   scheduling even on small machines (results are identical regardless;
+//!   only the wall-clock speedup needs real cores behind the workers);
 //! * `--enforce-speedup` — exit non-zero unless the widest sweep point
-//!   reaches >= 2x parallel speedup (CI passes this only on >= 4 cores)
-//!   AND the next-event engine reaches >= 5x the cycle-stepped req/s on
-//!   the low-utilization trace (stats equality is asserted regardless).
+//!   reaches >= 2x parallel speedup (enforced only when the *machine*
+//!   has at least 4 cores — the worker count alone cannot buy wall-clock
+//!   speedup) AND the next-event engine reaches >= 5x the cycle-stepped
+//!   req/s on the low-utilization trace (stats equality is asserted
+//!   regardless).
 
 use std::time::Instant;
 
@@ -185,7 +191,17 @@ fn main() {
     let (cli, rest) = BenchCli::parse();
     let enforce = rest.iter().any(|a| a == "--enforce-speedup");
     let seed = cli.seed_or(42);
-    let threads = pool::parallelism();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // Default to at least 4 workers so the parallel leg actually exercises
+    // multi-worker scheduling (the old default collapsed to threads=1 on
+    // small machines, recording a meaningless ~1.0x "speedup").
+    let threads = rest
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| rest.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| pool::parallelism().max(4));
     let per_channel = if cli.smoke { 4_000 } else { 60_000 };
 
     let points: Vec<Point> =
@@ -272,6 +288,7 @@ fn main() {
     let mut manifest = RunManifest::new("perf_dram", seed);
     manifest
         .config_uint("threads", threads as u64)
+        .config_uint("cores", cores as u64)
         .config_uint("per_channel_requests", per_channel as u64)
         .config_bool("smoke", cli.smoke);
     for p in &points {
@@ -286,9 +303,10 @@ fn main() {
     manifest.result_num("event_rps_lowutil", lowutil.requests as f64 / lowutil.event_s.max(1e-12));
     cli.emit_manifest(&manifest);
 
-    if enforce && threads >= 4 && widest.speedup() < 2.0 {
+    if enforce && cores >= 4 && widest.speedup() < 2.0 {
         eprintln!(
-            "perf_dram: widest sweep point reached only {:.2}x on {threads} threads (need >= 2x)",
+            "perf_dram: widest sweep point reached only {:.2}x with {threads} workers on \
+             {cores} cores (need >= 2x)",
             widest.speedup()
         );
         std::process::exit(1);

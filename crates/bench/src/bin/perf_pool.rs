@@ -1,0 +1,310 @@
+//! Wall-clock harness for the persistent work-stealing executor behind
+//! [`facil_telemetry::pool`].
+//!
+//! Two measurements, both on provably equivalent work:
+//!
+//! 1. **Dispatch overhead** — many small `par_map` batches (the per-tick
+//!    shape of the fleet/cluster drivers) on the persistent executor vs an
+//!    in-binary copy of the pre-executor baseline (fresh scoped threads
+//!    per call, one `Mutex<Iterator>` lock per item). Results are asserted
+//!    identical; only µs/dispatch differs.
+//! 2. **Fleet steps/s** — the untraced multi-device serving loop
+//!    ([`run_fleet`]) serially (`set_parallelism(1)`) vs on the executor's
+//!    workers. The two reports must serialize byte-identically — the
+//!    harness asserts it — so the steps/s ratio is measured on the same
+//!    schedule.
+//!
+//! Usage: `cargo run --release -p facil-bench --bin perf_pool`
+//!
+//! * `--json` — tagged JSONL lines per experiment plus the run manifest
+//!   (the `BENCH_pool.json` record), no tables;
+//! * `--smoke` — shrink both measurements for CI smoke runs;
+//! * `--seed <n>` — workload RNG seed (default 9);
+//! * `--threads <n>` — worker count for the parallel legs (default
+//!   `max(pool::parallelism(), 4)`, same convention as `perf_dram`);
+//! * `--digest` — run the fleet once under the ambient
+//!   [`pool::parallelism`] (`FACIL_THREADS`) and print only the
+//!   deterministic report JSON: the byte-identity diff target for CI
+//!   (wall-clock fields would break the diff, so nothing else is printed);
+//! * `--enforce-speedup` — exit non-zero unless dispatch overhead beats
+//!   the scoped-spawn baseline (> 1.0x) and the fleet reaches >= 1.5x
+//!   steps/s; enforced only when the machine has >= 4 cores, since worker
+//!   count alone cannot buy wall-clock speedup.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+use facil_bench::{emit_run, print_table, BenchCli};
+use facil_serve::{run_fleet, FleetConfig, Routing, ServeConfig};
+use facil_sim::{InferenceSim, Strategy};
+use facil_soc::{Platform, PlatformId};
+use facil_telemetry::json::escaped;
+use facil_telemetry::{pool, JsonWriter, RunManifest};
+use facil_workloads::{ArrivalProcess, Dataset};
+
+/// The pre-executor pool, verbatim in miniature: fresh scoped threads per
+/// call and a shared `Mutex<Iterator>` handing out one item per lock
+/// acquisition. Kept here as the dispatch-overhead baseline so the
+/// harness keeps measuring the same thing after the library moved on.
+fn spawn_map_baseline<T, R, F>(workers: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    let queue = Mutex::new(items.iter().enumerate());
+    let parts: Vec<Vec<(usize, R)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut out: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let next = queue.lock().expect("baseline queue").next();
+                        let Some((i, item)) = next else { break };
+                        out.push((i, f(item)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("baseline worker")).collect()
+    });
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    for (i, r) in parts.into_iter().flatten() {
+        slots[i] = Some(r);
+    }
+    slots.into_iter().map(|r| r.expect("baseline covered every index")).collect()
+}
+
+/// Per-item work for the dispatch benchmark: cheap enough that dispatch
+/// cost dominates, which is exactly the regime being measured.
+fn item_work(x: &u64) -> u64 {
+    x.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17) ^ 0xABCD
+}
+
+struct DispatchPoint {
+    iters: usize,
+    batch: usize,
+    spawn_us: f64,
+    executor_us: f64,
+}
+
+impl DispatchPoint {
+    fn speedup(&self) -> f64 {
+        if self.executor_us > 0.0 {
+            self.spawn_us / self.executor_us
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Time `iters` dispatches of a `batch`-item map on both pools.
+fn measure_dispatch(workers: usize, iters: usize, batch: usize) -> DispatchPoint {
+    let items: Vec<u64> = (0..batch as u64).collect();
+    let expect: Vec<u64> = items.iter().map(item_work).collect();
+
+    // Warm both paths (executor workers spawn lazily on first use).
+    assert_eq!(spawn_map_baseline(workers, &items, item_work), expect);
+    assert_eq!(pool::par_map_with(workers, &items, item_work), expect);
+
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        let out = spawn_map_baseline(workers, &items, item_work);
+        assert_eq!(out.len(), batch);
+    }
+    let spawn_us = t0.elapsed().as_secs_f64() * 1e6 / iters as f64;
+
+    let t1 = Instant::now();
+    for _ in 0..iters {
+        let out = pool::par_map_with(workers, &items, item_work);
+        assert_eq!(out.len(), batch);
+    }
+    let executor_us = t1.elapsed().as_secs_f64() * 1e6 / iters as f64;
+
+    DispatchPoint { iters, batch, spawn_us, executor_us }
+}
+
+struct FleetPoint {
+    devices: usize,
+    offered: usize,
+    serial_s: f64,
+    parallel_s: f64,
+}
+
+impl FleetPoint {
+    fn serial_steps_s(&self) -> f64 {
+        self.offered as f64 / self.serial_s.max(1e-12)
+    }
+    fn parallel_steps_s(&self) -> f64 {
+        self.offered as f64 / self.parallel_s.max(1e-12)
+    }
+    fn speedup(&self) -> f64 {
+        if self.parallel_s > 0.0 {
+            self.serial_s / self.parallel_s
+        } else {
+            1.0
+        }
+    }
+}
+
+fn fleet_inputs(smoke: bool, seed: u64) -> (InferenceSim, Dataset, ArrivalProcess, ServeConfig) {
+    let platform = Platform::get(PlatformId::Iphone);
+    let sim = InferenceSim::new(platform).expect("default model fits");
+    let n = if smoke { 96 } else { 512 };
+    let dataset = Dataset::code_autocompletion_like(42, n);
+    let arrival = ArrivalProcess::Poisson { qps: 16.0 };
+    let cfg =
+        ServeConfig { strategy: Strategy::FacilDynamic, seed, fmfi: 0.0, ..Default::default() };
+    (sim, dataset, arrival, cfg)
+}
+
+/// Run the untraced fleet loop serially and on `threads` workers,
+/// asserting byte-identical reports.
+fn measure_fleet(smoke: bool, seed: u64, threads: usize) -> FleetPoint {
+    let (sim, dataset, arrival, cfg) = fleet_inputs(smoke, seed);
+    let fleet = FleetConfig { devices: 8, routing: Routing::LeastLoaded };
+
+    let run = |workers: usize| {
+        pool::set_parallelism(workers);
+        let t0 = Instant::now();
+        let r = run_fleet(&sim, &dataset, &arrival, cfg, fleet).expect("valid fleet config");
+        (r, t0.elapsed().as_secs_f64())
+    };
+    // Warm the lazy relayout profile and the executor workers so neither
+    // one-time cost lands inside a measured leg.
+    let _ = run(threads);
+    let (serial, serial_s) = run(1);
+    let (parallel, parallel_s) = run(threads);
+    pool::set_parallelism(0);
+    assert_eq!(
+        serial.to_json(),
+        parallel.to_json(),
+        "fleet report must be byte-identical across worker counts"
+    );
+    FleetPoint { devices: fleet.devices, offered: serial.offered, serial_s, parallel_s }
+}
+
+fn main() {
+    let (cli, rest) = BenchCli::parse();
+    let enforce = rest.iter().any(|a| a == "--enforce-speedup");
+    let digest = rest.iter().any(|a| a == "--digest");
+    let seed = cli.seed_or(9);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let threads = rest
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| rest.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| pool::parallelism().max(4));
+
+    if digest {
+        // Byte-identity mode: the ambient worker count (FACIL_THREADS)
+        // decides the schedule width; the report must not depend on it.
+        let (sim, dataset, arrival, cfg) = fleet_inputs(cli.smoke, seed);
+        let fleet = FleetConfig { devices: 8, routing: Routing::LeastLoaded };
+        let r = run_fleet(&sim, &dataset, &arrival, cfg, fleet).expect("valid fleet config");
+        println!("{}", r.to_json());
+        return;
+    }
+
+    let iters = if cli.smoke { 200 } else { 2_000 };
+    let dispatch = measure_dispatch(threads, iters, 64);
+    let fleet = measure_fleet(cli.smoke, seed, threads);
+
+    {
+        let p = &dispatch;
+        let mut w = JsonWriter::with_capacity(256);
+        w.begin_object()
+            .field_str("mode", "dispatch")
+            .field_uint("iters", p.iters as u64)
+            .field_uint("batch", p.batch as u64)
+            .field_uint("threads", threads as u64)
+            .field_num("spawn_us_per_dispatch", p.spawn_us)
+            .field_num("executor_us_per_dispatch", p.executor_us)
+            .field_num("dispatch_speedup", p.speedup())
+            .field_bool("results_match", true)
+            .end_object();
+        emit_run(&cli, "perf_pool", &[("mode", &escaped("dispatch"))], &w.finish());
+    }
+    {
+        let p = &fleet;
+        let mut w = JsonWriter::with_capacity(256);
+        w.begin_object()
+            .field_str("mode", "fleet")
+            .field_uint("devices", p.devices as u64)
+            .field_uint("offered", p.offered as u64)
+            .field_uint("threads", threads as u64)
+            .field_num("serial_s", p.serial_s)
+            .field_num("parallel_s", p.parallel_s)
+            .field_num("serial_steps_s", p.serial_steps_s())
+            .field_num("parallel_steps_s", p.parallel_steps_s())
+            .field_num("fleet_speedup", p.speedup())
+            .field_bool("reports_match", true)
+            .end_object();
+        emit_run(&cli, "perf_pool", &[("mode", &escaped("fleet"))], &w.finish());
+    }
+
+    if !cli.json {
+        print_table(
+            &format!("perf_pool — dispatch overhead, {threads} workers, {}-item batches", 64),
+            &["iters", "spawn µs/call", "executor µs/call", "speedup", "results=="],
+            &[vec![
+                dispatch.iters.to_string(),
+                format!("{:.1}", dispatch.spawn_us),
+                format!("{:.1}", dispatch.executor_us),
+                format!("{:.2}x", dispatch.speedup()),
+                "yes".into(),
+            ]],
+        );
+        print_table(
+            &format!("perf_pool — fleet steps/s, {} devices, serial vs {threads} workers", 8),
+            &["offered", "serial steps/s", "parallel steps/s", "speedup", "reports=="],
+            &[vec![
+                fleet.offered.to_string(),
+                format!("{:.1}", fleet.serial_steps_s()),
+                format!("{:.1}", fleet.parallel_steps_s()),
+                format!("{:.2}x", fleet.speedup()),
+                "yes".into(),
+            ]],
+        );
+    }
+
+    let mut manifest = RunManifest::new("perf_pool", seed);
+    manifest
+        .config_uint("threads", threads as u64)
+        .config_uint("cores", cores as u64)
+        .config_uint("dispatch_iters", dispatch.iters as u64)
+        .config_uint("dispatch_batch", dispatch.batch as u64)
+        .config_uint("fleet_devices", fleet.devices as u64)
+        .config_bool("smoke", cli.smoke);
+    manifest.result_num("spawn_us_per_dispatch", dispatch.spawn_us);
+    manifest.result_num("executor_us_per_dispatch", dispatch.executor_us);
+    manifest.result_num("dispatch_speedup", dispatch.speedup());
+    manifest.result_num("serial_steps_s", fleet.serial_steps_s());
+    manifest.result_num("parallel_steps_s", fleet.parallel_steps_s());
+    manifest.result_num("fleet_speedup", fleet.speedup());
+    cli.emit_manifest(&manifest);
+
+    if enforce && cores >= 4 {
+        if dispatch.speedup() <= 1.0 {
+            eprintln!(
+                "perf_pool: executor dispatch ({:.1} µs) did not beat the scoped-spawn \
+                 baseline ({:.1} µs)",
+                dispatch.executor_us, dispatch.spawn_us
+            );
+            std::process::exit(1);
+        }
+        if fleet.speedup() < 1.5 {
+            eprintln!(
+                "perf_pool: fleet reached only {:.2}x steps/s with {threads} workers on \
+                 {cores} cores (need >= 1.5x)",
+                fleet.speedup()
+            );
+            std::process::exit(1);
+        }
+    }
+}

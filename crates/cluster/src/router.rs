@@ -30,21 +30,26 @@
 //!   most-loaded cell out (after a warmup) on sustained SLO burn or an
 //!   idle autoscaled device in on sustained cool-down.
 //!
-//! The driver mirrors the fleet driver's execution split: router decisions
-//! are serial, per-device phases run on the [`pool`] workers, and the
-//! resulting [`ClusterReport`] serializes byte-identically for any
-//! `FACIL_THREADS` worker count. [`ChaosPlan::none`] reproduces the
-//! chaos-free schedule exactly.
+//! The driver reuses the fleet driver's execution split
+//! ([`facil_serve::FleetExec`]): router decisions are serial, and the
+//! per-device phases run over cells × devices **flattened into one global
+//! device list** — each tick issues a single
+//! [`facil_telemetry::pool::par_map_mut`] batch across every slot of every
+//! cell, not a per-cell fan-out, so the work-stealing executor balances
+//! uneven cells against each other. The resulting [`ClusterReport`]
+//! serializes byte-identically for any `FACIL_THREADS` worker count.
+//! [`ChaosPlan::none`] reproduces the chaos-free schedule exactly.
 
 use std::cmp::{Ordering, Reverse};
 use std::collections::{BTreeMap, BinaryHeap};
 
 use facil_core::Result;
 use facil_serve::{
-    assemble_report, saturating_backoff, DeviceSim, EvictedReq, ReportMeta, Routing,
+    assemble_report, saturating_backoff, DeviceSim, EvictedReq, FleetExec, ParallelExec,
+    ReportMeta, Routing, SerialExec,
 };
 use facil_sim::{InferenceSim, Summary};
-use facil_telemetry::{pool, ArgValue, NullSink, TraceSink, TrackId};
+use facil_telemetry::{ArgValue, NullSink, TraceSink, TrackId};
 use facil_workloads::{ArrivalProcess, Dataset, Query};
 
 use crate::chaos::{ChaosPlan, CompiledChaos};
@@ -99,40 +104,6 @@ impl Ord for Retry {
 enum Routed {
     Done,
     NoCell(Parked),
-}
-
-/// How the independent per-device phases execute — same split as the
-/// fleet driver: serial for traced runs (shared sink handle), [`pool`]
-/// workers for the untraced hot path.
-trait ClusterExec<S: TraceSink> {
-    fn advance_all(devices: &mut [DeviceSim<'_, S>], t_s: f64);
-    fn drain_all(devices: &mut [DeviceSim<'_, S>]);
-}
-
-enum SerialExec {}
-
-impl<S: TraceSink> ClusterExec<S> for SerialExec {
-    fn advance_all(devices: &mut [DeviceSim<'_, S>], t_s: f64) {
-        for d in devices.iter_mut() {
-            d.advance_until(t_s);
-        }
-    }
-    fn drain_all(devices: &mut [DeviceSim<'_, S>]) {
-        for d in devices.iter_mut() {
-            d.drain();
-        }
-    }
-}
-
-enum ParallelExec {}
-
-impl ClusterExec<NullSink> for ParallelExec {
-    fn advance_all(devices: &mut [DeviceSim<'_, NullSink>], t_s: f64) {
-        pool::par_map_mut(devices, |d| d.advance_until(t_s));
-    }
-    fn drain_all(devices: &mut [DeviceSim<'_, NullSink>]) {
-        pool::par_map_mut(devices, DeviceSim::drain);
-    }
 }
 
 /// Serial router state: every cluster-level decision goes through here, in
@@ -597,7 +568,7 @@ pub fn run_cluster_traced<S: TraceSink + Clone>(
     drive::<S, SerialExec>(sim, dataset, arrival, cfg, plan, sink)
 }
 
-fn drive<S: TraceSink + Clone, E: ClusterExec<S>>(
+fn drive<S: TraceSink + Clone, E: FleetExec<S>>(
     sim: &InferenceSim,
     dataset: &Dataset,
     arrival: &ArrivalProcess,

@@ -148,6 +148,12 @@ impl DramSystem {
     /// Channels are independent, so any worker count produces the same
     /// [`SimResult`]: per-channel stats are merged in channel index order
     /// after all channels finish.
+    ///
+    /// Nesting-safe: when reached from inside an already-parallel region
+    /// (e.g. a fleet/cluster tick advancing devices on the pool workers,
+    /// one of which lazily profiles a relayout through `DramSystem`), the
+    /// calling worker runs the channels inline rather than oversubscribing
+    /// or deadlocking the executor — with, again, the same `SimResult`.
     pub fn run_with_threads(&mut self, workers: usize) -> SimResult {
         let per_channel = pool::par_map_mut_with(workers, &mut self.channels, ChannelSim::run);
         let mut stats = DramStats::default();

@@ -241,7 +241,12 @@ impl<S: TraceSink> Driver<'_, S> {
 /// per-device phases are the hot part of a large-fleet run, so the
 /// untraced path farms them out to the [`pool`] workers; the result is
 /// identical either way because no device reads another's state.
-trait FleetExec<S: TraceSink> {
+///
+/// Public so higher-level drivers (the cluster router) reuse the same
+/// split over *one flat device list per tick* — the cluster flattens
+/// cells × devices into a single slice and issues one
+/// [`pool::par_map_mut`] batch, instead of fanning out per cell.
+pub trait FleetExec<S: TraceSink> {
     /// Advance every device clock to `t_s`.
     fn advance_all(devices: &mut [DeviceSim<'_, S>], t_s: f64);
     /// Drain every device's outstanding work.
@@ -250,7 +255,8 @@ trait FleetExec<S: TraceSink> {
 
 /// Serial device phases: required for traced runs, whose devices share a
 /// single-threaded sink handle (e.g. `Rc<RefCell<RingSink>>`).
-enum SerialExec {}
+#[derive(Debug)]
+pub enum SerialExec {}
 
 impl<S: TraceSink> FleetExec<S> for SerialExec {
     fn advance_all(devices: &mut [DeviceSim<'_, S>], t_s: f64) {
@@ -265,11 +271,13 @@ impl<S: TraceSink> FleetExec<S> for SerialExec {
     }
 }
 
-/// Parallel device phases on the [`pool`] workers (`FACIL_THREADS`).
-/// Implemented only for the untraced [`NullSink`] path, where devices are
-/// `Send`; [`pool::par_map_mut`] falls back to the serial loop for
-/// single-device fleets or one configured worker.
-enum ParallelExec {}
+/// Parallel device phases on the persistent [`pool`] workers
+/// (`FACIL_THREADS`). Implemented only for the untraced [`NullSink`]
+/// path, where devices are `Send`; [`pool::par_map_mut`] falls back to
+/// the serial loop for single-device fleets, one configured worker, or
+/// when the caller is itself a pool worker (nested parallelism).
+#[derive(Debug)]
+pub enum ParallelExec {}
 
 impl FleetExec<NullSink> for ParallelExec {
     fn advance_all(devices: &mut [DeviceSim<'_, NullSink>], t_s: f64) {

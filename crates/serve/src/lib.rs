@@ -59,7 +59,7 @@ pub use device::{DeviceSim, EvictedReq, ServeConfig};
 pub use faults::{saturating_backoff, FaultEvent, FaultKind, FaultPlan, FaultRates};
 pub use fleet::{
     assemble_report, run_fleet, run_fleet_with_faults, run_fleet_with_faults_traced, run_serving,
-    FleetConfig, ReportMeta, Routing,
+    FleetConfig, FleetExec, ParallelExec, ReportMeta, Routing, SerialExec,
 };
 pub use metrics::{DeviceReport, QueueSample, ServeReport};
 pub use request::{RequestRecord, ShedReason, ShedRecord};

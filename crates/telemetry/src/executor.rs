@@ -1,0 +1,719 @@
+//! Persistent work-stealing executor backing [`crate::pool`].
+//!
+//! The PR 4 pool spawned fresh scoped OS threads on *every*
+//! `par_map`/`par_map_mut` call and handed work out through a global
+//! `Mutex<Iterator>` — one lock acquisition per item. Both costs sit inside
+//! the innermost per-timestep loops of the fleet and cluster drivers, so at
+//! sweep scale the dispatch tax dominated the win from parallelism itself.
+//! This module replaces that fork-join with:
+//!
+//! * **Long-lived workers**, created lazily on first use and parked on a
+//!   condvar when idle, so steady-state dispatch is "push a job pointer,
+//!   wake k parked threads" instead of k `thread::spawn` calls;
+//! * **Per-participant chunked ranges** with atomic-counter claiming:
+//!   the input index space `0..n` is split into one contiguous range per
+//!   participant, owners repeatedly claim the front half of their own
+//!   range (binary splitting, so uneven per-item cost self-balances down
+//!   to single items), and a participant that runs dry **steals the back
+//!   half** of the fullest victim's range — every claim is one CAS, no
+//!   lock, no per-item handshake;
+//! * **Input-order reassembly**: every claimed index writes its result
+//!   into output slot `i`, so the returned `Vec` is bit-identical to a
+//!   serial `items.iter().map(f).collect()` for any worker count and any
+//!   steal schedule. Scheduling decides only *who* computes item `i`,
+//!   never *what* item `i`'s result is or where it lands;
+//! * **Nesting safety**: a parallel call issued *from a pool worker*
+//!   (e.g. `DramSystem::run_with_threads` reached from inside a parallel
+//!   fleet tick) runs inline on that worker instead of blocking it — the
+//!   worker helps execute the nested batch itself, so nesting can neither
+//!   deadlock nor oversubscribe the configured worker count. A nested
+//!   call from a non-worker thread (e.g. the submitting thread's own
+//!   chunk reaching the DRAM backend) re-enters the executor as a new
+//!   job, which is re-entrancy-safe: helpers come from the same bounded
+//!   pool, so live workers never exceed the configured parallelism.
+//!
+//! # Safety protocol
+//!
+//! Jobs live on the submitting call's stack and are published to the
+//! worker pool as type-erased raw pointers, so every dereference must stay
+//! inside the submitter's stack frame. The protocol that guarantees it:
+//!
+//! 1. the submitter publishes the job under the injector lock, then helps
+//!    execute it;
+//! 2. workers may *attach* to a published job only under the injector
+//!    lock (bounded by the job's helper cap);
+//! 3. when the submitter finds no more claimable work it **unpublishes
+//!    the job first** (under the same lock — after this no new worker can
+//!    observe the pointer), and only then blocks on the job's latch until
+//!    every attached helper has detached and every item is accounted for;
+//! 4. a helper touches the job only between its attach and detach.
+//!
+//! A panicking item closure cancels the rest of the batch (remaining
+//! chunks are drained unexecuted), is captured once, and re-raised on the
+//! submitting thread after quiescence — the pool itself survives.
+
+use std::any::Any;
+use std::cell::Cell;
+use std::mem::{ManuallyDrop, MaybeUninit};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+
+/// Hard cap on persistent worker threads, a backstop far above any
+/// realistic `FACIL_THREADS` value.
+const MAX_WORKERS: usize = 256;
+
+thread_local! {
+    /// True on threads owned by the executor.
+    static IS_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Whether the current thread is one of the executor's workers. Parallel
+/// entry points use this to fall back to inline execution for nested
+/// calls.
+pub(crate) fn on_worker_thread() -> bool {
+    IS_WORKER.with(Cell::get)
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // Worker loops and latch signalers never panic while holding these
+    // locks (item panics are caught before the lock is touched); recover
+    // from poison regardless so one bad batch cannot wedge the pool.
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+// ---------------------------------------------------------------------------
+// Chunked ranges: the per-participant deques.
+// ---------------------------------------------------------------------------
+
+fn pack(start: u32, end: u32) -> u64 {
+    (u64::from(start) << 32) | u64::from(end)
+}
+
+fn unpack(v: u64) -> (u32, u32) {
+    ((v >> 32) as u32, v as u32)
+}
+
+/// One participant's contiguous run of input indices, packed as
+/// `(start, end)` in a single atomic word so owner claims and steals
+/// linearize through plain CAS.
+struct Range(AtomicU64);
+
+impl Range {
+    fn new(start: u32, end: u32) -> Self {
+        Range(AtomicU64::new(pack(start, end)))
+    }
+
+    fn remaining(&self) -> u32 {
+        let (s, e) = unpack(self.0.load(Ordering::Acquire));
+        e.saturating_sub(s)
+    }
+
+    /// Owner path: claim the front half (rounded up) of what remains.
+    /// Binary splitting — early claims are big, the tail degrades to
+    /// single items so stragglers stay stealable.
+    fn claim_front(&self) -> Option<(u32, u32)> {
+        let mut cur = self.0.load(Ordering::Acquire);
+        loop {
+            let (s, e) = unpack(cur);
+            if s >= e {
+                return None;
+            }
+            let take = ((e - s) - (e - s) / 2).max(1);
+            match self.0.compare_exchange_weak(
+                cur,
+                pack(s + take, e),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some((s, s + take)),
+                Err(v) => cur = v,
+            }
+        }
+    }
+
+    /// Thief path: take the back half of what remains, leaving the front
+    /// for the owner — owner and thief touch opposite ends, so a steal
+    /// never reorders or duplicates work.
+    fn steal_back(&self) -> Option<(u32, u32)> {
+        let mut cur = self.0.load(Ordering::Acquire);
+        loop {
+            let (s, e) = unpack(cur);
+            if s >= e {
+                return None;
+            }
+            let take = ((e - s) / 2).max(1);
+            match self.0.compare_exchange_weak(
+                cur,
+                pack(s, e - take),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some((e - take, e)),
+                Err(v) => cur = v,
+            }
+        }
+    }
+
+    /// Cancellation path: claim everything left without running it.
+    fn drain(&self) -> u32 {
+        let (s, e) = unpack(self.0.swap(pack(0, 0), Ordering::AcqRel));
+        e.saturating_sub(s)
+    }
+}
+
+/// Split `0..n` into `parts` contiguous ranges of near-equal length.
+fn split_ranges(n: u32, parts: usize) -> Box<[Range]> {
+    let parts = parts.max(1) as u64;
+    (0..parts)
+        .map(|i| {
+            let s = (u64::from(n) * i / parts) as u32;
+            let e = (u64::from(n) * (i + 1) / parts) as u32;
+            Range::new(s, e)
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Completion latch.
+// ---------------------------------------------------------------------------
+
+/// Tracks a job's outstanding items and attached helpers; the submitter
+/// blocks here until both hit zero.
+struct Latch {
+    pending: AtomicUsize,
+    attached: AtomicUsize,
+    mx: Mutex<()>,
+    cv: Condvar,
+}
+
+impl Latch {
+    fn new(pending: usize) -> Self {
+        Latch {
+            pending: AtomicUsize::new(pending),
+            attached: AtomicUsize::new(0),
+            mx: Mutex::new(()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Account for `k` items leaving the batch (executed or canceled),
+    /// waking the submitter when the last one lands.
+    fn finish_items(&self, k: usize) {
+        if k > 0 && self.pending.fetch_sub(k, Ordering::AcqRel) == k {
+            let _g = lock(&self.mx);
+            self.cv.notify_all();
+        }
+    }
+
+    /// Reserve a helper slot, bounded by `cap`.
+    fn try_attach(&self, cap: usize) -> bool {
+        let mut cur = self.attached.load(Ordering::Acquire);
+        loop {
+            if cur >= cap {
+                return false;
+            }
+            match self.attached.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return true,
+                Err(v) => cur = v,
+            }
+        }
+    }
+
+    /// Release a helper slot (notifying under the latch mutex so the
+    /// submitter cannot miss the wakeup).
+    fn detach(&self) {
+        self.attached.fetch_sub(1, Ordering::AcqRel);
+        let _g = lock(&self.mx);
+        self.cv.notify_all();
+    }
+
+    /// Block until every item is accounted for and every helper detached.
+    /// The acquire loads here pair with the releases in
+    /// [`Latch::finish_items`]/[`Latch::detach`], making all helper-side
+    /// writes (including output-slot writes) visible to the submitter.
+    fn wait_quiescent(&self) {
+        let mut g = lock(&self.mx);
+        while self.pending.load(Ordering::Acquire) != 0
+            || self.attached.load(Ordering::Acquire) != 0
+        {
+            g = self.cv.wait(g).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Jobs.
+// ---------------------------------------------------------------------------
+
+/// A batch the pool can help execute. Implementations are stack-allocated
+/// in the submitting call; see the module-level safety protocol.
+trait Task: Sync {
+    /// Reserve a helper slot; false when the job's helper cap is reached.
+    fn attach(&self) -> bool;
+    /// Claim and run work until none is claimable by this participant.
+    fn run(&self);
+    /// Release a helper slot.
+    fn detach(&self);
+    /// Whether a new helper could still find claimable work.
+    fn has_work(&self) -> bool;
+}
+
+/// A parallel map batch: `run_chunk(a, b)` executes items `a..b`, writing
+/// each result into its input-order output slot.
+struct MapJob<'f> {
+    run_chunk: &'f (dyn Fn(u32, u32) + Sync),
+    ranges: Box<[Range]>,
+    next_slot: AtomicUsize,
+    max_helpers: usize,
+    canceled: AtomicBool,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    latch: Latch,
+}
+
+impl MapJob<'_> {
+    /// Execute one claimed chunk, catching a panic so the pool survives:
+    /// the first payload is kept for the submitter, the batch is canceled.
+    fn exec(&self, a: u32, b: u32) {
+        let result = catch_unwind(AssertUnwindSafe(|| (self.run_chunk)(a, b)));
+        self.latch.finish_items((b - a) as usize);
+        if let Err(payload) = result {
+            {
+                let mut slot = lock(&self.panic);
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+            }
+            self.canceled.store(true, Ordering::Release);
+        }
+    }
+
+    /// Next chunk for the participant owning `slot`: own range first, then
+    /// steal the back half of the fullest victim. Rescans on a lost race
+    /// and returns `None` only once every range is empty.
+    fn next_chunk(&self, slot: usize) -> Option<(u32, u32)> {
+        loop {
+            if let Some(c) = self.ranges[slot].claim_front() {
+                return Some(c);
+            }
+            let victim = self
+                .ranges
+                .iter()
+                .enumerate()
+                .filter(|&(i, r)| i != slot && r.remaining() > 0)
+                .max_by_key(|&(_, r)| r.remaining())
+                .map(|(i, _)| i)?;
+            if let Some(c) = self.ranges[victim].steal_back() {
+                return Some(c);
+            }
+            // Lost the steal race; some other range may still have work.
+        }
+    }
+}
+
+impl Task for MapJob<'_> {
+    fn attach(&self) -> bool {
+        self.latch.try_attach(self.max_helpers)
+    }
+
+    fn run(&self) {
+        let slot = self.next_slot.fetch_add(1, Ordering::Relaxed) % self.ranges.len();
+        loop {
+            if self.canceled.load(Ordering::Acquire) {
+                let drained: usize = self.ranges.iter().map(|r| r.drain() as usize).sum();
+                self.latch.finish_items(drained);
+                return;
+            }
+            let Some((a, b)) = self.next_chunk(slot) else { return };
+            self.exec(a, b);
+        }
+    }
+
+    fn detach(&self) {
+        self.latch.detach();
+    }
+
+    fn has_work(&self) -> bool {
+        !self.canceled.load(Ordering::Acquire) && self.ranges.iter().any(|r| r.remaining() > 0)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Type erasure.
+// ---------------------------------------------------------------------------
+
+/// A published job: a raw pointer to a stack-allocated [`Task`] plus its
+/// monomorphized entry points. Valid only between publish and unpublish
+/// (see the module-level safety protocol).
+#[derive(Clone, Copy)]
+struct ErasedJob {
+    data: *const (),
+    attach: unsafe fn(*const ()) -> bool,
+    run: unsafe fn(*const ()),
+    detach: unsafe fn(*const ()),
+    has_work: unsafe fn(*const ()) -> bool,
+}
+
+// SAFETY: the raw pointer is only dereferenced by workers between attach
+// and detach, which the publish/unpublish protocol keeps inside the
+// submitting call's stack frame; the pointee is `Sync`.
+unsafe impl Send for ErasedJob {}
+
+unsafe fn attach_shim<J: Task>(p: *const ()) -> bool {
+    // SAFETY: `p` was erased from a live `&J` by `erase`.
+    unsafe { (*p.cast::<J>()).attach() }
+}
+unsafe fn run_shim<J: Task>(p: *const ()) {
+    // SAFETY: as above.
+    unsafe { (*p.cast::<J>()).run() }
+}
+unsafe fn detach_shim<J: Task>(p: *const ()) {
+    // SAFETY: as above.
+    unsafe { (*p.cast::<J>()).detach() }
+}
+unsafe fn has_work_shim<J: Task>(p: *const ()) -> bool {
+    // SAFETY: as above.
+    unsafe { (*p.cast::<J>()).has_work() }
+}
+
+fn erase<J: Task>(job: &J) -> ErasedJob {
+    ErasedJob {
+        data: (job as *const J).cast(),
+        attach: attach_shim::<J>,
+        run: run_shim::<J>,
+        detach: detach_shim::<J>,
+        has_work: has_work_shim::<J>,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The executor proper.
+// ---------------------------------------------------------------------------
+
+struct Inner {
+    /// Published jobs, oldest first. Submitters remove their own entry
+    /// before waiting on the latch.
+    jobs: Vec<ErasedJob>,
+    /// Worker threads spawned and not yet exited.
+    live: usize,
+    /// Workers currently parked on `work_cv`.
+    parked: usize,
+    /// Workers asked to exit by [`shutdown`].
+    exiting: usize,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+struct Executor {
+    inner: Mutex<Inner>,
+    work_cv: Condvar,
+}
+
+fn executor() -> &'static Executor {
+    static EXEC: OnceLock<Executor> = OnceLock::new();
+    EXEC.get_or_init(|| Executor {
+        inner: Mutex::new(Inner {
+            jobs: Vec::new(),
+            live: 0,
+            parked: 0,
+            exiting: 0,
+            handles: Vec::new(),
+        }),
+        work_cv: Condvar::new(),
+    })
+}
+
+/// The worker main loop: pick the oldest published job with claimable work
+/// and an open helper slot, help until dry, repeat; park when idle; exit
+/// when [`shutdown`] asks.
+fn worker_loop(ex: &'static Executor) {
+    IS_WORKER.with(|w| w.set(true));
+    let mut g = lock(&ex.inner);
+    loop {
+        if g.exiting > 0 {
+            g.exiting -= 1;
+            g.live -= 1;
+            return;
+        }
+        let mut picked = None;
+        for job in &g.jobs {
+            // SAFETY: the job is published, so the pointer is live; attach
+            // happens under the injector lock, which is what keeps it live
+            // until the matching detach.
+            if unsafe { (job.has_work)(job.data) && (job.attach)(job.data) } {
+                picked = Some(*job);
+                break;
+            }
+        }
+        match picked {
+            Some(job) => {
+                drop(g);
+                // SAFETY: attached above; the submitter cannot reclaim the
+                // job's stack frame until this thread detaches.
+                unsafe {
+                    (job.run)(job.data);
+                    (job.detach)(job.data);
+                }
+                g = lock(&ex.inner);
+            }
+            None => {
+                g.parked += 1;
+                g = ex.work_cv.wait(g).unwrap_or_else(PoisonError::into_inner);
+                g.parked -= 1;
+            }
+        }
+    }
+}
+
+/// Publish `job`, growing the pool toward `helpers_wanted` live workers
+/// and waking that many parked ones.
+fn publish<J: Task>(job: &J, helpers_wanted: usize) -> ErasedJob {
+    let ex = executor();
+    let erased = erase(job);
+    let mut g = lock(&ex.inner);
+    g.jobs.push(erased);
+    let want = helpers_wanted.min(MAX_WORKERS);
+    while g.live - g.exiting < want && g.live < MAX_WORKERS {
+        let builder = std::thread::Builder::new().name("facil-pool".into());
+        match builder.spawn(|| worker_loop(executor())) {
+            Ok(h) => {
+                g.live += 1;
+                g.handles.push(h);
+            }
+            // Out of threads: degrade to fewer helpers — the submitter
+            // executes whatever nobody steals, so results are unaffected.
+            Err(_) => break,
+        }
+    }
+    for _ in 0..helpers_wanted.min(g.parked) {
+        ex.work_cv.notify_one();
+    }
+    erased
+}
+
+/// Remove `job` from the published list, so no new helper can attach.
+fn unpublish(erased: ErasedJob) {
+    let ex = executor();
+    let mut g = lock(&ex.inner);
+    g.jobs.retain(|j| !std::ptr::eq(j.data, erased.data));
+}
+
+/// Join all persistent workers and return how many were joined. Workers
+/// respawn lazily on the next parallel call, so this is safe to call at
+/// any point — even concurrently with running batches, whose submitters
+/// simply finish the work themselves.
+pub(crate) fn shutdown_workers() -> usize {
+    let ex = executor();
+    let handles = {
+        let mut g = lock(&ex.inner);
+        g.exiting = g.live;
+        ex.work_cv.notify_all();
+        std::mem::take(&mut g.handles)
+    };
+    let n = handles.len();
+    for h in handles {
+        // Worker loops never panic (item panics are caught inside the
+        // job); a join error here would mean a bug worth surfacing loudly,
+        // but not worth poisoning shutdown for.
+        let _ = h.join();
+    }
+    n
+}
+
+/// A raw pointer that may cross threads. Used for output slots and
+/// mutable input bases, where the index-claiming protocol guarantees
+/// disjoint access.
+pub(crate) struct SendPtr<T>(pub(crate) *mut T);
+
+impl<T> SendPtr<T> {
+    /// The wrapped pointer. Going through a method (whole-struct receiver)
+    /// rather than field access keeps closures capturing the `SendPtr` —
+    /// which is `Sync` — instead of the bare `*mut T`, which is not, under
+    /// edition-2021 disjoint field capture.
+    pub(crate) fn get(self) -> *mut T {
+        self.0
+    }
+}
+
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+
+// SAFETY: every index in a batch is claimed by exactly one chunk, so no
+// two threads touch the same element through this pointer, and the
+// submitter does not read results until the batch is quiescent.
+unsafe impl<T: Send> Send for SendPtr<T> {}
+// SAFETY: as above — the pointer itself is shared, the pointees are not.
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+/// Run `g(i)` for every `i in 0..n` on up to `workers` participants (the
+/// caller plus at most `workers - 1` pool helpers), returning results in
+/// input order — bit-identical to `(0..n).map(g).collect()` for any
+/// worker count and steal schedule.
+///
+/// Caller guarantees `workers >= 2`, `n >= 2` (smaller calls stay inline
+/// in [`crate::pool`]) and must not be on a worker thread.
+pub(crate) fn map_indexed<R, G>(workers: usize, n: usize, g: G) -> Vec<R>
+where
+    R: Send,
+    G: Fn(usize) -> R + Sync,
+{
+    assert!(u32::try_from(n).is_ok(), "batch of {n} items exceeds the u32 index space");
+    debug_assert!(workers >= 2 && n >= 2);
+    debug_assert!(!on_worker_thread());
+    let mut out: Vec<MaybeUninit<R>> = (0..n).map(|_| MaybeUninit::uninit()).collect();
+    let out_ptr = SendPtr(out.as_mut_ptr());
+    let run_chunk = |a: u32, b: u32| {
+        for i in a..b {
+            let r = g(i as usize);
+            // SAFETY: index `i` is claimed by exactly this chunk, so the
+            // slot is written once, with no concurrent access.
+            unsafe {
+                (*out_ptr.get().add(i as usize)).write(r);
+            }
+        }
+    };
+    let participants = workers.min(n);
+    let job = MapJob {
+        run_chunk: &run_chunk,
+        ranges: split_ranges(n as u32, participants),
+        next_slot: AtomicUsize::new(0),
+        max_helpers: participants - 1,
+        canceled: AtomicBool::new(false),
+        panic: Mutex::new(None),
+        latch: Latch::new(n),
+    };
+    let erased = publish(&job, participants - 1);
+    // The submitter is participant #1; `run` only returns when no work is
+    // claimable, so unpublishing immediately after is safe.
+    job.run();
+    unpublish(erased);
+    job.latch.wait_quiescent();
+    if let Some(payload) = lock(&job.panic).take() {
+        // Written results leak under a panic (MaybeUninit drops nothing);
+        // acceptable, since the panic is about to unwind the caller.
+        resume_unwind(payload);
+    }
+    // SAFETY: quiescent and not canceled, so all `n` slots were written
+    // exactly once; reinterpret the buffer as initialized.
+    let mut out = ManuallyDrop::new(out);
+    unsafe { Vec::from_raw_parts(out.as_mut_ptr().cast::<R>(), n, out.capacity()) }
+}
+
+/// Fork-join of exactly two closures: `fb` is published as a stealable
+/// one-item job while the caller runs `fa`, then the caller claims `fb`
+/// itself if no worker got there first.
+///
+/// Caller must not be on a worker thread (checked by [`crate::pool::join`],
+/// which falls back to sequential execution there).
+pub(crate) fn join_impl<A, B, FA, FB>(fa: FA, fb: FB) -> (A, B)
+where
+    A: Send,
+    B: Send,
+    FA: FnOnce() -> A + Send,
+    FB: FnOnce() -> B + Send,
+{
+    let fb_cell = Mutex::new(Some(fb));
+    let out = Mutex::new(None::<B>);
+    let run_chunk = |_a: u32, _b: u32| {
+        // The single index is claimed exactly once, so `take` always finds
+        // the closure on the only call.
+        if let Some(f) = lock(&fb_cell).take() {
+            let b = f();
+            *lock(&out) = Some(b);
+        }
+    };
+    let job = MapJob {
+        run_chunk: &run_chunk,
+        ranges: split_ranges(1, 1),
+        next_slot: AtomicUsize::new(0),
+        max_helpers: 1,
+        canceled: AtomicBool::new(false),
+        panic: Mutex::new(None),
+        latch: Latch::new(1),
+    };
+    let erased = publish(&job, 1);
+    let a_result = catch_unwind(AssertUnwindSafe(fa));
+    // Claim fb inline if it is still unclaimed, then tear down exactly as
+    // map_indexed does.
+    job.run();
+    unpublish(erased);
+    job.latch.wait_quiescent();
+    if let Some(payload) = lock(&job.panic).take() {
+        resume_unwind(payload);
+    }
+    let a = match a_result {
+        Ok(a) => a,
+        Err(payload) => resume_unwind(payload),
+    };
+    // Quiescent without a stored panic, so the one chunk ran `fb` to
+    // completion and stored its result.
+    #[allow(clippy::expect_used)]
+    let b = lock(&out).take().expect("join task completed without a result");
+    (a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_split_evenly_and_cover_the_space() {
+        let ranges = split_ranges(10, 3);
+        let total: u32 = ranges.iter().map(Range::remaining).sum();
+        assert_eq!(total, 10);
+        assert!(ranges.iter().all(|r| r.remaining() >= 3));
+    }
+
+    #[test]
+    fn claim_and_steal_partition_a_range() {
+        let r = Range::new(0, 8);
+        let (a0, b0) = r.claim_front().unwrap();
+        assert_eq!((a0, b0), (0, 4));
+        let (a1, b1) = r.steal_back().unwrap();
+        assert_eq!((a1, b1), (6, 8));
+        let mut seen = vec![(a0, b0), (a1, b1)];
+        while let Some(c) = r.claim_front() {
+            seen.push(c);
+        }
+        assert!(r.steal_back().is_none());
+        let mut covered: Vec<u32> = seen.iter().flat_map(|&(a, b)| a..b).collect();
+        covered.sort_unstable();
+        assert_eq!(covered, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn drain_takes_everything_once() {
+        let r = Range::new(2, 9);
+        assert_eq!(r.drain(), 7);
+        assert_eq!(r.drain(), 0);
+        assert!(r.claim_front().is_none());
+    }
+
+    #[test]
+    fn map_indexed_matches_serial() {
+        let out = map_indexed(4, 1000, |i| i * 3 + 1);
+        assert_eq!(out, (0..1000).map(|i| i * 3 + 1).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_indexed_propagates_panics_and_pool_survives() {
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            map_indexed(4, 64, |i| {
+                assert!(i != 17, "boom at {i}");
+                i
+            })
+        }));
+        assert!(caught.is_err());
+        // The pool is still usable after a panicking batch.
+        let out = map_indexed(4, 64, |i| i + 1);
+        assert_eq!(out, (1..=64).collect::<Vec<_>>());
+    }
+}

@@ -18,11 +18,13 @@
 //!   bench binaries;
 //! * [`manifest`] — a [`RunManifest`] emitter so every bench binary writes
 //!   one schema-versioned JSONL record (config, seed, results);
-//! * [`pool`] — deterministic scoped-thread fork-join helpers
-//!   ([`pool::par_map`], [`pool::par_map_mut`], [`pool::join`]) with the
-//!   `FACIL_THREADS` worker-count knob, used to run independent DRAM
-//!   channels, fleet devices and bench sweep points concurrently while
-//!   keeping results bit-identical to serial execution;
+//! * [`pool`] — deterministic parallel helpers ([`pool::par_map`],
+//!   [`pool::par_map_mut`], [`pool::join`]) on a persistent work-stealing
+//!   executor, with the `FACIL_THREADS` worker-count knob, used to run
+//!   independent DRAM channels, fleet devices and bench sweep points
+//!   concurrently while keeping results bit-identical to serial
+//!   execution for any worker count — nested calls run inline on the
+//!   invoking worker, so parallel layers compose without oversubscribing;
 //! * [`stats`] — nearest-rank percentiles and [`stats::Summary`]
 //!   aggregates (moved here from `facil_sim::stats`, which re-exports
 //!   them).
@@ -41,6 +43,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod executor;
 pub mod json;
 pub mod manifest;
 pub mod metrics;

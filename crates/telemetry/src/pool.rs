@@ -1,24 +1,41 @@
-//! Deterministic fork-join parallelism for the simulation crates.
+//! Deterministic parallelism for the simulation crates, backed by a
+//! persistent work-stealing executor.
 //!
 //! The FACIL workspace simulates many *independent* units — LPDDR5 channels
 //! in [`ChannelSim`]-land, devices in a serving fleet, sweep points in the
 //! bench harness — whose results are merged in a fixed index order. This
-//! module provides the one scoped-thread helper they all share:
+//! module provides the shared parallel entry points:
 //!
-//! * [`par_map`] / [`par_map_mut`] — map a closure over a slice on a small
-//!   self-scheduling worker pool, returning results **in input order**, so
-//!   the output is bit-identical to a serial loop no matter how the items
-//!   were interleaved across workers;
+//! * [`par_map`] / [`par_map_mut`] — map a closure over a slice on the
+//!   executor's long-lived workers, returning results **in input order**,
+//!   so the output is bit-identical to a serial loop no matter how the
+//!   items were split, claimed, or stolen across workers;
 //! * [`join`] — run two closures concurrently (fork-join of exactly two
-//!   tasks, e.g. two whole figure sweeps);
+//!   tasks, e.g. two whole figure sweeps); the second closure is published
+//!   as a stealable task and reclaimed inline if no worker takes it;
 //! * [`parallelism`] / [`set_parallelism`] — the worker-count knob:
 //!   process-wide override, then the `FACIL_THREADS` environment variable,
-//!   then [`std::thread::available_parallelism`].
+//!   then [`std::thread::available_parallelism`];
+//! * [`shutdown`] — join the persistent workers (they respawn lazily on
+//!   the next parallel call), for thread-hygiene-sensitive callers.
 //!
-//! Everything is `std`-only (scoped threads, no work-stealing runtime) and
-//! degrades to a plain inline loop when one worker is requested or the
-//! input has fewer than two items — so `FACIL_THREADS=1` runs exactly the
-//! serial code path.
+//! Everything is `std`-only. Unlike the PR 4 pool — fresh scoped threads
+//! per call, one `Mutex` lock per item — workers persist across calls
+//! (parked on a condvar when idle) and claim *runs* of items from
+//! per-participant atomic ranges, stealing half a victim's range when
+//! their own runs dry; see the private `executor` module docs for the
+//! scheduling and safety details. Dispatching a batch is a pointer push
+//! plus wakeups, and per-item overhead is amortized over whole chunks.
+//!
+//! Calls degrade to a plain inline loop when one worker is requested or
+//! the input has fewer than two items — so `FACIL_THREADS=1` runs exactly
+//! the serial code path. **Nested** calls (a `par_map` reached from inside
+//! another `par_map`'s closure, e.g. `DramSystem::run` fired lazily during
+//! a parallel fleet tick) also run inline when the caller is already a
+//! pool worker: the worker helps execute the nested batch itself, so
+//! nesting can neither deadlock nor grow the thread count past the
+//! configured parallelism. Either way the results are identical — the
+//! schedule never leaks into the output.
 //!
 //! [`ChannelSim`]: https://docs.rs/facil-dram
 //!
@@ -34,7 +51,9 @@
 //! ```
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock, PoisonError};
+use std::sync::OnceLock;
+
+use crate::executor;
 
 /// Process-wide worker-count override; 0 means "not set".
 static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
@@ -71,62 +90,20 @@ pub fn set_parallelism(workers: usize) {
     OVERRIDE.store(workers, Ordering::Relaxed);
 }
 
-fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    // A worker can only poison the queue by panicking inside `Iterator::
-    // next` on a slice iterator, which cannot happen; recover regardless.
-    m.lock().unwrap_or_else(PoisonError::into_inner)
-}
-
-/// Reassemble per-worker `(index, result)` batches into input order.
-// Every index in 0..n is produced by exactly one worker, so every slot is
-// filled; a hole is a pool bug worth a loud panic.
-#[allow(clippy::expect_used)]
-fn into_input_order<R>(n: usize, parts: Vec<Vec<(usize, R)>>) -> Vec<R> {
-    let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
-    slots.resize_with(n, || None);
-    for (i, r) in parts.into_iter().flatten() {
-        slots[i] = Some(r);
-    }
-    slots.into_iter().map(|r| r.expect("pool workers covered every index")).collect()
-}
-
-/// Run `f` over `queue` items on `workers` scoped threads, collecting
-/// `(index, result)` pairs per worker. The queue is self-scheduling: a free
-/// worker takes the next item, so uneven per-item cost balances naturally.
-fn run_pool<I, R, F>(workers: usize, n: usize, queue: Mutex<I>, f: F) -> Vec<R>
-where
-    I: Iterator + Send,
-    I::Item: Send,
-    R: Send,
-    F: Fn(I::Item) -> (usize, R) + Sync,
-{
-    // Worker panics are propagated, not swallowed: join().expect re-raises
-    // them on the caller's thread.
-    #[allow(clippy::expect_used)]
-    let parts = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                s.spawn(|| {
-                    let mut out: Vec<(usize, R)> = Vec::new();
-                    loop {
-                        let Some(item) = lock(&queue).next() else { break };
-                        out.push(f(item));
-                    }
-                    out
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("pool worker panicked")).collect::<Vec<_>>()
-    });
-    into_input_order(n, parts)
+/// Join the executor's persistent worker threads and return how many were
+/// joined. The pool respawns workers lazily on the next parallel call, so
+/// this only matters to callers that audit thread hygiene (tests, forking
+/// embedders) — simulation code never needs it.
+pub fn shutdown() -> usize {
+    executor::shutdown_workers()
 }
 
 /// Map `f` over `items` in parallel, returning results in input order.
 ///
 /// Equivalent to `items.iter().map(f).collect()` — including bit-identical
 /// results — but runs on [`parallelism`] workers. Falls back to the inline
-/// serial loop when one worker is configured or there are fewer than two
-/// items.
+/// serial loop when one worker is configured, there are fewer than two
+/// items, or the caller is itself a pool worker (nested call).
 pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
@@ -145,15 +122,15 @@ where
 {
     let n = items.len();
     let workers = workers.max(1).min(n);
-    if workers <= 1 {
+    if workers <= 1 || executor::on_worker_thread() {
         return items.iter().map(f).collect();
     }
-    run_pool(workers, n, Mutex::new(items.iter().enumerate()), |(i, item)| (i, f(item)))
+    executor::map_indexed(workers, n, |i| f(&items[i]))
 }
 
 /// Map `f` over mutable `items` in parallel, returning results in input
 /// order. The mutable-slice twin of [`par_map`]: each item is visited by
-/// exactly one worker, so no synchronization beyond the work queue is
+/// exactly one worker, so no synchronization beyond the index claiming is
 /// needed and results match the serial loop bit for bit.
 pub fn par_map_mut<T, R, F>(items: &mut [T], f: F) -> Vec<R>
 where
@@ -173,14 +150,24 @@ where
 {
     let n = items.len();
     let workers = workers.max(1).min(n);
-    if workers <= 1 {
+    if workers <= 1 || executor::on_worker_thread() {
         return items.iter_mut().map(f).collect();
     }
-    run_pool(workers, n, Mutex::new(items.iter_mut().enumerate()), |(i, item)| (i, f(item)))
+    let base = executor::SendPtr(items.as_mut_ptr());
+    executor::map_indexed(workers, n, move |i| {
+        // SAFETY: `map_indexed` hands every index in 0..n to exactly one
+        // chunk, so each element is borrowed mutably by exactly one thread,
+        // and the borrow ends before the batch is declared quiescent.
+        f(unsafe { &mut *base.get().add(i) })
+    })
 }
 
-/// Run two closures concurrently and return both results. Falls back to
-/// sequential calls under [`parallelism`]` == 1`.
+/// Run two closures concurrently and return both results. The second
+/// closure is published to the executor as a stealable task while the
+/// caller runs the first; if no worker steals it, the caller runs it
+/// inline afterward. Falls back to sequential calls under
+/// [`parallelism`]` == 1` or when the caller is already a pool worker
+/// (nested `join`).
 pub fn join<A, B, FA, FB>(fa: FA, fb: FB) -> (A, B)
 where
     A: Send,
@@ -188,17 +175,10 @@ where
     FA: FnOnce() -> A + Send,
     FB: FnOnce() -> B + Send,
 {
-    if parallelism() <= 1 {
+    if parallelism() <= 1 || executor::on_worker_thread() {
         return (fa(), fb());
     }
-    std::thread::scope(|s| {
-        let hb = s.spawn(fb);
-        let a = fa();
-        // Same panic-propagation contract as `run_pool`.
-        #[allow(clippy::expect_used)]
-        let b = hb.join().expect("join task panicked");
-        (a, b)
-    })
+    executor::join_impl(fa, fb)
 }
 
 #[cfg(test)]
@@ -259,5 +239,41 @@ mod tests {
         assert_eq!(parallelism(), 3);
         set_parallelism(0); // back to the default
         assert_eq!(parallelism(), before);
+    }
+
+    #[test]
+    fn nested_par_map_runs_inline_without_deadlock() {
+        let outer: Vec<u64> = (0..16).collect();
+        let expect: Vec<u64> =
+            outer.iter().map(|&x| (0..8u64).map(|y| x * 100 + y).sum::<u64>()).collect();
+        let got = par_map_with(4, &outer, |&x| {
+            let inner: Vec<u64> = (0..8).collect();
+            par_map_with(4, &inner, |&y| x * 100 + y).iter().sum::<u64>()
+        });
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn join_inside_par_map_falls_back_inline() {
+        let items: Vec<u32> = (0..12).collect();
+        let got = par_map_with(3, &items, |&x| {
+            let (a, b) = join(|| x + 1, || x * 2);
+            a + b
+        });
+        assert_eq!(got, items.iter().map(|&x| (x + 1) + (x * 2)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_propagates_item_panics() {
+        let items: Vec<u32> = (0..64).collect();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            par_map_with(4, &items, |&x| {
+                assert!(x != 33, "boom");
+                x
+            })
+        }));
+        assert!(caught.is_err());
+        // Pool still works afterward.
+        assert_eq!(par_map_with(4, &items, |&x| x + 1)[0], 1);
     }
 }

@@ -1,0 +1,127 @@
+//! Adversarial-schedule properties for the work-stealing pool.
+//!
+//! The executor's one observable contract is *schedule invisibility*: for
+//! any worker count, any per-item cost skew (which drives real stealing),
+//! and any nesting depth, `par_map` returns exactly what the serial loop
+//! returns, in input order. These tests generate uneven workloads to force
+//! chunk claims and steals onto different interleavings every run, then
+//! assert bit-identical output across worker counts {1, 2, 3, 8, 64} and
+//! nesting depths {1, 2}.
+//!
+//! Worker counts are always passed explicitly (`par_map_with`) — the
+//! process-global `set_parallelism` knob would race with other tests in
+//! this binary.
+
+use facil_telemetry::pool;
+use proptest::prelude::*;
+
+/// Deterministic per-item result, independent of schedule.
+fn h(x: u64) -> u64 {
+    x.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(21) ^ 0x5DEE_CE66
+}
+
+/// Burn a schedule-skewing amount of CPU: `cost` is 0..4, chosen per item
+/// by the generator, so some chunks finish long before others and idle
+/// participants must steal to keep up.
+fn spin(cost: u8) -> u64 {
+    let mut acc = 1u64;
+    for i in 0..(u64::from(cost) * 400) {
+        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+    }
+    if cost == 3 {
+        std::thread::yield_now();
+    }
+    acc
+}
+
+const WORKER_COUNTS: [usize; 5] = [1, 2, 3, 8, 64];
+
+/// One of [`WORKER_COUNTS`], as a strategy.
+fn arb_workers() -> impl Strategy<Value = usize> {
+    prop_oneof![Just(1usize), Just(2), Just(3), Just(8), Just(64)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Depth 1: uneven per-item cost, every worker count, identical output.
+    #[test]
+    fn uneven_schedules_never_reorder_results(
+        items in prop::collection::vec((0u64..u64::MAX, 0u8..4), 1..200)
+    ) {
+        let serial: Vec<u64> = items.iter().map(|&(x, c)| {
+            std::hint::black_box(spin(c));
+            h(x)
+        }).collect();
+        for workers in WORKER_COUNTS {
+            let out = pool::par_map_with(workers, &items, |&(x, c)| {
+                std::hint::black_box(spin(c));
+                h(x)
+            });
+            prop_assert_eq!(&out, &serial, "diverged at {} workers", workers);
+        }
+    }
+
+    /// Depth 2: every outer item runs an inner `par_map_with`. Inner calls
+    /// issued from pool workers run inline; inner calls from the
+    /// submitting thread re-enter the executor — both must be invisible.
+    #[test]
+    fn nested_maps_are_schedule_invisible(
+        items in prop::collection::vec((0u64..u64::MAX, 0u8..4), 1..40),
+        inner_n in 1usize..24,
+        inner_workers in arb_workers(),
+    ) {
+        let inner = |x: u64| -> u64 {
+            let xs: Vec<u64> = (0..inner_n as u64).map(|i| x ^ i).collect();
+            pool::par_map_with(inner_workers, &xs, |&y| h(y))
+                .into_iter()
+                .fold(0u64, u64::wrapping_add)
+        };
+        let serial: Vec<u64> = items.iter().map(|&(x, c)| {
+            std::hint::black_box(spin(c));
+            inner(x)
+        }).collect();
+        for workers in WORKER_COUNTS {
+            let out = pool::par_map_with(workers, &items, |&(x, c)| {
+                std::hint::black_box(spin(c));
+                inner(x)
+            });
+            prop_assert_eq!(&out, &serial, "diverged at {} outer workers", workers);
+        }
+    }
+
+    /// The mutable twin under the same adversarial schedules: every item
+    /// mutated exactly once, results in input order.
+    #[test]
+    fn par_map_mut_mutates_each_item_once_under_any_schedule(
+        items in prop::collection::vec((0u64..1 << 48, 0u8..4), 1..200),
+        workers in arb_workers(),
+    ) {
+        let mut mine = items.clone();
+        let out = pool::par_map_mut_with(workers, &mut mine, |slot| {
+            std::hint::black_box(spin(slot.1));
+            slot.0 = slot.0.wrapping_add(1);
+            h(slot.0)
+        });
+        let expect: Vec<u64> = items.iter().map(|&(x, _)| h(x.wrapping_add(1))).collect();
+        prop_assert_eq!(out, expect);
+        for (after, &(before, _)) in mine.iter().zip(&items) {
+            prop_assert_eq!(after.0, before.wrapping_add(1));
+        }
+    }
+}
+
+/// `join` nested inside a stolen task composes with the map machinery:
+/// depth-2 mixing of both entry points stays deterministic.
+#[test]
+fn join_and_map_compose_across_depths() {
+    let items: Vec<u64> = (0..48).collect();
+    let expect: Vec<u64> = items.iter().map(|&x| h(x).wrapping_add(h(x ^ 1))).collect();
+    for workers in WORKER_COUNTS {
+        let out = pool::par_map_with(workers, &items, |&x| {
+            let (a, b) = pool::join(|| h(x), || h(x ^ 1));
+            a.wrapping_add(b)
+        });
+        assert_eq!(out, expect, "diverged at {workers} workers");
+    }
+}

@@ -76,6 +76,42 @@ print(f"perf_dram smoke OK (8ch: {rps:.0f} req/s, {speedup:.2f}x on {threads} th
       f"event engine {ev_speedup:.1f}x stepped on the low-util trace)")'
 echo "perf artifact: $perf_artifact"
 
+echo "== perf_pool smoke =="
+# Executor dispatch-overhead harness: the persistent work-stealing pool
+# must beat the old scoped-spawn baseline on per-call dispatch cost, and
+# the fleet loop must reach >= 1.5x steps/s — both gates enforced only on
+# machines with >= 4 cores (the binary checks; worker count alone cannot
+# buy wall-clock speedup). Results equality is asserted inside the binary;
+# the validator re-checks the manifest schema so silent drift cannot pass.
+mkdir -p target
+pool_artifact="target/BENCH_pool.json"
+: > "$pool_artifact"
+cargo run --release -q -p facil-bench --bin perf_pool -- --smoke --json --enforce-speedup \
+  | tee "$pool_artifact" \
+  | python3 -c 'import json,sys
+lines = [json.loads(l) for l in sys.stdin if l.strip()]
+manifests = [o for o in lines if "schema_version" in o]
+runs = [o for o in lines if "schema_version" not in o]
+assert len(manifests) == 1, f"expected one manifest, got {len(manifests)}"
+m = manifests[0]
+assert m["bench"] == "perf_pool" and "seed" in m, m
+res = m["results"]
+for key in ("spawn_us_per_dispatch", "executor_us_per_dispatch", "dispatch_speedup",
+            "serial_steps_s", "parallel_steps_s", "fleet_speedup"):
+    assert key in res and res[key] > 0, (key, res)
+dispatch = [o for o in runs if o["report"].get("mode") == "dispatch"]
+fleet = [o for o in runs if o["report"].get("mode") == "fleet"]
+assert len(dispatch) == 1 and len(fleet) == 1, [o["report"].get("mode") for o in runs]
+d, f = dispatch[0]["report"], fleet[0]["report"]
+assert d["results_match"] is True and f["reports_match"] is True, (d, f)
+assert f["offered"] > 0 and f["serial_s"] > 0 and f["parallel_s"] > 0, f
+spawn, execu = res["spawn_us_per_dispatch"], res["executor_us_per_dispatch"]
+dsp, fsp = res["dispatch_speedup"], res["fleet_speedup"]
+threads, cores = m["config"]["threads"], m["config"]["cores"]
+print(f"perf_pool smoke OK (dispatch {spawn:.1f} -> {execu:.1f} us/call = {dsp:.1f}x; "
+      f"fleet {fsp:.2f}x on {threads} threads, {cores} cores)")'
+echo "pool artifact: $pool_artifact"
+
 echo "== DRAM engine equivalence smoke =="
 # The simulation engine must be invisible in results: serving_v2 --json
 # output is byte-identical whether the DRAM backend runs the cycle-stepped
@@ -208,13 +244,20 @@ print(f"cluster smoke OK ({len(runs)} runs, storm availability {storm:.2f}, {out
 echo "cluster artifact: $cluster_artifact"
 
 echo "== FACIL_THREADS determinism smoke =="
-# The worker-count knob must be invisible in results: serving_v2 and
-# cluster --json output is byte-identical between 1 and 8 workers.
-for bin in serving_v2 cluster; do
+# The worker-count knob must be invisible in results: serving_v2, cluster
+# and the perf_pool fleet digest are byte-identical between 1 and 8
+# workers. perf_pool uses --digest, which prints only the deterministic
+# fleet report (wall-clock fields would break the diff).
+for bin in serving_v2 cluster perf_pool; do
+  if [ "$bin" = perf_pool ]; then
+    args=(--smoke --digest)
+  else
+    args=(--smoke --json)
+  fi
   t1="$(mktemp /tmp/facil-threads1.XXXXXX.jsonl)"
   t8="$(mktemp /tmp/facil-threads8.XXXXXX.jsonl)"
-  FACIL_THREADS=1 cargo run --release -q -p facil-bench --bin "$bin" -- --smoke --json > "$t1"
-  FACIL_THREADS=8 cargo run --release -q -p facil-bench --bin "$bin" -- --smoke --json > "$t8"
+  FACIL_THREADS=1 cargo run --release -q -p facil-bench --bin "$bin" -- "${args[@]}" > "$t1"
+  FACIL_THREADS=8 cargo run --release -q -p facil-bench --bin "$bin" -- "${args[@]}" > "$t8"
   diff "$t1" "$t8" && echo "$bin FACIL_THREADS=1 vs 8: byte-identical"
   rm -f "$t1" "$t8"
 done
